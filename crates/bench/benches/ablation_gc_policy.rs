@@ -1,0 +1,40 @@
+//! `cargo bench -p ipu-bench --bench ablation_gc_policy`
+//!
+//! Ablation A2 (DESIGN.md): IPU with the paper's ISR GC policy (Equations
+//! 1–2) vs IPU with plain greedy subpage victim selection. Quantifies how
+//! much of IPU's behaviour comes from the cold-aware victim choice.
+
+use ipu_core::ftl::SchemeKind;
+use ipu_core::report::TextTable;
+use ipu_core::experiment;
+
+fn main() {
+    let base = ipu_bench::bench_config();
+    let mut table = TextTable::new(&[
+        "Trace",
+        "GC policy",
+        "overall(ms)",
+        "read err",
+        "SLC erases",
+        "evicted subpages",
+        "GC page util",
+    ]);
+    for &trace in &base.traces {
+        for (label, use_isr) in [("ISR (paper)", true), ("greedy", false)] {
+            let mut cfg = base.clone();
+            cfg.ftl.ipu_use_isr_gc = use_isr;
+            let r = experiment::run_one(&cfg, trace, SchemeKind::Ipu);
+            table.row(vec![
+                trace.name().to_string(),
+                label.to_string(),
+                format!("{:.4}", r.overall_latency.mean_ms()),
+                format!("{:.3e}", r.read_error_rate()),
+                r.wear.slc_erases.to_string(),
+                r.ftl.gc_evicted_subpages.to_string(),
+                format!("{:.1}%", r.gc_page_utilization() * 100.0),
+            ]);
+        }
+    }
+    println!("Ablation A2 — ISR vs greedy GC victim selection inside IPU");
+    println!("{}", table.render());
+}

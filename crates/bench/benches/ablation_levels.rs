@@ -1,0 +1,42 @@
+//! `cargo bench -p ipu-bench --bench ablation_levels`
+//!
+//! Ablation A1 (DESIGN.md): sensitivity of IPU to the number of SLC cache
+//! levels. The paper uses three (Work/Monitor/Hot); capping the hierarchy at
+//! one or two levels shows what the upgraded/degraded movement buys.
+
+use ipu_core::ftl::SchemeKind;
+use ipu_core::report::TextTable;
+use ipu_core::trace::PaperTrace;
+use ipu_core::experiment;
+
+fn main() {
+    let base = ipu_bench::bench_config();
+    let traces = [PaperTrace::Ts0, PaperTrace::Usr0];
+    let mut table = TextTable::new(&[
+        "Trace",
+        "max level",
+        "overall(ms)",
+        "write(ms)",
+        "intra-page updates",
+        "upgrades",
+        "MLC host subpages",
+    ]);
+    for trace in traces {
+        for max_level in [1u8, 2, 3] {
+            let mut cfg = base.clone();
+            cfg.ftl.ipu_max_level = max_level;
+            let r = experiment::run_one(&cfg, trace, SchemeKind::Ipu);
+            table.row(vec![
+                trace.name().to_string(),
+                max_level.to_string(),
+                format!("{:.4}", r.overall_latency.mean_ms()),
+                format!("{:.4}", r.write_latency.mean_ms()),
+                r.ftl.intra_page_updates.to_string(),
+                r.ftl.upgraded_writes.to_string(),
+                r.ftl.host_subpages_to_mlc.to_string(),
+            ]);
+        }
+    }
+    println!("Ablation A1 — SLC cache level-count sensitivity (IPU)");
+    println!("{}", table.render());
+}

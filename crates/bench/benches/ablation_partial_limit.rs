@@ -1,0 +1,45 @@
+//! `cargo bench -p ipu-bench --bench ablation_partial_limit`
+//!
+//! Ablation A3 (DESIGN.md): sensitivity to the manufacturer NOP limit — the
+//! maximum number of partial programs per SLC page, which the paper (and the
+//! cited datasheets) fix at 4. A limit of 1 disables partial programming
+//! entirely (IPU and MGA degenerate toward Baseline's fragmentation).
+
+use ipu_core::ftl::SchemeKind;
+use ipu_core::report::TextTable;
+use ipu_core::trace::PaperTrace;
+use ipu_core::experiment;
+
+fn main() {
+    let base = ipu_bench::bench_config();
+    let traces = [PaperTrace::Ts0, PaperTrace::Lun1];
+    let mut table = TextTable::new(&[
+        "Trace",
+        "Scheme",
+        "NOP limit",
+        "overall(ms)",
+        "read err",
+        "GC page util",
+        "SLC erases",
+    ]);
+    for trace in traces {
+        for scheme in [SchemeKind::Mga, SchemeKind::Ipu] {
+            for limit in [1u8, 2, 4] {
+                let mut cfg = base.clone();
+                cfg.device.max_partial_programs = limit;
+                let r = experiment::run_one(&cfg, trace, scheme);
+                table.row(vec![
+                    trace.name().to_string(),
+                    scheme.label().to_string(),
+                    limit.to_string(),
+                    format!("{:.4}", r.overall_latency.mean_ms()),
+                    format!("{:.3e}", r.read_error_rate()),
+                    format!("{:.1}%", r.gc_page_utilization() * 100.0),
+                    r.wear.slc_erases.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("Ablation A3 — partial-program (NOP) budget sensitivity");
+    println!("{}", table.render());
+}

@@ -1,0 +1,11 @@
+//! `cargo bench -p ipu-bench --bench fig13_latency_vs_pe`
+//!
+//! Regenerates the paper's Figure 13 — I/O latency under varied P/E cycles
+//! (§4.5) — by running the full matrix at P/E ∈ {1000, 2000, 4000, 8000}.
+
+fn main() {
+    let cfg = ipu_bench::bench_config();
+    let sweep = ipu_bench::pe_sweep_cached(&cfg, &ipu_core::PAPER_PE_POINTS);
+    println!("{}", ipu_core::report::render_pe_sweep(&sweep));
+    println!("(Figure 13 reads the overall-latency column; Figure 14 the error-rate column.)");
+}

@@ -1,0 +1,11 @@
+//! `cargo bench -p ipu-bench --bench fig14_ber_vs_pe`
+//!
+//! Regenerates the paper's Figure 14 — read error rate under varied P/E
+//! cycles (§4.5). Shares the cached sweep with `fig13_latency_vs_pe`.
+
+fn main() {
+    let cfg = ipu_bench::bench_config();
+    let sweep = ipu_bench::pe_sweep_cached(&cfg, &ipu_core::PAPER_PE_POINTS);
+    println!("{}", ipu_core::report::render_pe_sweep(&sweep));
+    println!("(Figure 14 reads the error-rate column; Figure 13 the overall-latency column.)");
+}

@@ -1,0 +1,12 @@
+//! `cargo bench -p ipu-bench --bench fig2_ber_model`
+//!
+//! Regenerates the paper's Figure 2 — raw bit error rate of conventional vs
+//! partial programming across P/E cycles — from the calibrated RBER and
+//! disturb models (fitted to the two published points: 2.8·10⁻⁴ and
+//! 3.8·10⁻⁴ at 4000 P/E cycles).
+
+fn main() {
+    let points: Vec<u32> = (0..=10).map(|i| i * 1000).collect();
+    let curve = ipu_core::run_ber_curve(&points);
+    println!("{}", ipu_core::report::render_fig2(&curve));
+}

@@ -1,0 +1,10 @@
+//! `cargo bench -p ipu-bench --bench fig7_level_distribution`
+//!
+//! Regenerates the paper's Figure 7 (IPU write distribution across levels) from the cached evaluation matrix
+//! (see crate docs for the IPU_BENCH_* environment knobs).
+
+fn main() {
+    let cfg = ipu_bench::bench_config();
+    let matrix = ipu_bench::main_matrix_cached(&cfg);
+    println!("{}", ipu_core::report::render_fig7(&matrix));
+}

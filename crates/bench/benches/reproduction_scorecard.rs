@@ -1,0 +1,13 @@
+//! `cargo bench -p ipu-bench --bench reproduction_scorecard`
+//!
+//! Prints the self-checking reproduction scorecard: every quantitative claim
+//! from the paper's evaluation, the measured value on the same definition,
+//! and a REPRODUCED / PARTIAL / DEVIATION verdict. Shares the cached main
+//! matrix with the fig5..fig11 benches.
+
+fn main() {
+    let cfg = ipu_bench::bench_config();
+    let matrix = ipu_bench::main_matrix_cached(&cfg);
+    let results = ipu_core::scorecard::evaluate(&matrix);
+    println!("{}", ipu_core::scorecard::render(&results));
+}

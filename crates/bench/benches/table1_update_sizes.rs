@@ -1,0 +1,10 @@
+//! `cargo bench -p ipu-bench --bench table1_update_sizes`
+//!
+//! Regenerates the paper's Table 1 (size distribution of updated requests)
+//! from the calibrated synthetic traces, next to the published values.
+
+fn main() {
+    let cfg = ipu_bench::bench_config();
+    let rows = ipu_core::run_trace_tables(&cfg);
+    println!("{}", ipu_core::report::render_table1(&rows));
+}

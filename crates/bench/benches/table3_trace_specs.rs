@@ -1,0 +1,11 @@
+//! `cargo bench -p ipu-bench --bench table3_trace_specs`
+//!
+//! Regenerates the paper's Table 3 (per-trace request count, write ratio,
+//! average write size and hot-write ratio) from the calibrated synthetic
+//! traces, next to the published values.
+
+fn main() {
+    let cfg = ipu_bench::bench_config();
+    let rows = ipu_core::run_trace_tables(&cfg);
+    println!("{}", ipu_core::report::render_table3(&rows));
+}

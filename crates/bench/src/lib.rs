@@ -1,0 +1,116 @@
+//! Shared infrastructure for the per-figure benchmark harnesses.
+//!
+//! Figures 5–11 are all views over the same trace × scheme evaluation matrix,
+//! and Figures 13/14 share one P/E sweep. To keep `cargo bench` from
+//! re-simulating the world for every figure, results are cached as JSON under
+//! `target/ipu-bench-cache/`, keyed by the experiment configuration; any
+//! config change (scale, thresholds, …) invalidates the cache automatically.
+//!
+//! Environment knobs:
+//!
+//! * `IPU_BENCH_SCALE` — fraction of the published request counts (and,
+//!   proportionally, of the device) to run; default 0.25.
+//! * `IPU_BENCH_THREADS` — worker threads for the sweep (default: cores − 1).
+//! * `IPU_BENCH_REFRESH=1` — ignore and overwrite the cache.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ipu_core::{experiment, ExperimentConfig, ExperimentRecord, MatrixResult, PeSweepResult};
+
+/// Default fraction of the paper-scale run used by benches.
+pub const DEFAULT_BENCH_SCALE: f64 = 0.25;
+
+/// Experiment configuration for bench runs, honouring the env knobs.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::from_env(DEFAULT_BENCH_SCALE)
+}
+
+/// Directory for cached results.
+pub fn cache_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("ipu-bench-cache")
+}
+
+fn refresh_requested() -> bool {
+    std::env::var("IPU_BENCH_REFRESH").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Runs (or loads) the main evaluation matrix for `cfg`.
+pub fn main_matrix_cached(cfg: &ExperimentConfig) -> MatrixResult {
+    let path = cache_dir().join(format!(
+        "main_matrix_s{}_pe{}.json",
+        cfg.scale, cfg.device.initial_pe_cycles
+    ));
+    if !refresh_requested() {
+        if let Ok(rec) = ExperimentRecord::<MatrixResult>::load(&path) {
+            if &rec.config == cfg {
+                eprintln!("[ipu-bench] loaded cached matrix from {}", path.display());
+                return rec.result;
+            }
+        }
+    }
+    eprintln!(
+        "[ipu-bench] running {}×{} matrix at scale {} (set IPU_BENCH_SCALE to change)...",
+        cfg.traces.len(),
+        cfg.schemes.len(),
+        cfg.scale
+    );
+    let started = Instant::now();
+    let result = experiment::run_main_matrix(cfg);
+    eprintln!("[ipu-bench] matrix done in {:.1?}", started.elapsed());
+    let rec = ExperimentRecord::new("main_matrix", cfg.clone(), result);
+    if let Err(e) = rec.save(&path) {
+        eprintln!("[ipu-bench] warning: could not cache results: {e}");
+    }
+    rec.result
+}
+
+/// Runs (or loads) the §4.5 P/E sweep for `cfg`.
+pub fn pe_sweep_cached(cfg: &ExperimentConfig, points: &[u32]) -> PeSweepResult {
+    let path = cache_dir().join(format!("pe_sweep_s{}.json", cfg.scale));
+    if !refresh_requested() {
+        if let Ok(rec) = ExperimentRecord::<PeSweepResult>::load(&path) {
+            if &rec.config == cfg && rec.result.pe_points == points {
+                eprintln!("[ipu-bench] loaded cached P/E sweep from {}", path.display());
+                return rec.result;
+            }
+        }
+    }
+    eprintln!("[ipu-bench] running P/E sweep over {points:?} at scale {} ...", cfg.scale);
+    let started = Instant::now();
+    let result = experiment::run_pe_sweep(cfg, points);
+    eprintln!("[ipu-bench] sweep done in {:.1?}", started.elapsed());
+    let rec = ExperimentRecord::new("pe_sweep", cfg.clone(), result);
+    if let Err(e) = rec.save(&path) {
+        eprintln!("[ipu-bench] warning: could not cache results: {e}");
+    }
+    rec.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_valid() {
+        bench_config().validate().unwrap();
+    }
+
+    #[test]
+    fn cache_round_trips_a_tiny_matrix() {
+        let mut cfg = ExperimentConfig::scaled(0.001);
+        cfg.traces = vec![ipu_core::trace::PaperTrace::Lun2];
+        cfg.threads = 1;
+        // First call computes and caches; second call must load identically.
+        let dir = cache_dir();
+        let a = main_matrix_cached(&cfg);
+        let b = main_matrix_cached(&cfg);
+        assert_eq!(a.traces, b.traces);
+        assert_eq!(
+            a.report(0, 0).overall_latency.count(),
+            b.report(0, 0).overall_latency.count()
+        );
+        assert!(dir.exists());
+    }
+}

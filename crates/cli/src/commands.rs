@@ -1,0 +1,383 @@
+//! Command implementations for the `ipu-sim` binary.
+
+use std::fs::File;
+use std::io::BufReader;
+
+use ipu_core::ftl::SchemeKind;
+use ipu_core::sim::{replay_with_progress, ReplayConfig, SimReport};
+use ipu_core::trace::{parse_msr_reader, PaperTrace};
+use ipu_core::{experiment, report, ExperimentConfig, ExperimentRecord, PAPER_PE_POINTS};
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ipu-sim — reproduction of 'Intra-page Cache Update in SLC-mode with Partial
+Programming in High Density SSDs' (ICPP 2021)
+
+USAGE: ipu-sim <command> [options]
+
+COMMANDS
+  tables                Regenerate Tables 1 & 3 (trace calibration)
+  figure <N>            Regenerate figure N ∈ {2,5,6,7,8,9,10,11,13,14}
+  run                   One (trace, scheme) replay with a detailed report
+  sweep                 The §4.5 P/E-cycle sweep (Figures 13 & 14)
+  replay <trace.csv>    Replay a real MSR-format trace file
+  ablate <levels|gc|nop>  Design-choice ablations (DESIGN.md A1–A3)
+  figures               Render the main figures as SVG files (--out <dir>)
+  help                  Show this text
+
+COMMON OPTIONS
+  --scale <f>           Fraction of the published request counts (default 0.1;
+                        the device scales along, preserving cache pressure)
+  --traces <a,b,...>    Subset of ts0,wdev0,lun1,usr0,ads,lun2 (default: all)
+  --schemes <a,b,...>   Subset of baseline,mga,ipu,ipu+ (default: the paper's
+                        three; ipu+ is this repo's §5 future-work extension)
+  --pe <n>              Pre-aged P/E cycles (default 4000)
+  --threads <n>         Sweep parallelism (default: cores − 1)
+  --save <file.json>    Also write the raw results as JSON
+
+EXAMPLES
+  ipu-sim figure 5 --scale 0.25
+  ipu-sim run --traces ts0 --schemes ipu --scale 0.1
+  ipu-sim replay /data/msr/ts0.csv --schemes ipu
+  ipu-sim ablate gc --scale 0.05
+";
+
+/// Builds the experiment config from the common flags.
+fn config_from(args: &ParsedArgs) -> Result<ExperimentConfig, ArgError> {
+    let scale: f64 = args.flag_parsed("scale", 0.1)?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err(ArgError(format!("--scale {scale} out of (0, 1]")));
+    }
+    let mut cfg = ExperimentConfig::scaled(scale);
+    cfg.device.initial_pe_cycles = args.flag_parsed("pe", 4000u32)?;
+    cfg.threads = args.flag_parsed("threads", 0usize)?;
+    if let Some(names) = args.flag_list("traces") {
+        cfg.traces = names.iter().map(|n| parse_trace(n)).collect::<Result<_, _>>()?;
+    }
+    if let Some(names) = args.flag_list("schemes") {
+        cfg.schemes = names.iter().map(|n| parse_scheme(n)).collect::<Result<_, _>>()?;
+    }
+    cfg.validate().map_err(ArgError)?;
+    Ok(cfg)
+}
+
+fn parse_trace(name: &str) -> Result<PaperTrace, ArgError> {
+    PaperTrace::all()
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown trace `{name}`")))
+}
+
+fn parse_scheme(name: &str) -> Result<SchemeKind, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(SchemeKind::Baseline),
+        "mga" => Ok(SchemeKind::Mga),
+        "ipu" => Ok(SchemeKind::Ipu),
+        "ipu+" | "ipuplus" => Ok(SchemeKind::IpuPlus),
+        other => Err(ArgError(format!("unknown scheme `{other}`"))),
+    }
+}
+
+fn maybe_save<T: serde::Serialize + serde::de::DeserializeOwned>(
+    args: &ParsedArgs,
+    cfg: &ExperimentConfig,
+    experiment: &str,
+    result: T,
+) -> Result<(), ArgError> {
+    if let Some(path) = args.flag("save") {
+        ExperimentRecord::new(experiment, cfg.clone(), result)
+            .save(path)
+            .map_err(|e| ArgError(format!("cannot save {path}: {e}")))?;
+        eprintln!("saved raw results to {path}");
+    }
+    Ok(())
+}
+
+/// `ipu-sim tables`
+pub fn cmd_tables(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = config_from(args)?;
+    let rows = experiment::run_trace_tables(&cfg);
+    maybe_save(args, &cfg, "tables", rows.clone())?;
+    Ok(format!("{}\n{}", report::render_table1(&rows), report::render_table3(&rows)))
+}
+
+/// `ipu-sim figure <N>`
+pub fn cmd_figure(args: &ParsedArgs) -> Result<String, ArgError> {
+    let n = args
+        .positionals
+        .first()
+        .ok_or_else(|| ArgError("figure needs a number, e.g. `ipu-sim figure 5`".into()))?
+        .as_str();
+    if n == "2" {
+        let points: Vec<u32> = (0..=10).map(|i| i * 1000).collect();
+        return Ok(report::render_fig2(&experiment::run_ber_curve(&points)));
+    }
+    if n == "13" || n == "14" {
+        let cfg = config_from(args)?;
+        let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
+        maybe_save(args, &cfg, "pe_sweep", sweep.clone())?;
+        return Ok(report::render_pe_sweep(&sweep));
+    }
+    let cfg = config_from(args)?;
+    let matrix = experiment::run_main_matrix(&cfg);
+    let text = match n {
+        "5" => report::render_fig5(&matrix),
+        "6" => report::render_fig6(&matrix),
+        "7" => report::render_fig7(&matrix),
+        "8" => report::render_fig8(&matrix),
+        "9" => report::render_fig9(&matrix),
+        "10" => report::render_fig10(&matrix),
+        "11" => report::render_fig11(&matrix),
+        other => return Err(ArgError(format!("no figure `{other}` (2,5..11,13,14)"))),
+    };
+    maybe_save(args, &cfg, &format!("fig{n}"), matrix)?;
+    Ok(text)
+}
+
+/// `ipu-sim run`
+pub fn cmd_run(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = config_from(args)?;
+    let mut out = String::new();
+    for &trace in &cfg.traces {
+        for &scheme in &cfg.schemes {
+            let r = experiment::run_one(&cfg, trace, scheme);
+            out.push_str(&detailed_report(&r));
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Formats the detailed single-run report used by `run` and `replay`.
+pub fn detailed_report(r: &SimReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("=== {} on {} ===\n", r.scheme, r.trace));
+    s.push_str(&format!("requests            : {}\n", r.requests));
+    for (label, lat) in
+        [("read", &r.read_latency), ("write", &r.write_latency), ("overall", &r.overall_latency)]
+    {
+        s.push_str(&format!(
+            "{label:<8} latency    : mean {:.4} ms  p50 {:.3}  p95 {:.3}  p99 {:.3} ms  (n={})\n",
+            lat.mean_ms(),
+            lat.percentile_ns(50.0) as f64 / 1e6,
+            lat.percentile_ns(95.0) as f64 / 1e6,
+            lat.percentile_ns(99.0) as f64 / 1e6,
+            lat.count()
+        ));
+    }
+    s.push_str(&format!("read error rate     : {:.3e}\n", r.read_error_rate()));
+    s.push_str(&format!(
+        "host writes         : {} SLC / {} MLC subpages\n",
+        r.ftl.host_subpages_to_slc, r.ftl.host_subpages_to_mlc
+    ));
+    s.push_str(&format!(
+        "level distribution  : {:?} (HighDensity/Work/Monitor/Hot)\n",
+        r.ftl.level_distribution().map(|f| format!("{:.1}%", f * 100.0))
+    ));
+    s.push_str(&format!(
+        "intra-page / upgrade: {} / {}\n",
+        r.ftl.intra_page_updates, r.ftl.upgraded_writes
+    ));
+    s.push_str(&format!(
+        "GC                  : {} SLC runs, {} MLC runs, util {:.1}%\n",
+        r.ftl.gc_runs_slc,
+        r.ftl.gc_runs_mlc,
+        r.gc_page_utilization() * 100.0
+    ));
+    s.push_str(&format!(
+        "erases              : {} SLC / {} MLC\n",
+        r.wear.slc_erases, r.wear.mlc_erases
+    ));
+    s.push_str(&format!("mapping table       : {} bytes\n", r.mapping.total()));
+    let horizon = r.simulated_horizon_ns.max(1);
+    s.push_str(&format!(
+        "device busy         : host-writes {:.1}s, host-reads {:.1}s, GC {:.1}s \
+         over {:.1}s simulated\n",
+        r.busy.host_write_ns as f64 / 1e9,
+        r.busy.host_read_ns as f64 / 1e9,
+        r.busy.background_ns as f64 / 1e9,
+        horizon as f64 / 1e9,
+    ));
+    s
+}
+
+/// `ipu-sim figures --out <dir>`
+pub fn cmd_figures(args: &ParsedArgs) -> Result<String, ArgError> {
+    let out = args.flag("out").unwrap_or("figures");
+    let cfg = config_from(args)?;
+    let matrix = experiment::run_main_matrix(&cfg);
+    let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
+    let written = ipu_core::svg::write_figures(std::path::Path::new(out), &matrix, Some(&sweep))
+        .map_err(|e| ArgError(format!("cannot write figures: {e}")))?;
+    Ok(written
+        .iter()
+        .map(|p| format!("wrote {}", p.display()))
+        .collect::<Vec<_>>()
+        .join("\n"))
+}
+
+/// `ipu-sim sweep`
+pub fn cmd_sweep(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = config_from(args)?;
+    let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
+    maybe_save(args, &cfg, "pe_sweep", sweep.clone())?;
+    Ok(report::render_pe_sweep(&sweep))
+}
+
+/// `ipu-sim replay <trace.csv>`
+pub fn cmd_replay(args: &ParsedArgs) -> Result<String, ArgError> {
+    let path = args
+        .positionals
+        .first()
+        .ok_or_else(|| ArgError("replay needs a trace file path".into()))?;
+    let scheme = match args.flag_list("schemes").as_deref() {
+        None => SchemeKind::Ipu,
+        Some([one]) => parse_scheme(one)?,
+        Some(_) => return Err(ArgError("replay takes exactly one scheme".into())),
+    };
+    let file = File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    let requests = parse_msr_reader(BufReader::new(file))
+        .map_err(|e| ArgError(format!("cannot parse {path}: {e}")))?;
+    eprintln!("replaying {} requests under {scheme} ...", requests.len());
+    let cfg = ReplayConfig::paper_scale(scheme);
+    let r = replay_with_progress(&cfg, &requests, path, |done, total| {
+        if total > 0 && done % (1 << 18) == 0 {
+            eprintln!("  {done}/{total}");
+        }
+    });
+    Ok(detailed_report(&r))
+}
+
+/// `ipu-sim ablate <levels|gc|nop>`
+pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
+    let which = args
+        .positionals
+        .first()
+        .ok_or_else(|| ArgError("ablate needs one of: levels, gc, nop".into()))?
+        .as_str();
+    let base = config_from(args)?;
+    let mut out = String::new();
+    match which {
+        "levels" => {
+            for max_level in [1u8, 2, 3] {
+                let mut cfg = base.clone();
+                cfg.ftl.ipu_max_level = max_level;
+                for &trace in &cfg.traces {
+                    let r = experiment::run_one(&cfg, trace, SchemeKind::Ipu);
+                    out.push_str(&format!(
+                        "{} levels≤{}: overall {:.4} ms, intra {}, upgrades {}\n",
+                        trace.name(),
+                        max_level,
+                        r.overall_latency.mean_ms(),
+                        r.ftl.intra_page_updates,
+                        r.ftl.upgraded_writes
+                    ));
+                }
+            }
+        }
+        "gc" => {
+            for (label, isr) in [("isr", true), ("greedy", false)] {
+                let mut cfg = base.clone();
+                cfg.ftl.ipu_use_isr_gc = isr;
+                for &trace in &cfg.traces {
+                    let r = experiment::run_one(&cfg, trace, SchemeKind::Ipu);
+                    out.push_str(&format!(
+                        "{} gc={label}: overall {:.4} ms, evicted {}, SLC erases {}\n",
+                        trace.name(),
+                        r.overall_latency.mean_ms(),
+                        r.ftl.gc_evicted_subpages,
+                        r.wear.slc_erases
+                    ));
+                }
+            }
+        }
+        "nop" => {
+            for limit in [1u8, 2, 4] {
+                let mut cfg = base.clone();
+                cfg.device.max_partial_programs = limit;
+                for &trace in &cfg.traces {
+                    for &scheme in &cfg.schemes {
+                        let r = experiment::run_one(&cfg, trace, scheme);
+                        out.push_str(&format!(
+                            "{} {} nop={limit}: overall {:.4} ms, util {:.1}%\n",
+                            trace.name(),
+                            scheme.label(),
+                            r.overall_latency.mean_ms(),
+                            r.gc_page_utilization() * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+        other => return Err(ArgError(format!("unknown ablation `{other}`"))),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(s: &str, flags: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(str::to_string), flags).unwrap()
+    }
+
+    const COMMON: &[&str] = &["scale", "traces", "schemes", "pe", "threads", "save"];
+
+    #[test]
+    fn config_respects_flags() {
+        let p = parsed("run --scale 0.01 --traces ts0,lun2 --schemes ipu --pe 8000", COMMON);
+        let cfg = config_from(&p).unwrap();
+        assert_eq!(cfg.scale, 0.01);
+        assert_eq!(cfg.traces, vec![PaperTrace::Ts0, PaperTrace::Lun2]);
+        assert_eq!(cfg.schemes, vec![SchemeKind::Ipu]);
+        assert_eq!(cfg.device.initial_pe_cycles, 8000);
+    }
+
+    #[test]
+    fn config_rejects_nonsense() {
+        assert!(config_from(&parsed("run --scale 2.0", COMMON)).is_err());
+        assert!(config_from(&parsed("run --traces nosuch", COMMON)).is_err());
+        assert!(config_from(&parsed("run --schemes nosuch", COMMON)).is_err());
+        assert!(config_from(&parsed("run --pe pony", COMMON)).is_err());
+    }
+
+    #[test]
+    fn figure_2_runs_instantly() {
+        let p = parsed("figure 2", COMMON);
+        let text = cmd_figure(&p).unwrap();
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("4000"));
+    }
+
+    #[test]
+    fn unknown_figure_is_an_error() {
+        let p = parsed("figure 42 --scale 0.001", COMMON);
+        assert!(cmd_figure(&p).is_err());
+    }
+
+    #[test]
+    fn tiny_run_produces_detailed_report() {
+        let p = parsed("run --scale 0.001 --traces lun2 --schemes ipu --threads 1", COMMON);
+        let text = cmd_run(&p).unwrap();
+        assert!(text.contains("IPU on lun2"));
+        assert!(text.contains("read error rate"));
+        assert!(text.contains("mapping table"));
+    }
+
+    #[test]
+    fn ablate_rejects_unknown_kind() {
+        let p = parsed("ablate nosuch --scale 0.001", COMMON);
+        assert!(cmd_ablate(&p).is_err());
+    }
+
+    #[test]
+    fn replay_requires_a_path() {
+        let p = parsed("replay", COMMON);
+        assert!(cmd_replay(&p).is_err());
+        let p = parsed("replay /definitely/missing.csv", COMMON);
+        assert!(cmd_replay(&p).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! `ipu-sim` — the command-line face of the IPU paper reproduction.
+//!
+//! Run `ipu-sim help` for the full usage text; typical invocations:
+//!
+//! ```text
+//! cargo run --release -p ipu-cli -- figure 5 --scale 0.25
+//! cargo run --release -p ipu-cli -- run --traces ts0 --schemes ipu
+//! cargo run --release -p ipu-cli -- replay /data/msr/ts0.csv --schemes ipu
+//! ```
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+/// Flags accepted by every command (commands validate semantics themselves).
+const COMMON_FLAGS: &[&str] = &["scale", "traces", "schemes", "pe", "threads", "save", "out"];
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        print!("{}", commands::USAGE);
+        return;
+    }
+
+    let parsed = match ParsedArgs::parse(raw, COMMON_FLAGS) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+
+    let result = match parsed.command.as_str() {
+        "tables" => commands::cmd_tables(&parsed),
+        "figure" => commands::cmd_figure(&parsed),
+        "run" => commands::cmd_run(&parsed),
+        "sweep" => commands::cmd_sweep(&parsed),
+        "replay" => commands::cmd_replay(&parsed),
+        "ablate" => commands::cmd_ablate(&parsed),
+        "figures" => commands::cmd_figures(&parsed),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+
+    match result {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

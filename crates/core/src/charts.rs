@@ -1,0 +1,126 @@
+//! ASCII bar charts for terminal reports.
+//!
+//! The paper's evaluation figures are grouped bar charts (one group per
+//! trace, one bar per scheme). [`BarChart`] renders the same structure in
+//! plain text so `cargo bench` output can be eyeballed against the paper
+//! directly, without plotting tooling.
+
+/// A grouped horizontal bar chart.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    unit: String,
+    /// (group label, series label, value).
+    bars: Vec<(String, String, f64)>,
+    width: usize,
+}
+
+impl BarChart {
+    pub fn new(title: &str, unit: &str) -> Self {
+        BarChart { title: title.to_string(), unit: unit.to_string(), bars: Vec::new(), width: 48 }
+    }
+
+    /// Sets the bar area width in characters (default 48).
+    pub fn width(mut self, width: usize) -> Self {
+        self.width = width.clamp(8, 160);
+        self
+    }
+
+    /// Adds one bar to `group` for `series`.
+    pub fn bar(&mut self, group: &str, series: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite() && value >= 0.0, "bar value must be finite and non-negative");
+        self.bars.push((group.to_string(), series.to_string(), value));
+        self
+    }
+
+    /// Renders the chart; bars scale to the global maximum.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} [{}]\n", self.title, self.unit);
+        if self.bars.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let max = self.bars.iter().map(|(_, _, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(g, s, _)| g.len() + s.len() + 1)
+            .max()
+            .unwrap_or(8);
+
+        let mut last_group: Option<&str> = None;
+        for (group, series, value) in &self.bars {
+            if last_group != Some(group.as_str()) {
+                if last_group.is_some() {
+                    out.push('\n');
+                }
+                last_group = Some(group.as_str());
+            }
+            let filled = ((value / max) * self.width as f64).round() as usize;
+            let label = format!("{group} {series}");
+            out.push_str(&format!(
+                "{label:<label_w$} |{}{} {value:.4}\n",
+                "█".repeat(filled),
+                " ".repeat(self.width - filled),
+            ));
+        }
+        out
+    }
+}
+
+/// Convenience: chart one metric of a matrix, grouped by trace.
+pub fn chart_matrix(
+    m: &crate::experiment::MatrixResult,
+    title: &str,
+    unit: &str,
+    metric: impl Fn(&ipu_sim::SimReport) -> f64,
+) -> String {
+    let mut chart = BarChart::new(title, unit);
+    for (ti, trace) in m.traces.iter().enumerate() {
+        for (si, scheme) in m.schemes.iter().enumerate() {
+            chart.bar(trace, scheme.label(), metric(m.report(ti, si)));
+        }
+    }
+    chart.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grouped_bars_scaled_to_max() {
+        let mut c = BarChart::new("demo", "ms").width(10);
+        c.bar("ts0", "Baseline", 1.0);
+        c.bar("ts0", "IPU", 0.5);
+        c.bar("usr0", "Baseline", 0.25);
+        let out = c.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "demo [ms]");
+        // Max bar fills the width; half bar fills half.
+        assert!(lines[1].contains(&"█".repeat(10)));
+        assert!(lines[2].contains(&"█".repeat(5)));
+        assert!(!lines[2].contains(&"█".repeat(6)));
+        // Groups are separated by a blank line.
+        assert!(out.contains("\n\nusr0"));
+        assert!(out.contains("1.0000"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        assert!(BarChart::new("x", "y").render().contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_values() {
+        BarChart::new("x", "y").bar("g", "s", f64::NAN);
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let mut c = BarChart::new("x", "y").width(2); // clamps to 8
+        c.bar("g", "s", 1.0);
+        assert!(c.render().contains(&"█".repeat(8)));
+    }
+}

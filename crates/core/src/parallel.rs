@@ -1,0 +1,96 @@
+//! Minimal scoped-thread parallel map built on crossbeam.
+//!
+//! Experiment sweeps (6 traces × 3 schemes × 4 P/E points) are embarrassingly
+//! parallel and each job owns its whole simulated device, so a simple
+//! chunk-per-worker scope is all that's needed — no work stealing, no shared
+//! mutable state beyond an index counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, running up to `threads` jobs concurrently.
+/// Results are returned in input order. Panics in workers propagate.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i].lock().take().expect("job taken twice");
+                let r = f(item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results.into_iter().map(|m| m.into_inner().expect("missing result")).collect()
+}
+
+/// Default worker count: physical parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get().saturating_sub(1).max(1)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], 4, |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn single_thread_path_works() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x: i32| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        parallel_map((0..8).collect(), 4, |_: i32| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(PEAK.load(Ordering::SeqCst) >= 2, "no concurrency observed");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

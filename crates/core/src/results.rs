@@ -1,0 +1,76 @@
+//! Machine-readable experiment records: save/load JSON result files so long
+//! sweeps can be recorded once and compared against the paper (EXPERIMENTS.md).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// A saved experiment artifact: config + named result payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord<T> {
+    /// Experiment identifier (e.g. "fig5", "table3", "pe_sweep").
+    pub experiment: String,
+    /// The configuration the result was produced under.
+    pub config: ExperimentConfig,
+    /// The result payload.
+    pub result: T,
+}
+
+impl<T: Serialize + DeserializeOwned> ExperimentRecord<T> {
+    pub fn new(experiment: &str, config: ExperimentConfig, result: T) -> Self {
+        ExperimentRecord { experiment: experiment.to_string(), config, result }
+    }
+
+    /// Writes the record as pretty JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, json)
+    }
+
+    /// Reads a record back.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::run_ber_curve;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let dir = std::env::temp_dir().join("ipu-core-test-results");
+        let path = dir.join("fig2.json");
+        let record = ExperimentRecord::new(
+            "fig2",
+            ExperimentConfig::scaled(0.01),
+            run_ber_curve(&[1000, 4000]),
+        );
+        record.save(&path).unwrap();
+        let loaded: ExperimentRecord<Vec<crate::experiment::BerCurvePoint>> =
+            ExperimentRecord::load(&path).unwrap();
+        assert_eq!(loaded.experiment, "fig2");
+        assert_eq!(loaded.result.len(), 2);
+        assert_eq!(loaded.config.scale, 0.01);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_errors() {
+        let r: io::Result<ExperimentRecord<Vec<u32>>> =
+            ExperimentRecord::load("/nonexistent/definitely/missing.json");
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The reproduction scorecard: the paper's quantitative claims encoded as
+//! data, checked programmatically against a measured [`MatrixResult`].
+//!
+//! This is the self-checking heart of the reproduction: instead of eyeballing
+//! tables, every claim from the paper's evaluation gets a machine-checkable
+//! predicate over the measured matrix, with three possible outcomes —
+//! reproduced, partially reproduced (right direction, different magnitude),
+//! or deviation. EXPERIMENTS.md is the prose rendering of this scorecard;
+//! the `reproduction_scorecard` bench prints it, and integration tests assert
+//! the claims marked as must-hold.
+
+use ipu_ftl::SchemeKind;
+use ipu_sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::MatrixResult;
+use crate::report::TextTable;
+
+/// Outcome of checking one claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Direction and rough magnitude match the paper.
+    Reproduced,
+    /// Direction matches; magnitude differs beyond the tolerance.
+    Partial,
+    /// Direction differs (discussed in EXPERIMENTS.md).
+    Deviation,
+}
+
+impl Outcome {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Outcome::Reproduced => "REPRODUCED",
+            Outcome::Partial => "PARTIAL",
+            Outcome::Deviation => "DEVIATION",
+        }
+    }
+}
+
+/// One checked claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClaimResult {
+    /// Where the paper makes the claim.
+    pub source: &'static str,
+    /// The claim, in one sentence.
+    pub claim: &'static str,
+    /// The paper's number (ratio or value), when it gives one.
+    pub paper_value: f64,
+    /// Our measured number on the same definition.
+    pub measured: f64,
+    pub outcome: Outcome,
+}
+
+/// Metric extractors (geometric-mean ratios over all traces in the matrix).
+fn ratio(m: &MatrixResult, a: SchemeKind, b: SchemeKind, f: impl Fn(&SimReport) -> f64) -> f64 {
+    m.mean_ratio(a, b, f)
+}
+
+/// Checks a ratio claim: `measured` must be on the same side of 1.0 as
+/// `paper`; within `tol` (relative to the paper's distance from 1.0) it
+/// counts as reproduced, otherwise partial.
+fn check_ratio(
+    source: &'static str,
+    claim: &'static str,
+    paper: f64,
+    measured: f64,
+    tol: f64,
+) -> ClaimResult {
+    let same_side = (paper - 1.0).signum() == (measured - 1.0).signum()
+        || (paper - 1.0).abs() < 1e-9
+        || (measured - 1.0).abs() < 0.02; // a near-tie doesn't contradict a small claim
+    let close = (measured - paper).abs() <= tol;
+    let outcome = if same_side && close {
+        Outcome::Reproduced
+    } else if same_side {
+        Outcome::Partial
+    } else {
+        Outcome::Deviation
+    };
+    ClaimResult { source, claim, paper_value: paper, measured, outcome }
+}
+
+/// Checks an ordering claim (no paper magnitude): `holds` decides
+/// reproduced/deviation directly.
+fn check_order(
+    source: &'static str,
+    claim: &'static str,
+    paper: f64,
+    measured: f64,
+    holds: bool,
+) -> ClaimResult {
+    ClaimResult {
+        source,
+        claim,
+        paper_value: paper,
+        measured,
+        outcome: if holds { Outcome::Reproduced } else { Outcome::Deviation },
+    }
+}
+
+/// Evaluates every encoded claim against a measured matrix (which must
+/// contain all three of the paper's schemes).
+pub fn evaluate(m: &MatrixResult) -> Vec<ClaimResult> {
+    let overall = |r: &SimReport| r.overall_latency.mean_ns();
+    let writes = |r: &SimReport| r.write_latency.mean_ns();
+    let reads = |r: &SimReport| r.read_latency.mean_ns();
+    let err = |r: &SimReport| r.read_error_rate();
+    let util = |r: &SimReport| r.gc_page_utilization();
+    let slc_erases = |r: &SimReport| r.wear.slc_erases as f64;
+    let mapping = |r: &SimReport| r.mapping.total() as f64;
+    let mlc_share = |r: &SimReport| {
+        r.ftl.host_subpages_to_mlc as f64
+            / (r.ftl.host_subpages_to_slc + r.ftl.host_subpages_to_mlc).max(1) as f64
+    };
+    use SchemeKind::{Baseline, Ipu, Mga};
+
+    vec![
+        // §4.2.1 / Figure 5.
+        check_ratio(
+            "§4.2.1 / Fig. 5",
+            "MGA reduces overall I/O time vs Baseline (−6.4%)",
+            0.936,
+            ratio(m, Mga, Baseline, overall),
+            0.10,
+        ),
+        check_ratio(
+            "§4.2.1 / Fig. 5",
+            "IPU reduces overall I/O time vs Baseline (−14.9%)",
+            0.851,
+            ratio(m, Ipu, Baseline, overall),
+            0.10,
+        ),
+        check_ratio(
+            "§4.2.1 / Fig. 5",
+            "IPU reduces write latency vs MGA (−17.9%)",
+            0.821,
+            ratio(m, Ipu, Mga, writes),
+            0.10,
+        ),
+        check_ratio(
+            "§4.2.1 / Fig. 5",
+            "IPU reduces read latency vs MGA (up to −6.3%)",
+            0.937,
+            ratio(m, Ipu, Mga, reads),
+            0.07,
+        ),
+        // §4.2.2 / Figure 8.
+        check_ratio(
+            "§4.2.2 / Fig. 8",
+            "MGA raises read error rate vs Baseline (+14.0%)",
+            1.140,
+            ratio(m, Mga, Baseline, err),
+            0.10,
+        ),
+        check_ratio(
+            "§4.2.2 / Fig. 8",
+            "IPU raises read error rate vs Baseline only slightly (+3.5%)",
+            1.035,
+            ratio(m, Ipu, Baseline, err),
+            0.05,
+        ),
+        check_order(
+            "§4.2.2 / Fig. 8",
+            "Error-rate ordering Baseline < IPU < MGA on every trace",
+            f64::NAN,
+            f64::NAN,
+            per_trace_ordering(m, err),
+        ),
+        // §4.3.1 / Figure 9 (ratios of utilization).
+        check_ratio(
+            "§4.3.1 / Fig. 9",
+            "MGA page utilization ≈ 99.9% (vs Baseline 52.8% → ratio 1.89)",
+            0.999 / 0.528,
+            ratio(m, Mga, Baseline, util),
+            0.50,
+        ),
+        check_order(
+            "§4.3.1 / Fig. 9",
+            "Utilization ordering MGA > IPU > Baseline on every trace",
+            f64::NAN,
+            f64::NAN,
+            // per_trace_ordering checks Baseline < IPU < MGA on the metric.
+            // Traces whose cache never filled (no GC ⇒ no utilization data)
+            // carry no evidence either way and are skipped.
+            per_trace_ordering_where(m, util, |r| r.ftl.gc_runs_slc > 0),
+        ),
+        // §4.3.2 / Figure 10(a).
+        check_order(
+            "§4.3.2 / Fig. 10a",
+            "SLC erases: MGA fewest, IPU at most Baseline, on every trace",
+            f64::NAN,
+            f64::NAN,
+            slc_erase_ordering(m),
+        ),
+        // §4.2.1 / Figure 6 (we read it as the host-write split).
+        check_order(
+            "§4.2.1 / Fig. 6",
+            "IPU completes a smaller share of host writes in MLC than Baseline",
+            f64::NAN,
+            f64::NAN,
+            mean_less(m, Ipu, Baseline, mlc_share),
+        ),
+        // §4.4.1 / Figure 11.
+        check_ratio(
+            "§4.4.1 / Fig. 11",
+            "IPU mapping-table overhead vs Baseline ≈ +0.84% (< 1%)",
+            1.0084,
+            ratio(m, Ipu, Baseline, mapping),
+            0.009,
+        ),
+        check_ratio(
+            "§4.4.1 / Fig. 11",
+            "MGA mapping-table overhead vs Baseline ≈ +23.7%",
+            1.237,
+            ratio(m, Mga, Baseline, mapping),
+            0.22,
+        ),
+        // Figure 10(a) magnitude-free cross-check via erase ratio.
+        check_ratio(
+            "§4.3.2 / Fig. 10a",
+            "IPU erases SLC blocks more than MGA (better-packed MGA erases less)",
+            2.0, // the paper's bars show a clear multiple; exact value unreadable
+            ratio(m, Ipu, Mga, slc_erases),
+            1.5,
+        ),
+    ]
+}
+
+/// True iff `f` increases Baseline → IPU → MGA on *every* trace row.
+fn per_trace_ordering(m: &MatrixResult, f: impl Fn(&SimReport) -> f64) -> bool {
+    per_trace_ordering_where(m, f, |_| true)
+}
+
+/// [`per_trace_ordering`] restricted to rows where `include` holds for every
+/// scheme (rows without evidence — e.g. no GC activity — are skipped).
+fn per_trace_ordering_where(
+    m: &MatrixResult,
+    f: impl Fn(&SimReport) -> f64,
+    include: impl Fn(&SimReport) -> bool,
+) -> bool {
+    let (Some(b), Some(g), Some(i)) = (
+        m.scheme_index(SchemeKind::Baseline),
+        m.scheme_index(SchemeKind::Mga),
+        m.scheme_index(SchemeKind::Ipu),
+    ) else {
+        return false;
+    };
+    m.reports
+        .iter()
+        .filter(|row| include(&row[b]) && include(&row[g]) && include(&row[i]))
+        .all(|row| {
+            let vb = f(&row[b]);
+            let vi = f(&row[i]);
+            let vg = f(&row[g]);
+            vb < vi && vi < vg
+        })
+}
+
+/// True iff MGA ≤ IPU ≤ Baseline on SLC erases for every trace (ties allowed).
+fn slc_erase_ordering(m: &MatrixResult) -> bool {
+    let (Some(b), Some(g), Some(i)) = (
+        m.scheme_index(SchemeKind::Baseline),
+        m.scheme_index(SchemeKind::Mga),
+        m.scheme_index(SchemeKind::Ipu),
+    ) else {
+        return false;
+    };
+    m.reports.iter().all(|row| {
+        row[g].wear.slc_erases <= row[i].wear.slc_erases
+            && row[i].wear.slc_erases <= row[b].wear.slc_erases
+    })
+}
+
+/// True iff the mean of `f` over traces is lower for `a` than for `b`.
+fn mean_less(
+    m: &MatrixResult,
+    a: SchemeKind,
+    b: SchemeKind,
+    f: impl Fn(&SimReport) -> f64,
+) -> bool {
+    let (Some(ai), Some(bi)) = (m.scheme_index(a), m.scheme_index(b)) else { return false };
+    let n = m.reports.len() as f64;
+    let ma: f64 = m.reports.iter().map(|row| f(&row[ai])).sum::<f64>() / n;
+    let mb: f64 = m.reports.iter().map(|row| f(&row[bi])).sum::<f64>() / n;
+    ma < mb
+}
+
+/// Renders the scorecard as an aligned table.
+pub fn render(results: &[ClaimResult]) -> String {
+    let mut t = TextTable::new(&["Source", "Claim", "paper", "measured", "outcome"]);
+    for r in results {
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "—".to_string()
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        t.row(vec![
+            r.source.to_string(),
+            r.claim.to_string(),
+            fmt(r.paper_value),
+            fmt(r.measured),
+            r.outcome.symbol().to_string(),
+        ]);
+    }
+    let reproduced = results.iter().filter(|r| r.outcome == Outcome::Reproduced).count();
+    let partial = results.iter().filter(|r| r.outcome == Outcome::Partial).count();
+    let deviation = results.iter().filter(|r| r.outcome == Outcome::Deviation).count();
+    format!(
+        "Reproduction scorecard — the paper's claims checked against this run\n{}\n\
+         {reproduced} reproduced · {partial} partial · {deviation} deviations \
+         (see EXPERIMENTS.md for the discussion of each)\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_check_classifies_correctly() {
+        // Same side, close → reproduced.
+        let r = check_ratio("s", "c", 0.90, 0.93, 0.05);
+        assert_eq!(r.outcome, Outcome::Reproduced);
+        // Same side, far → partial.
+        let r = check_ratio("s", "c", 0.85, 0.98, 0.05);
+        assert_eq!(r.outcome, Outcome::Partial);
+        // Opposite side → deviation.
+        let r = check_ratio("s", "c", 0.85, 1.15, 0.05);
+        assert_eq!(r.outcome, Outcome::Deviation);
+        // A near-tie measurement never counts as contradicting.
+        let r = check_ratio("s", "c", 0.94, 1.005, 0.10);
+        assert_ne!(r.outcome, Outcome::Deviation);
+    }
+
+    #[test]
+    fn scorecard_runs_on_a_small_matrix() {
+        let mut cfg = crate::ExperimentConfig::scaled(0.02);
+        cfg.traces = vec![ipu_trace::PaperTrace::Ts0];
+        cfg.threads = 1;
+        let m = crate::experiment::run_main_matrix(&cfg);
+        let results = evaluate(&m);
+        assert!(results.len() >= 12);
+        let text = render(&results);
+        assert!(text.contains("scorecard"));
+        assert!(text.contains("REPRODUCED"));
+        // The hard orderings (Figures 8, 9, 10a) must hold even at 2% scale.
+        for r in &results {
+            if r.claim.contains("ordering") {
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Reproduced,
+                    "ordering claim failed: {} ({})",
+                    r.claim,
+                    r.source
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Hand-rolled SVG figure generation — paper-style grouped bar charts and
+//! line charts, written with no plotting dependencies.
+//!
+//! The bench harnesses print text tables; this module additionally renders
+//! the same data as standalone `.svg` files (one per figure) so the
+//! reproduction can be compared against the paper's figures side by side.
+//! Only a small, well-tested subset of SVG is emitted: `rect`, `line`,
+//! `text`, `polyline`.
+
+use std::fmt::Write as _;
+
+/// A categorical color per series, matching across all figures.
+const SERIES_COLORS: [&str; 6] =
+    ["#4878a8", "#e49444", "#5ba053", "#bf4f4f", "#8573a9", "#767676"];
+
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 70.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Builds a grouped bar chart (one group per trace, one bar per scheme).
+#[derive(Debug, Clone)]
+pub struct GroupedBars {
+    title: String,
+    y_label: String,
+    groups: Vec<String>,
+    series: Vec<String>,
+    /// `values[g][s]`.
+    values: Vec<Vec<f64>>,
+    width: f64,
+    height: f64,
+}
+
+impl GroupedBars {
+    pub fn new(title: &str, y_label: &str, groups: &[String], series: &[String]) -> Self {
+        GroupedBars {
+            title: title.to_string(),
+            y_label: y_label.to_string(),
+            groups: groups.to_vec(),
+            series: series.to_vec(),
+            values: vec![vec![0.0; series.len()]; groups.len()],
+            width: 720.0,
+            height: 360.0,
+        }
+    }
+
+    /// Sets the value of `(group, series)`.
+    pub fn set(&mut self, group: usize, series: usize, value: f64) -> &mut Self {
+        assert!(value.is_finite() && value >= 0.0, "bar values must be finite and ≥ 0");
+        self.values[group][series] = value;
+        self
+    }
+
+    /// Renders the chart to an SVG document string.
+    pub fn render(&self) -> String {
+        let (w, h) = (self.width, self.height);
+        let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = h - MARGIN_TOP - MARGIN_BOTTOM;
+        let max = self
+            .values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            esc(&self.title)
+        );
+        // Y axis with 5 gridlines and labels.
+        for i in 0..=5 {
+            let frac = i as f64 / 5.0;
+            let y = MARGIN_TOP + plot_h * (1.0 - frac);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                w - MARGIN_RIGHT
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                y + 4.0,
+                format_tick(max * frac)
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Bars.
+        let ng = self.groups.len().max(1) as f64;
+        let ns = self.series.len().max(1) as f64;
+        let group_w = plot_w / ng;
+        let bar_w = (group_w * 0.8) / ns;
+        for (g, group) in self.groups.iter().enumerate() {
+            let gx = MARGIN_LEFT + group_w * g as f64 + group_w * 0.1;
+            for (s, _) in self.series.iter().enumerate() {
+                let v = self.values[g][s];
+                let bh = plot_h * (v / max);
+                let x = gx + bar_w * s as f64;
+                let y = MARGIN_TOP + plot_h - bh;
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bh:.1}" fill="{}"/>"#,
+                    bar_w * 0.92,
+                    SERIES_COLORS[s % SERIES_COLORS.len()]
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+                gx + group_w * 0.4,
+                MARGIN_TOP + plot_h + 18.0,
+                esc(group)
+            );
+        }
+        // Legend.
+        for (s, name) in self.series.iter().enumerate() {
+            let x = MARGIN_LEFT + 90.0 * s as f64;
+            let y = h - 22.0;
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"#,
+                y - 11.0,
+                SERIES_COLORS[s % SERIES_COLORS.len()]
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{y:.1}" font-size="12">{}</text>"#,
+                x + 16.0,
+                esc(name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// Builds a line chart (one line per series over a shared numeric x-axis) —
+/// the shape of the paper's Figures 13 & 14.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    y_label: String,
+    x_ticks: Vec<f64>,
+    series: Vec<(String, Vec<f64>)>,
+    width: f64,
+    height: f64,
+}
+
+impl LineChart {
+    pub fn new(title: &str, y_label: &str, x_ticks: &[f64]) -> Self {
+        assert!(!x_ticks.is_empty(), "a line chart needs x positions");
+        LineChart {
+            title: title.to_string(),
+            y_label: y_label.to_string(),
+            x_ticks: x_ticks.to_vec(),
+            series: Vec::new(),
+            width: 720.0,
+            height: 360.0,
+        }
+    }
+
+    /// Adds a named series; must have one value per x tick.
+    pub fn series(&mut self, name: &str, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.x_ticks.len(), "series length mismatch");
+        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        self.series.push((name.to_string(), values.to_vec()));
+        self
+    }
+
+    /// Renders the chart to an SVG document string.
+    pub fn render(&self) -> String {
+        let (w, h) = (self.width, self.height);
+        let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = h - MARGIN_TOP - MARGIN_BOTTOM;
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let x_min = self.x_ticks.first().copied().unwrap();
+        let x_max = self.x_ticks.last().copied().unwrap().max(x_min + 1.0);
+        let x_of = |x: f64| MARGIN_LEFT + plot_w * (x - x_min) / (x_max - x_min);
+        let y_of = |v: f64| MARGIN_TOP + plot_h * (1.0 - v / max);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            esc(&self.title)
+        );
+        for i in 0..=5 {
+            let frac = i as f64 / 5.0;
+            let y = MARGIN_TOP + plot_h * (1.0 - frac);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                w - MARGIN_RIGHT
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                y + 4.0,
+                format_tick(max * frac)
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&self.y_label)
+        );
+        for &x in &self.x_ticks {
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+                x_of(x),
+                MARGIN_TOP + plot_h + 18.0,
+                format_tick(x)
+            );
+        }
+        for (s, (name, values)) in self.series.iter().enumerate() {
+            let color = SERIES_COLORS[s % SERIES_COLORS.len()];
+            let points: Vec<String> = self
+                .x_ticks
+                .iter()
+                .zip(values)
+                .map(|(&x, &v)| format!("{:.1},{:.1}", x_of(x), y_of(v)))
+                .collect();
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                points.join(" ")
+            );
+            for p in &points {
+                let (px, py) = p.split_once(',').unwrap();
+                let _ = write!(svg, r#"<circle cx="{px}" cy="{py}" r="3" fill="{color}"/>"#);
+            }
+            let x = MARGIN_LEFT + 110.0 * s as f64;
+            let y = h - 22.0;
+            let _ = write!(svg, r#"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{color}"/>"#, y - 11.0);
+            let _ = write!(svg, r#"<text x="{:.1}" y="{y:.1}" font-size="12">{}</text>"#, x + 16.0, esc(name));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Writes the main-matrix figures (5–11 analogues) and the P/E sweep figures
+/// (13–14) as SVG files under `dir`. Returns the written paths.
+pub fn write_figures(
+    dir: &std::path::Path,
+    matrix: &crate::experiment::MatrixResult,
+    sweep: Option<&crate::experiment::PeSweepResult>,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let series: Vec<String> = matrix.schemes.iter().map(|s| s.label().to_string()).collect();
+    let mut written = Vec::new();
+
+    let mut bar = |name: &str, title: &str, unit: &str, f: &dyn Fn(&ipu_sim::SimReport) -> f64|
+     -> std::io::Result<std::path::PathBuf> {
+        let mut chart = GroupedBars::new(title, unit, &matrix.traces, &series);
+        for (g, _) in matrix.traces.iter().enumerate() {
+            for (s, _) in series.iter().enumerate() {
+                chart.set(g, s, f(matrix.report(g, s)));
+            }
+        }
+        let path = dir.join(name);
+        std::fs::write(&path, chart.render())?;
+        Ok(path)
+    };
+
+    written.push(bar("fig5_overall_latency.svg", "Figure 5 — overall response time", "ms", &|r| {
+        r.overall_latency.mean_ms()
+    })?);
+    written.push(bar("fig8_read_error_rate.svg", "Figure 8 — average read error rate", "RBER", &|r| {
+        r.read_error_rate()
+    })?);
+    written.push(bar("fig9_page_utilization.svg", "Figure 9 — GC page utilization", "fraction", &|r| {
+        r.gc_page_utilization()
+    })?);
+    written.push(bar("fig10a_slc_erases.svg", "Figure 10(a) — SLC erases", "erases", &|r| {
+        r.wear.slc_erases as f64
+    })?);
+
+    if let Some(sweep) = sweep {
+        let xs: Vec<f64> = sweep.pe_points.iter().map(|&p| p as f64).collect();
+        let mut lat = LineChart::new("Figure 13 — latency vs P/E cycles", "ms", &xs);
+        let mut err = LineChart::new("Figure 14 — read error rate vs P/E cycles", "RBER", &xs);
+        for (si, scheme) in matrix.schemes.iter().enumerate() {
+            let n = sweep.matrices[0].traces.len() as f64;
+            let lats: Vec<f64> = sweep
+                .matrices
+                .iter()
+                .map(|m| m.reports.iter().map(|row| row[si].overall_latency.mean_ms()).sum::<f64>() / n)
+                .collect();
+            let errs: Vec<f64> = sweep
+                .matrices
+                .iter()
+                .map(|m| m.reports.iter().map(|row| row[si].read_error_rate()).sum::<f64>() / n)
+                .collect();
+            lat.series(scheme.label(), &lats);
+            err.series(scheme.label(), &errs);
+        }
+        for (name, chart) in [("fig13_latency_vs_pe.svg", lat), ("fig14_ber_vs_pe.svg", err)] {
+            let path = dir.join(name);
+            std::fs::write(&path, chart.render())?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_bars_emit_valid_svg_structure() {
+        let mut c = GroupedBars::new(
+            "t&t",
+            "ms",
+            &["ts0".into(), "usr0".into()],
+            &["Baseline".into(), "IPU".into()],
+        );
+        c.set(0, 0, 1.0).set(0, 1, 0.5).set(1, 0, 0.25).set(1, 1, 0.75);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 4 + 2, "4 bars + 2 legend swatches");
+        assert!(svg.contains("t&amp;t"), "title must be escaped");
+        assert!(svg.contains("ts0") && svg.contains("usr0"));
+        // Balanced tags for the primitives we emit.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn bar_heights_scale_with_values() {
+        let mut c =
+            GroupedBars::new("t", "u", &["g".into()], &["a".into(), "b".into()]);
+        c.set(0, 0, 2.0).set(0, 1, 1.0);
+        let svg = c.render();
+        // Extract every height attribute; drop the document height (360) and
+        // the fixed 12-px legend swatches — what remains are the two bars.
+        let bars: Vec<f64> = svg
+            .match_indices("height=\"")
+            .filter_map(|(i, pat)| {
+                svg[i + pat.len()..].split('"').next()?.parse::<f64>().ok()
+            })
+            .filter(|&h| h != 12.0 && h != 360.0)
+            .collect();
+        assert_eq!(bars.len(), 2, "expected exactly two bars: {bars:?}");
+        assert!(bars[0] > bars[1] * 1.9, "full bar must be ~2× the half bar: {bars:?}");
+    }
+
+    #[test]
+    fn line_chart_emits_one_polyline_per_series() {
+        let mut c = LineChart::new("sweep", "ms", &[1000.0, 4000.0, 8000.0]);
+        c.series("Baseline", &[1.0, 2.0, 3.0]);
+        c.series("IPU", &[0.5, 1.5, 2.5]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("4000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn line_chart_rejects_ragged_series() {
+        LineChart::new("x", "y", &[1.0, 2.0]).series("s", &[1.0]);
+    }
+
+    #[test]
+    fn write_figures_produces_files() {
+        let mut cfg = crate::ExperimentConfig::scaled(0.001);
+        cfg.traces = vec![ipu_trace::PaperTrace::Lun2];
+        cfg.threads = 1;
+        let m = crate::experiment::run_main_matrix(&cfg);
+        let dir = std::env::temp_dir().join("ipu-svg-test");
+        let written = write_figures(&dir, &m, None).unwrap();
+        assert_eq!(written.len(), 4);
+        for p in &written {
+            let body = std::fs::read_to_string(p).unwrap();
+            assert!(body.starts_with("<svg"), "{p:?} is not SVG");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,150 @@
+//! Raw bit error rate (RBER) model.
+//!
+//! The paper consumes RBER measurements from Zhang et al. (FAST'16, ref. [19])
+//! as a lookup inside SSDsim. Those hardware measurements are not public, so we
+//! fit the standard exponential wear-out model
+//!
+//! ```text
+//! rber_conv(pe) = A · exp(pe / τ)
+//! ```
+//!
+//! to the published calibration point: conventional programming on an MLC block
+//! at 4000 P/E cycles reads **2.8·10⁻⁴** (paper §2.2 / Figure 2). With the
+//! default τ = 2000 that fixes `A = 2.8e-4 / e²`. The partial-programming curve
+//! of Figure 2 (3.8·10⁻⁴ at 4000 P/E) is *not* part of this module: it emerges
+//! from the disturb amplification model in [`crate::error::disturb`], calibrated
+//! so a subpage that lived through three later partial programs reaches that
+//! value.
+//!
+//! SLC-mode blocks store one bit per cell and can exhibit lower error rates;
+//! a constant mode factor models that. The default factor is 1.0 because the
+//! paper applies the same MLC-measured RBER data to its SLC-mode pages (the
+//! only calibration source it cites); set a value < 1 to model SLC-mode's
+//! wider read margins explicitly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mode::CellMode;
+
+/// Exponential-in-P/E raw bit error rate model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BerModel {
+    /// RBER of an MLC block at 0 P/E cycles (the `A` coefficient).
+    pub mlc_base_rber: f64,
+    /// Exponential growth constant τ, in P/E cycles.
+    pub pe_tau: f64,
+    /// Multiplier applied for SLC-mode blocks (< 1).
+    pub slc_factor: f64,
+}
+
+/// Paper Figure 2 calibration point: RBER of conventional MLC programming at
+/// 4000 P/E cycles.
+pub const CALIBRATION_PE: f64 = 4000.0;
+/// RBER at [`CALIBRATION_PE`] for conventional programming (paper §2.2).
+pub const CALIBRATION_RBER_CONVENTIONAL: f64 = 2.8e-4;
+/// RBER at [`CALIBRATION_PE`] for a maximally partially-programmed page.
+pub const CALIBRATION_RBER_PARTIAL: f64 = 3.8e-4;
+
+impl Default for BerModel {
+    fn default() -> Self {
+        let pe_tau = 2000.0;
+        BerModel {
+            mlc_base_rber: CALIBRATION_RBER_CONVENTIONAL / (CALIBRATION_PE / pe_tau).exp(),
+            pe_tau,
+            // The paper feeds SSDsim the MLC-measured RBER data of ref. [19]
+            // for SLC-mode pages too (its only hardware calibration source),
+            // so the default applies the same baseline to both modes. Set a
+            // value < 1 to model SLC-mode's wider read margins explicitly.
+            slc_factor: 1.0,
+        }
+    }
+}
+
+impl BerModel {
+    /// Baseline RBER (before disturb amplification) of data in a block with
+    /// `pe_cycles` erases, operated in `mode`.
+    pub fn baseline_rber(&self, pe_cycles: u32, mode: CellMode) -> f64 {
+        let mlc = self.mlc_base_rber * (pe_cycles as f64 / self.pe_tau).exp();
+        match mode {
+            CellMode::Mlc => mlc,
+            CellMode::Slc => mlc * self.slc_factor,
+        }
+    }
+
+    /// Checks that the model parameters are physically sensible.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mlc_base_rber > 0.0 && self.mlc_base_rber < 1.0) {
+            return Err(format!("mlc_base_rber {} out of (0,1)", self.mlc_base_rber));
+        }
+        if self.pe_tau <= 0.0 {
+            return Err(format!("pe_tau {} must be positive", self.pe_tau));
+        }
+        if !(self.slc_factor > 0.0 && self.slc_factor <= 1.0) {
+            return Err(format!("slc_factor {} out of (0,1]", self.slc_factor));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // mutate-then-validate idiom
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_hits_figure2_calibration_point() {
+        let m = BerModel::default();
+        let rber = m.baseline_rber(4000, CellMode::Mlc);
+        assert!(
+            (rber - CALIBRATION_RBER_CONVENTIONAL).abs() < 1e-9,
+            "expected {CALIBRATION_RBER_CONVENTIONAL}, got {rber}"
+        );
+    }
+
+    #[test]
+    fn rber_grows_monotonically_with_pe() {
+        let m = BerModel::default();
+        let mut last = 0.0;
+        for pe in (0..10_000).step_by(500) {
+            let r = m.baseline_rber(pe, CellMode::Mlc);
+            assert!(r > last, "RBER must increase with wear (pe={pe})");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn slc_factor_scales_slc_mode_rber() {
+        // Default: SLC-mode shares the MLC calibration data (paper's method).
+        let m = BerModel::default();
+        assert_eq!(m.baseline_rber(4000, CellMode::Slc), m.baseline_rber(4000, CellMode::Mlc));
+        // An explicit factor < 1 models SLC-mode's wider margins.
+        let wide = BerModel { slc_factor: 0.2, ..BerModel::default() };
+        for pe in [0, 1000, 4000, 8000] {
+            assert!(
+                wide.baseline_rber(pe, CellMode::Slc) < wide.baseline_rber(pe, CellMode::Mlc),
+                "SLC must beat MLC at pe={pe}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_block_rber_is_small_but_nonzero() {
+        let m = BerModel::default();
+        let r = m.baseline_rber(0, CellMode::Mlc);
+        assert!(r > 0.0 && r < 1e-4, "fresh MLC RBER {r} implausible");
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut m = BerModel::default();
+        m.slc_factor = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = BerModel::default();
+        m.pe_tau = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = BerModel::default();
+        m.mlc_base_rber = 1.5;
+        assert!(m.validate().is_err());
+        assert!(BerModel::default().validate().is_ok());
+    }
+}

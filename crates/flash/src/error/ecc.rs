@@ -1,0 +1,185 @@
+//! BCH ECC decode latency model.
+//!
+//! The paper's Table 2 bounds ECC decode time between 0.0005 ms and 0.0968 ms,
+//! citing Micheloni et al. (ISSCC'06, ref. [26]): a BCH code correcting 5 bits
+//! per 512-byte sector. A 4 KB subpage therefore comprises 8 codewords able to
+//! correct 40 raw bit errors in total.
+//!
+//! BCH decode cost is dominated by the Chien search, whose work scales with the
+//! number of errors actually present; we interpolate linearly between the
+//! paper's min and max times by the ratio of *expected* raw bit errors to the
+//! correction capability of the data read. Reads whose expected error count
+//! exceeds the capability saturate at `ECC max time` and are flagged
+//! uncorrectable (the device would retry / enter read-recovery; the simulator
+//! charges max-time and counts the event).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{ms_to_ns, Nanos};
+
+/// BCH ECC configuration and latency model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccModel {
+    /// Codeword payload size in bytes (ref. [26]: 512 B sectors).
+    pub codeword_bytes: u32,
+    /// Correctable bits per codeword (ref. [26]: 5-bit BCH).
+    pub correctable_bits_per_codeword: u32,
+    /// Decode latency with (near) zero errors, in ms (Table 2 `ECC min time`).
+    pub min_time_ms: f64,
+    /// Decode latency at/beyond full correction capability, ms (`ECC max time`).
+    pub max_time_ms: f64,
+}
+
+impl Default for EccModel {
+    fn default() -> Self {
+        EccModel {
+            codeword_bytes: 512,
+            correctable_bits_per_codeword: 5,
+            min_time_ms: 0.0005,
+            max_time_ms: 0.0968,
+        }
+    }
+}
+
+/// Outcome of running the ECC model over one read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccOutcome {
+    /// Decode latency to charge to the read.
+    pub latency_ns: Nanos,
+    /// Expected number of raw bit errors in the data read.
+    pub expected_bit_errors: f64,
+    /// Total correction capability of the codewords covering the read.
+    pub correctable_bits: u32,
+    /// Whether expected errors exceeded the correction capability.
+    pub uncorrectable: bool,
+}
+
+impl EccModel {
+    /// Correction capability (bits) for `bytes` of data.
+    pub fn correctable_bits(&self, bytes: u32) -> u32 {
+        let codewords = bytes.div_ceil(self.codeword_bytes);
+        codewords * self.correctable_bits_per_codeword
+    }
+
+    /// Runs the model for a read of `bytes` bytes at raw bit error rate `rber`.
+    pub fn decode(&self, bytes: u32, rber: f64) -> EccOutcome {
+        assert!((0.0..1.0).contains(&rber), "rber {rber} out of range");
+        let bits = bytes as f64 * 8.0;
+        self.decode_with_errors(bytes, rber * bits)
+    }
+
+    /// Runs the model for a read of `bytes` bytes carrying `bit_errors` raw
+    /// bit errors (expected value or a sampled realization).
+    pub fn decode_with_errors(&self, bytes: u32, bit_errors: f64) -> EccOutcome {
+        assert!(bytes > 0, "cannot decode an empty read");
+        assert!(bit_errors >= 0.0, "negative error count");
+        let correctable = self.correctable_bits(bytes);
+        let fill = (bit_errors / correctable as f64).min(1.0);
+        let ms = self.min_time_ms + (self.max_time_ms - self.min_time_ms) * fill;
+        EccOutcome {
+            latency_ns: ms_to_ns(ms),
+            expected_bit_errors: bit_errors,
+            correctable_bits: correctable,
+            uncorrectable: bit_errors > correctable as f64,
+        }
+    }
+
+    /// Checks parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.codeword_bytes == 0 || self.correctable_bits_per_codeword == 0 {
+            return Err("codeword geometry must be non-zero".into());
+        }
+        if self.min_time_ms < 0.0 || self.max_time_ms < self.min_time_ms {
+            return Err(format!(
+                "ECC times invalid: min {} max {}",
+                self.min_time_ms, self.max_time_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // mutate-then-validate idiom
+mod tests {
+    use super::*;
+    use crate::time::ns_to_ms;
+
+    #[test]
+    fn subpage_capability_matches_reference_design() {
+        let e = EccModel::default();
+        // 4 KB subpage = 8 × 512 B codewords × 5 bits = 40 correctable bits.
+        assert_eq!(e.correctable_bits(4096), 40);
+        // A full 16 KB page = 160 bits.
+        assert_eq!(e.correctable_bits(16 * 1024), 160);
+        // Partial codewords round up.
+        assert_eq!(e.correctable_bits(100), 5);
+    }
+
+    #[test]
+    fn error_free_read_costs_min_time() {
+        let e = EccModel::default();
+        let out = e.decode(4096, 0.0);
+        assert_eq!(ns_to_ms(out.latency_ns), e.min_time_ms);
+        assert!(!out.uncorrectable);
+        assert_eq!(out.expected_bit_errors, 0.0);
+    }
+
+    #[test]
+    fn latency_interpolates_with_error_rate() {
+        let e = EccModel::default();
+        // rber such that expected errors are half of capability: 20 errors over
+        // 32768 bits → rber = 20/32768.
+        let out = e.decode(4096, 20.0 / 32768.0);
+        let expected_ms = e.min_time_ms + (e.max_time_ms - e.min_time_ms) * 0.5;
+        assert!((ns_to_ms(out.latency_ns) - expected_ms).abs() < 1e-6);
+        assert!(!out.uncorrectable);
+    }
+
+    #[test]
+    fn paper_calibration_rber_lands_mid_range() {
+        // At the Figure 2 conventional point (2.8e-4), a subpage read should
+        // cost a quarter-ish of the ECC range — well between min and max.
+        let e = EccModel::default();
+        let out = e.decode(4096, 2.8e-4);
+        let ms = ns_to_ms(out.latency_ns);
+        assert!(ms > e.min_time_ms && ms < e.max_time_ms, "{ms} not mid-range");
+        assert!((out.expected_bit_errors - 9.175).abs() < 0.01);
+    }
+
+    #[test]
+    fn saturates_and_flags_uncorrectable() {
+        let e = EccModel::default();
+        let out = e.decode(4096, 0.01); // 327 expected errors >> 40 capability
+        assert_eq!(ns_to_ms(out.latency_ns), e.max_time_ms);
+        assert!(out.uncorrectable);
+    }
+
+    #[test]
+    fn monotone_in_rber() {
+        let e = EccModel::default();
+        let mut last = 0;
+        for i in 0..50 {
+            let out = e.decode(16 * 1024, i as f64 * 1e-4);
+            assert!(out.latency_ns >= last);
+            last = out.latency_ns;
+        }
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut e = EccModel::default();
+        e.max_time_ms = 0.0001; // below min
+        assert!(e.validate().is_err());
+        let mut e = EccModel::default();
+        e.codeword_bytes = 0;
+        assert!(e.validate().is_err());
+        assert!(EccModel::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "rber")]
+    fn rejects_out_of_range_rber() {
+        EccModel::default().decode(4096, 1.5);
+    }
+}

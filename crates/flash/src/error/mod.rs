@@ -1,0 +1,18 @@
+//! Reliability models: raw bit error rate, program disturb and ECC latency.
+//!
+//! The three submodules compose into the read-path cost model used throughout
+//! the reproduction:
+//!
+//! 1. [`ber`] gives the *baseline* raw bit error rate of a subpage from its
+//!    block's P/E cycle count and cell mode (paper Figure 2, conventional
+//!    programming curve);
+//! 2. [`disturb`] amplifies that baseline by the in-page and neighbour program
+//!    disturb the subpage accumulated from partial programming (the gap between
+//!    Figure 2's two curves);
+//! 3. [`ecc`] converts the resulting expected raw bit error count into a BCH
+//!    decode latency between the paper's `ECC min time` and `ECC max time`.
+
+pub mod ber;
+pub mod disturb;
+pub mod ecc;
+pub mod sampling;

@@ -1,0 +1,148 @@
+//! Deterministic error sampling.
+//!
+//! The default read path charges ECC latency by the *expected* raw bit error
+//! count — smooth, reproducible, and what the paper's averaged figures need.
+//! For studies of tail behaviour (uncorrectable-read probability, retry
+//! storms), a stochastic mode is more faithful: each read draws an actual
+//! error count from a Poisson distribution with the expected count as its
+//! mean (the standard approximation of Binomial(bits, rber) at small rber).
+//!
+//! Sampling stays deterministic: the draw is keyed by a seed plus the read's
+//! physical address and the device's read counter, through a SplitMix64
+//! stream — the same simulation run always sees the same errors, and no
+//! global RNG state leaks between components.
+
+use serde::{Deserialize, Serialize};
+
+/// How the device turns an expected error count into a charged error count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ErrorMode {
+    /// Charge the expectation (deterministic, smooth; the paper's metric).
+    #[default]
+    Expected,
+    /// Draw a Poisson-distributed error count per read, keyed by this seed.
+    Sampled { seed: u64 },
+}
+
+/// SplitMix64: tiny, high-quality, counter-based PRNG (public domain).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform f64 in [0, 1) from a hashed key.
+#[inline]
+fn uniform(key: u64) -> f64 {
+    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Draws `Poisson(mean)` deterministically from `(seed, stream)`.
+///
+/// Uses Knuth's inversion for small means (the regime here: expected bit
+/// errors per read are a few tens at most) with a hard cap to keep the loop
+/// bounded even for pathological parameters.
+pub fn sample_poisson(mean: f64, seed: u64, stream: u64) -> u32 {
+    assert!(mean >= 0.0, "negative mean");
+    if mean == 0.0 {
+        return 0;
+    }
+    // For large means, fall back to a normal approximation (rounded, ≥ 0).
+    if mean > 256.0 {
+        // Box-Muller from two hashed uniforms.
+        let u1 = uniform(seed ^ splitmix64(stream)).max(1e-12);
+        let u2 = uniform(seed.wrapping_add(0xA5A5) ^ splitmix64(stream ^ 0x5A5A));
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as u32;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    // Each step consumes one hashed uniform from the (seed, stream, k) key.
+    loop {
+        p *= uniform(seed ^ splitmix64(stream.wrapping_add(k as u64)));
+        if p <= l || k > 4096 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+impl ErrorMode {
+    /// Turns an expected error count into the charged error count for one
+    /// read, identified by a stable per-read `stream` key.
+    pub fn realize(self, expected: f64, stream: u64) -> f64 {
+        match self {
+            ErrorMode::Expected => expected,
+            ErrorMode::Sampled { seed } => sample_poisson(expected, seed, stream) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_mode_is_identity() {
+        assert_eq!(ErrorMode::Expected.realize(9.2, 77), 9.2);
+        assert_eq!(ErrorMode::default(), ErrorMode::Expected);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_key() {
+        let m = ErrorMode::Sampled { seed: 42 };
+        assert_eq!(m.realize(9.2, 1), m.realize(9.2, 1));
+        // Different streams (reads) generally differ.
+        let distinct: std::collections::HashSet<u64> =
+            (0..64).map(|s| m.realize(9.2, s) as u64).collect();
+        assert!(distinct.len() > 3, "sampled values suspiciously constant");
+        // Different seeds give different sequences.
+        let m2 = ErrorMode::Sampled { seed: 43 };
+        let a: Vec<u64> = (0..32).map(|s| m.realize(9.2, s) as u64).collect();
+        let b: Vec<u64> = (0..32).map(|s| m2.realize(9.2, s) as u64).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        for mean in [0.5f64, 3.0, 9.2, 40.0] {
+            let n = 20_000u64;
+            let sum: u64 = (0..n).map(|s| sample_poisson(mean, 7, s) as u64).sum();
+            let emp = sum as f64 / n as f64;
+            assert!(
+                (emp - mean).abs() < mean * 0.06 + 0.05,
+                "mean {mean}: empirical {emp}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_variance_is_poisson_like() {
+        let mean = 9.2f64;
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|s| sample_poisson(mean, 11, s) as f64).collect();
+        let emp_mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        // Poisson: variance == mean (tolerate 15%).
+        assert!((var - mean).abs() < mean * 0.15, "variance {var} vs mean {mean}");
+    }
+
+    #[test]
+    fn zero_mean_yields_zero() {
+        assert_eq!(sample_poisson(0.0, 1, 2), 0);
+    }
+
+    #[test]
+    fn large_mean_uses_normal_tail() {
+        let mean = 1000.0;
+        let n = 5_000u64;
+        let sum: u64 = (0..n).map(|s| sample_poisson(mean, 3, s) as u64).sum();
+        let emp = sum as f64 / n as f64;
+        assert!((emp - mean).abs() < mean * 0.05, "large-mean path broken: {emp}");
+    }
+}

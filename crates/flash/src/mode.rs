@@ -1,0 +1,61 @@
+//! Cell operating modes.
+//!
+//! The paper's device is a *hybrid* high-density SSD: all blocks are physically
+//! MLC, but a configurable fraction (5% in Table 2) is operated in SLC-mode,
+//! storing one bit per cell. SLC-mode halves the page count of a block (64 vs
+//! 128 pages in Table 2) in exchange for lower latency, far better endurance and
+//! lower raw bit error rates. Partial programming is only applied to SLC-mode
+//! pages — multi-level cells cannot safely be re-programmed without an erase.
+
+use serde::{Deserialize, Serialize};
+
+/// Operating mode of a flash block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellMode {
+    /// Single-level-cell mode: one bit per cell. Used for the cache region.
+    Slc,
+    /// Multi-level-cell mode: two bits per cell. The native high-density mode.
+    Mlc,
+}
+
+impl CellMode {
+    /// Whether partial (subpage) programming is permitted in this mode.
+    ///
+    /// Manufacturers only specify NOP > 1 (number of partial programs) for
+    /// SLC-mode pages; re-programming an MLC page corrupts the paired page.
+    #[inline]
+    pub fn supports_partial_programming(self) -> bool {
+        matches!(self, CellMode::Slc)
+    }
+
+    /// Short lowercase label used in reports ("slc" / "mlc").
+    pub fn label(self) -> &'static str {
+        match self {
+            CellMode::Slc => "slc",
+            CellMode::Mlc => "mlc",
+        }
+    }
+}
+
+impl std::fmt::Display for CellMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_slc_supports_partial_programming() {
+        assert!(CellMode::Slc.supports_partial_programming());
+        assert!(!CellMode::Mlc.supports_partial_programming());
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(CellMode::Slc.to_string(), "slc");
+        assert_eq!(CellMode::Mlc.to_string(), "mlc");
+    }
+}

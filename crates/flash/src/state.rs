@@ -1,0 +1,425 @@
+//! Physical block, page and subpage state.
+//!
+//! A page is divided into [`MAX_SUBPAGES_PER_PAGE`] subpages (the paper uses 4).
+//! Subpages move `Free → Valid → Invalid` and only an erase returns them to
+//! `Free`. Each page additionally tracks how many *program operations* it has
+//! received (the NOP budget — capped at 4 for SLC-mode per the Micron/Samsung
+//! datasheets cited by the paper) and per-subpage disturb counters that feed the
+//! error model:
+//!
+//! * `in_page_disturbs[s]` — how many later partial programs hit the same page
+//!   *after* subpage `s` was programmed (Figure 1's "affected in-page cells");
+//! * `neighbour_disturbs` — how many program operations landed on adjacent word
+//!   lines of the same block while this page held programmed data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mode::CellMode;
+
+/// Upper bound on subpages per page supported by the fixed-size state arrays.
+pub const MAX_SUBPAGES_PER_PAGE: usize = 8;
+
+/// Manufacturer NOP limit: maximum program operations per SLC-mode page.
+pub const MAX_PARTIAL_PROGRAMS_SLC: u8 = 4;
+
+/// State of one subpage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubpageState {
+    /// Erased, never programmed since the last block erase.
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but superseded; space is reclaimed only by erasing the block.
+    Invalid,
+}
+
+/// State of one page: subpage states, program-op budget and disturb counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageState {
+    subpages: [SubpageState; MAX_SUBPAGES_PER_PAGE],
+    /// Number of subpages actually exposed by the geometry.
+    subpage_count: u8,
+    /// Number of program operations this page has received since erase.
+    program_ops: u8,
+    /// Per-subpage count of later program ops on this page (in-page disturb).
+    in_page_disturbs: [u16; MAX_SUBPAGES_PER_PAGE],
+    /// Count of program ops on adjacent pages while this page was programmed.
+    neighbour_disturbs: u16,
+}
+
+impl PageState {
+    /// A fresh (erased) page exposing `subpage_count` subpages.
+    pub fn erased(subpage_count: u8) -> Self {
+        assert!(
+            (1..=MAX_SUBPAGES_PER_PAGE as u8).contains(&subpage_count),
+            "subpage count {subpage_count} out of range"
+        );
+        PageState {
+            subpages: [SubpageState::Free; MAX_SUBPAGES_PER_PAGE],
+            subpage_count,
+            program_ops: 0,
+            in_page_disturbs: [0; MAX_SUBPAGES_PER_PAGE],
+            neighbour_disturbs: 0,
+        }
+    }
+
+    /// Number of subpages this page exposes.
+    #[inline]
+    pub fn subpage_count(&self) -> u8 {
+        self.subpage_count
+    }
+
+    /// State of subpage `s`.
+    #[inline]
+    pub fn subpage(&self, s: u8) -> SubpageState {
+        assert!(s < self.subpage_count, "subpage {s} out of range");
+        self.subpages[s as usize]
+    }
+
+    /// Program operations received since the last erase.
+    #[inline]
+    pub fn program_ops(&self) -> u8 {
+        self.program_ops
+    }
+
+    /// In-page disturb count accumulated by subpage `s`.
+    #[inline]
+    pub fn in_page_disturbs(&self, s: u8) -> u16 {
+        assert!(s < self.subpage_count);
+        self.in_page_disturbs[s as usize]
+    }
+
+    /// Neighbour disturb count accumulated by this page.
+    #[inline]
+    pub fn neighbour_disturbs(&self) -> u16 {
+        self.neighbour_disturbs
+    }
+
+    /// Whether any subpage has been programmed (valid *or* invalid).
+    pub fn is_programmed(&self) -> bool {
+        self.iter_subpages().any(|s| s != SubpageState::Free)
+    }
+
+    /// Number of subpages in `state`.
+    pub fn count(&self, state: SubpageState) -> u8 {
+        self.iter_subpages().filter(|&s| s == state).count() as u8
+    }
+
+    /// Iterates the states of the exposed subpages.
+    pub fn iter_subpages(&self) -> impl Iterator<Item = SubpageState> + '_ {
+        self.subpages[..self.subpage_count as usize].iter().copied()
+    }
+
+    /// Lowest free subpage index such that `count` contiguous subpages starting
+    /// there are all free, or `None` if no such run exists.
+    ///
+    /// Partial programming hardware programs a contiguous run of bit-line
+    /// groups, so allocation within a page is contiguous-run based.
+    pub fn find_free_run(&self, count: u8) -> Option<u8> {
+        if count == 0 || count > self.subpage_count {
+            return None;
+        }
+        'outer: for start in 0..=(self.subpage_count - count) {
+            for s in start..start + count {
+                if self.subpages[s as usize] != SubpageState::Free {
+                    continue 'outer;
+                }
+            }
+            return Some(start);
+        }
+        None
+    }
+
+    /// Records a program operation covering `[start, start+count)`.
+    ///
+    /// Returns the number of previously-programmed subpages in this page that
+    /// this operation disturbed. Panics if the run is out of range; returns
+    /// `Err` if any target subpage is not free.
+    pub(crate) fn apply_program(&mut self, start: u8, count: u8) -> Result<u16, ProgramStateError> {
+        assert!(count > 0 && start + count <= self.subpage_count, "program run out of range");
+        for s in start..start + count {
+            if self.subpages[s as usize] != SubpageState::Free {
+                return Err(ProgramStateError::SubpageNotFree(s));
+            }
+        }
+        // Disturb every subpage programmed by an *earlier* operation.
+        let mut disturbed = 0u16;
+        if self.program_ops > 0 {
+            for s in 0..self.subpage_count {
+                if (s < start || s >= start + count)
+                    && self.subpages[s as usize] != SubpageState::Free
+                {
+                    self.in_page_disturbs[s as usize] += 1;
+                    disturbed += 1;
+                }
+            }
+        }
+        for s in start..start + count {
+            self.subpages[s as usize] = SubpageState::Valid;
+        }
+        self.program_ops += 1;
+        Ok(disturbed)
+    }
+
+    /// Records a program on an adjacent page; disturbs this page if programmed.
+    ///
+    /// Returns the number of programmed subpages that were disturbed.
+    pub(crate) fn apply_neighbour_disturb(&mut self) -> u16 {
+        if self.is_programmed() {
+            self.neighbour_disturbs += 1;
+            self.iter_subpages().filter(|&s| s != SubpageState::Free).count() as u16
+        } else {
+            0
+        }
+    }
+
+    /// Marks a valid subpage invalid (logical overwrite / trim).
+    pub(crate) fn invalidate(&mut self, s: u8) -> Result<(), ProgramStateError> {
+        assert!(s < self.subpage_count);
+        match self.subpages[s as usize] {
+            SubpageState::Valid => {
+                self.subpages[s as usize] = SubpageState::Invalid;
+                Ok(())
+            }
+            other => Err(ProgramStateError::NotValid(s, other)),
+        }
+    }
+}
+
+/// Errors from page-level state transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramStateError {
+    /// Attempted to program a subpage that is not free.
+    SubpageNotFree(u8),
+    /// Attempted to invalidate a subpage that is not valid.
+    NotValid(u8, SubpageState),
+}
+
+impl std::fmt::Display for ProgramStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramStateError::SubpageNotFree(s) => {
+                write!(f, "subpage {s} is not free")
+            }
+            ProgramStateError::NotValid(s, st) => {
+                write!(f, "subpage {s} is {st:?}, expected Valid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramStateError {}
+
+/// State of one block: its mode, page states and erase count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockState {
+    mode: CellMode,
+    pages: Vec<PageState>,
+    erase_count: u32,
+    /// Program operations applied to this block since the last erase.
+    programs_since_erase: u32,
+    /// Read operations served by this block since the last erase (feeds the
+    /// optional read-disturb model).
+    reads_since_erase: u64,
+}
+
+impl BlockState {
+    /// A freshly-erased block in `mode` with `pages` pages of `subpages` each.
+    pub fn erased(mode: CellMode, pages: u32, subpages: u8) -> Self {
+        BlockState {
+            mode,
+            pages: (0..pages).map(|_| PageState::erased(subpages)).collect(),
+            erase_count: 0,
+            programs_since_erase: 0,
+            reads_since_erase: 0,
+        }
+    }
+
+    /// Current cell mode.
+    #[inline]
+    pub fn mode(&self) -> CellMode {
+        self.mode
+    }
+
+    /// Number of pages exposed in the current mode.
+    #[inline]
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// P/E cycles this block has consumed.
+    #[inline]
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Program operations since the last erase (feeds utilization metrics).
+    #[inline]
+    pub fn programs_since_erase(&self) -> u32 {
+        self.programs_since_erase
+    }
+
+    /// Immutable page state access.
+    #[inline]
+    pub fn page(&self, page: u32) -> &PageState {
+        &self.pages[page as usize]
+    }
+
+    pub(crate) fn page_mut(&mut self, page: u32) -> &mut PageState {
+        &mut self.pages[page as usize]
+    }
+
+    pub(crate) fn note_program(&mut self) {
+        self.programs_since_erase += 1;
+    }
+
+    pub(crate) fn note_read(&mut self) {
+        self.reads_since_erase += 1;
+    }
+
+    /// Reads served since the last erase (read-disturb accumulation).
+    #[inline]
+    pub fn reads_since_erase(&self) -> u64 {
+        self.reads_since_erase
+    }
+
+    /// Erases the block, optionally switching mode, re-shaping the page array.
+    pub(crate) fn erase(&mut self, new_mode: CellMode, pages: u32, subpages: u8) {
+        self.mode = new_mode;
+        self.pages.clear();
+        self.pages.extend((0..pages).map(|_| PageState::erased(subpages)));
+        self.erase_count += 1;
+        self.programs_since_erase = 0;
+        self.reads_since_erase = 0;
+    }
+
+    /// Total subpages across all pages.
+    pub fn total_subpages(&self) -> u32 {
+        self.pages.iter().map(|p| p.subpage_count() as u32).sum()
+    }
+
+    /// Subpages currently in `state` across all pages.
+    pub fn count_subpages(&self, state: SubpageState) -> u32 {
+        self.pages.iter().map(|p| p.count(state) as u32).sum()
+    }
+
+    /// Whether every page is fully free (freshly erased, never programmed).
+    pub fn is_pristine(&self) -> bool {
+        self.pages.iter().all(|p| !p.is_programmed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page4() -> PageState {
+        PageState::erased(4)
+    }
+
+    #[test]
+    fn fresh_page_is_all_free() {
+        let p = page4();
+        assert_eq!(p.count(SubpageState::Free), 4);
+        assert_eq!(p.program_ops(), 0);
+        assert!(!p.is_programmed());
+    }
+
+    #[test]
+    fn first_program_disturbs_nothing_in_page() {
+        let mut p = page4();
+        let disturbed = p.apply_program(0, 2).unwrap();
+        assert_eq!(disturbed, 0);
+        assert_eq!(p.count(SubpageState::Valid), 2);
+        assert_eq!(p.program_ops(), 1);
+    }
+
+    #[test]
+    fn partial_program_disturbs_earlier_data() {
+        let mut p = page4();
+        p.apply_program(0, 2).unwrap();
+        let disturbed = p.apply_program(2, 1).unwrap();
+        assert_eq!(disturbed, 2);
+        assert_eq!(p.in_page_disturbs(0), 1);
+        assert_eq!(p.in_page_disturbs(1), 1);
+        assert_eq!(p.in_page_disturbs(2), 0);
+        // A third program disturbs all three earlier subpages, valid or not.
+        p.invalidate(0).unwrap();
+        let disturbed = p.apply_program(3, 1).unwrap();
+        assert_eq!(disturbed, 3);
+        assert_eq!(p.in_page_disturbs(0), 2);
+    }
+
+    #[test]
+    fn cannot_program_occupied_subpage() {
+        let mut p = page4();
+        p.apply_program(1, 1).unwrap();
+        assert_eq!(p.apply_program(1, 1), Err(ProgramStateError::SubpageNotFree(1)));
+        // State unchanged by the failed attempt.
+        assert_eq!(p.program_ops(), 1);
+    }
+
+    #[test]
+    fn find_free_run_respects_contiguity() {
+        let mut p = page4();
+        p.apply_program(1, 1).unwrap(); // occupy subpage 1 → free: [0], [2,3]
+        assert_eq!(p.find_free_run(1), Some(0));
+        assert_eq!(p.find_free_run(2), Some(2));
+        assert_eq!(p.find_free_run(3), None);
+        assert_eq!(p.find_free_run(0), None);
+        assert_eq!(p.find_free_run(5), None);
+    }
+
+    #[test]
+    fn invalidate_requires_valid() {
+        let mut p = page4();
+        assert!(p.invalidate(0).is_err());
+        p.apply_program(0, 1).unwrap();
+        p.invalidate(0).unwrap();
+        assert!(p.invalidate(0).is_err());
+        assert_eq!(p.count(SubpageState::Invalid), 1);
+    }
+
+    #[test]
+    fn neighbour_disturb_only_hits_programmed_pages() {
+        let mut p = page4();
+        assert_eq!(p.apply_neighbour_disturb(), 0);
+        assert_eq!(p.neighbour_disturbs(), 0);
+        p.apply_program(0, 3).unwrap();
+        assert_eq!(p.apply_neighbour_disturb(), 3);
+        assert_eq!(p.neighbour_disturbs(), 1);
+    }
+
+    #[test]
+    fn block_erase_switches_mode_and_resets() {
+        let mut b = BlockState::erased(CellMode::Slc, 4, 4);
+        b.page_mut(0).apply_program(0, 4).unwrap();
+        b.note_program();
+        assert_eq!(b.count_subpages(SubpageState::Valid), 4);
+        assert!(!b.is_pristine());
+
+        b.erase(CellMode::Mlc, 8, 4);
+        assert_eq!(b.mode(), CellMode::Mlc);
+        assert_eq!(b.page_count(), 8);
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.programs_since_erase(), 0);
+        assert!(b.is_pristine());
+        assert_eq!(b.total_subpages(), 32);
+    }
+
+    #[test]
+    fn subpage_accounting_is_conserved() {
+        let mut b = BlockState::erased(CellMode::Slc, 2, 4);
+        b.page_mut(0).apply_program(0, 2).unwrap();
+        b.page_mut(0).apply_program(2, 1).unwrap();
+        b.page_mut(0).invalidate(1).unwrap();
+        b.page_mut(1).apply_program(0, 4).unwrap();
+        let total = b.total_subpages();
+        let sum = b.count_subpages(SubpageState::Free)
+            + b.count_subpages(SubpageState::Valid)
+            + b.count_subpages(SubpageState::Invalid);
+        assert_eq!(total, sum);
+        assert_eq!(b.count_subpages(SubpageState::Invalid), 1);
+        assert_eq!(b.count_subpages(SubpageState::Valid), 6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulation time base.
+//!
+//! All latencies and timestamps are integer nanoseconds (`Nanos`). Integer time
+//! keeps event ordering exact and simulation results reproducible; the paper's
+//! Table 2 gives latencies in milliseconds, converted with [`ms_to_ns`].
+
+/// Simulated time or duration, in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// Converts a millisecond figure (as printed in the paper's Table 2) to [`Nanos`].
+///
+/// Rounds to the nearest nanosecond; panics in debug builds on negative input.
+#[inline]
+pub fn ms_to_ns(ms: f64) -> Nanos {
+    debug_assert!(ms >= 0.0, "latencies must be non-negative, got {ms}");
+    (ms * MILLISECOND as f64).round() as Nanos
+}
+
+/// Converts [`Nanos`] back to fractional milliseconds for reporting.
+#[inline]
+pub fn ns_to_ms(ns: Nanos) -> f64 {
+    ns as f64 / MILLISECOND as f64
+}
+
+/// Converts [`Nanos`] to fractional microseconds for reporting.
+#[inline]
+pub fn ns_to_us(ns: Nanos) -> f64 {
+    ns as f64 / MICROSECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_round_trips_table2_values() {
+        // Every latency in the paper's Table 2 must survive the conversion.
+        for &ms in &[0.025, 0.05, 0.0005, 0.0968, 0.3, 0.9, 10.0] {
+            let ns = ms_to_ns(ms);
+            assert!((ns_to_ms(ns) - ms).abs() < 1e-9, "{ms} ms mangled");
+        }
+    }
+
+    #[test]
+    fn sub_nanosecond_values_round() {
+        assert_eq!(ms_to_ns(0.0000004), 0); // 0.4 ns rounds down
+        assert_eq!(ms_to_ns(0.0000006), 1); // 0.6 ns rounds up
+    }
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(ms_to_ns(1.0), MILLISECOND);
+        assert_eq!(ms_to_ns(1000.0), SECOND);
+        assert_eq!(MILLISECOND / MICROSECOND, 1_000);
+    }
+
+    #[test]
+    fn ns_to_us_scales() {
+        assert!((ns_to_us(2_500) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Wear accounting across the device.
+//!
+//! Tracks erase counts per block and summarizes endurance consumption for the
+//! paper's Figure 10 (erase counts in SLC-mode vs MLC blocks) and the static
+//! wear-leveling policy in `ipu-ftl`. The paper notes SLC-mode blocks endure
+//! roughly 10× the P/E cycles of MLC blocks (refs. [8, 9]), which is captured
+//! by [`WearTracker::endurance_consumed`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::mode::CellMode;
+
+/// Relative endurance of SLC-mode vs MLC-mode erases (paper §4.3.2: 10:1).
+pub const SLC_TO_MLC_ENDURANCE_RATIO: f64 = 10.0;
+
+/// Per-device wear statistics, indexed by dense block index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WearTracker {
+    /// Erases performed while each block was in SLC-mode.
+    slc_erases: Vec<u32>,
+    /// Erases performed while each block was in MLC-mode.
+    mlc_erases: Vec<u32>,
+    /// Baseline P/E pre-aging applied to every block (paper §4.5).
+    initial_pe: u32,
+}
+
+impl WearTracker {
+    /// New tracker for `blocks` blocks, each pre-aged by `initial_pe` cycles.
+    pub fn new(blocks: u64, initial_pe: u32) -> Self {
+        WearTracker {
+            slc_erases: vec![0; blocks as usize],
+            mlc_erases: vec![0; blocks as usize],
+            initial_pe,
+        }
+    }
+
+    /// Records an erase of `block_idx` performed in `mode`.
+    pub fn record_erase(&mut self, block_idx: u64, mode: CellMode) {
+        match mode {
+            CellMode::Slc => self.slc_erases[block_idx as usize] += 1,
+            CellMode::Mlc => self.mlc_erases[block_idx as usize] += 1,
+        }
+    }
+
+    /// Effective P/E cycle count of a block, including pre-aging.
+    ///
+    /// Drives the RBER model: a block's error rate depends on its total wear
+    /// regardless of which mode each erase ran in.
+    pub fn pe_cycles(&self, block_idx: u64) -> u32 {
+        self.initial_pe + self.slc_erases[block_idx as usize] + self.mlc_erases[block_idx as usize]
+    }
+
+    /// Total erases recorded in each mode, across the whole device.
+    pub fn totals(&self) -> WearTotals {
+        WearTotals {
+            slc_erases: self.slc_erases.iter().map(|&e| e as u64).sum(),
+            mlc_erases: self.mlc_erases.iter().map(|&e| e as u64).sum(),
+        }
+    }
+
+    /// Erases of one block, split by mode, excluding pre-aging.
+    pub fn block_erases(&self, block_idx: u64) -> (u32, u32) {
+        (self.slc_erases[block_idx as usize], self.mlc_erases[block_idx as usize])
+    }
+
+    /// Endurance consumed by a block, in MLC-erase-equivalents.
+    ///
+    /// SLC-mode erases are `SLC_TO_MLC_ENDURANCE_RATIO` times cheaper, so the
+    /// paper's claim that shifting erases into the SLC-mode cache preserves
+    /// overall lifetime shows up directly in this number.
+    pub fn endurance_consumed(&self, block_idx: u64) -> f64 {
+        self.mlc_erases[block_idx as usize] as f64
+            + self.slc_erases[block_idx as usize] as f64 / SLC_TO_MLC_ENDURANCE_RATIO
+    }
+
+    /// Device-wide endurance consumption in MLC-erase-equivalents.
+    pub fn total_endurance_consumed(&self) -> f64 {
+        (0..self.slc_erases.len() as u64).map(|i| self.endurance_consumed(i)).sum()
+    }
+
+    /// Number of tracked blocks.
+    pub fn block_count(&self) -> u64 {
+        self.slc_erases.len() as u64
+    }
+}
+
+/// Device-wide erase totals by mode (Figure 10's two panels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearTotals {
+    pub slc_erases: u64,
+    pub mlc_erases: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_cycles_include_pre_aging() {
+        let mut w = WearTracker::new(4, 4000);
+        assert_eq!(w.pe_cycles(0), 4000);
+        w.record_erase(0, CellMode::Slc);
+        w.record_erase(0, CellMode::Mlc);
+        assert_eq!(w.pe_cycles(0), 4002);
+        assert_eq!(w.pe_cycles(1), 4000);
+    }
+
+    #[test]
+    fn totals_split_by_mode() {
+        let mut w = WearTracker::new(4, 0);
+        for _ in 0..5 {
+            w.record_erase(1, CellMode::Slc);
+        }
+        w.record_erase(2, CellMode::Mlc);
+        let t = w.totals();
+        assert_eq!(t.slc_erases, 5);
+        assert_eq!(t.mlc_erases, 1);
+        assert_eq!(w.block_erases(1), (5, 0));
+        assert_eq!(w.block_erases(2), (0, 1));
+    }
+
+    #[test]
+    fn slc_erases_cost_a_tenth_of_endurance() {
+        let mut w = WearTracker::new(2, 0);
+        for _ in 0..10 {
+            w.record_erase(0, CellMode::Slc);
+        }
+        w.record_erase(1, CellMode::Mlc);
+        assert!((w.endurance_consumed(0) - 1.0).abs() < 1e-12);
+        assert!((w.endurance_consumed(1) - 1.0).abs() < 1e-12);
+        assert!((w.total_endurance_consumed() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the flash device state machine.
+//!
+//! Random sequences of program / invalidate / erase operations must preserve:
+//! subpage-count conservation, NOP-budget enforcement, disturb monotonicity and
+//! the pristine-after-erase guarantee.
+
+use ipu_flash::{
+    BlockAddr, CellMode, DeviceConfig, FlashDevice, FlashError, Spa, SubpageState,
+};
+use proptest::prelude::*;
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Step {
+    Program { page: u32, subpage: u8, count: u8 },
+    Invalidate { page: u32, subpage: u8 },
+    Erase { to_slc: bool },
+}
+
+fn step_strategy(max_pages: u32, subpages: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..max_pages, 0..subpages, 1..=subpages).prop_map(|(page, subpage, count)| {
+            Step::Program { page, subpage, count }
+        }),
+        2 => (0..max_pages, 0..subpages).prop_map(|(page, subpage)| {
+            Step::Invalidate { page, subpage }
+        }),
+        1 => any::<bool>().prop_map(|to_slc| Step::Erase { to_slc }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever happens, per-block subpage accounting must balance, disturb
+    /// counters must never decrease except at erase, and every erase must
+    /// leave the block pristine with a bumped P/E count.
+    #[test]
+    fn state_machine_invariants(steps in proptest::collection::vec(step_strategy(4, 4), 1..120)) {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        let idx = dev.config().geometry.block_index(addr);
+        let mut erase_count = 0u32;
+        let mut last_disturb_events = 0u64;
+
+        for step in steps {
+            match step {
+                Step::Program { page, subpage, count } => {
+                    if subpage + count > 4 { continue; }
+                    let spa = Spa::new(addr.page(page), subpage);
+                    let in_range = page < dev.block(addr).page_count();
+                    match dev.program(spa, count) {
+                        Ok(res) => {
+                            prop_assert!(in_range);
+                            prop_assert!(res.latency_ns > 0);
+                        }
+                        Err(FlashError::OutOfRange(_)) => prop_assert!(!in_range),
+                        Err(FlashError::SubpageNotFree(_))
+                        | Err(FlashError::PartialProgramLimit { .. })
+                        | Err(FlashError::PartialNotSupported { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Step::Invalidate { page, subpage } => {
+                    if page < dev.block(addr).page_count() {
+                        let spa = Spa::new(addr.page(page), subpage);
+                        let was_valid =
+                            dev.block(addr).page(page).subpage(subpage) == SubpageState::Valid;
+                        let res = dev.invalidate(spa);
+                        prop_assert_eq!(res.is_ok(), was_valid);
+                    }
+                }
+                Step::Erase { to_slc } => {
+                    let mode = if to_slc { CellMode::Slc } else { CellMode::Mlc };
+                    let res = dev.erase(addr, mode);
+                    erase_count += 1;
+                    prop_assert_eq!(
+                        res.pe_cycles,
+                        dev.config().initial_pe_cycles + erase_count
+                    );
+                    prop_assert!(dev.block(addr).is_pristine());
+                    prop_assert_eq!(dev.block(addr).mode(), mode);
+                }
+            }
+
+            // Conservation: free + valid + invalid == total, always.
+            let b = dev.block(addr);
+            let total = b.total_subpages();
+            let sum = b.count_subpages(SubpageState::Free)
+                + b.count_subpages(SubpageState::Valid)
+                + b.count_subpages(SubpageState::Invalid);
+            prop_assert_eq!(total, sum);
+
+            // NOP budget: no page ever exceeds 4 program operations.
+            for p in 0..b.page_count() {
+                prop_assert!(b.page(p).program_ops() <= 4);
+            }
+
+            // Disturb event counters are monotone.
+            let events = dev.counters().in_page_disturb_events
+                + dev.counters().neighbour_disturb_events;
+            prop_assert!(events >= last_disturb_events);
+            last_disturb_events = events;
+
+            // Wear only advances through erases.
+            prop_assert_eq!(dev.wear().pe_cycles(idx),
+                dev.config().initial_pe_cycles + erase_count);
+        }
+    }
+
+    /// Effective RBER never decreases as a page accumulates partial programs,
+    /// and is always at least the baseline for the block's wear.
+    #[test]
+    fn rber_monotone_under_partial_programming(order in Just([0u8,1,2,3]).prop_shuffle()) {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        let page = addr.page(0);
+
+        let first = order[0];
+        dev.program(Spa::new(page, first), 1).unwrap();
+        let mut last = dev.effective_rber(Spa::new(page, first));
+        let baseline = last;
+
+        for &s in &order[1..] {
+            dev.program(Spa::new(page, s), 1).unwrap();
+            let now = dev.effective_rber(Spa::new(page, first));
+            prop_assert!(now >= last, "RBER decreased: {now} < {last}");
+            last = now;
+        }
+        prop_assert!(last > baseline, "3 disturbs must raise RBER");
+    }
+}

@@ -1,0 +1,256 @@
+//! Region layout and free-block management.
+//!
+//! The device is split into a fixed SLC-mode cache region (5% of blocks,
+//! spread evenly across planes so the cache sees the full channel parallelism)
+//! and the native MLC region. The manager owns the free pools; schemes pull
+//! blocks to open as active write targets and return them after GC erases.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ipu_flash::{BlockAddr, FlashGeometry, Nanos};
+
+use crate::config::FtlConfig;
+
+/// Free-pool and region-membership manager.
+///
+/// Erased blocks re-enter the pool *when their erase completes in simulated
+/// time* ([`BlockManager::release_at`] + [`BlockManager::promote_ready`]):
+/// GC replenishment is rate-limited by the 10 ms erase, so bursts can drain
+/// the ready pool and force the host-write bypass to MLC — the behaviour the
+/// paper's Figure 6 measures.
+#[derive(Debug, Clone)]
+pub struct BlockManager {
+    geometry: FlashGeometry,
+    /// `true` at dense block index `i` iff block `i` belongs to the SLC region.
+    is_slc_region: Vec<bool>,
+    slc_free: VecDeque<BlockAddr>,
+    mlc_free: VecDeque<BlockAddr>,
+    /// Blocks whose erase is still in flight, by readiness time.
+    slc_pending: BinaryHeap<Reverse<(Nanos, u64)>>,
+    mlc_pending: BinaryHeap<Reverse<(Nanos, u64)>>,
+    slc_total: u64,
+    mlc_total: u64,
+}
+
+impl BlockManager {
+    /// Carves the SLC region out of `geometry` per `cfg.slc_ratio`.
+    ///
+    /// The first `slc_blocks_per_plane` blocks of every plane form the SLC
+    /// region. Free pools are plane-interleaved so consecutive allocations
+    /// land on different planes/chips.
+    pub fn new(geometry: &FlashGeometry, cfg: &FtlConfig) -> Self {
+        let per_plane = cfg.slc_blocks_per_plane(geometry.blocks_per_plane);
+        let total_blocks = geometry.total_blocks();
+        let mut is_slc_region = vec![false; total_blocks as usize];
+        let mut slc_free = VecDeque::new();
+        let mut mlc_free = VecDeque::new();
+
+        // Chip-striding fill: consecutive pool entries live on *different
+        // chips* (then different planes of the same chip, then the next block
+        // slot), so an N-block active ring spans min(N, chips) chips and
+        // consecutive page allocations truly parallelize.
+        let planes_per_chip = geometry.dies_per_chip * geometry.planes_per_die;
+        for b in 0..geometry.blocks_per_plane {
+            for sub_plane in 0..planes_per_chip {
+                for chip in 0..geometry.total_chips() {
+                    let plane_flat = chip * planes_per_chip + sub_plane;
+                    let idx = plane_flat as u64 * geometry.blocks_per_plane as u64 + b as u64;
+                    let addr = geometry.block_from_index(idx);
+                    if b < per_plane {
+                        is_slc_region[idx as usize] = true;
+                        slc_free.push_back(addr);
+                    } else {
+                        mlc_free.push_back(addr);
+                    }
+                }
+            }
+        }
+        let slc_total = slc_free.len() as u64;
+        let mlc_total = mlc_free.len() as u64;
+        BlockManager {
+            geometry: geometry.clone(),
+            is_slc_region,
+            slc_free,
+            mlc_free,
+            slc_pending: BinaryHeap::new(),
+            mlc_pending: BinaryHeap::new(),
+            slc_total,
+            mlc_total,
+        }
+    }
+
+    /// Whether a block belongs to the SLC-mode cache region.
+    #[inline]
+    pub fn is_slc_region(&self, addr: BlockAddr) -> bool {
+        self.is_slc_region[self.geometry.block_index(addr) as usize]
+    }
+
+    /// Takes a free SLC-region block, if any.
+    pub fn allocate_slc(&mut self) -> Option<BlockAddr> {
+        self.slc_free.pop_front()
+    }
+
+    /// Takes a free MLC-region block, if any.
+    pub fn allocate_mlc(&mut self) -> Option<BlockAddr> {
+        self.mlc_free.pop_front()
+    }
+
+    /// Returns an erased block to its region's free pool immediately.
+    pub fn release(&mut self, addr: BlockAddr) {
+        if self.is_slc_region(addr) {
+            self.slc_free.push_back(addr);
+        } else {
+            self.mlc_free.push_back(addr);
+        }
+    }
+
+    /// Schedules a block to re-enter its pool once its erase completes at
+    /// `ready_ns`; [`BlockManager::promote_ready`] performs the hand-over.
+    pub fn release_at(&mut self, addr: BlockAddr, ready_ns: Nanos) {
+        let idx = self.geometry.block_index(addr);
+        if self.is_slc_region(addr) {
+            self.slc_pending.push(Reverse((ready_ns, idx)));
+        } else {
+            self.mlc_pending.push(Reverse((ready_ns, idx)));
+        }
+    }
+
+    /// Moves every pending block whose erase has completed by `now` into its
+    /// free pool.
+    pub fn promote_ready(&mut self, now: Nanos) {
+        while let Some(&Reverse((t, idx))) = self.slc_pending.peek() {
+            if t > now {
+                break;
+            }
+            self.slc_pending.pop();
+            self.slc_free.push_back(self.geometry.block_from_index(idx));
+        }
+        while let Some(&Reverse((t, idx))) = self.mlc_pending.peek() {
+            if t > now {
+                break;
+            }
+            self.mlc_pending.pop();
+            self.mlc_free.push_back(self.geometry.block_from_index(idx));
+        }
+    }
+
+    /// SLC blocks whose erase is still in flight.
+    pub fn slc_pending_count(&self) -> u64 {
+        self.slc_pending.len() as u64
+    }
+
+    /// MLC blocks whose erase is still in flight.
+    pub fn mlc_pending_count(&self) -> u64 {
+        self.mlc_pending.len() as u64
+    }
+
+    /// Total blocks in the SLC region.
+    pub fn slc_total(&self) -> u64 {
+        self.slc_total
+    }
+
+    /// Total blocks in the MLC region.
+    pub fn mlc_total(&self) -> u64 {
+        self.mlc_total
+    }
+
+    /// Currently free SLC-region blocks.
+    pub fn slc_free_count(&self) -> u64 {
+        self.slc_free.len() as u64
+    }
+
+    /// Currently free MLC-region blocks.
+    pub fn mlc_free_count(&self) -> u64 {
+        self.mlc_free.len() as u64
+    }
+
+    /// All SLC-region block addresses (for region formatting at startup).
+    pub fn slc_region_blocks(&self) -> Vec<BlockAddr> {
+        (0..self.geometry.total_blocks())
+            .filter(|&i| self.is_slc_region[i as usize])
+            .map(|i| self.geometry.block_from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> BlockManager {
+        BlockManager::new(&FlashGeometry::small_for_tests(), &FtlConfig::default())
+    }
+
+    #[test]
+    fn region_split_respects_ratio_floor() {
+        let m = mgr();
+        // small_for_tests: 2 planes × 16 blocks; 5% of 16 rounds up to 1/plane.
+        assert_eq!(m.slc_total(), 2);
+        assert_eq!(m.mlc_total(), 30);
+        assert_eq!(m.slc_free_count(), 2);
+        assert_eq!(m.mlc_free_count(), 30);
+    }
+
+    #[test]
+    fn paper_scale_region_is_about_five_percent() {
+        let m = BlockManager::new(&FlashGeometry::paper_scale(), &FtlConfig::default());
+        assert_eq!(m.slc_total(), 52 * 64); // 3328
+        assert_eq!(m.slc_total() + m.mlc_total(), 65_536);
+        let ratio = m.slc_total() as f64 / 65_536.0;
+        assert!((ratio - 0.05).abs() < 0.003, "SLC ratio {ratio}");
+    }
+
+    #[test]
+    fn allocations_stride_across_chips() {
+        let g = FlashGeometry::paper_scale();
+        let mut m = BlockManager::new(&g, &FtlConfig::default());
+        // The first `total_chips` allocations must land on distinct chips.
+        let mut chips = std::collections::HashSet::new();
+        for _ in 0..g.total_chips() {
+            let a = m.allocate_slc().unwrap();
+            assert!(chips.insert(g.chip_index(a)), "chip repeated before full coverage");
+        }
+        assert_eq!(chips.len() as u32, g.total_chips());
+        // Same property for the MLC pool.
+        let mut chips = std::collections::HashSet::new();
+        for _ in 0..g.total_chips() {
+            let a = m.allocate_mlc().unwrap();
+            chips.insert(g.chip_index(a));
+        }
+        assert_eq!(chips.len() as u32, g.total_chips());
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut m = mgr();
+        let a = m.allocate_slc().unwrap();
+        assert!(m.is_slc_region(a));
+        assert_eq!(m.slc_free_count(), 1);
+        m.release(a);
+        assert_eq!(m.slc_free_count(), 2);
+
+        let b = m.allocate_mlc().unwrap();
+        assert!(!m.is_slc_region(b));
+        m.release(b);
+        assert_eq!(m.mlc_free_count(), 30);
+    }
+
+    #[test]
+    fn pools_exhaust_cleanly() {
+        let mut m = mgr();
+        assert!(m.allocate_slc().is_some());
+        assert!(m.allocate_slc().is_some());
+        assert!(m.allocate_slc().is_none());
+    }
+
+    #[test]
+    fn region_blocks_match_membership() {
+        let m = mgr();
+        let blocks = m.slc_region_blocks();
+        assert_eq!(blocks.len() as u64, m.slc_total());
+        for b in blocks {
+            assert!(m.is_slc_region(b));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-block cache metadata: level labels, write timestamps and update flags.
+//!
+//! This is the logical bookkeeping the SLC-mode cache needs on top of the
+//! physical state in `ipu-flash`: which level a block belongs to (IPU's
+//! Work/Monitor/Hot labels), when each subpage was written (the `t_ij` of the
+//! ISR GC policy's Equation 2), and whether a page has received an intra-page
+//! update (which drives the paper's degraded data movement in GC).
+
+use std::collections::HashMap;
+
+use ipu_flash::{BlockAddr, Nanos};
+
+use crate::types::BlockLevel;
+
+/// Metadata for one in-use (allocated, non-free) block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    pub addr: BlockAddr,
+    /// Cache level; `HighDensity` for MLC-region blocks.
+    pub level: BlockLevel,
+    /// Monotonic open order; GC victim selection breaks score ties toward
+    /// the oldest block (FIFO) so eviction pressure rotates over the region
+    /// instead of hammering one plane.
+    opened_seq: u64,
+    /// Write timestamp per subpage slot (page-major). 0 = never written.
+    sub_written_ns: Vec<Nanos>,
+    /// Whether each page received an intra-page update while in this block.
+    page_updated: Vec<bool>,
+    subpages_per_page: u32,
+}
+
+impl BlockMeta {
+    fn new(
+        addr: BlockAddr,
+        level: BlockLevel,
+        opened_seq: u64,
+        pages: u32,
+        subpages_per_page: u32,
+    ) -> Self {
+        BlockMeta {
+            addr,
+            level,
+            opened_seq,
+            sub_written_ns: vec![0; (pages * subpages_per_page) as usize],
+            page_updated: vec![false; pages as usize],
+            subpages_per_page,
+        }
+    }
+
+    /// Monotonic open order of this block (smaller = opened earlier).
+    pub fn opened_seq(&self) -> u64 {
+        self.opened_seq
+    }
+
+    /// Records a program covering `[start, start+count)` of `page` at `now`.
+    ///
+    /// A second or later program op on a page is by definition an intra-page
+    /// update under IPU (the page holds versions of one chunk's data), so the
+    /// caller tells us whether this program was a follow-up.
+    pub fn note_program(&mut self, page: u32, start: u8, count: u8, now: Nanos, follow_up: bool) {
+        for s in start..start + count {
+            self.sub_written_ns[(page * self.subpages_per_page + s as u32) as usize] = now.max(1);
+        }
+        if follow_up {
+            self.page_updated[page as usize] = true;
+        }
+    }
+
+    /// Timestamp the subpage was written (0 = never).
+    pub fn written_at(&self, page: u32, subpage: u8) -> Nanos {
+        self.sub_written_ns[(page * self.subpages_per_page + subpage as u32) as usize]
+    }
+
+    /// Whether `page` received an intra-page update while resident here.
+    pub fn page_updated(&self, page: u32) -> bool {
+        self.page_updated[page as usize]
+    }
+
+    /// Number of pages tracked.
+    pub fn page_count(&self) -> u32 {
+        self.page_updated.len() as u32
+    }
+}
+
+/// Registry of in-use blocks and their metadata, keyed by dense block index.
+#[derive(Debug, Clone, Default)]
+pub struct CacheMeta {
+    blocks: HashMap<u64, BlockMeta>,
+    next_seq: u64,
+}
+
+impl CacheMeta {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly-opened block at `level`.
+    pub fn open_block(
+        &mut self,
+        block_idx: u64,
+        addr: BlockAddr,
+        level: BlockLevel,
+        pages: u32,
+        subpages_per_page: u32,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let prev = self
+            .blocks
+            .insert(block_idx, BlockMeta::new(addr, level, seq, pages, subpages_per_page));
+        debug_assert!(prev.is_none(), "block {addr} opened twice");
+    }
+
+    /// Removes a block's metadata (called at erase).
+    pub fn close_block(&mut self, block_idx: u64) -> Option<BlockMeta> {
+        self.blocks.remove(&block_idx)
+    }
+
+    pub fn get(&self, block_idx: u64) -> Option<&BlockMeta> {
+        self.blocks.get(&block_idx)
+    }
+
+    pub fn get_mut(&mut self, block_idx: u64) -> Option<&mut BlockMeta> {
+        self.blocks.get_mut(&block_idx)
+    }
+
+    /// Level of a block, if tracked.
+    pub fn level(&self, block_idx: u64) -> Option<BlockLevel> {
+        self.blocks.get(&block_idx).map(|m| m.level)
+    }
+
+    /// Iterates `(block_idx, meta)` over all in-use blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &BlockMeta)> {
+        self.blocks.iter().map(|(&i, m)| (i, m))
+    }
+
+    /// Number of in-use blocks tracked.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// In-use blocks in the SLC cache (level above `HighDensity`).
+    pub fn slc_blocks(&self) -> impl Iterator<Item = (u64, &BlockMeta)> {
+        self.iter().filter(|(_, m)| m.level.is_slc())
+    }
+
+    /// In-use blocks in the MLC region.
+    pub fn mlc_blocks(&self) -> impl Iterator<Item = (u64, &BlockMeta)> {
+        self.iter().filter(|(_, m)| !m.level.is_slc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> BlockAddr {
+        BlockAddr::new(0, 0, 0, 0, 7)
+    }
+
+    #[test]
+    fn open_close_round_trip() {
+        let mut c = CacheMeta::new();
+        c.open_block(7, addr(), BlockLevel::Work, 4, 4);
+        assert_eq!(c.level(7), Some(BlockLevel::Work));
+        assert_eq!(c.len(), 1);
+        let meta = c.close_block(7).unwrap();
+        assert_eq!(meta.addr, addr());
+        assert!(c.is_empty());
+        assert!(c.close_block(7).is_none());
+    }
+
+    #[test]
+    fn program_records_time_and_update_flag() {
+        let mut c = CacheMeta::new();
+        c.open_block(7, addr(), BlockLevel::Monitor, 4, 4);
+        let m = c.get_mut(7).unwrap();
+        m.note_program(2, 0, 2, 1000, false);
+        assert_eq!(m.written_at(2, 0), 1000);
+        assert_eq!(m.written_at(2, 1), 1000);
+        assert_eq!(m.written_at(2, 2), 0);
+        assert!(!m.page_updated(2));
+
+        m.note_program(2, 2, 1, 2000, true);
+        assert!(m.page_updated(2));
+        assert_eq!(m.written_at(2, 2), 2000);
+        // Earlier subpages keep their original write time.
+        assert_eq!(m.written_at(2, 0), 1000);
+    }
+
+    #[test]
+    fn time_zero_writes_are_still_marked_written() {
+        let mut c = CacheMeta::new();
+        c.open_block(7, addr(), BlockLevel::Work, 2, 4);
+        let m = c.get_mut(7).unwrap();
+        m.note_program(0, 0, 1, 0, false);
+        assert!(m.written_at(0, 0) > 0, "written_at must distinguish written from never");
+    }
+
+    #[test]
+    fn region_filters_split_by_level() {
+        let mut c = CacheMeta::new();
+        c.open_block(1, BlockAddr::new(0, 0, 0, 0, 1), BlockLevel::Work, 4, 4);
+        c.open_block(2, BlockAddr::new(0, 0, 0, 0, 2), BlockLevel::HighDensity, 8, 4);
+        c.open_block(3, BlockAddr::new(0, 0, 0, 0, 3), BlockLevel::Hot, 4, 4);
+        assert_eq!(c.slc_blocks().count(), 2);
+        assert_eq!(c.mlc_blocks().count(), 1);
+    }
+}

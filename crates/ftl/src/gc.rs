@@ -1,0 +1,284 @@
+//! GC victim-selection policies.
+//!
+//! * [`select_greedy`] — the conventional greedy policy (paper §3.2): pick the
+//!   block with the most reclaimable space, at page or subpage granularity.
+//! * [`select_isr`] — the paper's policy (Equations 1–2): pick the block with
+//!   the largest *invalid subpage ratio*, where never-updated (cold) valid
+//!   subpages contribute an age-dependent weight so that cold blocks are
+//!   preferentially collected and their data demoted out of the cache.
+
+use ipu_flash::{BlockState, Nanos, SubpageState};
+
+use crate::cache_meta::BlockMeta;
+
+/// Granularity of the greedy policy's reclaimable-space count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcGranularity {
+    /// Count fully-invalid pages (conventional page-mapped FTL).
+    Page,
+    /// Count invalid subpages (partial-programming aware, as MGA does).
+    Subpage,
+}
+
+/// Greedy score: number of reclaimable units in the block.
+pub fn greedy_score(block: &BlockState, granularity: GcGranularity) -> u64 {
+    match granularity {
+        GcGranularity::Subpage => block.count_subpages(SubpageState::Invalid) as u64,
+        GcGranularity::Page => (0..block.page_count())
+            .filter(|&p| {
+                let page = block.page(p);
+                page.is_programmed() && page.count(SubpageState::Valid) == 0
+            })
+            .count() as u64,
+    }
+}
+
+/// Selects the candidate with the highest greedy score.
+///
+/// Ties (including an all-zero field, which happens when the cache is full of
+/// valid data and GC degenerates to eviction) break toward the *oldest* block
+/// (smallest `opened_seq`) — FIFO rotation keeps eviction-mode GC from
+/// hammering a single plane and gives plain cache-eviction semantics.
+pub fn select_greedy<'a>(
+    candidates: impl Iterator<Item = (u64, &'a BlockState, u64)>,
+    granularity: GcGranularity,
+) -> Option<u64> {
+    candidates
+        .map(|(idx, block, seq)| {
+            (greedy_score(block, granularity), std::cmp::Reverse(seq), idx)
+        })
+        .max()
+        .map(|(_, _, idx)| idx)
+}
+
+/// The paper's Equation 2: weight of the never-updated valid subpages.
+///
+/// `IS'_i = Σ_{j ∈ J} (1 − e^(−t_ij / T_i))` where `J` indexes valid subpages
+/// in pages that never received an intra-page update, `t_ij` is the time since
+/// subpage `j` was written, and `T_i` is the mean such age over *all* valid
+/// subpages of the block (the exponential-interarrival parameter).
+pub fn cold_valid_weight(block: &BlockState, meta: &BlockMeta, now: Nanos) -> f64 {
+    let mut ages_sum = 0.0f64;
+    let mut valid_count = 0u32;
+    for p in 0..block.page_count() {
+        let page = block.page(p);
+        for s in 0..page.subpage_count() {
+            if page.subpage(s) == SubpageState::Valid {
+                let written = meta.written_at(p, s);
+                ages_sum += now.saturating_sub(written) as f64;
+                valid_count += 1;
+            }
+        }
+    }
+    if valid_count == 0 {
+        return 0.0;
+    }
+    let t_mean = (ages_sum / valid_count as f64).max(1.0);
+
+    let mut weight = 0.0;
+    for p in 0..block.page_count() {
+        if meta.page_updated(p) {
+            continue; // hot page: its data was updated in place, exclude from J
+        }
+        let page = block.page(p);
+        for s in 0..page.subpage_count() {
+            if page.subpage(s) == SubpageState::Valid {
+                let age = now.saturating_sub(meta.written_at(p, s)) as f64;
+                weight += 1.0 - (-age / t_mean).exp();
+            }
+        }
+    }
+    weight
+}
+
+/// The paper's Equation 1: `ISR_i = (IS_i + IS'_i) / TS_i`.
+///
+/// ```
+/// use ipu_flash::{BlockAddr, CellMode, DeviceConfig, FlashDevice, Spa};
+/// use ipu_ftl::{isr_score, BlockLevel, CacheMeta};
+///
+/// let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+/// let addr = BlockAddr::new(0, 0, 0, 0, 0);
+/// dev.set_block_mode(addr, CellMode::Slc);
+/// dev.program(Spa::new(addr.page(0), 0), 4).unwrap();
+/// dev.invalidate(Spa::new(addr.page(0), 0)).unwrap();
+///
+/// let mut meta = CacheMeta::new();
+/// meta.open_block(0, addr, BlockLevel::Work, 4, 4);
+/// meta.get_mut(0).unwrap().note_program(0, 0, 4, 1, false);
+///
+/// // 1 invalid subpage + 3 aged cold valid subpages over 16 total.
+/// let isr = isr_score(dev.block(addr), meta.get(0).unwrap(), 1_000_000_000);
+/// assert!(isr > 1.0 / 16.0 && isr < 4.0 / 16.0 + 1e-9);
+/// ```
+pub fn isr_score(block: &BlockState, meta: &BlockMeta, now: Nanos) -> f64 {
+    let total = block.total_subpages();
+    if total == 0 {
+        return 0.0;
+    }
+    let invalid = block.count_subpages(SubpageState::Invalid) as f64;
+    (invalid + cold_valid_weight(block, meta, now)) / total as f64
+}
+
+/// Selects the candidate with the highest ISR score; ties break toward the
+/// oldest block (FIFO), as in [`select_greedy`].
+pub fn select_isr<'a>(
+    candidates: impl Iterator<Item = (u64, &'a BlockState, &'a BlockMeta)>,
+    now: Nanos,
+) -> Option<u64> {
+    candidates
+        .map(|(idx, block, meta)| (isr_score(block, meta, now), meta.opened_seq(), idx))
+        .max_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.1.cmp(&a.1)) // smaller seq wins ties
+        })
+        .map(|(_, _, idx)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_meta::CacheMeta;
+    use crate::types::BlockLevel;
+    use ipu_flash::{BlockAddr, CellMode, DeviceConfig, FlashDevice, Spa};
+
+    /// Builds a 4-page SLC block; `pattern[p]` = (programmed subpages,
+    /// invalidated subpages).
+    fn build_block(dev: &mut FlashDevice, block: u32, pattern: &[(u8, u8)]) -> BlockAddr {
+        let addr = BlockAddr::new(0, 0, 0, 0, block);
+        dev.set_block_mode(addr, CellMode::Slc);
+        for (p, &(programmed, invalid)) in pattern.iter().enumerate() {
+            if programmed > 0 {
+                dev.program(Spa::new(addr.page(p as u32), 0), programmed).unwrap();
+            }
+            for s in 0..invalid {
+                dev.invalidate(Spa::new(addr.page(p as u32), s)).unwrap();
+            }
+        }
+        addr
+    }
+
+    #[test]
+    fn greedy_subpage_counts_invalids() {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 2), (4, 0)]);
+        assert_eq!(greedy_score(dev.block(a), GcGranularity::Subpage), 2);
+        assert_eq!(greedy_score(dev.block(a), GcGranularity::Page), 0);
+        let b = build_block(&mut dev, 1, &[(4, 4), (2, 1)]);
+        assert_eq!(greedy_score(dev.block(b), GcGranularity::Subpage), 5);
+        assert_eq!(greedy_score(dev.block(b), GcGranularity::Page), 1);
+    }
+
+    #[test]
+    fn select_greedy_prefers_most_invalid() {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 1), (0, 0)]);
+        let b = build_block(&mut dev, 1, &[(4, 3), (0, 0)]);
+        let g = dev.config().geometry.clone();
+        let cands =
+            vec![(g.block_index(a), dev.block(a), 0), (g.block_index(b), dev.block(b), 1)];
+        let winner = select_greedy(cands.into_iter(), GcGranularity::Subpage).unwrap();
+        assert_eq!(winner, g.block_index(b));
+    }
+
+    #[test]
+    fn greedy_ties_break_to_oldest_block() {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 2)]);
+        let b = build_block(&mut dev, 1, &[(4, 2)]);
+        let g = dev.config().geometry.clone();
+        // Same score; block b was opened earlier (seq 3 vs 7) → b wins.
+        let cands =
+            vec![(g.block_index(a), dev.block(a), 7), (g.block_index(b), dev.block(b), 3)];
+        let winner = select_greedy(cands.into_iter(), GcGranularity::Subpage).unwrap();
+        assert_eq!(winner, g.block_index(b));
+    }
+
+    #[test]
+    fn select_greedy_handles_all_valid_cache() {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 0)]);
+        let g = dev.config().geometry.clone();
+        // No invalid data anywhere: still returns a victim (pure eviction).
+        let winner = select_greedy(
+            vec![(g.block_index(a), dev.block(a), 0)].into_iter(),
+            GcGranularity::Subpage,
+        );
+        assert_eq!(winner, Some(g.block_index(a)));
+    }
+
+    #[test]
+    fn isr_matches_figure4_example() {
+        // Figure 4(a): candidate A has 6 invalid of 16 subpages and hot valid
+        // data (updated pages) → ISR = 6/16. Candidate B has 6 invalid and old
+        // cold valid data worth ~0.9 → ISR ≈ 6.9/16 → B wins.
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 2), (4, 2), (4, 2), (4, 0)]);
+        let b = build_block(&mut dev, 1, &[(4, 2), (4, 2), (4, 2), (4, 0)]);
+        let g = dev.config().geometry.clone();
+
+        let mut meta = CacheMeta::new();
+        let now = 1_000_000;
+        // A: data written recently and updated (hot) → small IS'.
+        meta.open_block(g.block_index(a), a, BlockLevel::Work, 4, 4);
+        let ma = meta.get_mut(g.block_index(a)).unwrap();
+        for p in 0..4 {
+            ma.note_program(p, 0, 4, now - 10, true);
+        }
+        // B: data written long ago, never updated (cold) → IS' near valid count.
+        meta.open_block(g.block_index(b), b, BlockLevel::Work, 4, 4);
+        let mb = meta.get_mut(g.block_index(b)).unwrap();
+        for p in 0..4 {
+            mb.note_program(p, 0, 4, 1, false);
+        }
+
+        let isr_a = isr_score(dev.block(a), meta.get(g.block_index(a)).unwrap(), now);
+        let isr_b = isr_score(dev.block(b), meta.get(g.block_index(b)).unwrap(), now);
+        assert!((isr_a - 6.0 / 16.0).abs() < 0.01, "hot block ISR {isr_a}");
+        assert!(isr_b > isr_a, "cold block must win: {isr_b} vs {isr_a}");
+        assert!(isr_b <= 16.0 / 16.0 + 1e-9);
+
+        let winner = select_isr(
+            vec![
+                (g.block_index(a), dev.block(a), meta.get(g.block_index(a)).unwrap()),
+                (g.block_index(b), dev.block(b), meta.get(g.block_index(b)).unwrap()),
+            ]
+            .into_iter(),
+            now,
+        );
+        assert_eq!(winner, Some(g.block_index(b)));
+    }
+
+    #[test]
+    fn cold_weight_is_zero_without_valid_data() {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 4)]);
+        let g = dev.config().geometry.clone();
+        let mut meta = CacheMeta::new();
+        meta.open_block(g.block_index(a), a, BlockLevel::Work, 4, 4);
+        assert_eq!(cold_valid_weight(dev.block(a), meta.get(g.block_index(a)).unwrap(), 500), 0.0);
+        // Fully-invalid block: ISR = IS/TS = 4/16.
+        assert!(
+            (isr_score(dev.block(a), meta.get(g.block_index(a)).unwrap(), 500) - 0.25).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn cold_weight_grows_with_age() {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let a = build_block(&mut dev, 0, &[(4, 0), (4, 0)]);
+        let g = dev.config().geometry.clone();
+        let mut meta = CacheMeta::new();
+        meta.open_block(g.block_index(a), a, BlockLevel::Work, 4, 4);
+        let m = meta.get_mut(g.block_index(a)).unwrap();
+        m.note_program(0, 0, 4, 1, false); // old
+        m.note_program(1, 0, 4, 900_000, false); // fresh
+        let m = meta.get(g.block_index(a)).unwrap();
+        let w = cold_valid_weight(dev.block(a), m, 1_000_000);
+        // Old page's subpages weigh close to 1, fresh page's close to 0.18.
+        assert!(w > 4.0 * 0.8, "old data under-weighted: {w}");
+        assert!(w < 8.0, "weight cannot exceed valid count: {w}");
+    }
+}

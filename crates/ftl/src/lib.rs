@@ -1,0 +1,39 @@
+//! # ipu-ftl — flash translation layer with an SLC-mode cache
+//!
+//! The logical half of the reproduction: address mapping, free-block
+//! management, the three-level SLC-mode cache, GC policies (greedy and the
+//! paper's ISR policy with Equations 1–2), and the three schemes under
+//! evaluation:
+//!
+//! * [`schemes::baseline::BaselineFtl`] — page-level mapping, no partial
+//!   programming;
+//! * [`schemes::mga::MgaFtl`] — subpage packing with partial programming
+//!   (the state-of-the-art comparison point);
+//! * [`schemes::ipu::IpuFtl`] — the paper's intra-page update scheme.
+//!
+//! Schemes execute against an [`ipu_flash::FlashDevice`] and emit
+//! [`ops::OpBatch`]es of timed operations that `ipu-sim` schedules onto chips.
+
+pub mod block_mgr;
+pub mod cache_meta;
+pub mod config;
+pub mod gc;
+pub mod mapping;
+pub mod memory;
+pub mod ops;
+pub mod schemes;
+pub mod stats;
+pub mod types;
+pub mod wear_leveling;
+
+pub use block_mgr::BlockManager;
+pub use cache_meta::{BlockMeta, CacheMeta};
+pub use config::FtlConfig;
+pub use gc::{greedy_score, isr_score, select_greedy, select_isr, GcGranularity};
+pub use mapping::{ChunkSummary, MappingTable, OwnerTable};
+pub use memory::MappingMemory;
+pub use ops::{FlashOpKind, OpBatch, OpRecord};
+pub use schemes::{common::FtlCore, FtlScheme, SchemeKind};
+pub use stats::FtlStats;
+pub use types::{BlockLevel, Lcn, Lsn};
+pub use wear_leveling::{WearLeveler, WearLevelingConfig};

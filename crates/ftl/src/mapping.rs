@@ -1,0 +1,262 @@
+//! Address translation: the forward map (logical subpage → physical subpage)
+//! and the reverse owner table (physical subpage → logical subpage).
+//!
+//! All three schemes share this machinery; what differs is the *analytic
+//! memory accounting* of Figure 11 (see [`crate::memory`]), which models what
+//! each scheme would actually have to keep in controller DRAM.
+
+use std::collections::HashMap;
+
+use ipu_flash::{FlashGeometry, Spa};
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Lcn, Lsn};
+
+/// Forward map: logical subpage number → physical subpage address.
+///
+/// ```
+/// use ipu_ftl::MappingTable;
+/// use ipu_flash::{Ppa, Spa};
+///
+/// let mut map = MappingTable::new();
+/// // LSN 42 belongs at in-chunk offset 2 (42 mod 4); storing it at
+/// // subpage 1 makes its chunk "scattered" — it would need second-level
+/// // mapping under MGA's scheme.
+/// let spa = Spa::new(Ppa::new(0, 0, 0, 0, 7, 3), 1);
+/// assert!(map.insert(42, spa).is_none());
+/// assert_eq!(map.lookup(42), Some(spa));
+/// assert_eq!(map.chunk_summary(4).scattered_chunks, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MappingTable {
+    map: HashMap<Lsn, Spa>,
+}
+
+impl MappingTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current physical location of `lsn`, if mapped.
+    #[inline]
+    pub fn lookup(&self, lsn: Lsn) -> Option<Spa> {
+        self.map.get(&lsn).copied()
+    }
+
+    /// Maps `lsn` to `spa`, returning the previous location if any.
+    #[inline]
+    pub fn insert(&mut self, lsn: Lsn, spa: Spa) -> Option<Spa> {
+        self.map.insert(lsn, spa)
+    }
+
+    /// Unmaps `lsn`, returning its previous location.
+    #[inline]
+    pub fn remove(&mut self, lsn: Lsn) -> Option<Spa> {
+        self.map.remove(&lsn)
+    }
+
+    /// Number of mapped logical subpages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(lsn, spa)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Lsn, Spa)> + '_ {
+        self.map.iter().map(|(&l, &s)| (l, s))
+    }
+
+    /// Summary used by the Figure 11 memory model: how many distinct logical
+    /// chunks (pages) are mapped, and how many of them are *scattered* — i.e.
+    /// their live subpages do not all sit identity-aligned in one physical
+    /// page, so a page-granular table cannot describe them without a
+    /// second-level (subpage) table.
+    pub fn chunk_summary(&self, subpages_per_page: u32) -> ChunkSummary {
+        let spp = subpages_per_page as u64;
+        // lcn → (first physical page seen, all-aligned-so-far)
+        let mut chunks: HashMap<Lcn, (Spa, bool)> = HashMap::new();
+        for (&lsn, &spa) in &self.map {
+            let lcn = lsn / spp;
+            let aligned = spa.subpage as u64 == lsn % spp;
+            match chunks.entry(lcn) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((spa, aligned));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (first, ok) = *e.get();
+                    let same_page = first.ppa == spa.ppa;
+                    e.insert((first, ok && aligned && same_page));
+                }
+            }
+        }
+        let mapped_chunks = chunks.len() as u64;
+        let scattered_chunks = chunks.values().filter(|(_, aligned)| !aligned).count() as u64;
+        ChunkSummary { mapped_chunks, scattered_chunks, mapped_subpages: self.map.len() as u64 }
+    }
+}
+
+/// Output of [`MappingTable::chunk_summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkSummary {
+    /// Distinct logical chunks with at least one mapped subpage.
+    pub mapped_chunks: u64,
+    /// Chunks whose subpages are not identity-aligned within one physical page.
+    pub scattered_chunks: u64,
+    /// Total mapped logical subpages.
+    pub mapped_subpages: u64,
+}
+
+/// Reverse map: physical subpage → owning logical subpage.
+///
+/// Required by GC to relocate valid data. Block entries are allocated lazily
+/// (a paper-scale device has 33 M physical subpages, most never touched).
+#[derive(Debug, Clone)]
+pub struct OwnerTable {
+    /// block index → owner LSN per (page × subpage) slot; `NONE` if unowned.
+    blocks: HashMap<u64, Vec<Lsn>>,
+    slots_per_block: usize,
+    subpages_per_page: u32,
+}
+
+const NONE_OWNER: Lsn = Lsn::MAX;
+
+impl OwnerTable {
+    pub fn new(geometry: &FlashGeometry) -> Self {
+        OwnerTable {
+            blocks: HashMap::new(),
+            // Sized for the larger (MLC) page count so mode switches never
+            // reallocate.
+            slots_per_block: (geometry.pages_per_block_mlc * geometry.subpages_per_page())
+                as usize,
+            subpages_per_page: geometry.subpages_per_page(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, spa: Spa) -> usize {
+        (spa.ppa.page * self.subpages_per_page + spa.subpage as u32) as usize
+    }
+
+    /// Records `lsn` as the owner of `spa`.
+    pub fn set(&mut self, block_idx: u64, spa: Spa, lsn: Lsn) {
+        let slots = self.slots_per_block;
+        let v = self.blocks.entry(block_idx).or_insert_with(|| vec![NONE_OWNER; slots]);
+        let slot = (spa.ppa.page * self.subpages_per_page + spa.subpage as u32) as usize;
+        v[slot] = lsn;
+    }
+
+    /// Clears the owner of `spa` (subpage invalidated).
+    pub fn clear(&mut self, block_idx: u64, spa: Spa) {
+        let slot = self.slot(spa);
+        if let Some(v) = self.blocks.get_mut(&block_idx) {
+            v[slot] = NONE_OWNER;
+        }
+    }
+
+    /// Owner of `spa`, if any.
+    pub fn owner(&self, block_idx: u64, spa: Spa) -> Option<Lsn> {
+        let slot = self.slot(spa);
+        self.blocks
+            .get(&block_idx)
+            .and_then(|v| v.get(slot))
+            .copied()
+            .filter(|&l| l != NONE_OWNER)
+    }
+
+    /// Drops all owner records of a block (called at erase).
+    pub fn clear_block(&mut self, block_idx: u64) {
+        self.blocks.remove(&block_idx);
+    }
+
+    /// Owners within one page, by subpage offset.
+    pub fn page_owners(&self, block_idx: u64, page: u32) -> Vec<Option<Lsn>> {
+        (0..self.subpages_per_page)
+            .map(|s| {
+                self.blocks
+                    .get(&block_idx)
+                    .and_then(|v| v.get((page * self.subpages_per_page + s) as usize))
+                    .copied()
+                    .filter(|&l| l != NONE_OWNER)
+            })
+            .collect()
+    }
+
+    /// Number of blocks with allocated owner storage (memory introspection).
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipu_flash::Ppa;
+
+    fn spa(block: u32, page: u32, sub: u8) -> Spa {
+        Spa::new(Ppa::new(0, 0, 0, 0, block, page), sub)
+    }
+
+    #[test]
+    fn forward_map_round_trips() {
+        let mut m = MappingTable::new();
+        assert!(m.lookup(7).is_none());
+        assert!(m.insert(7, spa(1, 2, 3)).is_none());
+        assert_eq!(m.lookup(7), Some(spa(1, 2, 3)));
+        assert_eq!(m.insert(7, spa(4, 5, 0)), Some(spa(1, 2, 3)));
+        assert_eq!(m.remove(7), Some(spa(4, 5, 0)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn chunk_summary_detects_scatter() {
+        let mut m = MappingTable::new();
+        // Chunk 0: lsns 0..4 identity-aligned in page (0,0) → not scattered.
+        for s in 0..4u8 {
+            m.insert(s as Lsn, spa(0, 0, s));
+        }
+        // Chunk 1: lsn 4 at misaligned offset → scattered.
+        m.insert(4, spa(0, 1, 2));
+        // Chunk 2: lsns 8,9 aligned but in different pages → scattered.
+        m.insert(8, spa(0, 2, 0));
+        m.insert(9, spa(0, 3, 1));
+        let s = m.chunk_summary(4);
+        assert_eq!(s.mapped_chunks, 3);
+        assert_eq!(s.scattered_chunks, 2);
+        assert_eq!(s.mapped_subpages, 7);
+    }
+
+    #[test]
+    fn single_subpage_chunk_at_offset_zero_is_aligned() {
+        let mut m = MappingTable::new();
+        m.insert(8, spa(0, 5, 0)); // lsn 8 = chunk 2 offset 0 → aligned
+        assert_eq!(m.chunk_summary(4).scattered_chunks, 0);
+        m.insert(13, spa(0, 6, 0)); // lsn 13 = chunk 3 offset 1 at subpage 0 → scattered
+        assert_eq!(m.chunk_summary(4).scattered_chunks, 1);
+    }
+
+    #[test]
+    fn owner_table_lazy_allocation_and_round_trip() {
+        let g = FlashGeometry::small_for_tests();
+        let mut o = OwnerTable::new(&g);
+        assert_eq!(o.allocated_blocks(), 0);
+        assert!(o.owner(3, spa(3, 1, 2)).is_none());
+
+        o.set(3, spa(3, 1, 2), 99);
+        assert_eq!(o.allocated_blocks(), 1);
+        assert_eq!(o.owner(3, spa(3, 1, 2)), Some(99));
+
+        o.clear(3, spa(3, 1, 2));
+        assert!(o.owner(3, spa(3, 1, 2)).is_none());
+
+        o.set(3, spa(3, 0, 0), 5);
+        o.set(3, spa(3, 0, 1), 6);
+        assert_eq!(o.page_owners(3, 0), vec![Some(5), Some(6), None, None]);
+
+        o.clear_block(3);
+        assert_eq!(o.allocated_blocks(), 0);
+        assert!(o.owner(3, spa(3, 0, 0)).is_none());
+    }
+}

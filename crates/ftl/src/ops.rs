@@ -1,0 +1,102 @@
+//! Flash operation records emitted by the FTL.
+//!
+//! The FTL executes operations against the device immediately (state-wise) but
+//! *timing* is the simulator's job: each operation is reported as an
+//! [`OpRecord`] carrying its service latency and the chip it occupies, and
+//! `ipu-sim` serializes records per chip to model contention.
+
+use ipu_flash::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// What kind of flash operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashOpKind {
+    /// Read issued to serve a host read.
+    HostRead,
+    /// Read of a logical address the host never wrote (pre-trace data).
+    UnmappedRead,
+    /// Program issued to serve a host write.
+    HostProgram,
+    /// Read issued by GC to relocate valid data.
+    GcRead,
+    /// Program issued by GC to relocate valid data.
+    GcProgram,
+    /// Block erase (always GC- or eviction-driven).
+    Erase,
+}
+
+impl FlashOpKind {
+    /// Whether this operation was issued on behalf of the host request (and
+    /// therefore contributes to its response time directly).
+    pub fn is_host(self) -> bool {
+        matches!(self, FlashOpKind::HostRead | FlashOpKind::UnmappedRead | FlashOpKind::HostProgram)
+    }
+}
+
+/// One flash operation with its service latency and chip placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Dense chip index (`FlashGeometry::chip_index`) the operation occupies.
+    pub chip: u32,
+    pub kind: FlashOpKind,
+    /// Service latency of the operation itself.
+    pub latency_ns: Nanos,
+}
+
+/// All operations triggered by one host request (including any GC it tripped).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpBatch {
+    pub ops: Vec<OpRecord>,
+}
+
+impl OpBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, chip: u32, kind: FlashOpKind, latency_ns: Nanos) {
+        self.ops.push(OpRecord { chip, kind, latency_ns });
+    }
+
+    /// Sum of host-visible operation latencies (ignores chip overlap).
+    pub fn host_latency_sum(&self) -> Nanos {
+        self.ops.iter().filter(|o| o.kind.is_host()).map(|o| o.latency_ns).sum()
+    }
+
+    /// Sum of all operation latencies.
+    pub fn total_latency_sum(&self) -> Nanos {
+        self.ops.iter().map(|o| o.latency_ns).sum()
+    }
+
+    /// Number of operations of `kind`.
+    pub fn count(&self, kind: FlashOpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_kinds_are_classified() {
+        assert!(FlashOpKind::HostRead.is_host());
+        assert!(FlashOpKind::HostProgram.is_host());
+        assert!(FlashOpKind::UnmappedRead.is_host());
+        assert!(!FlashOpKind::GcRead.is_host());
+        assert!(!FlashOpKind::GcProgram.is_host());
+        assert!(!FlashOpKind::Erase.is_host());
+    }
+
+    #[test]
+    fn batch_sums_and_counts() {
+        let mut b = OpBatch::new();
+        b.push(0, FlashOpKind::HostProgram, 100);
+        b.push(1, FlashOpKind::GcRead, 50);
+        b.push(1, FlashOpKind::Erase, 1000);
+        assert_eq!(b.host_latency_sum(), 100);
+        assert_eq!(b.total_latency_sum(), 1150);
+        assert_eq!(b.count(FlashOpKind::Erase), 1);
+        assert_eq!(b.ops.len(), 3);
+    }
+}

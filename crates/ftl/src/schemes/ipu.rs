@@ -1,0 +1,383 @@
+//! The `IPU` scheme — the paper's contribution (§3).
+//!
+//! **Intra-page update:** a small update is partial-programmed into the free
+//! subpages of the *very page* holding the previous version, which is then
+//! invalidated. The only data disturbed in-page is the obsolete version, so
+//! in-page disturb on valid data disappears (Figure 8), and no general
+//! second-level mapping is needed — a page only ever holds one chunk's
+//! versions, so a 2-bit live-offset per SLC page suffices (Figure 11).
+//!
+//! **Upgraded movement:** when the update does not fit (no free run, NOP
+//! budget spent, or the old copy lives in MLC), the data moves to a fresh page
+//! one level *up* the Work → Monitor → Hot hierarchy — repeated updates are
+//! exactly what makes data hot (Figure 3, ① ② ③).
+//!
+//! **ISR GC with degraded movement:** the victim is the SLC block maximizing
+//! Equation 1's invalid-subpage ratio, with never-updated valid subpages
+//! weighted by age (Equation 2). Valid pages that were updated in place stay
+//! at their level; never-updated (cold) pages demote one level, falling out of
+//! the cache into MLC from the Work level (Figure 4).
+
+use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa};
+use ipu_trace::IoRequest;
+
+use crate::config::FtlConfig;
+use crate::gc::select_isr;
+use crate::memory::MappingMemory;
+use crate::ops::{FlashOpKind, OpBatch};
+use crate::stats::FtlStats;
+use crate::types::{BlockLevel, Lsn};
+
+use super::common::FtlCore;
+use super::FtlScheme;
+
+/// The paper's intra-page update FTL.
+#[derive(Debug)]
+pub struct IpuFtl {
+    core: FtlCore,
+}
+
+impl IpuFtl {
+    pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
+        IpuFtl { core: FtlCore::new(dev, cfg) }
+    }
+
+    /// Handles one chunk of a write request (Algorithm 1, lines 2–13).
+    fn write_chunk(
+        &mut self,
+        lsns: &[Lsn],
+        now: Nanos,
+        dev: &mut FlashDevice,
+        batch: &mut OpBatch,
+    ) {
+        // Partition the chunk's subpages by where their current version lives.
+        let mut new_lsns: Vec<Lsn> = Vec::new();
+        let mut groups: Vec<(Ppa, Vec<Lsn>)> = Vec::new();
+        for &lsn in lsns {
+            match self.core.map.lookup(lsn) {
+                None => new_lsns.push(lsn),
+                Some(spa) => match groups.iter_mut().find(|(p, _)| *p == spa.ppa) {
+                    Some((_, g)) => g.push(lsn),
+                    None => groups.push((spa.ppa, vec![lsn])),
+                },
+            }
+        }
+
+        // New data goes straight to a Work block (Algorithm 1 line 5).
+        if !new_lsns.is_empty() {
+            let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch);
+            self.core.program_group(dev, ppa, 0, &new_lsns, FlashOpKind::HostProgram, now, batch);
+        }
+
+        // Updates: intra-page if the old page can absorb them, else upgrade.
+        for (old_ppa, group) in groups {
+            let addr = old_ppa.block_addr();
+            let block = dev.block(addr);
+            let intra_offset = if block.mode() == CellMode::Slc {
+                let page = block.page(old_ppa.page);
+                if page.program_ops() < dev.config().max_partial_programs {
+                    page.find_free_run(group.len() as u8)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+
+            match intra_offset {
+                Some(off) => {
+                    // Intra-page update (Algorithm 1 line 8): the data being
+                    // disturbed by this partial program is its own obsolete
+                    // version, invalidated by program_group's remap.
+                    self.core.program_group(
+                        dev,
+                        old_ppa,
+                        off,
+                        &group,
+                        FlashOpKind::HostProgram,
+                        now,
+                        batch,
+                    );
+                    self.core.stats.intra_page_updates += 1;
+                }
+                None => {
+                    // Upgraded data movement (Algorithm 1 line 11): one level
+                    // up from wherever the old version lived, capped at the
+                    // configured top level (3 = Hot in the paper).
+                    let cur = self
+                        .core
+                        .meta
+                        .level(self.core.block_idx(addr))
+                        .unwrap_or(BlockLevel::HighDensity);
+                    let cap = BlockLevel::from_flag_clamped(self.core.cfg.ipu_max_level as i32);
+                    let target = cur.promoted().min(cap);
+                    // Hot data never takes the MLC bypass: retaining updated
+                    // data in the cache is the point of the hierarchy, and the
+                    // fallback chain inside take_page already handles genuine
+                    // exhaustion.
+                    let (ppa, _) = self.core.take_page(dev, target, batch);
+                    self.core.program_group(
+                        dev,
+                        ppa,
+                        0,
+                        &group,
+                        FlashOpKind::HostProgram,
+                        now,
+                        batch,
+                    );
+                    self.core.stats.upgraded_writes += 1;
+                }
+            }
+        }
+    }
+
+    /// ISR-driven GC with degraded data movement (Algorithm 1 lines 14–19).
+    fn run_gc(&mut self, now: Nanos, dev: &mut FlashDevice, batch: &mut OpBatch) {
+        let mut rounds = 0;
+        while self.core.slc_gc_needed()
+            && self.core.slc_gc_gate_open(now)
+            && rounds < self.core.cfg.gc_rounds_per_write
+        {
+            rounds += 1;
+            let cost_before = batch.total_latency_sum();
+            let victim = if self.core.cfg.ipu_use_isr_gc {
+                let cands = self.core.meta.slc_blocks().filter_map(|(i, m)| {
+                    if self.core.is_active(m.addr) {
+                        None
+                    } else {
+                        Some((i, dev.block_by_index(i), m))
+                    }
+                });
+                select_isr(cands, now)
+            } else {
+                // Ablation: plain greedy victim selection.
+                let cands = self
+                    .core
+                    .meta
+                    .slc_blocks()
+                    .filter(|(_, m)| !self.core.is_active(m.addr))
+                    .map(|(i, m)| (i, dev.block_by_index(i), m.opened_seq()));
+                crate::gc::select_greedy(cands, crate::gc::GcGranularity::Subpage)
+            };
+            let Some(victim) = victim else { break };
+            let victim_meta = self.core.meta.get(victim).expect("tracked victim");
+            let victim_addr = victim_meta.addr;
+            let victim_level = victim_meta.level;
+            for group in self.core.collect_victim_groups(dev, victim) {
+                // Degraded movement: updated pages keep their level, cold
+                // pages sink one level (Work-level cold data leaves the cache).
+                let dest = if group.updated { victim_level } else { victim_level.demoted() };
+                self.core.relocate_group(dev, victim_addr, &group, dest, now, batch);
+            }
+            self.core.erase_victim(dev, victim, now, batch);
+            let round_cost = batch.total_latency_sum() - cost_before;
+            self.core.finish_slc_gc_round(now, round_cost);
+        }
+        self.core.run_mlc_gc_if_needed(dev, now, batch);
+        self.core.run_wear_leveling_if_due(dev, now, batch);
+    }
+}
+
+impl FtlScheme for IpuFtl {
+    fn name(&self) -> &'static str {
+        "IPU"
+    }
+
+    fn on_write(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
+        let mut batch = OpBatch::new();
+        self.core.begin_request(now);
+        self.core.stats.host_write_requests += 1;
+        for chunk in self.core.chunks(req) {
+            self.write_chunk(&chunk, now, dev, &mut batch);
+            self.run_gc(now, dev, &mut batch);
+        }
+        batch
+    }
+
+    fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
+        let mut batch = OpBatch::new();
+        self.core.begin_request(now);
+        self.core.host_read(req, dev, &mut batch);
+        batch
+    }
+
+    fn stats(&self) -> &FtlStats {
+        &self.core.stats
+    }
+
+    fn mapping_memory(&self, dev: &FlashDevice) -> MappingMemory {
+        let g = &dev.config().geometry;
+        let slc_blocks = self.core.blocks.slc_total();
+        let slc_pages = slc_blocks * g.pages_per_block_slc as u64;
+        MappingMemory::ipu(self.core.logical_pages(), slc_pages, slc_blocks)
+    }
+
+    fn core(&self) -> &FtlCore {
+        &self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipu_flash::{DeviceConfig, SubpageState};
+    use ipu_trace::OpKind;
+
+    fn setup() -> (IpuFtl, FlashDevice) {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let ftl = IpuFtl::new(&mut dev, FtlConfig::default());
+        (ftl, dev)
+    }
+
+    /// A roomier SLC region (8 blocks) so Work, Monitor and Hot actives can
+    /// coexist without falling back down the hierarchy.
+    fn setup_roomy() -> (IpuFtl, FlashDevice) {
+        let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
+        let cfg = FtlConfig { slc_ratio: 0.25, ..FtlConfig::default() };
+        let ftl = IpuFtl::new(&mut dev, cfg);
+        assert_eq!(ftl.core.blocks.slc_total(), 8);
+        (ftl, dev)
+    }
+
+    fn w(offset: u64, size: u32) -> IoRequest {
+        IoRequest::new(0, OpKind::Write, offset, size)
+    }
+
+    #[test]
+    fn update_lands_in_the_same_page() {
+        let (mut ftl, mut dev) = setup();
+        ftl.on_write(&w(0, 4096), 1, &mut dev);
+        let first = ftl.core.map.lookup(0).unwrap();
+        ftl.on_write(&w(0, 4096), 2, &mut dev);
+        let second = ftl.core.map.lookup(0).unwrap();
+        assert_eq!(first.ppa, second.ppa, "update must stay intra-page");
+        assert_eq!(second.subpage, first.subpage + 1);
+        assert_eq!(ftl.stats().intra_page_updates, 1);
+        // The old version is invalid; the disturbed in-page data is only that
+        // obsolete version.
+        let page = dev.block(first.ppa.block_addr()).page(first.ppa.page);
+        assert_eq!(page.subpage(first.subpage), SubpageState::Invalid);
+        assert_eq!(page.in_page_disturbs(first.subpage), 1);
+        assert_eq!(page.in_page_disturbs(second.subpage), 0);
+    }
+
+    #[test]
+    fn different_requests_never_share_a_page() {
+        let (mut ftl, mut dev) = setup();
+        ftl.on_write(&w(0, 4096), 1, &mut dev);
+        ftl.on_write(&w(65536, 4096), 2, &mut dev);
+        let a = ftl.core.map.lookup(0).unwrap();
+        let b = ftl.core.map.lookup(16).unwrap();
+        assert_ne!(a.ppa, b.ppa, "IPU must not pack foreign data into a page");
+    }
+
+    #[test]
+    fn fourth_update_upgrades_to_monitor() {
+        let (mut ftl, mut dev) = setup();
+        // 4 KB chunk: first write + 3 intra-page updates exhaust the page,
+        // the next update must move up to a Monitor block.
+        for t in 0..4u64 {
+            ftl.on_write(&w(0, 4096), t, &mut dev);
+        }
+        assert_eq!(ftl.stats().intra_page_updates, 3);
+        assert_eq!(ftl.stats().upgraded_writes, 0);
+
+        ftl.on_write(&w(0, 4096), 9, &mut dev);
+        assert_eq!(ftl.stats().upgraded_writes, 1);
+        let spa = ftl.core.map.lookup(0).unwrap();
+        let level = ftl.core.meta.level(ftl.core.block_idx(spa.ppa.block_addr()));
+        assert_eq!(level, Some(BlockLevel::Monitor));
+        assert_eq!(spa.subpage, 0);
+        assert_eq!(ftl.stats().host_programs_per_level[BlockLevel::Monitor as usize], 1);
+    }
+
+    #[test]
+    fn sustained_updates_climb_to_hot() {
+        let (mut ftl, mut dev) = setup_roomy();
+        // Each page absorbs 4 programs; 12 writes walk Work → Monitor → Hot.
+        for t in 0..12u64 {
+            ftl.on_write(&w(0, 4096), t, &mut dev);
+        }
+        let spa = ftl.core.map.lookup(0).unwrap();
+        let level = ftl.core.meta.level(ftl.core.block_idx(spa.ppa.block_addr()));
+        assert_eq!(level, Some(BlockLevel::Hot));
+        assert_eq!(ftl.stats().upgraded_writes, 2);
+        assert_eq!(ftl.stats().intra_page_updates, 9);
+    }
+
+    #[test]
+    fn full_page_update_always_upgrades() {
+        let (mut ftl, mut dev) = setup();
+        ftl.on_write(&w(0, 16384), 1, &mut dev);
+        ftl.on_write(&w(0, 16384), 2, &mut dev);
+        // A 4-subpage update can never fit in the old (fully programmed) page.
+        assert_eq!(ftl.stats().intra_page_updates, 0);
+        assert_eq!(ftl.stats().upgraded_writes, 1);
+    }
+
+    #[test]
+    fn partially_new_chunk_splits_new_and_update() {
+        let (mut ftl, mut dev) = setup();
+        ftl.on_write(&w(0, 4096), 1, &mut dev); // lsn 0 exists
+        ftl.on_write(&w(0, 8192), 2, &mut dev); // lsn 0 update + lsn 1 new
+        assert_eq!(ftl.stats().intra_page_updates, 1);
+        let a = ftl.core.map.lookup(0).unwrap();
+        let b = ftl.core.map.lookup(1).unwrap();
+        // lsn 0 updated intra-page; lsn 1 is new data in a Work page.
+        assert_eq!(a.subpage, 1);
+        assert_eq!(b.subpage, 0);
+        assert_ne!(a.ppa, b.ppa);
+    }
+
+    #[test]
+    fn gc_demotes_cold_and_keeps_hot() {
+        let (mut ftl, mut dev) = setup();
+        // Two SLC blocks of 4 pages. Fill with a mix: slot 0 is hot (updated
+        // in place), slots 1..4 are cold singles.
+        ftl.on_write(&w(0, 4096), 1, &mut dev);
+        ftl.on_write(&w(0, 4096), 2, &mut dev); // intra-page update → page updated
+        for slot in 1..4u64 {
+            ftl.on_write(&w(slot * 65536, 4096), 2 + slot, &mut dev);
+        }
+        // Force pressure: more cold singles to trip GC repeatedly.
+        for slot in 4..12u64 {
+            ftl.on_write(&w(slot * 65536, 4096), 10 + slot, &mut dev);
+        }
+        let stats = ftl.stats();
+        assert!(stats.gc_runs_slc > 0);
+        assert!(stats.gc_evicted_subpages > 0, "cold data must leave the cache");
+        // Hot slot survives with a live mapping.
+        assert!(ftl.core.map.lookup(0).is_some());
+    }
+
+    #[test]
+    fn mapping_memory_is_near_baseline() {
+        let (mut ftl, mut dev) = setup();
+        for slot in 0..4u64 {
+            ftl.on_write(&w(slot * 65536, 16384), slot, &mut dev);
+        }
+        let m = ftl.mapping_memory(&dev);
+        // Second level is the fixed 2-bit-per-SLC-page cost, independent of
+        // mapped data: 2 blocks × 4 pages × 2 bits = 2 bytes.
+        assert_eq!(m.second_level_bytes, 2);
+        assert_eq!(m.label_bytes, 1);
+        // Full-space table: 32 blocks × 8 MLC pages × 8 B per entry.
+        assert_eq!(m.page_table_bytes, 32 * 8 * 8);
+        // The IPU overhead over a pure page table is well under 1%.
+        let overhead = m.total() as f64 / m.page_table_bytes as f64;
+        assert!(overhead < 1.01, "IPU overhead {overhead}");
+    }
+
+    #[test]
+    fn read_your_writes_through_update_chains() {
+        let (mut ftl, mut dev) = setup();
+        for t in 0..7u64 {
+            ftl.on_write(&w(0, 8192), t, &mut dev);
+        }
+        let r = IoRequest::new(100, OpKind::Read, 0, 8192);
+        let batch = ftl.on_read(&r, 100, &mut dev);
+        assert!(batch.count(FlashOpKind::HostRead) >= 1);
+        assert_eq!(ftl.stats().unmapped_reads, 0);
+        assert_eq!(ftl.stats().host_subpages_read, 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! The three FTL schemes evaluated in the paper (§4.1).
+//!
+//! * [`baseline::BaselineFtl`] — dynamic page-level mapping, no partial
+//!   programming: every write chunk consumes a whole fresh SLC page.
+//! * [`mga::MgaFtl`] — Mapping Granularity Adaptive (Feng et al., DATE'17):
+//!   subpage-granular packing of small writes from different requests into
+//!   open pages via partial programming; greedy subpage GC.
+//! * [`ipu::IpuFtl`] — the paper's Intra-page Update scheme: partial
+//!   programming only ever rewrites a page's *own* data; three-level hot/cold
+//!   block hierarchy with upgraded movement on update overflow, ISR-based GC
+//!   victim selection and degraded movement at GC.
+
+pub mod baseline;
+pub mod common;
+pub mod ipu;
+pub mod ipu_plus;
+pub mod mga;
+
+use ipu_flash::{FlashDevice, Nanos};
+use ipu_trace::IoRequest;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FtlConfig;
+use crate::memory::MappingMemory;
+use crate::ops::OpBatch;
+use crate::stats::FtlStats;
+use common::FtlCore;
+
+/// A pluggable FTL scheme.
+pub trait FtlScheme {
+    /// Scheme name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Handles a host write request at simulated time `now`; returns every
+    /// flash operation issued, including GC work the write triggered.
+    fn on_write(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch;
+
+    /// Handles a host read request.
+    fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch;
+
+    /// FTL statistics accumulated so far.
+    fn stats(&self) -> &FtlStats;
+
+    /// The scheme's mapping-table memory footprint under the paper's §4.4.1
+    /// accounting model (Figure 11).
+    fn mapping_memory(&self, dev: &FlashDevice) -> MappingMemory;
+
+    /// Access to the shared core (tests, metrics, invariant checks).
+    fn core(&self) -> &FtlCore;
+}
+
+/// Identifies one of the three schemes; used by configs and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    Baseline,
+    Mga,
+    Ipu,
+    /// Extension: IPU plus adaptive cold-data packing — the paper's §5
+    /// future work. Not part of the paper's evaluated trio.
+    IpuPlus,
+}
+
+impl SchemeKind {
+    /// The paper's evaluated schemes, in its presentation order.
+    pub fn all() -> [SchemeKind; 3] {
+        [SchemeKind::Baseline, SchemeKind::Mga, SchemeKind::Ipu]
+    }
+
+    /// The paper's schemes plus this repo's extensions.
+    pub fn all_extended() -> [SchemeKind; 4] {
+        [SchemeKind::Baseline, SchemeKind::Mga, SchemeKind::Ipu, SchemeKind::IpuPlus]
+    }
+
+    /// Display label as used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "Baseline",
+            SchemeKind::Mga => "MGA",
+            SchemeKind::Ipu => "IPU",
+            SchemeKind::IpuPlus => "IPU+",
+        }
+    }
+
+    /// Instantiates the scheme over `dev` (formats the SLC region).
+    pub fn build(self, dev: &mut FlashDevice, cfg: FtlConfig) -> Box<dyn FtlScheme> {
+        match self {
+            SchemeKind::Baseline => Box::new(baseline::BaselineFtl::new(dev, cfg)),
+            SchemeKind::Mga => Box::new(mga::MgaFtl::new(dev, cfg)),
+            SchemeKind::Ipu => Box::new(ipu::IpuFtl::new(dev, cfg)),
+            SchemeKind::IpuPlus => Box::new(ipu_plus::IpuPlusFtl::new(dev, cfg)),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}

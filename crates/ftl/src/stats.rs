@@ -1,0 +1,137 @@
+//! FTL-level statistics feeding the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::BlockLevel;
+
+/// Counters maintained by every scheme.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host write requests handled.
+    pub host_write_requests: u64,
+    /// Host read requests handled.
+    pub host_read_requests: u64,
+
+    /// Subpages written on behalf of the host into SLC-mode pages (Fig. 6).
+    pub host_subpages_to_slc: u64,
+    /// Subpages written on behalf of the host into MLC pages (Fig. 6).
+    pub host_subpages_to_mlc: u64,
+
+    /// Host page-program operations per destination level (Fig. 7); indexed
+    /// by `BlockLevel as usize`.
+    pub host_programs_per_level: [u64; 4],
+
+    /// Writes satisfied by intra-page update (IPU's headline mechanism).
+    pub intra_page_updates: u64,
+    /// Writes that triggered upgraded data movement (level promotion).
+    pub upgraded_writes: u64,
+
+    /// SLC-region GC invocations.
+    pub gc_runs_slc: u64,
+    /// MLC-region GC invocations.
+    pub gc_runs_mlc: u64,
+    /// Valid subpages relocated by GC (any destination).
+    pub gc_moved_subpages: u64,
+    /// Valid subpages ejected from the SLC cache into MLC by GC.
+    pub gc_evicted_subpages: u64,
+    /// Programmed (used) subpages summed over all SLC GC victim blocks (Fig. 9).
+    pub gc_victim_used_subpages: u64,
+    /// Total subpages summed over all SLC GC victim blocks (Fig. 9).
+    pub gc_victim_total_subpages: u64,
+
+    /// Host reads of never-written logical addresses.
+    pub unmapped_reads: u64,
+    /// Σ effective RBER over host-read subpages (Fig. 8 numerator).
+    pub host_read_rber_sum: f64,
+    /// Host subpages read from mapped locations (Fig. 8 denominator).
+    pub host_subpages_read: u64,
+    /// Host reads whose expected errors exceeded ECC capability.
+    pub host_uncorrectable_reads: u64,
+    /// Blocks migrated by static wear-leveling.
+    pub wear_leveling_migrations: u64,
+}
+
+impl FtlStats {
+    /// Records a host page program of `subpages` subpages at `level`.
+    pub fn note_host_program(&mut self, level: BlockLevel, subpages: u32) {
+        self.host_programs_per_level[level as usize] += 1;
+        if level.is_slc() {
+            self.host_subpages_to_slc += subpages as u64;
+        } else {
+            self.host_subpages_to_mlc += subpages as u64;
+        }
+    }
+
+    /// Average effective RBER over everything the host read (Fig. 8).
+    pub fn avg_read_error_rate(&self) -> f64 {
+        if self.host_subpages_read == 0 {
+            0.0
+        } else {
+            self.host_read_rber_sum / self.host_subpages_read as f64
+        }
+    }
+
+    /// Page utilization over SLC GC victim blocks (Fig. 9).
+    pub fn gc_page_utilization(&self) -> f64 {
+        if self.gc_victim_total_subpages == 0 {
+            0.0
+        } else {
+            self.gc_victim_used_subpages as f64 / self.gc_victim_total_subpages as f64
+        }
+    }
+
+    /// Share of host page programs landing at each level (Fig. 7).
+    pub fn level_distribution(&self) -> [f64; 4] {
+        let total: u64 = self.host_programs_per_level.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let mut out = [0.0; 4];
+        for (i, &c) in self.host_programs_per_level.iter().enumerate() {
+            out[i] = c as f64 / total as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // mutate-then-check idiom
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_host_program_routes_by_region() {
+        let mut s = FtlStats::default();
+        s.note_host_program(BlockLevel::Work, 3);
+        s.note_host_program(BlockLevel::Hot, 1);
+        s.note_host_program(BlockLevel::HighDensity, 4);
+        assert_eq!(s.host_subpages_to_slc, 4);
+        assert_eq!(s.host_subpages_to_mlc, 4);
+        assert_eq!(s.host_programs_per_level, [1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn derived_metrics_handle_empty_state() {
+        let s = FtlStats::default();
+        assert_eq!(s.avg_read_error_rate(), 0.0);
+        assert_eq!(s.gc_page_utilization(), 0.0);
+        assert_eq!(s.level_distribution(), [0.0; 4]);
+    }
+
+    #[test]
+    fn derived_metrics_compute_ratios() {
+        let mut s = FtlStats::default();
+        s.host_read_rber_sum = 6e-4;
+        s.host_subpages_read = 2;
+        assert!((s.avg_read_error_rate() - 3e-4).abs() < 1e-12);
+
+        s.gc_victim_used_subpages = 3;
+        s.gc_victim_total_subpages = 4;
+        assert!((s.gc_page_utilization() - 0.75).abs() < 1e-12);
+
+        s.host_programs_per_level = [1, 1, 0, 2];
+        let d = s.level_distribution();
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[3] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Core FTL type vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical subpage number: byte offset / 4 KB. The FTL's mapping unit.
+pub type Lsn = u64;
+
+/// Logical chunk number: a page-sized (16 KB) aligned group of subpages.
+/// `Lcn = Lsn / subpages_per_page`. One write chunk targets one flash page.
+pub type Lcn = u64;
+
+/// The block hierarchy of the paper's §3.1, ascending hotness order.
+///
+/// `block_flag (0, 1, 2, 3)` stand for (High-density, Work, Monitor, Hot) in
+/// the paper's Algorithm 1. `HighDensity` is the native MLC region; the other
+/// three are SLC-mode cache levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BlockLevel {
+    /// Level 0: the native high-density (MLC) region.
+    HighDensity = 0,
+    /// Level 1: SLC-mode blocks receiving new writes.
+    Work = 1,
+    /// Level 2: SLC-mode blocks receiving first-time upgrades.
+    Monitor = 2,
+    /// Level 3: SLC-mode blocks holding the hottest update data.
+    Hot = 3,
+}
+
+impl BlockLevel {
+    /// All SLC-mode cache levels, ascending.
+    pub const SLC_LEVELS: [BlockLevel; 3] = [BlockLevel::Work, BlockLevel::Monitor, BlockLevel::Hot];
+
+    /// Numeric `block_flag` as in the paper's Algorithm 1.
+    #[inline]
+    pub fn flag(self) -> u8 {
+        self as u8
+    }
+
+    /// Construct from a numeric flag, clamping into the valid range.
+    pub fn from_flag_clamped(flag: i32) -> BlockLevel {
+        match flag {
+            i32::MIN..=0 => BlockLevel::HighDensity,
+            1 => BlockLevel::Work,
+            2 => BlockLevel::Monitor,
+            _ => BlockLevel::Hot,
+        }
+    }
+
+    /// One level up (upgraded data movement), saturating at `Hot`.
+    pub fn promoted(self) -> BlockLevel {
+        BlockLevel::from_flag_clamped(self.flag() as i32 + 1)
+    }
+
+    /// One level down (degraded data movement), saturating at `HighDensity`.
+    pub fn demoted(self) -> BlockLevel {
+        BlockLevel::from_flag_clamped(self.flag() as i32 - 1)
+    }
+
+    /// Whether this level lives in the SLC-mode cache.
+    pub fn is_slc(self) -> bool {
+        self != BlockLevel::HighDensity
+    }
+
+    /// Display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockLevel::HighDensity => "high-density",
+            BlockLevel::Work => "work",
+            BlockLevel::Monitor => "monitor",
+            BlockLevel::Hot => "hot",
+        }
+    }
+}
+
+impl std::fmt::Display for BlockLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_match_algorithm1() {
+        assert_eq!(BlockLevel::HighDensity.flag(), 0);
+        assert_eq!(BlockLevel::Work.flag(), 1);
+        assert_eq!(BlockLevel::Monitor.flag(), 2);
+        assert_eq!(BlockLevel::Hot.flag(), 3);
+    }
+
+    #[test]
+    fn promotion_saturates_at_hot() {
+        assert_eq!(BlockLevel::Work.promoted(), BlockLevel::Monitor);
+        assert_eq!(BlockLevel::Monitor.promoted(), BlockLevel::Hot);
+        assert_eq!(BlockLevel::Hot.promoted(), BlockLevel::Hot);
+        assert_eq!(BlockLevel::HighDensity.promoted(), BlockLevel::Work);
+    }
+
+    #[test]
+    fn demotion_saturates_at_high_density() {
+        assert_eq!(BlockLevel::Hot.demoted(), BlockLevel::Monitor);
+        assert_eq!(BlockLevel::Work.demoted(), BlockLevel::HighDensity);
+        assert_eq!(BlockLevel::HighDensity.demoted(), BlockLevel::HighDensity);
+    }
+
+    #[test]
+    fn slc_levels_exclude_high_density() {
+        assert!(!BlockLevel::HighDensity.is_slc());
+        for l in BlockLevel::SLC_LEVELS {
+            assert!(l.is_slc());
+        }
+    }
+}

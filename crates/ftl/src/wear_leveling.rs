@@ -1,0 +1,126 @@
+//! Static wear-leveling (the paper's Table 2: "Wear-leveling: static").
+//!
+//! Dynamic allocation alone lets cold data squat on lightly-worn blocks while
+//! the hot write stream cycles a shrinking set of blocks toward their
+//! endurance limit. *Static* wear-leveling periodically checks the wear gap
+//! within a region and, when it exceeds a threshold, migrates the data of the
+//! least-worn in-use block elsewhere so that block (with plenty of endurance
+//! left) rejoins the free pool and absorbs the hot stream.
+//!
+//! The policy here is the classic erase-count-gap trigger: every
+//! `check_interval_erases` region erases, compare the minimum P/E count among
+//! in-use blocks with the maximum P/E count in the region; a gap above
+//! `wear_gap_threshold` triggers one migration.
+
+use serde::{Deserialize, Serialize};
+
+/// Static wear-leveling policy parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearLevelingConfig {
+    /// Master switch (Table 2 enables static wear-leveling).
+    pub enabled: bool,
+    /// Erases between wear-gap checks.
+    pub check_interval_erases: u64,
+    /// Minimum `max_pe − min_pe` gap (in cycles) that triggers a migration.
+    pub wear_gap_threshold: u32,
+}
+
+impl Default for WearLevelingConfig {
+    fn default() -> Self {
+        WearLevelingConfig {
+            enabled: true,
+            check_interval_erases: 128,
+            wear_gap_threshold: 64,
+        }
+    }
+}
+
+impl WearLevelingConfig {
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.check_interval_erases == 0 {
+            return Err("check_interval_erases must be positive".into());
+        }
+        if self.wear_gap_threshold == 0 {
+            return Err("wear_gap_threshold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Trigger state for the static wear-leveler.
+#[derive(Debug, Clone, Default)]
+pub struct WearLeveler {
+    erases_since_check: u64,
+}
+
+impl WearLeveler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one erase; returns `true` when a wear-gap check is due.
+    pub fn note_erase(&mut self, cfg: &WearLevelingConfig) -> bool {
+        if !cfg.enabled {
+            return false;
+        }
+        self.erases_since_check += 1;
+        if self.erases_since_check >= cfg.check_interval_erases {
+            self.erases_since_check = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides whether the observed wear spread warrants a migration.
+    pub fn gap_exceeded(cfg: &WearLevelingConfig, min_pe: u32, max_pe: u32) -> bool {
+        max_pe.saturating_sub(min_pe) > cfg.wear_gap_threshold
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // mutate-then-check idiom
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_leveler_never_checks() {
+        let cfg = WearLevelingConfig { enabled: false, ..Default::default() };
+        let mut wl = WearLeveler::new();
+        for _ in 0..10_000 {
+            assert!(!wl.note_erase(&cfg));
+        }
+    }
+
+    #[test]
+    fn checks_fire_on_the_interval() {
+        let cfg = WearLevelingConfig {
+            enabled: true,
+            check_interval_erases: 4,
+            wear_gap_threshold: 10,
+        };
+        let mut wl = WearLeveler::new();
+        let fired: Vec<bool> = (0..9).map(|_| wl.note_erase(&cfg)).collect();
+        assert_eq!(fired, vec![false, false, false, true, false, false, false, true, false]);
+    }
+
+    #[test]
+    fn gap_comparison_is_strict_and_saturating() {
+        let cfg = WearLevelingConfig { wear_gap_threshold: 64, ..Default::default() };
+        assert!(!WearLeveler::gap_exceeded(&cfg, 4000, 4064));
+        assert!(WearLeveler::gap_exceeded(&cfg, 4000, 4065));
+        assert!(!WearLeveler::gap_exceeded(&cfg, 4100, 4000)); // inverted inputs
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut cfg = WearLevelingConfig::default();
+        cfg.check_interval_erases = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = WearLevelingConfig::default();
+        cfg.wear_gap_threshold = 0;
+        assert!(cfg.validate().is_err());
+        assert!(WearLevelingConfig::default().validate().is_ok());
+    }
+}

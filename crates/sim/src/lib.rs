@@ -1,0 +1,26 @@
+//! # ipu-sim — trace-driven SSD simulator
+//!
+//! Replays block I/O traces against an `ipu-ftl` scheme running on an
+//! `ipu-flash` device, modelling chip-level contention (operations serialize
+//! FIFO per chip, parallelize across chips) and collecting the latency,
+//! error-rate, endurance and memory metrics reported in the paper's
+//! evaluation.
+//!
+//! ```
+//! use ipu_sim::{replay, ReplayConfig};
+//! use ipu_ftl::SchemeKind;
+//! use ipu_trace::{IoRequest, OpKind};
+//!
+//! let cfg = ReplayConfig::small_for_tests(SchemeKind::Ipu);
+//! let reqs = vec![IoRequest::new(0, OpKind::Write, 0, 4096)];
+//! let report = replay(&cfg, &reqs, "demo");
+//! assert_eq!(report.requests, 1);
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod resources;
+
+pub use engine::{replay, replay_with_progress, ReplayConfig, SimReport};
+pub use metrics::LatencyStats;
+pub use resources::ChipSchedule;

@@ -1,0 +1,234 @@
+//! Chip-level resource scheduling with host-priority background GC.
+//!
+//! NAND operations occupy a chip (target) exclusively; the channel transfer is
+//! folded into each operation's latency (see `ipu-flash`'s timing model).
+//!
+//! Host operations are serviced FIFO per chip. GC operations are *background*
+//! work: they run in the chip's idle gaps and host operations never queue
+//! behind GC work that has not started yet (write-preferred scheduling with
+//! program/erase suspension, as modern controllers and SSDsim's GC preemption
+//! implement). A background operation that is already in flight when a host
+//! operation arrives does delay it — individual NAND pulses are not
+//! preemptible at arbitrary points.
+//!
+//! The FTL time-gates GC generation (one round in flight per region), which
+//! bounds the background backlog; the backlog is also observable for
+//! utilization accounting.
+
+use std::collections::VecDeque;
+
+use ipu_flash::Nanos;
+
+/// Per-chip schedule: host-write horizon, read horizon and a deferred
+/// background queue.
+///
+/// Reads are scheduled with *read priority*: modern NAND supports
+/// program/erase suspension, so a read waits only behind earlier reads on the
+/// same chip, never behind queued program/erase work. Read latency is thereby
+/// service-dominated — which is what couples the paper's Figure 8 (error
+/// rates → ECC time) to Figure 5's read latencies.
+#[derive(Debug, Clone)]
+pub struct ChipSchedule {
+    /// Time each chip becomes free for the next host write/erase operation.
+    busy_until: Vec<Nanos>,
+    /// Time each chip's read channel becomes free.
+    read_until: Vec<Nanos>,
+    /// Deferred background operations per chip: `(enqueued_at, duration)`.
+    background: Vec<VecDeque<(Nanos, Nanos)>>,
+    /// Total background nanoseconds ever completed (for utilization stats).
+    background_done: Nanos,
+    /// Total host write/erase nanoseconds executed.
+    host_busy: Nanos,
+    /// Total host read nanoseconds executed.
+    read_busy: Nanos,
+}
+
+impl ChipSchedule {
+    /// A schedule for `chips` chips, all idle at time zero.
+    pub fn new(chips: u32) -> Self {
+        assert!(chips > 0, "a device needs at least one chip");
+        ChipSchedule {
+            busy_until: vec![0; chips as usize],
+            read_until: vec![0; chips as usize],
+            background: vec![VecDeque::new(); chips as usize],
+            background_done: 0,
+            host_busy: 0,
+            read_busy: 0,
+        }
+    }
+
+    /// Number of chips tracked.
+    pub fn chips(&self) -> u32 {
+        self.busy_until.len() as u32
+    }
+
+    /// Runs deferred background work that fits in the idle gap before `t`.
+    ///
+    /// Each queued operation starts at the later of its enqueue time and the
+    /// chip becoming idle; once started it runs to completion even if that
+    /// overruns `t` (in-flight pulses are not preempted).
+    fn drain_background(&mut self, chip: u32, t: Nanos) {
+        let c = chip as usize;
+        while let Some(&(enq, dur)) = self.background[c].front() {
+            let start = self.busy_until[c].max(enq);
+            if start >= t {
+                break;
+            }
+            self.busy_until[c] = start + dur;
+            self.background_done += dur;
+            self.background[c].pop_front();
+        }
+    }
+
+    /// Schedules a *host* operation of `duration` on `chip`, starting no
+    /// earlier than `earliest`. Returns `(start, end)`.
+    pub fn schedule(&mut self, chip: u32, earliest: Nanos, duration: Nanos) -> (Nanos, Nanos) {
+        self.drain_background(chip, earliest);
+        let slot = &mut self.busy_until[chip as usize];
+        let start = (*slot).max(earliest);
+        let end = start + duration;
+        *slot = end;
+        self.host_busy += duration;
+        (start, end)
+    }
+
+    /// Schedules a *host read* with read priority: it waits only behind
+    /// earlier reads on the chip (program/erase suspension lets it preempt
+    /// queued write and GC work). Returns `(start, end)`.
+    pub fn schedule_read(&mut self, chip: u32, earliest: Nanos, duration: Nanos) -> (Nanos, Nanos) {
+        let slot = &mut self.read_until[chip as usize];
+        let start = (*slot).max(earliest);
+        let end = start + duration;
+        *slot = end;
+        self.read_busy += duration;
+        (start, end)
+    }
+
+    /// Enqueues a *background* (GC) operation of `duration` on `chip`,
+    /// available to run from `earliest`. It executes lazily in idle gaps.
+    pub fn schedule_background(&mut self, chip: u32, earliest: Nanos, duration: Nanos) {
+        self.background[chip as usize].push_back((earliest, duration));
+    }
+
+    /// Time at which `chip` becomes idle for host work (ignoring deferred
+    /// background operations).
+    pub fn busy_until(&self, chip: u32) -> Nanos {
+        self.busy_until[chip as usize]
+    }
+
+    /// Outstanding background nanoseconds on `chip`.
+    pub fn background_backlog(&self, chip: u32) -> Nanos {
+        self.background[chip as usize].iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Total background nanoseconds already executed.
+    pub fn background_done(&self) -> Nanos {
+        self.background_done
+    }
+
+    /// Total host write/erase nanoseconds executed.
+    pub fn host_busy(&self) -> Nanos {
+        self.host_busy
+    }
+
+    /// Total host read nanoseconds executed.
+    pub fn read_busy(&self) -> Nanos {
+        self.read_busy
+    }
+
+    /// The latest horizon across all chips, counting outstanding background
+    /// work as if it ran serially after the host horizon.
+    pub fn horizon(&self) -> Nanos {
+        (0..self.chips())
+            .map(|c| self.busy_until(c) + self.background_backlog(c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_chip_serializes() {
+        let mut s = ChipSchedule::new(2);
+        let (s1, e1) = s.schedule(0, 0, 100);
+        let (s2, e2) = s.schedule(0, 0, 100);
+        assert_eq!((s1, e1), (0, 100));
+        assert_eq!((s2, e2), (100, 200));
+    }
+
+    #[test]
+    fn different_chips_overlap() {
+        let mut s = ChipSchedule::new(2);
+        let (_, e1) = s.schedule(0, 0, 100);
+        let (s2, e2) = s.schedule(1, 0, 100);
+        assert_eq!(e1, 100);
+        assert_eq!((s2, e2), (0, 100));
+        assert_eq!(s.horizon(), 100);
+    }
+
+    #[test]
+    fn earliest_bound_is_respected() {
+        let mut s = ChipSchedule::new(1);
+        let (start, end) = s.schedule(0, 500, 10);
+        assert_eq!((start, end), (500, 510));
+        let (start, end) = s.schedule(0, 10_000, 10);
+        assert_eq!((start, end), (10_000, 10_010));
+        assert_eq!(s.busy_until(0), 10_010);
+    }
+
+    #[test]
+    fn background_runs_in_idle_gaps() {
+        let mut s = ChipSchedule::new(1);
+        s.schedule(0, 0, 100); // host op [0, 100)
+        s.schedule_background(0, 100, 50); // GC available from t=100
+        // A host op at t=500: the GC op ran in the idle gap [100, 150),
+        // leaving the chip free — no queueing behind it.
+        let (start, end) = s.schedule(0, 500, 10);
+        assert_eq!((start, end), (500, 510));
+        assert_eq!(s.background_backlog(0), 0);
+        assert_eq!(s.background_done(), 50);
+    }
+
+    #[test]
+    fn in_flight_background_delays_host() {
+        let mut s = ChipSchedule::new(1);
+        s.schedule_background(0, 0, 1_000); // starts at t=0 (chip idle)
+        // Host op arriving at t=300 finds the GC pulse in flight → waits.
+        let (start, end) = s.schedule(0, 300, 10);
+        assert_eq!((start, end), (1_000, 1_010));
+    }
+
+    #[test]
+    fn queued_background_does_not_block_host() {
+        let mut s = ChipSchedule::new(1);
+        s.schedule(0, 0, 1_000); // host busy [0, 1000)
+        s.schedule_background(0, 0, 10_000); // cannot start before t=1000
+        // A host op at t=500 jumps ahead of the *queued* background op.
+        let (start, end) = s.schedule(0, 500, 10);
+        assert_eq!((start, end), (1_000, 1_010));
+        assert_eq!(s.background_backlog(0), 10_000);
+        // Horizon accounts for the deferred work.
+        assert_eq!(s.horizon(), 1_010 + 10_000);
+    }
+
+    #[test]
+    fn background_respects_enqueue_time() {
+        let mut s = ChipSchedule::new(1);
+        s.schedule_background(0, 5_000, 100); // not available before t=5000
+        let (start, _) = s.schedule(0, 1_000, 10);
+        assert_eq!(start, 1_000, "background op from the future must not run early");
+        // At t=10_000 it has run.
+        let (start, _) = s.schedule(0, 10_000, 10);
+        assert_eq!(start, 10_000);
+        assert_eq!(s.background_done(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_rejected() {
+        ChipSchedule::new(0);
+    }
+}

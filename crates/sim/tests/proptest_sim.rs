@@ -1,0 +1,120 @@
+//! Property-based tests for the simulator layer: chip-schedule laws and
+//! latency-statistics invariants.
+
+use ipu_sim::{ChipSchedule, LatencyStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Host scheduling laws: ops on one chip never overlap, never start
+    /// before their arrival, and the chip horizon equals the last end.
+    #[test]
+    fn host_ops_serialize_without_overlap(
+        ops in proptest::collection::vec((0u32..4, 0u64..10_000, 1u64..500), 1..60)
+    ) {
+        let mut s = ChipSchedule::new(4);
+        let mut last_end = [0u64; 4];
+        // Arrival times must be non-decreasing per the engine's contract.
+        let mut t = 0;
+        for (chip, gap, dur) in ops {
+            t += gap;
+            let (start, end) = s.schedule(chip, t, dur);
+            prop_assert!(start >= t, "started before arrival");
+            prop_assert!(start >= last_end[chip as usize], "overlap on chip {chip}");
+            prop_assert_eq!(end, start + dur);
+            last_end[chip as usize] = end;
+            prop_assert_eq!(s.busy_until(chip), end);
+        }
+    }
+
+    /// Background ops never push the host horizon unless they were already
+    /// in flight when the host op arrived, and total background work is
+    /// conserved (done + backlog == enqueued).
+    #[test]
+    fn background_work_is_conserved(
+        bg in proptest::collection::vec((0u64..5_000, 1u64..300), 0..40),
+        probe_at in 10_000u64..50_000,
+    ) {
+        let mut s = ChipSchedule::new(1);
+        let mut enqueued = 0u64;
+        for (at, dur) in &bg {
+            s.schedule_background(0, *at, *dur);
+            enqueued += dur;
+        }
+        let (_, _end) = s.schedule(0, probe_at, 10);
+        prop_assert_eq!(s.background_done() + s.background_backlog(0), enqueued);
+        // After a probe far in the future, everything enqueued before it ran.
+        let (_, _) = s.schedule(0, probe_at + enqueued + 10_000, 1);
+        prop_assert_eq!(s.background_backlog(0), 0);
+        prop_assert_eq!(s.background_done(), enqueued);
+    }
+
+    /// Reads only ever wait behind reads: with no other reads on the chip, a
+    /// read starts exactly at its arrival regardless of queued write work.
+    #[test]
+    fn reads_preempt_queued_writes(
+        writes in proptest::collection::vec(1u64..1_000, 0..20),
+        read_at in 0u64..5_000,
+    ) {
+        let mut s = ChipSchedule::new(1);
+        for d in writes {
+            s.schedule(0, 0, d);
+        }
+        let (start, end) = s.schedule_read(0, read_at, 50);
+        prop_assert_eq!(start, read_at);
+        prop_assert_eq!(end, read_at + 50);
+        // A second read queues behind the first.
+        let (s2, _) = s.schedule_read(0, read_at, 50);
+        prop_assert_eq!(s2, end);
+    }
+
+    /// LatencyStats invariants: count/mean/extrema are exact; percentiles are
+    /// monotone in p and bounded by the extrema (bucket-resolution upper
+    /// bound: at most 2× the true max).
+    #[test]
+    fn latency_stats_invariants(samples in proptest::collection::vec(1u64..10_000_000, 1..200)) {
+        let mut s = LatencyStats::new();
+        for &x in &samples {
+            s.record(x);
+        }
+        let n = samples.len() as u64;
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        prop_assert_eq!(s.count(), n);
+        prop_assert_eq!(s.min_ns(), Some(min));
+        prop_assert_eq!(s.max_ns(), max);
+        prop_assert!((s.mean_ns() - mean).abs() < 1e-6 * mean.max(1.0));
+
+        let mut last = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile_ns(p);
+            prop_assert!(v >= last, "percentiles must be monotone");
+            prop_assert!(v <= max, "p{p} {v} above max {max}");
+            prop_assert!(v * 2 >= min, "p{p} {v} below bucket floor of min {min}");
+            last = v;
+        }
+    }
+
+    /// Merging is equivalent to recording the concatenation.
+    #[test]
+    fn latency_stats_merge_is_concat(
+        a in proptest::collection::vec(1u64..1_000_000, 0..100),
+        b in proptest::collection::vec(1u64..1_000_000, 0..100),
+    ) {
+        let mut sa = LatencyStats::new();
+        let mut sb = LatencyStats::new();
+        let mut sc = LatencyStats::new();
+        for &x in &a { sa.record(x); sc.record(x); }
+        for &x in &b { sb.record(x); sc.record(x); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), sc.count());
+        prop_assert_eq!(sa.min_ns(), sc.min_ns());
+        prop_assert_eq!(sa.max_ns(), sc.max_ns());
+        prop_assert!((sa.mean_ns() - sc.mean_ns()).abs() < 1e-9);
+        for p in [25.0, 50.0, 95.0] {
+            prop_assert_eq!(sa.percentile_ns(p), sc.percentile_ns(p));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Deeper workload analysis: update-reuse distances, inter-arrival
+//! statistics, and working-set growth.
+//!
+//! These are the quantities that determine how the paper's mechanisms behave:
+//! the update-reuse distance of an address decides whether its next version
+//! still finds free subpages in its page (intra-page update) or arrives after
+//! the page filled or was collected (upgrade / re-entry), and arrival
+//! burstiness decides how often the SLC pool drains into the MLC bypass.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::IoRequest;
+
+/// Histogram over power-of-two buckets (`bucket b` counts values with
+/// `floor(log2(v)) == b`; zero goes to bucket 0).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: vec![0; 64], count: 0 }
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (0–1): geometric midpoint of the covering bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << b) + (1u64 << b) / 2;
+            }
+        }
+        1 << 63
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (1u64 << b, n))
+            .collect()
+    }
+}
+
+/// Workload analysis results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAnalysis {
+    /// Distance (in intervening *write requests*) between successive writes
+    /// to the same start address. Small distances are what intra-page update
+    /// exploits.
+    pub update_reuse_distance: Log2Histogram,
+    /// Inter-arrival gaps in nanoseconds.
+    pub interarrival_ns: Log2Histogram,
+    /// Coefficient of variation of inter-arrival gaps (1.0 = Poisson;
+    /// higher = burstier).
+    pub interarrival_cov: f64,
+    /// Distinct write start addresses after each ~1% of the trace
+    /// (working-set growth curve, 100 samples).
+    pub working_set_curve: Vec<u64>,
+    /// Fraction of write requests that are re-writes of a seen address.
+    pub rewrite_fraction: f64,
+}
+
+impl TraceAnalysis {
+    /// Analyzes a request stream (assumed sorted by arrival time).
+    pub fn compute(requests: &[IoRequest]) -> Self {
+        let mut update_reuse_distance = Log2Histogram::new();
+        let mut interarrival_ns = Log2Histogram::new();
+        let mut last_write_index: HashMap<u64, u64> = HashMap::new();
+        let mut writes_seen = 0u64;
+        let mut rewrites = 0u64;
+        let mut working_set_curve = Vec::with_capacity(100);
+
+        let mut gap_sum = 0.0f64;
+        let mut gap_sq_sum = 0.0f64;
+        let mut gap_count = 0u64;
+        let mut last_ts = None::<u64>;
+
+        let step = (requests.len() / 100).max(1);
+        for (i, r) in requests.iter().enumerate() {
+            if let Some(prev) = last_ts {
+                let gap = r.timestamp_ns.saturating_sub(prev);
+                interarrival_ns.record(gap);
+                gap_sum += gap as f64;
+                gap_sq_sum += (gap as f64) * (gap as f64);
+                gap_count += 1;
+            }
+            last_ts = Some(r.timestamp_ns);
+
+            if r.op.is_write() {
+                let key = r.first_lsn();
+                if let Some(&prev_idx) = last_write_index.get(&key) {
+                    update_reuse_distance.record(writes_seen - prev_idx);
+                    rewrites += 1;
+                }
+                last_write_index.insert(key, writes_seen);
+                writes_seen += 1;
+            }
+            if (i + 1) % step == 0 && working_set_curve.len() < 100 {
+                working_set_curve.push(last_write_index.len() as u64);
+            }
+        }
+
+        let interarrival_cov = if gap_count > 1 {
+            let mean = gap_sum / gap_count as f64;
+            let var = (gap_sq_sum / gap_count as f64 - mean * mean).max(0.0);
+            if mean > 0.0 {
+                var.sqrt() / mean
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        TraceAnalysis {
+            update_reuse_distance,
+            interarrival_ns,
+            interarrival_cov,
+            working_set_curve,
+            rewrite_fraction: if writes_seen == 0 {
+                0.0
+            } else {
+                rewrites as f64 / writes_seen as f64
+            },
+        }
+    }
+
+    /// Final write working-set size (distinct start addresses).
+    pub fn final_working_set(&self) -> u64 {
+        self.working_set_curve.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::OpKind;
+
+    fn w(t: u64, offset: u64) -> IoRequest {
+        IoRequest::new(t, OpKind::Write, offset, 4096)
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 1, 2, 3, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz[0], (1, 2)); // two ones
+        assert_eq!(nz[1], (2, 2)); // 2 and 3
+        assert!(h.quantile(0.5) <= 4);
+        assert!(h.quantile(1.0) >= 1024);
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn reuse_distance_counts_intervening_writes() {
+        // Writes: A, B, A (distance 2 between the two A's), B (distance 2).
+        let reqs = vec![w(0, 0), w(1, 65536), w(2, 0), w(3, 65536)];
+        let a = TraceAnalysis::compute(&reqs);
+        assert_eq!(a.update_reuse_distance.count(), 2);
+        assert!((a.rewrite_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(a.final_working_set(), 2);
+    }
+
+    #[test]
+    fn poisson_arrivals_have_cov_near_one() {
+        // Use the synthetic generator's exponential arrivals.
+        let spec = crate::specs::paper_trace(crate::specs::PaperTrace::Ts0).with_requests(30_000);
+        let reqs = crate::synth::TraceGenerator::new(spec).generate();
+        let a = TraceAnalysis::compute(&reqs);
+        assert!(
+            (a.interarrival_cov - 1.0).abs() < 0.1,
+            "exponential gaps must have CoV ≈ 1, got {}",
+            a.interarrival_cov
+        );
+        assert!(a.rewrite_fraction > 0.3, "calibrated traces are update-heavy");
+        // Working-set curve is non-decreasing.
+        assert!(a.working_set_curve.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(a.working_set_curve.len(), 100);
+    }
+
+    #[test]
+    fn constant_gaps_have_zero_cov() {
+        let reqs: Vec<IoRequest> = (0..100).map(|i| w(i * 1000, i * 65536)).collect();
+        let a = TraceAnalysis::compute(&reqs);
+        assert!(a.interarrival_cov < 1e-9);
+        assert_eq!(a.update_reuse_distance.count(), 0);
+        assert_eq!(a.rewrite_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let a = TraceAnalysis::compute(&[]);
+        assert_eq!(a.final_working_set(), 0);
+        assert_eq!(a.interarrival_cov, 0.0);
+        assert!(a.working_set_curve.is_empty());
+    }
+}

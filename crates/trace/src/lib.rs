@@ -1,0 +1,33 @@
+//! # ipu-trace — block I/O trace infrastructure
+//!
+//! The paper evaluates on six block I/O traces: `ts0`, `wdev0`, `usr0` from the
+//! MSR Cambridge collection, `ads` from Microsoft production servers, and
+//! `lun1`, `lun2` from an enterprise VDI study. Those traces cannot be
+//! redistributed here, so this crate provides both:
+//!
+//! * an **MSR-Cambridge-format parser** ([`parser`]) so the real traces can be
+//!   dropped in unchanged, and
+//! * **calibrated synthetic generators** ([`synth`], [`specs`]) that reproduce
+//!   the published per-trace statistics the paper's mechanisms depend on —
+//!   request count, write ratio, average write size and hot-write ratio
+//!   (Table 3) plus the update-size distribution (Table 1).
+//!
+//! [`stats`] computes both tables from *any* request stream, which is how the
+//! calibration is validated (see the `table1_update_sizes` and
+//! `table3_trace_specs` bench targets).
+
+pub mod analysis;
+pub mod parser;
+pub mod request;
+pub mod specs;
+pub mod stats;
+pub mod synth;
+pub mod writer;
+
+pub use analysis::{Log2Histogram, TraceAnalysis};
+pub use parser::{parse_msr_line, parse_msr_reader, ParseError};
+pub use request::{IoRequest, OpKind, SUBPAGE_BYTES};
+pub use specs::{all_paper_traces, paper_trace, PaperTrace};
+pub use stats::{SizeBucket, TraceStats, UpdateSizeDistribution};
+pub use synth::{SyntheticTraceSpec, TraceGenerator};
+pub use writer::{to_msr_string, write_msr};

@@ -1,0 +1,100 @@
+//! The block I/O request model.
+//!
+//! Requests address a byte range of the logical device. The FTL operates on
+//! 4 KB *logical subpages* (the paper's partial-programming unit), so requests
+//! are aligned and split at [`SUBPAGE_BYTES`] boundaries by
+//! [`IoRequest::subpage_span`].
+
+use serde::{Deserialize, Serialize};
+
+/// Logical subpage size in bytes (the paper's 4 KB partial-programming unit).
+pub const SUBPAGE_BYTES: u64 = 4096;
+
+/// Kind of block I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    Read,
+    Write,
+}
+
+impl OpKind {
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Write)
+    }
+}
+
+/// One block I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Arrival time in nanoseconds from trace start.
+    pub timestamp_ns: u64,
+    /// Read or write.
+    pub op: OpKind,
+    /// Byte offset of the first byte accessed.
+    pub offset: u64,
+    /// Bytes accessed; always positive.
+    pub size: u32,
+}
+
+impl IoRequest {
+    pub fn new(timestamp_ns: u64, op: OpKind, offset: u64, size: u32) -> Self {
+        assert!(size > 0, "zero-sized request");
+        IoRequest { timestamp_ns, op, offset, size }
+    }
+
+    /// First logical subpage number touched.
+    #[inline]
+    pub fn first_lsn(&self) -> u64 {
+        self.offset / SUBPAGE_BYTES
+    }
+
+    /// Half-open range of logical subpage numbers `[first, last)` touched.
+    #[inline]
+    pub fn subpage_span(&self) -> std::ops::Range<u64> {
+        let first = self.offset / SUBPAGE_BYTES;
+        let last = (self.offset + self.size as u64).div_ceil(SUBPAGE_BYTES);
+        first..last
+    }
+
+    /// Number of logical subpages touched.
+    #[inline]
+    pub fn subpage_count(&self) -> u32 {
+        let span = self.subpage_span();
+        (span.end - span.start) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_request_spans_exact_subpages() {
+        let r = IoRequest::new(0, OpKind::Write, 8192, 8192);
+        assert_eq!(r.subpage_span(), 2..4);
+        assert_eq!(r.subpage_count(), 2);
+        assert_eq!(r.first_lsn(), 2);
+    }
+
+    #[test]
+    fn unaligned_request_rounds_outward() {
+        // Bytes [5000, 9096) touch subpages 1 and 2.
+        let r = IoRequest::new(0, OpKind::Read, 5000, 4096);
+        assert_eq!(r.subpage_span(), 1..3);
+        assert_eq!(r.subpage_count(), 2);
+    }
+
+    #[test]
+    fn single_byte_request_touches_one_subpage() {
+        let r = IoRequest::new(0, OpKind::Read, 4095, 1);
+        assert_eq!(r.subpage_span(), 0..1);
+        let r = IoRequest::new(0, OpKind::Read, 4096, 1);
+        assert_eq!(r.subpage_span(), 1..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_size_rejected() {
+        IoRequest::new(0, OpKind::Read, 0, 0);
+    }
+}

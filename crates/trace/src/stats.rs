@@ -1,0 +1,241 @@
+//! Trace statistics: the paper's Table 1 and Table 3 metrics.
+//!
+//! * **Table 3** — request count, write ratio, average write size, and *hot
+//!   write ratio*: the fraction of write-accessed logical subpage addresses
+//!   that were requested at least [`HOT_ACCESS_THRESHOLD`] times (the paper's
+//!   definition: "requested not less than 4 times").
+//! * **Table 1** — among *updated* write requests (writes whose first logical
+//!   subpage was written before), the size distribution over the buckets
+//!   (0, 4 KB], (4 KB, 8 KB] and > 8 KB.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::{IoRequest, SUBPAGE_BYTES};
+
+/// Paper's hotness threshold: an address is hot if requested ≥ 4 times.
+pub const HOT_ACCESS_THRESHOLD: u32 = 4;
+
+/// Size buckets of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeBucket {
+    /// (0, 4 KB]
+    UpTo4K,
+    /// (4 KB, 8 KB]
+    UpTo8K,
+    /// > 8 KB
+    Over8K,
+}
+
+impl SizeBucket {
+    /// Classifies a request size in bytes.
+    pub fn classify(size: u32) -> Self {
+        if size <= 4096 {
+            SizeBucket::UpTo4K
+        } else if size <= 8192 {
+            SizeBucket::UpTo8K
+        } else {
+            SizeBucket::Over8K
+        }
+    }
+}
+
+/// Update-size distribution (the paper's Table 1 row for one trace).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct UpdateSizeDistribution {
+    pub up_to_4k: f64,
+    pub up_to_8k: f64,
+    pub over_8k: f64,
+    /// Number of updated write requests the distribution is over.
+    pub updated_requests: u64,
+}
+
+/// Aggregate statistics of a request stream (the paper's Table 3 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total requests.
+    pub requests: u64,
+    /// Write requests.
+    pub writes: u64,
+    /// Fraction of requests that are writes.
+    pub write_ratio: f64,
+    /// Mean write request size in bytes.
+    pub avg_write_size: f64,
+    /// Fraction of write request addresses accessed ≥ 4 times.
+    ///
+    /// The paper's Table 3 "Hot write": an *address* is a request start
+    /// address, and it is hot when requested (read or write) at least four
+    /// times. Counting per start address rather than per touched subpage
+    /// keeps large sequential writes from diluting the metric with their
+    /// tail subpages.
+    pub hot_write_ratio: f64,
+    /// Table 1 distribution of updated-write sizes.
+    pub update_sizes: UpdateSizeDistribution,
+    /// Fraction of write requests that are updates (first subpage seen before).
+    pub update_ratio: f64,
+    /// Distinct logical subpages written.
+    pub written_footprint_subpages: u64,
+    /// Trace duration (last arrival), ns.
+    pub duration_ns: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a request stream.
+    pub fn compute(requests: &[IoRequest]) -> Self {
+        let mut writes = 0u64;
+        let mut write_bytes = 0u64;
+        let mut duration_ns = 0u64;
+        // Request-start-address access counts (reads + writes), plus the set
+        // of start addresses that have been written, and the set of written
+        // subpages (footprint / update detection).
+        let mut start_access_counts: HashMap<u64, u32> = HashMap::new();
+        let mut written_starts: HashMap<u64, u32> = HashMap::new();
+        let mut written_subpages: HashMap<u64, u32> = HashMap::new();
+        let mut bucket_counts = [0u64; 3];
+        let mut updated_requests = 0u64;
+
+        for r in requests {
+            duration_ns = duration_ns.max(r.timestamp_ns);
+            let first = r.first_lsn();
+            *start_access_counts.entry(first).or_insert(0) += 1;
+            if r.op.is_write() {
+                let is_update = written_subpages.contains_key(&first);
+                if is_update {
+                    updated_requests += 1;
+                    let b = match SizeBucket::classify(r.size) {
+                        SizeBucket::UpTo4K => 0,
+                        SizeBucket::UpTo8K => 1,
+                        SizeBucket::Over8K => 2,
+                    };
+                    bucket_counts[b] += 1;
+                }
+                writes += 1;
+                write_bytes += r.size as u64;
+                *written_starts.entry(first).or_insert(0) += 1;
+                for lsn in r.subpage_span() {
+                    *written_subpages.entry(lsn).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let hot = written_starts
+            .keys()
+            .filter(|lsn| {
+                start_access_counts.get(lsn).copied().unwrap_or(0) >= HOT_ACCESS_THRESHOLD
+            })
+            .count() as u64;
+
+        let denom = updated_requests.max(1) as f64;
+        TraceStats {
+            requests: requests.len() as u64,
+            writes,
+            write_ratio: writes as f64 / (requests.len().max(1) as f64),
+            avg_write_size: write_bytes as f64 / writes.max(1) as f64,
+            hot_write_ratio: hot as f64 / written_starts.len().max(1) as f64,
+            update_sizes: UpdateSizeDistribution {
+                up_to_4k: bucket_counts[0] as f64 / denom,
+                up_to_8k: bucket_counts[1] as f64 / denom,
+                over_8k: bucket_counts[2] as f64 / denom,
+                updated_requests,
+            },
+            update_ratio: updated_requests as f64 / writes.max(1) as f64,
+            written_footprint_subpages: written_subpages.len() as u64,
+            duration_ns,
+        }
+    }
+
+    /// Written footprint in bytes.
+    pub fn written_footprint_bytes(&self) -> u64 {
+        self.written_footprint_subpages * SUBPAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::OpKind;
+
+    fn w(t: u64, offset: u64, size: u32) -> IoRequest {
+        IoRequest::new(t, OpKind::Write, offset, size)
+    }
+    fn rd(t: u64, offset: u64, size: u32) -> IoRequest {
+        IoRequest::new(t, OpKind::Read, offset, size)
+    }
+
+    #[test]
+    fn buckets_match_table1_edges() {
+        assert_eq!(SizeBucket::classify(1), SizeBucket::UpTo4K);
+        assert_eq!(SizeBucket::classify(4096), SizeBucket::UpTo4K);
+        assert_eq!(SizeBucket::classify(4097), SizeBucket::UpTo8K);
+        assert_eq!(SizeBucket::classify(8192), SizeBucket::UpTo8K);
+        assert_eq!(SizeBucket::classify(8193), SizeBucket::Over8K);
+    }
+
+    #[test]
+    fn write_ratio_and_sizes() {
+        let reqs =
+            vec![w(0, 0, 4096), w(1, 4096, 8192), rd(2, 0, 4096), rd(3, 0, 4096)];
+        let s = TraceStats::compute(&reqs);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.writes, 2);
+        assert!((s.write_ratio - 0.5).abs() < 1e-12);
+        assert!((s.avg_write_size - 6144.0).abs() < 1e-9);
+        assert_eq!(s.duration_ns, 3);
+    }
+
+    #[test]
+    fn updates_require_prior_write_to_first_subpage() {
+        let reqs = vec![
+            w(0, 0, 4096),     // new
+            w(1, 4096, 4096),  // new
+            w(2, 0, 8192),     // update (subpage 0 written before)
+            w(3, 81920, 4096), // new
+            w(4, 81920, 4096), // update
+        ];
+        let s = TraceStats::compute(&reqs);
+        assert_eq!(s.update_sizes.updated_requests, 2);
+        assert!((s.update_ratio - 2.0 / 5.0).abs() < 1e-12);
+        assert!((s.update_sizes.up_to_4k - 0.5).abs() < 1e-12);
+        assert!((s.update_sizes.up_to_8k - 0.5).abs() < 1e-12);
+        assert_eq!(s.update_sizes.over_8k, 0.0);
+    }
+
+    #[test]
+    fn hotness_counts_reads_and_writes_on_written_addresses() {
+        // Subpage 0: 1 write + 3 reads = 4 accesses → hot.
+        // Subpage 1: 2 accesses → cold. Subpage 2: read-only → not counted.
+        let reqs = vec![
+            w(0, 0, 4096),
+            rd(1, 0, 4096),
+            rd(2, 0, 4096),
+            rd(3, 0, 4096),
+            w(4, 4096, 4096),
+            rd(5, 4096, 4096),
+            rd(6, 8192, 4096),
+            rd(7, 8192, 4096),
+            rd(8, 8192, 4096),
+            rd(9, 8192, 4096),
+        ];
+        let s = TraceStats::compute(&reqs);
+        assert_eq!(s.written_footprint_subpages, 2);
+        assert!((s.hot_write_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.write_ratio, 0.0);
+        assert_eq!(s.hot_write_ratio, 0.0);
+        assert_eq!(s.update_sizes.updated_requests, 0);
+    }
+
+    #[test]
+    fn footprint_bytes_scales_by_subpage() {
+        let reqs = vec![w(0, 0, 16384)];
+        let s = TraceStats::compute(&reqs);
+        assert_eq!(s.written_footprint_subpages, 4);
+        assert_eq!(s.written_footprint_bytes(), 16384);
+    }
+}

@@ -1,0 +1,102 @@
+//! Validates every calibrated synthetic trace against the paper's published
+//! statistics (Tables 1 and 3). Runs at a 10% scale of the published request
+//! counts — the generator's ratios are scale-invariant (covered by a unit
+//! test), and full-scale validation happens in the table1/table3 benches.
+
+use ipu_trace::{all_paper_traces, PaperTrace, TraceGenerator, TraceStats};
+
+fn scaled_stats(trace: PaperTrace, fraction: f64) -> TraceStats {
+    let spec = ipu_trace::paper_trace(trace);
+    let scaled = spec.with_requests(((spec.requests as f64) * fraction) as u64);
+    TraceStats::compute(&TraceGenerator::new(scaled).generate())
+}
+
+#[test]
+fn write_ratio_matches_table3_for_all_traces() {
+    for t in PaperTrace::all() {
+        let (_, write_ratio, _, _) = t.table3_row();
+        let s = scaled_stats(t, 0.1);
+        assert!(
+            (s.write_ratio - write_ratio).abs() < 0.01,
+            "{t}: measured write ratio {:.3} vs table {:.3}",
+            s.write_ratio,
+            write_ratio
+        );
+    }
+}
+
+#[test]
+fn avg_write_size_matches_table3_for_all_traces() {
+    for t in PaperTrace::all() {
+        let (_, _, avg_kb, _) = t.table3_row();
+        let s = scaled_stats(t, 0.1);
+        let measured_kb = s.avg_write_size / 1024.0;
+        assert!(
+            (measured_kb - avg_kb).abs() < 0.4,
+            "{t}: measured avg write {measured_kb:.2} KB vs table {avg_kb:.2} KB"
+        );
+    }
+}
+
+#[test]
+fn hot_write_ratio_matches_table3_for_all_traces() {
+    for t in PaperTrace::all() {
+        let (_, _, _, hot) = t.table3_row();
+        let s = scaled_stats(t, 0.1);
+        assert!(
+            (s.hot_write_ratio - hot).abs() < 0.05,
+            "{t}: measured hot ratio {:.3} vs table {:.3}",
+            s.hot_write_ratio,
+            hot
+        );
+    }
+}
+
+#[test]
+fn update_size_buckets_match_table1_for_all_traces() {
+    for t in PaperTrace::all() {
+        let expected = t.table1_row();
+        let s = scaled_stats(t, 0.1);
+        let measured = [s.update_sizes.up_to_4k, s.update_sizes.up_to_8k, s.update_sizes.over_8k];
+        for (i, (m, e)) in measured.iter().zip(expected.iter()).enumerate() {
+            assert!(
+                (m - e).abs() < 0.04,
+                "{t}: bucket {i} measured {m:.3} vs table {e:.3}"
+            );
+        }
+        assert!(s.update_sizes.updated_requests > 0, "{t}: no updates generated");
+    }
+}
+
+#[test]
+fn traces_exhibit_substantial_update_traffic() {
+    // The paper's premise: applications issue many small *update* requests.
+    for t in PaperTrace::all() {
+        let s = scaled_stats(t, 0.05);
+        assert!(
+            s.update_ratio > 0.3,
+            "{t}: update ratio {:.3} too low for the paper's mechanisms to engage",
+            s.update_ratio
+        );
+    }
+}
+
+#[test]
+fn footprints_are_device_scale_plausible() {
+    for spec in all_paper_traces() {
+        let gen = TraceGenerator::new(spec.clone());
+        let footprint = gen.footprint_bytes();
+        // Must fit the paper's 128 GiB device but be big enough to pressure
+        // the ~3.2 GiB SLC-mode cache region.
+        assert!(
+            footprint < 128 * (1 << 30),
+            "{}: footprint {footprint} exceeds device",
+            spec.name
+        );
+        assert!(
+            footprint > (1 << 30),
+            "{}: footprint {footprint} too small to exercise the cache",
+            spec.name
+        );
+    }
+}

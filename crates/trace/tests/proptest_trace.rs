@@ -1,0 +1,110 @@
+//! Property-based tests for the trace layer: parser round-trips, request
+//! span arithmetic and generator invariants under arbitrary (valid) specs.
+
+use ipu_trace::synth::SLOT_BYTES;
+use ipu_trace::{
+    parse_msr_reader, IoRequest, OpKind, SyntheticTraceSpec, TraceGenerator, TraceStats,
+    SUBPAGE_BYTES,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticTraceSpec> {
+    (
+        1_000u64..5_000,
+        0.05f64..0.95,
+        0.08f64..0.7,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        any::<u64>(),
+    )
+        .prop_map(|(requests, write_ratio, hot, split, big16, seed)| {
+            // Build a valid bucket distribution from one split point.
+            let p4 = 0.5 + split * 0.4; // 0.5..0.9
+            let rest = 1.0 - p4;
+            let p8 = rest * 0.4;
+            let pbig = rest - p8;
+            SyntheticTraceSpec {
+                name: "prop".into(),
+                requests,
+                write_ratio,
+                hot_write_fraction: hot,
+                size_buckets: [p4, p8, pbig],
+                big_16k_fraction: big16,
+                read_written_fraction: 0.6,
+                hot_skew: 2.0,
+                mean_interarrival_ns: 250_000,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated stream is well-formed: monotone timestamps, slot-based
+    /// addressing, positive sizes from the allowed set.
+    #[test]
+    fn generated_streams_are_well_formed(spec in arb_spec()) {
+        let gen = TraceGenerator::new(spec.clone());
+        let footprint = gen.footprint_bytes();
+        let reqs = gen.generate();
+        prop_assert_eq!(reqs.len() as u64, spec.requests);
+        let mut last_ts = 0;
+        for r in &reqs {
+            prop_assert!(r.timestamp_ns >= last_ts);
+            last_ts = r.timestamp_ns;
+            prop_assert_eq!(r.offset % SLOT_BYTES, 0);
+            prop_assert!(r.offset + r.size as u64 <= footprint);
+            prop_assert!(matches!(r.size, 4096 | 8192 | 16384 | 65536));
+        }
+    }
+
+    /// The measured write ratio converges on the spec's.
+    #[test]
+    fn write_ratio_converges(spec in arb_spec()) {
+        let stats = TraceStats::compute(&TraceGenerator::new(spec.clone()).generate());
+        // 5k requests → binomial stddev ≈ 0.007; allow 5 sigma.
+        prop_assert!((stats.write_ratio - spec.write_ratio).abs() < 0.04,
+            "measured {} target {}", stats.write_ratio, spec.write_ratio);
+    }
+
+    /// Subpage span arithmetic: every touched subpage overlaps the byte range
+    /// and the count is minimal.
+    #[test]
+    fn subpage_span_is_tight(offset in 0u64..1_000_000, size in 1u32..200_000) {
+        let r = IoRequest::new(0, OpKind::Read, offset, size);
+        let span = r.subpage_span();
+        for lsn in span.clone() {
+            let sub_start = lsn * SUBPAGE_BYTES;
+            let sub_end = sub_start + SUBPAGE_BYTES;
+            prop_assert!(sub_end > offset && sub_start < offset + size as u64,
+                "subpage {lsn} does not overlap [{offset}, {})", offset + size as u64);
+        }
+        // Minimality: one fewer subpage cannot cover the range.
+        let covered = (span.end - span.start) * SUBPAGE_BYTES;
+        prop_assert!(covered >= size as u64);
+        prop_assert!(covered < size as u64 + 2 * SUBPAGE_BYTES);
+    }
+
+    /// The MSR parser round-trips synthetic lines.
+    #[test]
+    fn msr_parser_round_trips(
+        ts in 1u64..u64::MAX / 200,
+        offset in 0u64..1u64 << 40,
+        size in 1u32..1 << 20,
+        write in any::<bool>(),
+    ) {
+        let op = if write { "Write" } else { "Read" };
+        let line1 = format!("{ts},host,0,{op},{offset},{size},100");
+        let line2 = format!("{},host,0,Read,0,512,100", ts + 10);
+        let text = format!("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n{line1}\n{line2}\n");
+        let reqs = parse_msr_reader(text.as_bytes()).unwrap();
+        prop_assert_eq!(reqs.len(), 2);
+        prop_assert_eq!(reqs[0].offset, offset);
+        prop_assert_eq!(reqs[0].size, size);
+        prop_assert_eq!(reqs[0].op, if write { OpKind::Write } else { OpKind::Read });
+        // Rebase: first at 0, second at 10 ticks = 1000 ns.
+        prop_assert_eq!(reqs[0].timestamp_ns, 0);
+        prop_assert_eq!(reqs[1].timestamp_ns, 1000);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error tail study: run the device in *sampled* error mode (deterministic
+//! per-read Poisson draws instead of expected values) and measure the
+//! probability of uncorrectable reads as the device ages — the tail behaviour
+//! the paper's averaged "read error rate" metric cannot show.
+//!
+//! ```text
+//! cargo run --release --example error_tail_study [-- <scale> [seed]]
+//! ```
+
+use ipu_core::flash::ErrorMode;
+use ipu_core::ftl::SchemeKind;
+use ipu_core::trace::PaperTrace;
+use ipu_core::{experiment, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Uncorrectable-read probability under sampled errors (seed {seed}, wdev0)");
+    println!("{:<6} {:>12} {:>16} {:>20}", "P/E", "scheme", "host reads", "uncorrectable");
+    for pe in [5000u32, 6000, 6500, 7000] {
+        for scheme in SchemeKind::all() {
+            let mut cfg = ExperimentConfig::scaled(scale);
+            cfg.device.initial_pe_cycles = pe;
+            cfg.device.error_mode = ErrorMode::Sampled { seed };
+            let r = experiment::run_one(&cfg, PaperTrace::Wdev0, scheme);
+            let reads = r.ftl.host_subpages_read.max(1);
+            println!(
+                "{:<6} {:>12} {:>16} {:>12} ({:.4}%)",
+                pe,
+                scheme.label(),
+                r.ftl.host_read_requests,
+                r.ftl.host_uncorrectable_reads,
+                r.ftl.host_uncorrectable_reads as f64 / reads as f64 * 100.0
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expected shape: uncorrectable reads are absent at low P/E, then rise \
+         steeply as the expected error count crosses the BCH capability \
+         (40 bits per 4 KB subpage, around P/E ≈ 6,900 in this model) — with \
+         MGA's partially-programmed pages crossing first."
+    );
+}

@@ -1,0 +1,32 @@
+//! Export the six calibrated synthetic traces as MSR-Cambridge-format CSV
+//! files — replayable through the original SSDsim (or MQSim, etc.) for
+//! cross-validation of this reproduction.
+//!
+//! ```text
+//! cargo run --release --example export_traces -- <out_dir> [scale]
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use ipu_core::trace::{paper_trace, write_msr, PaperTrace, TraceGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(out_dir) = args.next() else {
+        eprintln!("usage: export_traces <out_dir> [scale]");
+        std::process::exit(2);
+    };
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    for trace in PaperTrace::all() {
+        let spec = paper_trace(trace);
+        let scaled = spec.with_requests(((spec.requests as f64) * scale) as u64);
+        let requests = TraceGenerator::new(scaled).generate();
+        let path = format!("{out_dir}/{}.csv", trace.name());
+        let file = BufWriter::new(File::create(&path).expect("create trace file"));
+        write_msr(file, &requests, trace.name()).expect("write trace");
+        eprintln!("wrote {path} ({} requests)", requests.len());
+    }
+}

@@ -1,0 +1,60 @@
+//! Replay a real MSR-Cambridge-format trace through a chosen scheme.
+//!
+//! If you have the actual SNIA traces (`ts0`, `wdev0`, `usr0`, ...), this is
+//! the drop-in path the paper used:
+//!
+//! ```text
+//! cargo run --release --example msr_replay -- /path/to/trace.csv [baseline|mga|ipu]
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+
+use ipu_core::ftl::SchemeKind;
+use ipu_core::sim::{replay_with_progress, ReplayConfig};
+use ipu_core::trace::parse_msr_reader;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: msr_replay <trace.csv> [baseline|mga|ipu]");
+        std::process::exit(2);
+    };
+    let scheme = match args.next().as_deref() {
+        None | Some("ipu") => SchemeKind::Ipu,
+        Some("mga") => SchemeKind::Mga,
+        Some("baseline") => SchemeKind::Baseline,
+        Some(other) => {
+            eprintln!("unknown scheme `{other}` (expected baseline|mga|ipu)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("parsing {path} ...");
+    let file = File::open(&path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+    let requests = parse_msr_reader(BufReader::new(file))
+        .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    eprintln!("replaying {} requests under {scheme} on the paper-scale device ...", requests.len());
+
+    let cfg = ReplayConfig::paper_scale(scheme);
+    let report = replay_with_progress(&cfg, &requests, &path, |done, total| {
+        if total > 0 {
+            eprint!("\r  {done}/{total} requests ({:.0}%)", done as f64 / total as f64 * 100.0);
+        }
+    });
+    eprintln!();
+
+    println!("scheme            : {}", report.scheme);
+    println!("requests          : {}", report.requests);
+    println!("read latency      : {:.4} ms mean", report.read_latency.mean_ms());
+    println!("write latency     : {:.4} ms mean", report.write_latency.mean_ms());
+    println!("overall latency   : {:.4} ms mean", report.overall_latency.mean_ms());
+    println!("read error rate   : {:.3e}", report.read_error_rate());
+    println!("GC page util      : {:.1}%", report.gc_page_utilization() * 100.0);
+    println!("SLC / MLC erases  : {} / {}", report.wear.slc_erases, report.wear.mlc_erases);
+    println!(
+        "host writes SLC/MLC: {} / {} subpages",
+        report.ftl.host_subpages_to_slc, report.ftl.host_subpages_to_mlc
+    );
+    println!("mapping table     : {} bytes", report.mapping.total());
+}

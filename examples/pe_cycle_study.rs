@@ -1,0 +1,49 @@
+//! P/E cycle study (paper §4.5, Figures 13 & 14): how I/O latency and read
+//! error rate evolve as the device ages.
+//!
+//! ```text
+//! cargo run --release --example pe_cycle_study [-- <scale> [trace]]
+//! ```
+
+use ipu_core::trace::PaperTrace;
+use ipu_core::{experiment, report, ExperimentConfig, PAPER_PE_POINTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let trace = args
+        .get(2)
+        .map(|name| {
+            PaperTrace::all()
+                .into_iter()
+                .find(|t| t.name() == name)
+                .unwrap_or_else(|| panic!("unknown trace `{name}`"))
+        })
+        .unwrap_or(PaperTrace::Wdev0);
+
+    let mut cfg = ExperimentConfig::scaled(scale);
+    cfg.traces = vec![trace];
+
+    eprintln!(
+        "sweeping P/E ∈ {PAPER_PE_POINTS:?} on {trace} at scale {scale} \
+         (3 schemes × 4 points) ..."
+    );
+    let started = std::time::Instant::now();
+    let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
+    eprintln!("done in {:.1?}\n", started.elapsed());
+
+    println!("{}", report::render_pe_sweep(&sweep));
+
+    // Sanity note: both metrics must grow with wear for every scheme.
+    for (si, scheme) in sweep.matrices[0].schemes.iter().enumerate() {
+        let errs: Vec<f64> =
+            sweep.matrices.iter().map(|m| m.report(0, si).read_error_rate()).collect();
+        let grew = errs.windows(2).all(|w| w[1] > w[0]);
+        println!(
+            "{scheme}: read error rate {} with wear ({:.2e} → {:.2e})",
+            if grew { "grows monotonically" } else { "is NOT monotone (unexpected!)" },
+            errs.first().unwrap(),
+            errs.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run one trace under all three schemes and print the headline
+//! comparison (mean latencies, read error rate, writes split, mapping size).
+//!
+//! ```text
+//! cargo run --release --example quickstart [-- <scale> [trace]]
+//! ```
+//!
+//! `scale` is the fraction of the trace's published request count to replay
+//! (default 0.02 ≈ 36 K requests of ts0); `trace` is one of
+//! ts0|wdev0|lun1|usr0|ads|lun2.
+
+use ipu_core::{experiment, report, ExperimentConfig};
+use ipu_ftl::SchemeKind;
+use ipu_trace::PaperTrace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let trace = args
+        .get(2)
+        .map(|name| {
+            PaperTrace::all()
+                .into_iter()
+                .find(|t| t.name() == name)
+                .unwrap_or_else(|| panic!("unknown trace `{name}`"))
+        })
+        .unwrap_or(PaperTrace::Ts0);
+
+    let mut cfg = ExperimentConfig::scaled(scale);
+    cfg.traces = vec![trace];
+    cfg.schemes = SchemeKind::all().to_vec();
+
+    eprintln!(
+        "replaying {} at scale {scale} ({} requests) under Baseline / MGA / IPU ...",
+        trace,
+        (trace.table3_row().0 as f64 * scale) as u64
+    );
+    let started = std::time::Instant::now();
+    let matrix = experiment::run_main_matrix(&cfg);
+    eprintln!("done in {:.1?}\n", started.elapsed());
+
+    println!("{}", report::render_fig5(&matrix));
+    println!("{}", report::render_fig8(&matrix));
+    println!("{}", report::render_fig6(&matrix));
+    println!("{}", report::render_fig9(&matrix));
+    println!("{}", report::render_fig10(&matrix));
+    println!("{}", report::render_fig11(&matrix));
+    println!("{}", report::render_fig7(&matrix));
+}

@@ -1,0 +1,74 @@
+//! Trace study: regenerate the paper's Tables 1 and 3 from the calibrated
+//! synthetic traces — or from a real MSR-format trace file if you have one.
+//!
+//! ```text
+//! cargo run --release --example trace_study                 # all six synthetic traces (2% scale)
+//! cargo run --release --example trace_study -- 0.1          # 10% scale
+//! cargo run --release --example trace_study -- /path/to/ts0.csv   # a real MSR trace
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+
+use ipu_core::trace::{parse_msr_reader, TraceAnalysis, TraceStats};
+use ipu_core::{experiment, report, ExperimentConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+
+    // A path argument switches to real-trace mode.
+    if let Some(path) = arg.as_deref().filter(|a| a.parse::<f64>().is_err()) {
+        let file = File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        let requests = parse_msr_reader(BufReader::new(file))
+            .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let stats = TraceStats::compute(&requests);
+        println!("MSR trace {path}: {} requests", stats.requests);
+        println!("  write ratio        : {:.1}%", stats.write_ratio * 100.0);
+        println!("  avg write size     : {:.1} KB", stats.avg_write_size / 1024.0);
+        println!("  hot write ratio    : {:.1}%", stats.hot_write_ratio * 100.0);
+        println!("  update ratio       : {:.1}%", stats.update_ratio * 100.0);
+        println!(
+            "  update sizes       : ≤4K {:.1}%  4–8K {:.1}%  >8K {:.1}%",
+            stats.update_sizes.up_to_4k * 100.0,
+            stats.update_sizes.up_to_8k * 100.0,
+            stats.update_sizes.over_8k * 100.0
+        );
+        println!(
+            "  written footprint  : {:.2} GiB",
+            stats.written_footprint_bytes() as f64 / (1u64 << 30) as f64
+        );
+        let analysis = TraceAnalysis::compute(&requests);
+        println!("  rewrite fraction   : {:.1}%", analysis.rewrite_fraction * 100.0);
+        println!("  interarrival CoV   : {:.2} (1.0 = Poisson)", analysis.interarrival_cov);
+        println!(
+            "  update reuse dist  : p50 ≈ {} writes, p95 ≈ {} writes",
+            analysis.update_reuse_distance.quantile(0.5),
+            analysis.update_reuse_distance.quantile(0.95)
+        );
+        return;
+    }
+
+    let scale: f64 = arg.and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let cfg = ExperimentConfig::scaled(scale);
+    eprintln!("computing Tables 1 & 3 over all six calibrated traces at scale {scale} ...");
+    let rows = experiment::run_trace_tables(&cfg);
+    println!("{}", report::render_table1(&rows));
+    println!("{}", report::render_table3(&rows));
+
+    // Workload-shape summary per trace: the quantities that drive the
+    // paper's mechanisms (reuse distance → intra-page update hit rate;
+    // burstiness → bypass pressure).
+    println!("Workload shape (calibrated synthetic traces)");
+    for &trace in &cfg.traces {
+        let requests = experiment::generate_trace(&cfg, trace);
+        let a = TraceAnalysis::compute(&requests);
+        println!(
+            "  {:<6} rewrites {:>5.1}%  reuse p50 {:>6} writes  CoV {:.2}  WSS {:>8}",
+            trace.name(),
+            a.rewrite_fraction * 100.0,
+            a.update_reuse_distance.quantile(0.5),
+            a.interarrival_cov,
+            a.final_working_set()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the experiment layer: the P/E sweep (§4.5), the
+//! Figure 2 curve, the report renderers and result persistence.
+
+use ipu_core::ftl::SchemeKind;
+use ipu_core::trace::PaperTrace;
+use ipu_core::{experiment, report, ExperimentConfig, ExperimentRecord};
+
+fn tiny_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::scaled(0.005);
+    cfg.traces = vec![PaperTrace::Wdev0];
+    cfg.schemes = SchemeKind::all().to_vec();
+    cfg.threads = 1;
+    cfg
+}
+
+#[test]
+fn pe_sweep_degrades_error_rate_and_latency_monotonically() {
+    let cfg = tiny_cfg();
+    let sweep = experiment::run_pe_sweep(&cfg, &[1000, 4000, 8000]);
+    assert_eq!(sweep.matrices.len(), 3);
+    for (si, scheme) in sweep.matrices[0].schemes.iter().enumerate() {
+        let errs: Vec<f64> =
+            sweep.matrices.iter().map(|m| m.report(0, si).read_error_rate()).collect();
+        assert!(
+            errs.windows(2).all(|w| w[1] > w[0]),
+            "{scheme}: error rate not monotone over P/E: {errs:?}"
+        );
+        // Latency must not *improve* with wear (more ECC time).
+        let lats: Vec<f64> = sweep
+            .matrices
+            .iter()
+            .map(|m| m.report(0, si).read_latency.mean_ns())
+            .collect();
+        assert!(
+            lats.windows(2).all(|w| w[1] >= w[0] * 0.999),
+            "{scheme}: read latency shrank with wear: {lats:?}"
+        );
+    }
+}
+
+#[test]
+fn scheme_error_ordering_holds_at_every_pe_point() {
+    // The paper's §4.5 headline: IPU's improvement over MGA holds across
+    // device ages ("fine scalability of our proposal").
+    let cfg = tiny_cfg();
+    let sweep = experiment::run_pe_sweep(&cfg, &[1000, 8000]);
+    for m in &sweep.matrices {
+        let mga = m.report(0, m.scheme_index(SchemeKind::Mga).unwrap()).read_error_rate();
+        let ipu = m.report(0, m.scheme_index(SchemeKind::Ipu).unwrap()).read_error_rate();
+        assert!(ipu < mga, "IPU ({ipu:.3e}) must beat MGA ({mga:.3e}) at every age");
+    }
+}
+
+#[test]
+fn figure2_curve_is_calibrated_and_renders() {
+    let curve = experiment::run_ber_curve(&[0, 2000, 4000, 8000]);
+    let at4000 = curve.iter().find(|p| p.pe_cycles == 4000).unwrap();
+    assert!((at4000.conventional - 2.8e-4).abs() < 1e-9);
+    assert!((at4000.partial - 3.8e-4).abs() < 1e-9);
+    let text = report::render_fig2(&curve);
+    assert!(text.contains("Figure 2"));
+    assert!(text.contains("4000"));
+}
+
+#[test]
+fn all_reports_render_from_one_matrix() {
+    let cfg = tiny_cfg();
+    let m = experiment::run_main_matrix(&cfg);
+    for (name, text) in [
+        ("fig5", report::render_fig5(&m)),
+        ("fig6", report::render_fig6(&m)),
+        ("fig7", report::render_fig7(&m)),
+        ("fig8", report::render_fig8(&m)),
+        ("fig9", report::render_fig9(&m)),
+        ("fig10", report::render_fig10(&m)),
+        ("fig11", report::render_fig11(&m)),
+    ] {
+        assert!(text.contains("wdev0"), "{name} missing trace row:\n{text}");
+        assert!(text.lines().count() >= 4, "{name} suspiciously short");
+    }
+}
+
+#[test]
+fn matrix_results_persist_and_reload() {
+    let cfg = tiny_cfg();
+    let m = experiment::run_main_matrix(&cfg);
+    let dir = std::env::temp_dir().join("ipu-integration-records");
+    let path = dir.join("matrix.json");
+    ExperimentRecord::new("itest", cfg.clone(), m.clone()).save(&path).unwrap();
+    let loaded: ExperimentRecord<ipu_core::MatrixResult> =
+        ExperimentRecord::load(&path).unwrap();
+    assert_eq!(loaded.config, cfg);
+    assert_eq!(loaded.result.traces, m.traces);
+    assert_eq!(
+        loaded.result.report(0, 0).overall_latency.count(),
+        m.report(0, 0).overall_latency.count()
+    );
+    assert_eq!(loaded.result.report(0, 2).ftl, m.report(0, 2).ftl);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_tables_cover_all_requested_traces() {
+    let mut cfg = tiny_cfg();
+    cfg.traces = vec![PaperTrace::Ts0, PaperTrace::Lun2];
+    let rows = experiment::run_trace_tables(&cfg);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].trace, "ts0");
+    assert_eq!(rows[1].trace, "lun2");
+    let t1 = report::render_table1(&rows);
+    let t3 = report::render_table3(&rows);
+    assert!(t1.contains("lun2") && t3.contains("ts0"));
+}
