@@ -4,9 +4,9 @@
 //! 1–2) vs IPU with plain greedy subpage victim selection. Quantifies how
 //! much of IPU's behaviour comes from the cold-aware victim choice.
 
+use ipu_core::experiment;
 use ipu_core::ftl::SchemeKind;
 use ipu_core::report::TextTable;
-use ipu_core::experiment;
 
 fn main() {
     let base = ipu_bench::bench_config();

@@ -4,10 +4,10 @@
 //! levels. The paper uses three (Work/Monitor/Hot); capping the hierarchy at
 //! one or two levels shows what the upgraded/degraded movement buys.
 
+use ipu_core::experiment;
 use ipu_core::ftl::SchemeKind;
 use ipu_core::report::TextTable;
 use ipu_core::trace::PaperTrace;
-use ipu_core::experiment;
 
 fn main() {
     let base = ipu_bench::bench_config();

@@ -5,10 +5,10 @@
 //! cited datasheets) fix at 4. A limit of 1 disables partial programming
 //! entirely (IPU and MGA degenerate toward Baseline's fragmentation).
 
+use ipu_core::experiment;
 use ipu_core::ftl::SchemeKind;
 use ipu_core::report::TextTable;
 use ipu_core::trace::PaperTrace;
-use ipu_core::experiment;
 
 fn main() {
     let base = ipu_bench::bench_config();

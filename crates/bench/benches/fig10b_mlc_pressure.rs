@@ -12,7 +12,6 @@
 //! paper's claim that IPU preserves high-density-block endurance.
 
 use ipu_core::experiment;
-use ipu_core::ftl::SchemeKind;
 use ipu_core::report::TextTable;
 
 fn main() {

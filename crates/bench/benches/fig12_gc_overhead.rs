@@ -12,15 +12,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ipu_core::flash::{CellMode, DeviceConfig, FlashDevice, Spa};
-use ipu_core::ftl::{
-    select_greedy, select_isr, BlockLevel, CacheMeta, FtlConfig, GcGranularity,
-};
+use ipu_core::ftl::{select_greedy, select_isr, BlockLevel, CacheMeta, FtlConfig, GcGranularity};
 
 /// Deterministic pseudo-random stream (no external RNG needed).
 struct Lcg(u64);
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -47,13 +48,20 @@ fn populate() -> (FlashDevice, CacheMeta, Vec<u64>) {
                 1 => BlockLevel::Monitor,
                 _ => BlockLevel::Hot,
             };
-            meta.open_block(idx, addr, level, g.pages_per_block_slc, g.subpages_per_page());
+            meta.open_block(
+                idx,
+                addr,
+                level,
+                g.pages_per_block_slc,
+                g.subpages_per_page(),
+            );
 
             // Program every page once (varying fill), update ~30%, invalidate
             // ~40% of programmed subpages.
             for p in 0..g.pages_per_block_slc {
                 let fill = 1 + (rng.next() % 4) as u8;
-                dev.program(Spa::new(addr.page(p), 0), fill).expect("program");
+                dev.program(Spa::new(addr.page(p), 0), fill)
+                    .expect("program");
                 let updated = rng.next() % 10 < 3;
                 meta.get_mut(idx).unwrap().note_program(
                     p,
@@ -64,7 +72,8 @@ fn populate() -> (FlashDevice, CacheMeta, Vec<u64>) {
                 );
                 for s in 0..fill {
                     if rng.next() % 10 < 4 {
-                        dev.invalidate(Spa::new(addr.page(p), s)).expect("invalidate");
+                        dev.invalidate(Spa::new(addr.page(p), s))
+                            .expect("invalidate");
                     }
                 }
             }
@@ -76,7 +85,10 @@ fn populate() -> (FlashDevice, CacheMeta, Vec<u64>) {
 
 fn gc_selection(c: &mut Criterion) {
     let (dev, meta, indices) = populate();
-    eprintln!("[fig12] populated {} SLC blocks at paper scale", indices.len());
+    eprintln!(
+        "[fig12] populated {} SLC blocks at paper scale",
+        indices.len()
+    );
 
     let mut group = c.benchmark_group("fig12_gc_victim_selection");
     group.sample_size(20);
@@ -93,7 +105,9 @@ fn gc_selection(c: &mut Criterion) {
     group.bench_function("ipu_isr", |b| {
         b.iter(|| {
             let now = 2_000_000_000u64;
-            let cands = indices.iter().map(|&i| (i, dev.block_by_index(i), meta.get(i).unwrap()));
+            let cands = indices
+                .iter()
+                .map(|&i| (i, dev.block_by_index(i), meta.get(i).unwrap()));
             criterion::black_box(select_isr(cands, now))
         })
     });
@@ -112,7 +126,9 @@ fn gc_selection(c: &mut Criterion) {
     let greedy = t0.elapsed() / n;
     let t0 = std::time::Instant::now();
     for _ in 0..n {
-        let cands = indices.iter().map(|&i| (i, dev.block_by_index(i), meta.get(i).unwrap()));
+        let cands = indices
+            .iter()
+            .map(|&i| (i, dev.block_by_index(i), meta.get(i).unwrap()));
         std::hint::black_box(select_isr(cands, 2_000_000_000));
     }
     let isr = t0.elapsed() / n;

@@ -16,7 +16,11 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ipu_core::{experiment, ExperimentConfig, ExperimentRecord, MatrixResult, PeSweepResult};
+use ipu_core::trace::PaperTrace;
+use ipu_core::{
+    experiment, run_qd_sweep, ExperimentConfig, ExperimentRecord, MatrixResult, PeSweepResult,
+    QdSweepHostSpec, QdSweepResult,
+};
 
 /// Default fraction of the paper-scale run used by benches.
 pub const DEFAULT_BENCH_SCALE: f64 = 0.25;
@@ -33,7 +37,9 @@ pub fn cache_dir() -> PathBuf {
 }
 
 fn refresh_requested() -> bool {
-    std::env::var("IPU_BENCH_REFRESH").map(|v| v == "1").unwrap_or(false)
+    std::env::var("IPU_BENCH_REFRESH")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Runs (or loads) the main evaluation matrix for `cfg`.
@@ -72,16 +78,65 @@ pub fn pe_sweep_cached(cfg: &ExperimentConfig, points: &[u32]) -> PeSweepResult 
     if !refresh_requested() {
         if let Ok(rec) = ExperimentRecord::<PeSweepResult>::load(&path) {
             if &rec.config == cfg && rec.result.pe_points == points {
-                eprintln!("[ipu-bench] loaded cached P/E sweep from {}", path.display());
+                eprintln!(
+                    "[ipu-bench] loaded cached P/E sweep from {}",
+                    path.display()
+                );
                 return rec.result;
             }
         }
     }
-    eprintln!("[ipu-bench] running P/E sweep over {points:?} at scale {} ...", cfg.scale);
+    eprintln!(
+        "[ipu-bench] running P/E sweep over {points:?} at scale {} ...",
+        cfg.scale
+    );
     let started = Instant::now();
     let result = experiment::run_pe_sweep(cfg, points);
     eprintln!("[ipu-bench] sweep done in {:.1?}", started.elapsed());
     let rec = ExperimentRecord::new("pe_sweep", cfg.clone(), result);
+    if let Err(e) = rec.save(&path) {
+        eprintln!("[ipu-bench] warning: could not cache results: {e}");
+    }
+    rec.result
+}
+
+/// Runs (or loads) the closed-loop host-interface QD sweep for `cfg`.
+pub fn qd_sweep_cached(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    host: &QdSweepHostSpec,
+    qd_points: &[usize],
+) -> QdSweepResult {
+    let path = cache_dir().join(format!(
+        "qd_sweep_{}_s{}_{}t_{}.json",
+        trace.name(),
+        cfg.scale,
+        host.tenants.len(),
+        host.arbitration.label()
+    ));
+    if !refresh_requested() {
+        if let Ok(rec) = ExperimentRecord::<QdSweepResult>::load(&path) {
+            let same_points = rec
+                .result
+                .qd_points
+                .iter()
+                .map(|&q| q as usize)
+                .eq(qd_points.iter().copied());
+            if &rec.config == cfg && &rec.result.host == host && same_points {
+                eprintln!("[ipu-bench] loaded cached QD sweep from {}", path.display());
+                return rec.result;
+            }
+        }
+    }
+    eprintln!(
+        "[ipu-bench] running QD sweep over {qd_points:?} on {} at scale {} ...",
+        trace.name(),
+        cfg.scale
+    );
+    let started = Instant::now();
+    let result = run_qd_sweep(cfg, trace, host, qd_points);
+    eprintln!("[ipu-bench] QD sweep done in {:.1?}", started.elapsed());
+    let rec = ExperimentRecord::new("qd_sweep", cfg.clone(), result);
     if let Err(e) = rec.save(&path) {
         eprintln!("[ipu-bench] warning: could not cache results: {e}");
     }

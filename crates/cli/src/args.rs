@@ -34,7 +34,9 @@ impl ParsedArgs {
         allowed_flags: &[&str],
     ) -> Result<ParsedArgs, ArgError> {
         let mut it = args.into_iter();
-        let command = it.next().ok_or_else(|| ArgError("missing command".into()))?;
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing command".into()))?;
         let mut positionals = Vec::new();
         let mut flags = HashMap::new();
         while let Some(a) = it.next() {
@@ -59,7 +61,11 @@ impl ParsedArgs {
                 positionals.push(a);
             }
         }
-        Ok(ParsedArgs { command, positionals, flags })
+        Ok(ParsedArgs {
+            command,
+            positionals,
+            flags,
+        })
     }
 
     /// String flag value.
@@ -68,11 +74,7 @@ impl ParsedArgs {
     }
 
     /// Typed flag value with a default; parse failures are errors.
-    pub fn flag_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn flag_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(raw) => raw
@@ -83,7 +85,9 @@ impl ParsedArgs {
 
     /// Comma-separated list flag (`--traces ts0,usr0`).
     pub fn flag_list(&self, name: &str) -> Option<Vec<&str>> {
-        self.flags.get(name).map(|v| v.split(',').filter(|s| !s.is_empty()).collect())
+        self.flags
+            .get(name)
+            .map(|v| v.split(',').filter(|s| !s.is_empty()).collect())
     }
 }
 
@@ -97,9 +101,11 @@ mod tests {
 
     #[test]
     fn parses_command_positionals_and_flags() {
-        let p =
-            ParsedArgs::parse(argv("replay trace.csv --scheme ipu --scale 0.5"), &["scheme", "scale"])
-                .unwrap();
+        let p = ParsedArgs::parse(
+            argv("replay trace.csv --scheme ipu --scale 0.5"),
+            &["scheme", "scale"],
+        )
+        .unwrap();
         assert_eq!(p.command, "replay");
         assert_eq!(p.positionals, vec!["trace.csv"]);
         assert_eq!(p.flag("scheme"), Some("ipu"));

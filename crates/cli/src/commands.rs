@@ -4,9 +4,13 @@ use std::fs::File;
 use std::io::BufReader;
 
 use ipu_core::ftl::SchemeKind;
+use ipu_core::host::{ArbitrationPolicy, TenantSpec};
 use ipu_core::sim::{replay_with_progress, ReplayConfig, SimReport};
-use ipu_core::trace::{parse_msr_reader, PaperTrace};
-use ipu_core::{experiment, report, ExperimentConfig, ExperimentRecord, PAPER_PE_POINTS};
+use ipu_core::trace::{parse_msr_reader, PaperTrace, SplitStrategy};
+use ipu_core::{
+    experiment, report, run_qd_sweep, ExperimentConfig, ExperimentRecord, QdSweepHostSpec,
+    QdSweepResult, PAPER_PE_POINTS, PAPER_QD_POINTS,
+};
 
 use crate::args::{ArgError, ParsedArgs};
 
@@ -22,6 +26,8 @@ COMMANDS
   figure <N>            Regenerate figure N ∈ {2,5,6,7,8,9,10,11,13,14}
   run                   One (trace, scheme) replay with a detailed report
   sweep                 The §4.5 P/E-cycle sweep (Figures 13 & 14)
+  simulate              Closed-loop multi-queue host replay: QD × scheme sweep
+                        with per-tenant latency, occupancy and fairness
   replay <trace.csv>    Replay a real MSR-format trace file
   ablate <levels|gc|nop>  Design-choice ablations (DESIGN.md A1–A3)
   figures               Render the main figures as SVG files (--out <dir>)
@@ -37,11 +43,21 @@ COMMON OPTIONS
   --threads <n>         Sweep parallelism (default: cores − 1)
   --save <file.json>    Also write the raw results as JSON
 
+SIMULATE OPTIONS
+  --queue-depth <a,b>   Queue depths to sweep (default 1,4,16,64)
+  --tenants <spec>      Count (`4`) or `name[:weight[:priority]]` list
+                        (`fg:4:0,bg:1:1`); default one tenant
+  --arbitration <p>     rr | wrr | prio (default rr)
+  --dispatch-overhead <ns>  Serial command-fetch cost per dispatch (default 0)
+  --split <s>           Trace → tenant streams: rr | lba | clone (default rr)
+
 EXAMPLES
   ipu-sim figure 5 --scale 0.25
   ipu-sim run --traces ts0 --schemes ipu --scale 0.1
   ipu-sim replay /data/msr/ts0.csv --schemes ipu
   ipu-sim ablate gc --scale 0.05
+  ipu-sim simulate --traces ts0 --queue-depth 1,16 --tenants fg:4:0,bg:1:1 \\
+          --arbitration wrr --scale 0.01
 ";
 
 /// Builds the experiment config from the common flags.
@@ -54,10 +70,16 @@ fn config_from(args: &ParsedArgs) -> Result<ExperimentConfig, ArgError> {
     cfg.device.initial_pe_cycles = args.flag_parsed("pe", 4000u32)?;
     cfg.threads = args.flag_parsed("threads", 0usize)?;
     if let Some(names) = args.flag_list("traces") {
-        cfg.traces = names.iter().map(|n| parse_trace(n)).collect::<Result<_, _>>()?;
+        cfg.traces = names
+            .iter()
+            .map(|n| parse_trace(n))
+            .collect::<Result<_, _>>()?;
     }
     if let Some(names) = args.flag_list("schemes") {
-        cfg.schemes = names.iter().map(|n| parse_scheme(n)).collect::<Result<_, _>>()?;
+        cfg.schemes = names
+            .iter()
+            .map(|n| parse_scheme(n))
+            .collect::<Result<_, _>>()?;
     }
     cfg.validate().map_err(ArgError)?;
     Ok(cfg)
@@ -100,7 +122,11 @@ pub fn cmd_tables(args: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = config_from(args)?;
     let rows = experiment::run_trace_tables(&cfg);
     maybe_save(args, &cfg, "tables", rows.clone())?;
-    Ok(format!("{}\n{}", report::render_table1(&rows), report::render_table3(&rows)))
+    Ok(format!(
+        "{}\n{}",
+        report::render_table1(&rows),
+        report::render_table3(&rows)
+    ))
 }
 
 /// `ipu-sim figure <N>`
@@ -155,9 +181,11 @@ pub fn detailed_report(r: &SimReport) -> String {
     let mut s = String::new();
     s.push_str(&format!("=== {} on {} ===\n", r.scheme, r.trace));
     s.push_str(&format!("requests            : {}\n", r.requests));
-    for (label, lat) in
-        [("read", &r.read_latency), ("write", &r.write_latency), ("overall", &r.overall_latency)]
-    {
+    for (label, lat) in [
+        ("read", &r.read_latency),
+        ("write", &r.write_latency),
+        ("overall", &r.overall_latency),
+    ] {
         s.push_str(&format!(
             "{label:<8} latency    : mean {:.4} ms  p50 {:.3}  p95 {:.3}  p99 {:.3} ms  (n={})\n",
             lat.mean_ms(),
@@ -167,14 +195,19 @@ pub fn detailed_report(r: &SimReport) -> String {
             lat.count()
         ));
     }
-    s.push_str(&format!("read error rate     : {:.3e}\n", r.read_error_rate()));
+    s.push_str(&format!(
+        "read error rate     : {:.3e}\n",
+        r.read_error_rate()
+    ));
     s.push_str(&format!(
         "host writes         : {} SLC / {} MLC subpages\n",
         r.ftl.host_subpages_to_slc, r.ftl.host_subpages_to_mlc
     ));
     s.push_str(&format!(
         "level distribution  : {:?} (HighDensity/Work/Monitor/Hot)\n",
-        r.ftl.level_distribution().map(|f| format!("{:.1}%", f * 100.0))
+        r.ftl
+            .level_distribution()
+            .map(|f| format!("{:.1}%", f * 100.0))
     ));
     s.push_str(&format!(
         "intra-page / upgrade: {} / {}\n",
@@ -190,7 +223,10 @@ pub fn detailed_report(r: &SimReport) -> String {
         "erases              : {} SLC / {} MLC\n",
         r.wear.slc_erases, r.wear.mlc_erases
     ));
-    s.push_str(&format!("mapping table       : {} bytes\n", r.mapping.total()));
+    s.push_str(&format!(
+        "mapping table       : {} bytes\n",
+        r.mapping.total()
+    ));
     let horizon = r.simulated_horizon_ns.max(1);
     s.push_str(&format!(
         "device busy         : host-writes {:.1}s, host-reads {:.1}s, GC {:.1}s \
@@ -224,6 +260,47 @@ pub fn cmd_sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
     maybe_save(args, &cfg, "pe_sweep", sweep.clone())?;
     Ok(report::render_pe_sweep(&sweep))
+}
+
+/// `ipu-sim simulate`: the closed-loop host-interface QD sweep.
+pub fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = config_from(args)?;
+    let qd_points: Vec<usize> = match args.flag_list("queue-depth") {
+        None => PAPER_QD_POINTS.to_vec(),
+        Some(raw) => raw
+            .iter()
+            .map(|s| {
+                s.parse::<usize>()
+                    .ok()
+                    .filter(|&q| q >= 1)
+                    .ok_or_else(|| ArgError(format!("bad queue depth `{s}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if qd_points.is_empty() {
+        return Err(ArgError("--queue-depth needs at least one depth".into()));
+    }
+    let tenants = TenantSpec::parse_list(args.flag("tenants").unwrap_or("1")).map_err(ArgError)?;
+    let arbitration =
+        ArbitrationPolicy::parse(args.flag("arbitration").unwrap_or("rr")).map_err(ArgError)?;
+    let split = SplitStrategy::parse(args.flag("split").unwrap_or("rr")).map_err(ArgError)?;
+    let host = QdSweepHostSpec {
+        tenants,
+        arbitration,
+        dispatch_overhead_ns: args.flag_parsed("dispatch-overhead", 0u64)?,
+        split: split.label().to_string(),
+    };
+
+    let mut out = String::new();
+    let mut results: Vec<QdSweepResult> = Vec::new();
+    for &trace in &cfg.traces {
+        let sweep = run_qd_sweep(&cfg, trace, &host, &qd_points);
+        out.push_str(&report::render_qd_sweep(&sweep));
+        out.push('\n');
+        results.push(sweep);
+    }
+    maybe_save(args, &cfg, "qd_sweep", results)?;
+    Ok(out)
 }
 
 /// `ipu-sim replay <trace.csv>`
@@ -328,7 +405,10 @@ mod tests {
 
     #[test]
     fn config_respects_flags() {
-        let p = parsed("run --scale 0.01 --traces ts0,lun2 --schemes ipu --pe 8000", COMMON);
+        let p = parsed(
+            "run --scale 0.01 --traces ts0,lun2 --schemes ipu --pe 8000",
+            COMMON,
+        );
         let cfg = config_from(&p).unwrap();
         assert_eq!(cfg.scale, 0.01);
         assert_eq!(cfg.traces, vec![PaperTrace::Ts0, PaperTrace::Lun2]);
@@ -360,11 +440,58 @@ mod tests {
 
     #[test]
     fn tiny_run_produces_detailed_report() {
-        let p = parsed("run --scale 0.001 --traces lun2 --schemes ipu --threads 1", COMMON);
+        let p = parsed(
+            "run --scale 0.001 --traces lun2 --schemes ipu --threads 1",
+            COMMON,
+        );
         let text = cmd_run(&p).unwrap();
         assert!(text.contains("IPU on lun2"));
         assert!(text.contains("read error rate"));
         assert!(text.contains("mapping table"));
+    }
+
+    const SIMULATE: &[&str] = &[
+        "scale",
+        "traces",
+        "schemes",
+        "pe",
+        "threads",
+        "save",
+        "queue-depth",
+        "tenants",
+        "arbitration",
+        "dispatch-overhead",
+        "split",
+    ];
+
+    #[test]
+    fn tiny_simulate_reports_every_tenant() {
+        let p = parsed(
+            "simulate --scale 0.001 --traces lun2 --schemes ipu --queue-depth 2 \
+             --tenants alpha,beta --threads 1",
+            SIMULATE,
+        );
+        let text = cmd_simulate(&p).unwrap();
+        assert!(text.contains("Queue-depth sweep"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("fairness"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_specs() {
+        for bad in [
+            "simulate --scale 0.001 --queue-depth 0",
+            "simulate --scale 0.001 --queue-depth pony",
+            "simulate --scale 0.001 --arbitration fifo",
+            "simulate --scale 0.001 --split hash",
+            "simulate --scale 0.001 --tenants a:0",
+        ] {
+            assert!(
+                cmd_simulate(&parsed(bad, SIMULATE)).is_err(),
+                "`{bad}` must fail"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,20 @@ mod commands;
 use args::ParsedArgs;
 
 /// Flags accepted by every command (commands validate semantics themselves).
-const COMMON_FLAGS: &[&str] = &["scale", "traces", "schemes", "pe", "threads", "save", "out"];
+const COMMON_FLAGS: &[&str] = &[
+    "scale",
+    "traces",
+    "schemes",
+    "pe",
+    "threads",
+    "save",
+    "out",
+    "queue-depth",
+    "tenants",
+    "arbitration",
+    "dispatch-overhead",
+    "split",
+];
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +49,7 @@ fn main() {
         "figure" => commands::cmd_figure(&parsed),
         "run" => commands::cmd_run(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
+        "simulate" => commands::cmd_simulate(&parsed),
         "replay" => commands::cmd_replay(&parsed),
         "ablate" => commands::cmd_ablate(&parsed),
         "figures" => commands::cmd_figures(&parsed),

@@ -1,0 +1,99 @@
+//! End-to-end test of the `simulate` subcommand: run the real binary on a
+//! small synthetic trace, then check that the saved JSON report is internally
+//! consistent — per-tenant sections must sum to the overall counters.
+
+use std::process::Command;
+
+use ipu_core::{ExperimentRecord, QdSweepResult};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ipu-sim"))
+}
+
+#[test]
+fn simulate_runs_end_to_end_and_saves_consistent_json() {
+    let dir = std::env::temp_dir().join("ipu-cli-simulate-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let save = dir.join("qd_sweep.json");
+
+    let out = bin()
+        .args([
+            "simulate",
+            "--traces",
+            "ts0",
+            "--schemes",
+            "baseline,mga,ipu",
+            "--scale",
+            "0.002",
+            "--queue-depth",
+            "2,8",
+            "--tenants",
+            "fg:4:0,bg:1:1",
+            "--arbitration",
+            "wrr",
+            "--threads",
+            "1",
+            "--save",
+            save.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "simulate failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("Queue-depth sweep"),
+        "missing header:\n{stdout}"
+    );
+    for needle in ["fg", "bg", "fairness", "wrr"] {
+        assert!(stdout.contains(needle), "missing `{needle}`:\n{stdout}");
+    }
+
+    let record: ExperimentRecord<Vec<QdSweepResult>> =
+        ExperimentRecord::load(&save).expect("saved JSON loads");
+    assert_eq!(record.experiment, "qd_sweep");
+    assert_eq!(record.result.len(), 1, "one sweep per trace");
+    let sweep = &record.result[0];
+    assert_eq!(sweep.trace, "ts0");
+    assert_eq!(sweep.qd_points, vec![2, 8]);
+    assert_eq!(sweep.reports.len(), 2);
+
+    for row in &sweep.reports {
+        assert_eq!(row.len(), 3, "baseline, mga, ipu");
+        for cell in row {
+            // Per-tenant completions partition the overall request count.
+            let completed: u64 = cell.host.tenants.iter().map(|t| t.completed).sum();
+            assert_eq!(completed, cell.sim.requests);
+            // Per-tenant latency populations merge to the overall population.
+            let merged = cell.host.overall_service_latency();
+            assert_eq!(merged.count(), cell.sim.overall_latency.count());
+            assert_eq!(merged.sum_ns(), cell.sim.overall_latency.sum_ns());
+            assert_eq!(merged.max_ns(), cell.sim.overall_latency.max_ns());
+            // Per-tenant stall/occupancy are well-formed.
+            for t in &cell.host.tenants {
+                assert!(t.stalled_requests <= t.completed);
+                assert!(t.occupancy.mean() <= cell.host.queue_depth as f64 + 1e-9);
+            }
+            assert!(cell.host.fairness > 0.0 && cell.host.fairness <= 1.0);
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_rejects_unknown_arbitration_policy() {
+    let out = bin()
+        .args(["simulate", "--scale", "0.001", "--arbitration", "fifo"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown arbitration policy"),
+        "stderr: {stderr}"
+    );
+}

@@ -17,7 +17,12 @@ pub struct BarChart {
 
 impl BarChart {
     pub fn new(title: &str, unit: &str) -> Self {
-        BarChart { title: title.to_string(), unit: unit.to_string(), bars: Vec::new(), width: 48 }
+        BarChart {
+            title: title.to_string(),
+            unit: unit.to_string(),
+            bars: Vec::new(),
+            width: 48,
+        }
     }
 
     /// Sets the bar area width in characters (default 48).
@@ -28,8 +33,12 @@ impl BarChart {
 
     /// Adds one bar to `group` for `series`.
     pub fn bar(&mut self, group: &str, series: &str, value: f64) -> &mut Self {
-        assert!(value.is_finite() && value >= 0.0, "bar value must be finite and non-negative");
-        self.bars.push((group.to_string(), series.to_string(), value));
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar value must be finite and non-negative"
+        );
+        self.bars
+            .push((group.to_string(), series.to_string(), value));
         self
     }
 
@@ -40,7 +49,12 @@ impl BarChart {
             out.push_str("(no data)\n");
             return out;
         }
-        let max = self.bars.iter().map(|(_, _, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, _, v)| *v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
         let label_w = self
             .bars
             .iter()

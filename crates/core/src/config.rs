@@ -51,9 +51,11 @@ impl ExperimentConfig {
     /// the full paper-scale run.
     pub fn scaled(scale: f64) -> Self {
         assert!(scale > 0.0 && scale <= 1.0, "scale {scale} out of (0,1]");
-        let mut cfg = ExperimentConfig { scale, ..Self::default() };
-        cfg.device.geometry.blocks_per_plane =
-            ((1024.0 * scale).round() as u32).clamp(16, 1024);
+        let mut cfg = ExperimentConfig {
+            scale,
+            ..Self::default()
+        };
+        cfg.device.geometry.blocks_per_plane = ((1024.0 * scale).round() as u32).clamp(16, 1024);
         cfg
     }
 
@@ -65,8 +67,9 @@ impl ExperimentConfig {
             .unwrap_or(default_scale)
             .clamp(0.0005, 1.0);
         let mut cfg = Self::scaled(scale);
-        if let Some(threads) =
-            std::env::var("IPU_BENCH_THREADS").ok().and_then(|s| s.parse::<usize>().ok())
+        if let Some(threads) = std::env::var("IPU_BENCH_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
         {
             cfg.threads = threads;
         }

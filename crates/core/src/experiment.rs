@@ -23,8 +23,11 @@ pub fn generate_trace(cfg: &ExperimentConfig, trace: PaperTrace) -> Vec<ipu_trac
 /// Runs one (trace, scheme) cell of the evaluation matrix.
 pub fn run_one(cfg: &ExperimentConfig, trace: PaperTrace, scheme: SchemeKind) -> SimReport {
     let requests = generate_trace(cfg, trace);
-    let replay_cfg =
-        ReplayConfig { device: cfg.device.clone(), ftl: cfg.ftl.clone(), scheme };
+    let replay_cfg = ReplayConfig {
+        device: cfg.device.clone(),
+        ftl: cfg.ftl.clone(),
+        scheme,
+    };
     replay(&replay_cfg, &requests, trace.name())
 }
 
@@ -166,7 +169,10 @@ impl MatrixResult {
             .scheme_index(SchemeKind::Baseline)
             .expect("Figure 11 needs the Baseline scheme in the matrix");
         let base: MappingMemory = self.reports[trace][baseline_idx].mapping;
-        self.reports[trace].iter().map(|r| r.mapping.normalized_to(&base)).collect()
+        self.reports[trace]
+            .iter()
+            .map(|r| r.mapping.normalized_to(&base))
+            .collect()
     }
 }
 
@@ -184,8 +190,14 @@ pub struct PeSweepResult {
 
 /// Runs the §4.5 sweep; the paper uses P/E ∈ {1000, 2000, 4000, 8000}.
 pub fn run_pe_sweep(cfg: &ExperimentConfig, pe_points: &[u32]) -> PeSweepResult {
-    let matrices = pe_points.iter().map(|&pe| run_main_matrix(&cfg.with_pe_cycles(pe))).collect();
-    PeSweepResult { pe_points: pe_points.to_vec(), matrices }
+    let matrices = pe_points
+        .iter()
+        .map(|&pe| run_main_matrix(&cfg.with_pe_cycles(pe)))
+        .collect();
+    PeSweepResult {
+        pe_points: pe_points.to_vec(),
+        matrices,
+    }
 }
 
 /// The paper's default P/E sweep points.

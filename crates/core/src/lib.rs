@@ -22,18 +22,20 @@ pub mod charts;
 pub mod config;
 pub mod experiment;
 pub mod parallel;
+pub mod qd_sweep;
 pub mod report;
 pub mod results;
 pub mod scorecard;
 pub mod svg;
 
+pub use charts::{chart_matrix, BarChart};
 pub use config::ExperimentConfig;
 pub use experiment::{
     run_ber_curve, run_main_matrix, run_matrix, run_one, run_pe_sweep, run_trace_tables,
     MatrixResult, PeSweepResult, PAPER_PE_POINTS,
 };
 pub use parallel::{default_threads, parallel_map};
-pub use charts::{chart_matrix, BarChart};
+pub use qd_sweep::{run_qd_sweep, QdSweepHostSpec, QdSweepResult, PAPER_QD_POINTS};
 pub use results::ExperimentRecord;
 pub use scorecard::{evaluate as evaluate_scorecard, ClaimResult, Outcome};
 pub use svg::{write_figures, GroupedBars, LineChart};
@@ -41,5 +43,6 @@ pub use svg::{write_figures, GroupedBars, LineChart};
 // Re-export the layer crates so downstream users need only one dependency.
 pub use ipu_flash as flash;
 pub use ipu_ftl as ftl;
+pub use ipu_host as host;
 pub use ipu_sim as sim;
 pub use ipu_trace as trace;

@@ -1,4 +1,4 @@
-//! Minimal scoped-thread parallel map built on crossbeam.
+//! Minimal scoped-thread parallel map built on `std::thread::scope`.
 //!
 //! Experiment sweeps (6 traces × 3 schemes × 4 P/E points) are embarrassingly
 //! parallel and each job owns its whole simulated device, so a simple
@@ -6,8 +6,7 @@
 //! mutable state beyond an index counter.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item, running up to `threads` jobs concurrently.
 /// Results are returned in input order. Panics in workers propagate.
@@ -30,27 +29,35 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = jobs[i].lock().take().expect("job taken twice");
+                let item = jobs[i].lock().unwrap().take().expect("job taken twice");
                 let r = f(item);
-                *results[i].lock() = Some(r);
+                *results[i].lock().unwrap() = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    results.into_iter().map(|m| m.into_inner().expect("missing result")).collect()
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker poisoned")
+                .expect("missing result")
+        })
+        .collect()
 }
 
 /// Default worker count: physical parallelism minus one, at least one.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get().saturating_sub(1).max(1)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -72,7 +79,10 @@ mod tests {
 
     #[test]
     fn single_thread_path_works() {
-        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x: i32| x * x), vec![1, 4, 9]);
+        assert_eq!(
+            parallel_map(vec![1, 2, 3], 1, |x: i32| x * x),
+            vec![1, 4, 9]
+        );
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Queue-depth sweep: the closed-loop host interface across QD × scheme.
+//!
+//! The paper's evaluation is open-loop — every request fires at its trace
+//! timestamp. This extension replays the same calibrated trace through the
+//! `ipu-host` multi-queue interface at several queue depths and compares the
+//! cache-update schemes under host backpressure: per-tenant
+//! submission-to-completion latency, queue occupancy, admission stall and
+//! fairness.
+
+use ipu_ftl::SchemeKind;
+use ipu_host::{ArbitrationPolicy, HostConfig, TenantSpec};
+use ipu_sim::{replay_closed_loop, ClosedLoopReport, ReplayConfig};
+use ipu_trace::{PaperTrace, SplitStrategy};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::experiment::generate_trace;
+use crate::parallel::parallel_map;
+
+/// The default sweep points: QD 1 (fully serialized) through 64.
+pub const PAPER_QD_POINTS: [usize; 4] = [1, 4, 16, 64];
+
+/// Host-side parameters of a sweep (everything but the queue depth, which is
+/// the swept variable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QdSweepHostSpec {
+    pub tenants: Vec<TenantSpec>,
+    pub arbitration: ArbitrationPolicy,
+    pub dispatch_overhead_ns: u64,
+    /// How the trace becomes per-tenant streams (`rr` | `lba` | `clone`).
+    pub split: String,
+}
+
+impl Default for QdSweepHostSpec {
+    fn default() -> Self {
+        QdSweepHostSpec {
+            tenants: vec![TenantSpec::new("t0")],
+            arbitration: ArbitrationPolicy::RoundRobin,
+            dispatch_overhead_ns: 0,
+            split: SplitStrategy::RoundRobin.label().to_string(),
+        }
+    }
+}
+
+impl QdSweepHostSpec {
+    pub fn split_strategy(&self) -> SplitStrategy {
+        SplitStrategy::parse(&self.split).expect("validated split strategy")
+    }
+
+    fn host_config(&self, queue_depth: usize) -> HostConfig {
+        HostConfig::new(queue_depth, self.arbitration, self.tenants.clone())
+            .with_dispatch_overhead(self.dispatch_overhead_ns)
+    }
+}
+
+/// Results of one sweep: `reports[q][s]` is QD `qd_points[q]` under scheme
+/// `schemes[s]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QdSweepResult {
+    pub trace: String,
+    pub qd_points: Vec<u64>,
+    pub schemes: Vec<SchemeKind>,
+    pub host: QdSweepHostSpec,
+    pub reports: Vec<Vec<ClosedLoopReport>>,
+}
+
+impl QdSweepResult {
+    pub fn report(&self, qd_index: usize, scheme_index: usize) -> &ClosedLoopReport {
+        &self.reports[qd_index][scheme_index]
+    }
+}
+
+/// Runs the QD × scheme sweep on one calibrated trace, splitting it into
+/// per-tenant streams with the configured strategy. Cells run in parallel
+/// (each owns its device).
+pub fn run_qd_sweep(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    host: &QdSweepHostSpec,
+    qd_points: &[usize],
+) -> QdSweepResult {
+    assert!(
+        !qd_points.is_empty(),
+        "sweep needs at least one queue depth"
+    );
+    let requests = generate_trace(cfg, trace);
+    let streams = host.split_strategy().split(&requests, host.tenants.len());
+
+    let jobs: Vec<(usize, SchemeKind)> = qd_points
+        .iter()
+        .flat_map(|&qd| cfg.schemes.iter().map(move |&s| (qd, s)))
+        .collect();
+    let flat = parallel_map(jobs, cfg.effective_threads(), |(qd, scheme)| {
+        let replay_cfg = ReplayConfig {
+            device: cfg.device.clone(),
+            ftl: cfg.ftl.clone(),
+            scheme,
+        };
+        replay_closed_loop(&replay_cfg, &host.host_config(qd), &streams, trace.name())
+    });
+
+    QdSweepResult {
+        trace: trace.name().to_string(),
+        qd_points: qd_points.iter().map(|&q| q as u64).collect(),
+        schemes: cfg.schemes.clone(),
+        host: host.clone(),
+        reports: flat.chunks(cfg.schemes.len()).map(|c| c.to_vec()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::scaled(0.002);
+        cfg.traces = vec![PaperTrace::Ts0];
+        cfg.schemes = SchemeKind::all().to_vec();
+        cfg.threads = 1;
+        cfg
+    }
+
+    #[test]
+    fn sweep_covers_qd_by_scheme_grid() {
+        let cfg = tiny_cfg();
+        let host = QdSweepHostSpec::default();
+        let result = run_qd_sweep(&cfg, PaperTrace::Ts0, &host, &[1, 8]);
+        assert_eq!(result.qd_points, vec![1, 8]);
+        assert_eq!(result.reports.len(), 2);
+        assert_eq!(result.reports[0].len(), 3);
+        let requests = result.report(0, 0).sim.requests;
+        assert!(requests > 0);
+        for row in &result.reports {
+            for cell in row {
+                assert_eq!(
+                    cell.sim.requests, requests,
+                    "every cell replays the same trace"
+                );
+                assert_eq!(cell.host.total_completed(), requests);
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_queues_never_increase_stall() {
+        let cfg = tiny_cfg();
+        let host = QdSweepHostSpec::default();
+        let result = run_qd_sweep(&cfg, PaperTrace::Ts0, &host, &[1, 64]);
+        for s in 0..result.schemes.len() {
+            let shallow = &result.report(0, s).host.tenants[0];
+            let deep = &result.report(1, s).host.tenants[0];
+            assert!(
+                deep.admission_stall_ns <= shallow.admission_stall_ns,
+                "{}: QD64 stall {} exceeds QD1 stall {}",
+                result.schemes[s],
+                deep.admission_stall_ns,
+                shallow.admission_stall_ns
+            );
+        }
+    }
+
+    #[test]
+    fn multi_tenant_sweep_respects_tenant_count() {
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![SchemeKind::Ipu];
+        let host = QdSweepHostSpec {
+            tenants: TenantSpec::parse_list("a,b,c").unwrap(),
+            arbitration: ArbitrationPolicy::RoundRobin,
+            dispatch_overhead_ns: 0,
+            split: "rr".into(),
+        };
+        let result = run_qd_sweep(&cfg, PaperTrace::Ts0, &host, &[4]);
+        let cell = result.report(0, 0);
+        assert_eq!(cell.host.tenants.len(), 3);
+        let total: u64 = cell.host.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(total, cell.sim.requests);
+        assert!(cell.host.fairness > 0.0);
+    }
+}

@@ -3,6 +3,7 @@
 use ipu_ftl::SchemeKind;
 
 use crate::experiment::{BerCurvePoint, MatrixResult, PeSweepResult, TraceCalibrationRow};
+use crate::qd_sweep::QdSweepResult;
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -13,7 +14,10 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new(headers: &[&str]) -> Self {
-        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
@@ -75,7 +79,13 @@ fn sci(x: f64) -> String {
 /// Table 1: update-size distribution, measured vs paper.
 pub fn render_table1(rows: &[TraceCalibrationRow]) -> String {
     let mut t = TextTable::new(&[
-        "Trace", "<=4K", "(4K,8K]", ">8K", "paper<=4K", "paper(4K,8K]", "paper>8K",
+        "Trace",
+        "<=4K",
+        "(4K,8K]",
+        ">8K",
+        "paper<=4K",
+        "paper(4K,8K]",
+        "paper>8K",
     ]);
     for r in rows {
         t.row(vec![
@@ -88,13 +98,23 @@ pub fn render_table1(rows: &[TraceCalibrationRow]) -> String {
             pct(r.paper_table1[2]),
         ]);
     }
-    format!("Table 1 — size distribution of updated requests\n{}", t.render())
+    format!(
+        "Table 1 — size distribution of updated requests\n{}",
+        t.render()
+    )
 }
 
 /// Table 3: trace specifications, measured vs paper.
 pub fn render_table3(rows: &[TraceCalibrationRow]) -> String {
     let mut t = TextTable::new(&[
-        "Trace", "#Req", "WriteR", "WriteSZ(KB)", "HotWrite", "paperWR", "paperSZ", "paperHot",
+        "Trace",
+        "#Req",
+        "WriteR",
+        "WriteSZ(KB)",
+        "HotWrite",
+        "paperWR",
+        "paperSZ",
+        "paperHot",
     ]);
     for r in rows {
         let (_, wr, sz, hot) = r.paper_table3;
@@ -109,16 +129,26 @@ pub fn render_table3(rows: &[TraceCalibrationRow]) -> String {
             pct(hot),
         ]);
     }
-    format!("Table 3 — specifications of the selected traces\n{}", t.render())
+    format!(
+        "Table 3 — specifications of the selected traces\n{}",
+        t.render()
+    )
 }
 
 /// Figure 2: RBER vs P/E curves.
 pub fn render_fig2(curve: &[BerCurvePoint]) -> String {
     let mut t = TextTable::new(&["P/E", "conventional", "partial"]);
     for p in curve {
-        t.row(vec![p.pe_cycles.to_string(), sci(p.conventional), sci(p.partial)]);
+        t.row(vec![
+            p.pe_cycles.to_string(),
+            sci(p.conventional),
+            sci(p.partial),
+        ]);
     }
-    format!("Figure 2 — bit error rate of conventional vs partial programming\n{}", t.render())
+    format!(
+        "Figure 2 — bit error rate of conventional vs partial programming\n{}",
+        t.render()
+    )
 }
 
 /// Figure 5: mean response times per trace × scheme (read / write / overall).
@@ -138,9 +168,12 @@ pub fn render_fig5(m: &MatrixResult) -> String {
     }
     let mut out = format!("Figure 5 — I/O response time distribution\n{}", t.render());
     out.push('\n');
-    out.push_str(&crate::charts::chart_matrix(m, "overall mean response time", "ms", |r| {
-        r.overall_latency.mean_ms()
-    }));
+    out.push_str(&crate::charts::chart_matrix(
+        m,
+        "overall mean response time",
+        "ms",
+        |r| r.overall_latency.mean_ms(),
+    ));
     if let (Some(_), Some(_), Some(_)) = (
         m.scheme_index(SchemeKind::Baseline),
         m.scheme_index(SchemeKind::Mga),
@@ -164,7 +197,13 @@ pub fn render_fig5(m: &MatrixResult) -> String {
 
 /// Figure 6: completed writes split between SLC-mode and MLC regions.
 pub fn render_fig6(m: &MatrixResult) -> String {
-    let mut t = TextTable::new(&["Trace", "Scheme", "SLC subpages", "MLC subpages", "MLC share"]);
+    let mut t = TextTable::new(&[
+        "Trace",
+        "Scheme",
+        "SLC subpages",
+        "MLC subpages",
+        "MLC share",
+    ]);
     for (ti, trace) in m.traces.iter().enumerate() {
         for (si, scheme) in m.schemes.iter().enumerate() {
             let r = m.report(ti, si);
@@ -182,7 +221,10 @@ pub fn render_fig6(m: &MatrixResult) -> String {
             ]);
         }
     }
-    format!("Figure 6 — completed writes distribution in SLC/MLC blocks\n{}", t.render())
+    format!(
+        "Figure 6 — completed writes distribution in SLC/MLC blocks\n{}",
+        t.render()
+    )
 }
 
 /// Figure 7: IPU's write distribution across the three-level blocks.
@@ -193,9 +235,18 @@ pub fn render_fig7(m: &MatrixResult) -> String {
     let mut t = TextTable::new(&["Trace", "HighDensity", "Work", "Monitor", "Hot"]);
     for (ti, trace) in m.traces.iter().enumerate() {
         let d = m.report(ti, si).ftl.level_distribution();
-        t.row(vec![trace.clone(), pct(d[0]), pct(d[1]), pct(d[2]), pct(d[3])]);
+        t.row(vec![
+            trace.clone(),
+            pct(d[0]),
+            pct(d[1]),
+            pct(d[2]),
+            pct(d[3]),
+        ]);
     }
-    format!("Figure 7 — occurred writes distribution in three-level blocks (IPU)\n{}", t.render())
+    format!(
+        "Figure 7 — occurred writes distribution in three-level blocks (IPU)\n{}",
+        t.render()
+    )
 }
 
 /// Figure 8: average read error rate.
@@ -212,9 +263,12 @@ pub fn render_fig8(m: &MatrixResult) -> String {
     }
     let mut out = format!("Figure 8 — average read error rate\n{}", t.render());
     out.push('\n');
-    out.push_str(&crate::charts::chart_matrix(m, "average read error rate", "rber", |r| {
-        r.read_error_rate()
-    }));
+    out.push_str(&crate::charts::chart_matrix(
+        m,
+        "average read error rate",
+        "rber",
+        |r| r.read_error_rate(),
+    ));
     if m.scheme_index(SchemeKind::Baseline).is_some()
         && m.scheme_index(SchemeKind::Mga).is_some()
         && m.scheme_index(SchemeKind::Ipu).is_some()
@@ -242,7 +296,10 @@ pub fn render_fig9(m: &MatrixResult) -> String {
             ]);
         }
     }
-    format!("Figure 9 — page utilization ratio of GC blocks in the SLC-mode cache\n{}", t.render())
+    format!(
+        "Figure 9 — page utilization ratio of GC blocks in the SLC-mode cache\n{}",
+        t.render()
+    )
 }
 
 /// Figure 10: erase counts in SLC-mode and MLC blocks.
@@ -259,7 +316,10 @@ pub fn render_fig10(m: &MatrixResult) -> String {
             ]);
         }
     }
-    format!("Figure 10 — erase number occurred in SLC and MLC blocks\n{}", t.render())
+    format!(
+        "Figure 10 — erase number occurred in SLC and MLC blocks\n{}",
+        t.render()
+    )
 }
 
 /// Figure 11: normalized mapping-table size.
@@ -287,9 +347,18 @@ pub fn render_pe_sweep(s: &PeSweepResult) -> String {
     for (pi, m) in s.matrices.iter().enumerate() {
         for (si, scheme) in m.schemes.iter().enumerate() {
             let n = m.traces.len() as f64;
-            let lat: f64 =
-                m.reports.iter().map(|row| row[si].overall_latency.mean_ms()).sum::<f64>() / n;
-            let err: f64 = m.reports.iter().map(|row| row[si].read_error_rate()).sum::<f64>() / n;
+            let lat: f64 = m
+                .reports
+                .iter()
+                .map(|row| row[si].overall_latency.mean_ms())
+                .sum::<f64>()
+                / n;
+            let err: f64 = m
+                .reports
+                .iter()
+                .map(|row| row[si].read_error_rate())
+                .sum::<f64>()
+                / n;
             t.row(vec![
                 s.pe_points[pi].to_string(),
                 scheme.label().to_string(),
@@ -298,7 +367,51 @@ pub fn render_pe_sweep(s: &PeSweepResult) -> String {
             ]);
         }
     }
-    format!("Figures 13 & 14 — I/O latency and bit error rate under varied P/E cycles\n{}", t.render())
+    format!(
+        "Figures 13 & 14 — I/O latency and bit error rate under varied P/E cycles\n{}",
+        t.render()
+    )
+}
+
+/// Queue-depth sweep: per-tenant QoS of the closed-loop host interface.
+pub fn render_qd_sweep(s: &QdSweepResult) -> String {
+    let mut t = TextTable::new(&[
+        "QD",
+        "Scheme",
+        "Tenant",
+        "svc mean(ms)",
+        "svc p99(ms)",
+        "stall(ms/req)",
+        "occ mean",
+        "thr(req/s)",
+        "fairness",
+    ]);
+    for (qi, row) in s.reports.iter().enumerate() {
+        for (si, cell) in row.iter().enumerate() {
+            for tenant in &cell.host.tenants {
+                t.row(vec![
+                    s.qd_points[qi].to_string(),
+                    s.schemes[si].label().to_string(),
+                    tenant.name.clone(),
+                    ms(tenant.service_latency.mean_ms()),
+                    ms(tenant.service_latency.percentile_ns(99.0) as f64 / 1e6),
+                    ms(tenant.mean_stall_ns() / 1e6),
+                    format!("{:.2}", tenant.occupancy.mean()),
+                    format!("{:.0}", tenant.throughput_rps()),
+                    format!("{:.3}", cell.host.fairness),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Queue-depth sweep — closed-loop host interface on `{}` \
+         ({} tenants, {} arbitration, split {})\n{}",
+        s.trace,
+        s.host.tenants.len(),
+        s.host.arbitration.label(),
+        s.host.split,
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -23,7 +23,11 @@ pub struct ExperimentRecord<T> {
 
 impl<T: Serialize + DeserializeOwned> ExperimentRecord<T> {
     pub fn new(experiment: &str, config: ExperimentConfig, result: T) -> Self {
-        ExperimentRecord { experiment: experiment.to_string(), config, result }
+        ExperimentRecord {
+            experiment: experiment.to_string(),
+            config,
+            result,
+        }
     }
 
     /// Writes the record as pretty JSON.

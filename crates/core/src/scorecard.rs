@@ -77,7 +77,13 @@ fn check_ratio(
     } else {
         Outcome::Deviation
     };
-    ClaimResult { source, claim, paper_value: paper, measured, outcome }
+    ClaimResult {
+        source,
+        claim,
+        paper_value: paper,
+        measured,
+        outcome,
+    }
 }
 
 /// Checks an ordering claim (no paper magnitude): `holds` decides
@@ -94,7 +100,11 @@ fn check_order(
         claim,
         paper_value: paper,
         measured,
-        outcome: if holds { Outcome::Reproduced } else { Outcome::Deviation },
+        outcome: if holds {
+            Outcome::Reproduced
+        } else {
+            Outcome::Deviation
+        },
     }
 }
 
@@ -278,7 +288,9 @@ fn mean_less(
     b: SchemeKind,
     f: impl Fn(&SimReport) -> f64,
 ) -> bool {
-    let (Some(ai), Some(bi)) = (m.scheme_index(a), m.scheme_index(b)) else { return false };
+    let (Some(ai), Some(bi)) = (m.scheme_index(a), m.scheme_index(b)) else {
+        return false;
+    };
     let n = m.reports.len() as f64;
     let ma: f64 = m.reports.iter().map(|row| f(&row[ai])).sum::<f64>() / n;
     let mb: f64 = m.reports.iter().map(|row| f(&row[bi])).sum::<f64>() / n;
@@ -304,9 +316,18 @@ pub fn render(results: &[ClaimResult]) -> String {
             r.outcome.symbol().to_string(),
         ]);
     }
-    let reproduced = results.iter().filter(|r| r.outcome == Outcome::Reproduced).count();
-    let partial = results.iter().filter(|r| r.outcome == Outcome::Partial).count();
-    let deviation = results.iter().filter(|r| r.outcome == Outcome::Deviation).count();
+    let reproduced = results
+        .iter()
+        .filter(|r| r.outcome == Outcome::Reproduced)
+        .count();
+    let partial = results
+        .iter()
+        .filter(|r| r.outcome == Outcome::Partial)
+        .count();
+    let deviation = results
+        .iter()
+        .filter(|r| r.outcome == Outcome::Deviation)
+        .count();
     format!(
         "Reproduction scorecard — the paper's claims checked against this run\n{}\n\
          {reproduced} reproduced · {partial} partial · {deviation} deviations \

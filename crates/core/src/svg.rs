@@ -10,8 +10,9 @@
 use std::fmt::Write as _;
 
 /// A categorical color per series, matching across all figures.
-const SERIES_COLORS: [&str; 6] =
-    ["#4878a8", "#e49444", "#5ba053", "#bf4f4f", "#8573a9", "#767676"];
+const SERIES_COLORS: [&str; 6] = [
+    "#4878a8", "#e49444", "#5ba053", "#bf4f4f", "#8573a9", "#767676",
+];
 
 const MARGIN_LEFT: f64 = 70.0;
 const MARGIN_RIGHT: f64 = 20.0;
@@ -19,7 +20,9 @@ const MARGIN_TOP: f64 = 40.0;
 const MARGIN_BOTTOM: f64 = 70.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Builds a grouped bar chart (one group per trace, one bar per scheme).
@@ -50,7 +53,10 @@ impl GroupedBars {
 
     /// Sets the value of `(group, series)`.
     pub fn set(&mut self, group: usize, series: usize, value: f64) -> &mut Self {
-        assert!(value.is_finite() && value >= 0.0, "bar values must be finite and ≥ 0");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar values must be finite and ≥ 0"
+        );
         self.values[group][series] = value;
         self
     }
@@ -181,7 +187,10 @@ impl LineChart {
     /// Adds a named series; must have one value per x tick.
     pub fn series(&mut self, name: &str, values: &[f64]) -> &mut Self {
         assert_eq!(values.len(), self.x_ticks.len(), "series length mismatch");
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         self.series.push((name.to_string(), values.to_vec()));
         self
     }
@@ -264,8 +273,17 @@ impl LineChart {
             }
             let x = MARGIN_LEFT + 110.0 * s as f64;
             let y = h - 22.0;
-            let _ = write!(svg, r#"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{color}"/>"#, y - 11.0);
-            let _ = write!(svg, r#"<text x="{:.1}" y="{y:.1}" font-size="12">{}</text>"#, x + 16.0, esc(name));
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{color}"/>"#,
+                y - 11.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{y:.1}" font-size="12">{}</text>"#,
+                x + 16.0,
+                esc(name)
+            );
         }
         svg.push_str("</svg>");
         svg
@@ -292,10 +310,17 @@ pub fn write_figures(
     sweep: Option<&crate::experiment::PeSweepResult>,
 ) -> std::io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
-    let series: Vec<String> = matrix.schemes.iter().map(|s| s.label().to_string()).collect();
+    let series: Vec<String> = matrix
+        .schemes
+        .iter()
+        .map(|s| s.label().to_string())
+        .collect();
     let mut written = Vec::new();
 
-    let mut bar = |name: &str, title: &str, unit: &str, f: &dyn Fn(&ipu_sim::SimReport) -> f64|
+    let bar = |name: &str,
+               title: &str,
+               unit: &str,
+               f: &dyn Fn(&ipu_sim::SimReport) -> f64|
      -> std::io::Result<std::path::PathBuf> {
         let mut chart = GroupedBars::new(title, unit, &matrix.traces, &series);
         for (g, _) in matrix.traces.iter().enumerate() {
@@ -308,18 +333,30 @@ pub fn write_figures(
         Ok(path)
     };
 
-    written.push(bar("fig5_overall_latency.svg", "Figure 5 — overall response time", "ms", &|r| {
-        r.overall_latency.mean_ms()
-    })?);
-    written.push(bar("fig8_read_error_rate.svg", "Figure 8 — average read error rate", "RBER", &|r| {
-        r.read_error_rate()
-    })?);
-    written.push(bar("fig9_page_utilization.svg", "Figure 9 — GC page utilization", "fraction", &|r| {
-        r.gc_page_utilization()
-    })?);
-    written.push(bar("fig10a_slc_erases.svg", "Figure 10(a) — SLC erases", "erases", &|r| {
-        r.wear.slc_erases as f64
-    })?);
+    written.push(bar(
+        "fig5_overall_latency.svg",
+        "Figure 5 — overall response time",
+        "ms",
+        &|r| r.overall_latency.mean_ms(),
+    )?);
+    written.push(bar(
+        "fig8_read_error_rate.svg",
+        "Figure 8 — average read error rate",
+        "RBER",
+        &|r| r.read_error_rate(),
+    )?);
+    written.push(bar(
+        "fig9_page_utilization.svg",
+        "Figure 9 — GC page utilization",
+        "fraction",
+        &|r| r.gc_page_utilization(),
+    )?);
+    written.push(bar(
+        "fig10a_slc_erases.svg",
+        "Figure 10(a) — SLC erases",
+        "erases",
+        &|r| r.wear.slc_erases as f64,
+    )?);
 
     if let Some(sweep) = sweep {
         let xs: Vec<f64> = sweep.pe_points.iter().map(|&p| p as f64).collect();
@@ -330,17 +367,32 @@ pub fn write_figures(
             let lats: Vec<f64> = sweep
                 .matrices
                 .iter()
-                .map(|m| m.reports.iter().map(|row| row[si].overall_latency.mean_ms()).sum::<f64>() / n)
+                .map(|m| {
+                    m.reports
+                        .iter()
+                        .map(|row| row[si].overall_latency.mean_ms())
+                        .sum::<f64>()
+                        / n
+                })
                 .collect();
             let errs: Vec<f64> = sweep
                 .matrices
                 .iter()
-                .map(|m| m.reports.iter().map(|row| row[si].read_error_rate()).sum::<f64>() / n)
+                .map(|m| {
+                    m.reports
+                        .iter()
+                        .map(|row| row[si].read_error_rate())
+                        .sum::<f64>()
+                        / n
+                })
                 .collect();
             lat.series(scheme.label(), &lats);
             err.series(scheme.label(), &errs);
         }
-        for (name, chart) in [("fig13_latency_vs_pe.svg", lat), ("fig14_ber_vs_pe.svg", err)] {
+        for (name, chart) in [
+            ("fig13_latency_vs_pe.svg", lat),
+            ("fig14_ber_vs_pe.svg", err),
+        ] {
             let path = dir.join(name);
             std::fs::write(&path, chart.render())?;
             written.push(path);
@@ -361,11 +413,18 @@ mod tests {
             &["ts0".into(), "usr0".into()],
             &["Baseline".into(), "IPU".into()],
         );
-        c.set(0, 0, 1.0).set(0, 1, 0.5).set(1, 0, 0.25).set(1, 1, 0.75);
+        c.set(0, 0, 1.0)
+            .set(0, 1, 0.5)
+            .set(1, 0, 0.25)
+            .set(1, 1, 0.75);
         let svg = c.render();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
-        assert_eq!(svg.matches("<rect").count(), 4 + 2, "4 bars + 2 legend swatches");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            4 + 2,
+            "4 bars + 2 legend swatches"
+        );
         assert!(svg.contains("t&amp;t"), "title must be escaped");
         assert!(svg.contains("ts0") && svg.contains("usr0"));
         // Balanced tags for the primitives we emit.
@@ -374,21 +433,21 @@ mod tests {
 
     #[test]
     fn bar_heights_scale_with_values() {
-        let mut c =
-            GroupedBars::new("t", "u", &["g".into()], &["a".into(), "b".into()]);
+        let mut c = GroupedBars::new("t", "u", &["g".into()], &["a".into(), "b".into()]);
         c.set(0, 0, 2.0).set(0, 1, 1.0);
         let svg = c.render();
         // Extract every height attribute; drop the document height (360) and
         // the fixed 12-px legend swatches — what remains are the two bars.
         let bars: Vec<f64> = svg
             .match_indices("height=\"")
-            .filter_map(|(i, pat)| {
-                svg[i + pat.len()..].split('"').next()?.parse::<f64>().ok()
-            })
+            .filter_map(|(i, pat)| svg[i + pat.len()..].split('"').next()?.parse::<f64>().ok())
             .filter(|&h| h != 12.0 && h != 360.0)
             .collect();
         assert_eq!(bars.len(), 2, "expected exactly two bars: {bars:?}");
-        assert!(bars[0] > bars[1] * 1.9, "full bar must be ~2× the half bar: {bars:?}");
+        assert!(
+            bars[0] > bars[1] * 1.9,
+            "full bar must be ~2× the half bar: {bars:?}"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl DeviceConfig {
 
     /// Tiny device for unit tests.
     pub fn small_for_tests() -> Self {
-        DeviceConfig { geometry: FlashGeometry::small_for_tests(), ..Self::paper_scale() }
+        DeviceConfig {
+            geometry: FlashGeometry::small_for_tests(),
+            ..Self::paper_scale()
+        }
     }
 
     /// Validates every component.

@@ -117,11 +117,20 @@ impl FlashDevice {
         let subpages = g.subpages_per_page() as u8;
         let blocks = (0..g.total_blocks())
             .map(|_| {
-                BlockState::erased(cfg.initial_mode, g.pages_per_block(cfg.initial_mode), subpages)
+                BlockState::erased(
+                    cfg.initial_mode,
+                    g.pages_per_block(cfg.initial_mode),
+                    subpages,
+                )
             })
             .collect();
         let wear = WearTracker::new(g.total_blocks(), cfg.initial_pe_cycles);
-        FlashDevice { cfg, blocks, wear, counters: OpCounters::default() }
+        FlashDevice {
+            cfg,
+            blocks,
+            wear,
+            counters: OpCounters::default(),
+        }
     }
 
     /// Device configuration.
@@ -217,12 +226,14 @@ impl FlashDevice {
         let mut neighbour_disturbed = 0u16;
         let pages_in_block = self.blocks[idx].page_count();
         if spa.ppa.page > 0 {
-            neighbour_disturbed +=
-                self.blocks[idx].page_mut(spa.ppa.page - 1).apply_neighbour_disturb();
+            neighbour_disturbed += self.blocks[idx]
+                .page_mut(spa.ppa.page - 1)
+                .apply_neighbour_disturb();
         }
         if spa.ppa.page + 1 < pages_in_block {
-            neighbour_disturbed +=
-                self.blocks[idx].page_mut(spa.ppa.page + 1).apply_neighbour_disturb();
+            neighbour_disturbed += self.blocks[idx]
+                .page_mut(spa.ppa.page + 1)
+                .apply_neighbour_disturb();
         }
 
         let bytes = count as u32 * g.subpage_size;
@@ -236,7 +247,12 @@ impl FlashDevice {
         self.counters.in_page_disturb_events += in_page_disturbed as u64;
         self.counters.neighbour_disturb_events += neighbour_disturbed as u64;
 
-        Ok(ProgramResult { latency_ns, in_page_disturbed, neighbour_disturbed, partial: is_partial })
+        Ok(ProgramResult {
+            latency_ns,
+            in_page_disturbed,
+            neighbour_disturbed,
+            partial: is_partial,
+        })
     }
 
     /// Reads `count` subpages starting at `spa`.
@@ -265,8 +281,10 @@ impl FlashDevice {
         // Expected errors accumulate per subpage; RBER reported is the mean.
         let pe = self.wear.pe_cycles(idx as u64);
         let baseline = self.cfg.ber.baseline_rber(pe, mode);
-        let read_factor =
-            self.cfg.disturb.read_disturb_factor(self.blocks[idx].reads_since_erase());
+        let read_factor = self
+            .cfg
+            .disturb
+            .read_disturb_factor(self.blocks[idx].reads_since_erase());
         let mut rber_sum = 0.0;
         for s in spa.subpage..spa.subpage + count {
             rber_sum += self.cfg.disturb.effective_rber(
@@ -316,12 +334,18 @@ impl FlashDevice {
         let idx = g.block_index(spa.ppa.block_addr());
         let block = &self.blocks[idx as usize];
         let page = block.page(spa.ppa.page);
-        let baseline = self.cfg.ber.baseline_rber(self.wear.pe_cycles(idx), block.mode());
+        let baseline = self
+            .cfg
+            .ber
+            .baseline_rber(self.wear.pe_cycles(idx), block.mode());
         self.cfg.disturb.effective_rber(
             baseline,
             page.in_page_disturbs(spa.subpage),
             page.neighbour_disturbs(),
-        ) * self.cfg.disturb.read_disturb_factor(block.reads_since_erase())
+        ) * self
+            .cfg
+            .disturb
+            .read_disturb_factor(block.reads_since_erase())
     }
 
     /// Marks a valid subpage invalid. Purely logical bookkeeping: free of
@@ -346,14 +370,16 @@ impl FlashDevice {
         // The erase pulse ran while the block was still in its old mode.
         self.wear.record_erase(idx, old_mode);
         self.counters.erases += 1;
-        EraseResult { latency_ns: self.cfg.timing.erase_ns(), pe_cycles: self.wear.pe_cycles(idx) }
+        EraseResult {
+            latency_ns: self.cfg.timing.erase_ns(),
+            pe_cycles: self.wear.pe_cycles(idx),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn slc_device() -> (FlashDevice, BlockAddr) {
         let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
@@ -396,7 +422,10 @@ mod tests {
         let (mut dev, addr) = slc_device();
         let r = dev.program(Spa::new(addr.page(0), 0), 4).unwrap();
         let t = &dev.config().timing;
-        assert_eq!(r.latency_ns, t.transfer_ns(16 * 1024) + t.program_ns(CellMode::Slc));
+        assert_eq!(
+            r.latency_ns,
+            t.transfer_ns(16 * 1024) + t.program_ns(CellMode::Slc)
+        );
         assert!(!r.partial, "a full first program is conventional");
         assert_eq!(r.in_page_disturbed, 0);
     }
@@ -417,7 +446,11 @@ mod tests {
             FlashError::SubpageNotFree(_) | FlashError::PartialProgramLimit { .. }
         ));
         assert_eq!(dev.counters().programs, 4);
-        assert_eq!(dev.counters().partial_programs, 4, "1-subpage programs are partial");
+        assert_eq!(
+            dev.counters().partial_programs,
+            4,
+            "1-subpage programs are partial"
+        );
     }
 
     #[test]
@@ -511,7 +544,9 @@ mod tests {
             let addr = BlockAddr::new(0, 0, 0, 0, 0);
             dev.set_block_mode(addr, CellMode::Slc);
             dev.program(Spa::new(addr.page(0), 0), 4).unwrap();
-            (0..16).map(|_| dev.read(Spa::new(addr.page(0), 0), 4).unwrap().latency_ns).collect::<Vec<_>>()
+            (0..16)
+                .map(|_| dev.read(Spa::new(addr.page(0), 0), 4).unwrap().latency_ns)
+                .collect::<Vec<_>>()
         };
         let a = run(7);
         let b = run(7);
@@ -529,9 +564,13 @@ mod tests {
         let addr = BlockAddr::new(0, 0, 0, 0, 0);
         dev.set_block_mode(addr, CellMode::Slc);
         dev.program(Spa::new(addr.page(0), 0), 4).unwrap();
-        let lats: Vec<_> =
-            (0..8).map(|_| dev.read(Spa::new(addr.page(0), 0), 4).unwrap().latency_ns).collect();
-        assert!(lats.windows(2).all(|w| w[0] == w[1]), "expected mode must be flat");
+        let lats: Vec<_> = (0..8)
+            .map(|_| dev.read(Spa::new(addr.page(0), 0), 4).unwrap().latency_ns)
+            .collect();
+        assert!(
+            lats.windows(2).all(|w| w[0] == w[1]),
+            "expected mode must be flat"
+        );
     }
 
     #[test]
@@ -565,10 +604,13 @@ mod tests {
         let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
         let addr = BlockAddr::new(1, 0, 0, 0, 3);
         let last_mlc_page = dev.config().geometry.pages_per_block_mlc - 1;
-        dev.program(Spa::new(addr.page(last_mlc_page), 0), 4).unwrap();
+        dev.program(Spa::new(addr.page(last_mlc_page), 0), 4)
+            .unwrap();
         // The same page index is out of range once reformatted to SLC.
         dev.erase(addr, CellMode::Slc);
-        let err = dev.program(Spa::new(addr.page(last_mlc_page), 0), 4).unwrap_err();
+        let err = dev
+            .program(Spa::new(addr.page(last_mlc_page), 0), 4)
+            .unwrap_err();
         assert!(matches!(err, FlashError::OutOfRange(_)));
     }
 }

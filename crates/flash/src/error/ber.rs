@@ -116,9 +116,15 @@ mod tests {
     fn slc_factor_scales_slc_mode_rber() {
         // Default: SLC-mode shares the MLC calibration data (paper's method).
         let m = BerModel::default();
-        assert_eq!(m.baseline_rber(4000, CellMode::Slc), m.baseline_rber(4000, CellMode::Mlc));
+        assert_eq!(
+            m.baseline_rber(4000, CellMode::Slc),
+            m.baseline_rber(4000, CellMode::Mlc)
+        );
         // An explicit factor < 1 models SLC-mode's wider margins.
-        let wide = BerModel { slc_factor: 0.2, ..BerModel::default() };
+        let wide = BerModel {
+            slc_factor: 0.2,
+            ..BerModel::default()
+        };
         for pe in [0, 1000, 4000, 8000] {
             assert!(
                 wide.baseline_rber(pe, CellMode::Slc) < wide.baseline_rber(pe, CellMode::Mlc),

@@ -141,8 +141,15 @@ mod tests {
     fn read_disturb_is_off_by_default_and_scales_when_enabled() {
         let d = DisturbConfig::default();
         assert_eq!(d.read_disturb_factor(0), 1.0);
-        assert_eq!(d.read_disturb_factor(1_000_000), 1.0, "must be inert by default");
-        let on = DisturbConfig { read_disturb_gamma_per_kread: 0.05, ..Default::default() };
+        assert_eq!(
+            d.read_disturb_factor(1_000_000),
+            1.0,
+            "must be inert by default"
+        );
+        let on = DisturbConfig {
+            read_disturb_gamma_per_kread: 0.05,
+            ..Default::default()
+        };
         assert_eq!(on.read_disturb_factor(0), 1.0);
         assert!((on.read_disturb_factor(1000) - 1.05).abs() < 1e-12);
         assert!((on.read_disturb_factor(10_000) - 1.5).abs() < 1e-12);

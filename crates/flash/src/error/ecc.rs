@@ -143,7 +143,10 @@ mod tests {
         let e = EccModel::default();
         let out = e.decode(4096, 2.8e-4);
         let ms = ns_to_ms(out.latency_ns);
-        assert!(ms > e.min_time_ms && ms < e.max_time_ms, "{ms} not mid-range");
+        assert!(
+            ms > e.min_time_ms && ms < e.max_time_ms,
+            "{ms} not mid-range"
+        );
         assert!((out.expected_bit_errors - 9.175).abs() < 0.01);
     }
 

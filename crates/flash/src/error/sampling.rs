@@ -126,10 +126,12 @@ mod tests {
         let n = 20_000u64;
         let samples: Vec<f64> = (0..n).map(|s| sample_poisson(mean, 11, s) as f64).collect();
         let emp_mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var = samples.iter().map(|x| (x - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         // Poisson: variance == mean (tolerate 15%).
-        assert!((var - mean).abs() < mean * 0.15, "variance {var} vs mean {mean}");
+        assert!(
+            (var - mean).abs() < mean * 0.15,
+            "variance {var} vs mean {mean}"
+        );
     }
 
     #[test]
@@ -143,6 +145,9 @@ mod tests {
         let n = 5_000u64;
         let sum: u64 = (0..n).map(|s| sample_poisson(mean, 3, s) as u64).sum();
         let emp = sum as f64 / n as f64;
-        assert!((emp - mean).abs() < mean * 0.05, "large-mean path broken: {emp}");
+        assert!(
+            (emp - mean).abs() < mean * 0.05,
+            "large-mean path broken: {emp}"
+        );
     }
 }

@@ -167,7 +167,13 @@ impl FlashGeometry {
         plane_idx /= self.dies_per_chip;
         let chip = plane_idx % self.chips_per_channel;
         let channel = plane_idx / self.chips_per_channel;
-        BlockAddr { channel, chip, die, plane, block }
+        BlockAddr {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+        }
     }
 
     /// Checks that an address is within this geometry (page bound depends on mode).
@@ -198,7 +204,13 @@ pub struct BlockAddr {
 
 impl BlockAddr {
     pub fn new(channel: u32, chip: u32, die: u32, plane: u32, block: u32) -> Self {
-        BlockAddr { channel, chip, die, plane, block }
+        BlockAddr {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+        }
     }
 
     /// Address of a page inside this block.
@@ -238,7 +250,14 @@ pub struct Ppa {
 
 impl Ppa {
     pub fn new(channel: u32, chip: u32, die: u32, plane: u32, block: u32, page: u32) -> Self {
-        Ppa { channel, chip, die, plane, block, page }
+        Ppa {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+            page,
+        }
     }
 
     /// The block this page belongs to.

@@ -136,7 +136,10 @@ impl PageState {
     /// this operation disturbed. Panics if the run is out of range; returns
     /// `Err` if any target subpage is not free.
     pub(crate) fn apply_program(&mut self, start: u8, count: u8) -> Result<u16, ProgramStateError> {
-        assert!(count > 0 && start + count <= self.subpage_count, "program run out of range");
+        assert!(
+            count > 0 && start + count <= self.subpage_count,
+            "program run out of range"
+        );
         for s in start..start + count {
             if self.subpages[s as usize] != SubpageState::Free {
                 return Err(ProgramStateError::SubpageNotFree(s));
@@ -167,7 +170,9 @@ impl PageState {
     pub(crate) fn apply_neighbour_disturb(&mut self) -> u16 {
         if self.is_programmed() {
             self.neighbour_disturbs += 1;
-            self.iter_subpages().filter(|&s| s != SubpageState::Free).count() as u16
+            self.iter_subpages()
+                .filter(|&s| s != SubpageState::Free)
+                .count() as u16
         } else {
             0
         }
@@ -287,7 +292,8 @@ impl BlockState {
     pub(crate) fn erase(&mut self, new_mode: CellMode, pages: u32, subpages: u8) {
         self.mode = new_mode;
         self.pages.clear();
-        self.pages.extend((0..pages).map(|_| PageState::erased(subpages)));
+        self.pages
+            .extend((0..pages).map(|_| PageState::erased(subpages)));
         self.erase_count += 1;
         self.programs_since_erase = 0;
         self.reads_since_erase = 0;
@@ -354,7 +360,10 @@ mod tests {
     fn cannot_program_occupied_subpage() {
         let mut p = page4();
         p.apply_program(1, 1).unwrap();
-        assert_eq!(p.apply_program(1, 1), Err(ProgramStateError::SubpageNotFree(1)));
+        assert_eq!(
+            p.apply_program(1, 1),
+            Err(ProgramStateError::SubpageNotFree(1))
+        );
         // State unchanged by the failed attempt.
         assert_eq!(p.program_ops(), 1);
     }

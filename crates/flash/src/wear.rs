@@ -60,7 +60,10 @@ impl WearTracker {
 
     /// Erases of one block, split by mode, excluding pre-aging.
     pub fn block_erases(&self, block_idx: u64) -> (u32, u32) {
-        (self.slc_erases[block_idx as usize], self.mlc_erases[block_idx as usize])
+        (
+            self.slc_erases[block_idx as usize],
+            self.mlc_erases[block_idx as usize],
+        )
     }
 
     /// Endurance consumed by a block, in MLC-erase-equivalents.
@@ -75,7 +78,9 @@ impl WearTracker {
 
     /// Device-wide endurance consumption in MLC-erase-equivalents.
     pub fn total_endurance_consumed(&self) -> f64 {
-        (0..self.slc_erases.len() as u64).map(|i| self.endurance_consumed(i)).sum()
+        (0..self.slc_erases.len() as u64)
+            .map(|i| self.endurance_consumed(i))
+            .sum()
     }
 
     /// Number of tracked blocks.

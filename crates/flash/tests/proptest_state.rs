@@ -4,9 +4,7 @@
 //! subpage-count conservation, NOP-budget enforcement, disturb monotonicity and
 //! the pristine-after-erase guarantee.
 
-use ipu_flash::{
-    BlockAddr, CellMode, DeviceConfig, FlashDevice, FlashError, Spa, SubpageState,
-};
+use ipu_flash::{BlockAddr, CellMode, DeviceConfig, FlashDevice, FlashError, Spa, SubpageState};
 use proptest::prelude::*;
 
 /// One step of the random workload.

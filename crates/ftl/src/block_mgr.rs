@@ -209,7 +209,10 @@ mod tests {
         let mut chips = std::collections::HashSet::new();
         for _ in 0..g.total_chips() {
             let a = m.allocate_slc().unwrap();
-            assert!(chips.insert(g.chip_index(a)), "chip repeated before full coverage");
+            assert!(
+                chips.insert(g.chip_index(a)),
+                "chip repeated before full coverage"
+            );
         }
         assert_eq!(chips.len() as u32, g.total_chips());
         // Same property for the MLC pool.

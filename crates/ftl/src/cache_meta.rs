@@ -105,9 +105,10 @@ impl CacheMeta {
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let prev = self
-            .blocks
-            .insert(block_idx, BlockMeta::new(addr, level, seq, pages, subpages_per_page));
+        let prev = self.blocks.insert(
+            block_idx,
+            BlockMeta::new(addr, level, seq, pages, subpages_per_page),
+        );
         debug_assert!(prev.is_none(), "block {addr} opened twice");
     }
 
@@ -198,14 +199,23 @@ mod tests {
         c.open_block(7, addr(), BlockLevel::Work, 2, 4);
         let m = c.get_mut(7).unwrap();
         m.note_program(0, 0, 1, 0, false);
-        assert!(m.written_at(0, 0) > 0, "written_at must distinguish written from never");
+        assert!(
+            m.written_at(0, 0) > 0,
+            "written_at must distinguish written from never"
+        );
     }
 
     #[test]
     fn region_filters_split_by_level() {
         let mut c = CacheMeta::new();
         c.open_block(1, BlockAddr::new(0, 0, 0, 0, 1), BlockLevel::Work, 4, 4);
-        c.open_block(2, BlockAddr::new(0, 0, 0, 0, 2), BlockLevel::HighDensity, 8, 4);
+        c.open_block(
+            2,
+            BlockAddr::new(0, 0, 0, 0, 2),
+            BlockLevel::HighDensity,
+            8,
+            4,
+        );
         c.open_block(3, BlockAddr::new(0, 0, 0, 0, 3), BlockLevel::Hot, 4, 4);
         assert_eq!(c.slc_blocks().count(), 2);
         assert_eq!(c.mlc_blocks().count(), 1);

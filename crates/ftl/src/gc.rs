@@ -45,7 +45,11 @@ pub fn select_greedy<'a>(
 ) -> Option<u64> {
     candidates
         .map(|(idx, block, seq)| {
-            (greedy_score(block, granularity), std::cmp::Reverse(seq), idx)
+            (
+                greedy_score(block, granularity),
+                std::cmp::Reverse(seq),
+                idx,
+            )
         })
         .max()
         .map(|(_, _, idx)| idx)
@@ -150,7 +154,8 @@ mod tests {
         dev.set_block_mode(addr, CellMode::Slc);
         for (p, &(programmed, invalid)) in pattern.iter().enumerate() {
             if programmed > 0 {
-                dev.program(Spa::new(addr.page(p as u32), 0), programmed).unwrap();
+                dev.program(Spa::new(addr.page(p as u32), 0), programmed)
+                    .unwrap();
             }
             for s in 0..invalid {
                 dev.invalidate(Spa::new(addr.page(p as u32), s)).unwrap();
@@ -176,8 +181,10 @@ mod tests {
         let a = build_block(&mut dev, 0, &[(4, 1), (0, 0)]);
         let b = build_block(&mut dev, 1, &[(4, 3), (0, 0)]);
         let g = dev.config().geometry.clone();
-        let cands =
-            vec![(g.block_index(a), dev.block(a), 0), (g.block_index(b), dev.block(b), 1)];
+        let cands = vec![
+            (g.block_index(a), dev.block(a), 0),
+            (g.block_index(b), dev.block(b), 1),
+        ];
         let winner = select_greedy(cands.into_iter(), GcGranularity::Subpage).unwrap();
         assert_eq!(winner, g.block_index(b));
     }
@@ -189,8 +196,10 @@ mod tests {
         let b = build_block(&mut dev, 1, &[(4, 2)]);
         let g = dev.config().geometry.clone();
         // Same score; block b was opened earlier (seq 3 vs 7) → b wins.
-        let cands =
-            vec![(g.block_index(a), dev.block(a), 7), (g.block_index(b), dev.block(b), 3)];
+        let cands = vec![
+            (g.block_index(a), dev.block(a), 7),
+            (g.block_index(b), dev.block(b), 3),
+        ];
         let winner = select_greedy(cands.into_iter(), GcGranularity::Subpage).unwrap();
         assert_eq!(winner, g.block_index(b));
     }
@@ -241,8 +250,16 @@ mod tests {
 
         let winner = select_isr(
             vec![
-                (g.block_index(a), dev.block(a), meta.get(g.block_index(a)).unwrap()),
-                (g.block_index(b), dev.block(b), meta.get(g.block_index(b)).unwrap()),
+                (
+                    g.block_index(a),
+                    dev.block(a),
+                    meta.get(g.block_index(a)).unwrap(),
+                ),
+                (
+                    g.block_index(b),
+                    dev.block(b),
+                    meta.get(g.block_index(b)).unwrap(),
+                ),
             ]
             .into_iter(),
             now,
@@ -257,11 +274,13 @@ mod tests {
         let g = dev.config().geometry.clone();
         let mut meta = CacheMeta::new();
         meta.open_block(g.block_index(a), a, BlockLevel::Work, 4, 4);
-        assert_eq!(cold_valid_weight(dev.block(a), meta.get(g.block_index(a)).unwrap(), 500), 0.0);
+        assert_eq!(
+            cold_valid_weight(dev.block(a), meta.get(g.block_index(a)).unwrap(), 500),
+            0.0
+        );
         // Fully-invalid block: ISR = IS/TS = 4/16.
         assert!(
-            (isr_score(dev.block(a), meta.get(g.block_index(a)).unwrap(), 500) - 0.25).abs()
-                < 1e-9
+            (isr_score(dev.block(a), meta.get(g.block_index(a)).unwrap(), 500) - 0.25).abs() < 1e-9
         );
     }
 

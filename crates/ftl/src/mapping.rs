@@ -94,7 +94,11 @@ impl MappingTable {
         }
         let mapped_chunks = chunks.len() as u64;
         let scattered_chunks = chunks.values().filter(|(_, aligned)| !aligned).count() as u64;
-        ChunkSummary { mapped_chunks, scattered_chunks, mapped_subpages: self.map.len() as u64 }
+        ChunkSummary {
+            mapped_chunks,
+            scattered_chunks,
+            mapped_subpages: self.map.len() as u64,
+        }
     }
 }
 
@@ -129,8 +133,7 @@ impl OwnerTable {
             blocks: HashMap::new(),
             // Sized for the larger (MLC) page count so mode switches never
             // reallocate.
-            slots_per_block: (geometry.pages_per_block_mlc * geometry.subpages_per_page())
-                as usize,
+            slots_per_block: (geometry.pages_per_block_mlc * geometry.subpages_per_page()) as usize,
             subpages_per_page: geometry.subpages_per_page(),
         }
     }
@@ -143,7 +146,10 @@ impl OwnerTable {
     /// Records `lsn` as the owner of `spa`.
     pub fn set(&mut self, block_idx: u64, spa: Spa, lsn: Lsn) {
         let slots = self.slots_per_block;
-        let v = self.blocks.entry(block_idx).or_insert_with(|| vec![NONE_OWNER; slots]);
+        let v = self
+            .blocks
+            .entry(block_idx)
+            .or_insert_with(|| vec![NONE_OWNER; slots]);
         let slot = (spa.ppa.page * self.subpages_per_page + spa.subpage as u32) as usize;
         v[slot] = lsn;
     }

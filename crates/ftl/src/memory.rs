@@ -69,9 +69,7 @@ impl MappingMemory {
     pub fn mga(logical_pages: u64, scattered_chunks: u64, subpages_per_page: u32) -> Self {
         MappingMemory {
             page_table_bytes: logical_pages * PAGE_ENTRY_BYTES,
-            second_level_bytes: scattered_chunks
-                * subpages_per_page as u64
-                * SUBPAGE_ENTRY_BYTES,
+            second_level_bytes: scattered_chunks * subpages_per_page as u64 * SUBPAGE_ENTRY_BYTES,
             label_bytes: 0,
         }
     }
@@ -105,7 +103,10 @@ mod tests {
         let slc_blocks = 3276u64;
         let m = MappingMemory::ipu(1_000_000, slc_blocks * 64, slc_blocks);
         let overhead = m.total() as f64 / MappingMemory::baseline(1_000_000).total() as f64;
-        assert!(overhead < 1.01, "IPU overhead {overhead} should be below 1%");
+        assert!(
+            overhead < 1.01,
+            "IPU overhead {overhead} should be below 1%"
+        );
         assert!(overhead > 1.0);
     }
 

@@ -29,7 +29,10 @@ impl FlashOpKind {
     /// Whether this operation was issued on behalf of the host request (and
     /// therefore contributes to its response time directly).
     pub fn is_host(self) -> bool {
-        matches!(self, FlashOpKind::HostRead | FlashOpKind::UnmappedRead | FlashOpKind::HostProgram)
+        matches!(
+            self,
+            FlashOpKind::HostRead | FlashOpKind::UnmappedRead | FlashOpKind::HostProgram
+        )
     }
 }
 
@@ -55,12 +58,20 @@ impl OpBatch {
     }
 
     pub fn push(&mut self, chip: u32, kind: FlashOpKind, latency_ns: Nanos) {
-        self.ops.push(OpRecord { chip, kind, latency_ns });
+        self.ops.push(OpRecord {
+            chip,
+            kind,
+            latency_ns,
+        });
     }
 
     /// Sum of host-visible operation latencies (ignores chip overlap).
     pub fn host_latency_sum(&self) -> Nanos {
-        self.ops.iter().filter(|o| o.kind.is_host()).map(|o| o.latency_ns).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.kind.is_host())
+            .map(|o| o.latency_ns)
+            .sum()
     }
 
     /// Sum of all operation latencies.

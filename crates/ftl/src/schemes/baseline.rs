@@ -29,7 +29,9 @@ pub struct BaselineFtl {
 
 impl BaselineFtl {
     pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
-        BaselineFtl { core: FtlCore::new(dev, cfg) }
+        BaselineFtl {
+            core: FtlCore::new(dev, cfg),
+        }
     }
 
     fn write_chunk(
@@ -41,7 +43,8 @@ impl BaselineFtl {
     ) {
         // A fresh page per chunk, always; no partial programming.
         let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch);
-        self.core.program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
+        self.core
+            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
     }
 
     fn run_gc(&mut self, now: Nanos, dev: &mut FlashDevice, batch: &mut OpBatch) {
@@ -161,7 +164,9 @@ mod tests {
         let new = ftl.core.map.lookup(0).unwrap();
         assert_ne!(old, new);
         assert_eq!(
-            dev.block(old.ppa.block_addr()).page(old.ppa.page).subpage(old.subpage),
+            dev.block(old.ppa.block_addr())
+                .page(old.ppa.page)
+                .subpage(old.subpage),
             SubpageState::Invalid
         );
     }
@@ -199,7 +204,10 @@ mod tests {
         let stats = ftl.stats();
         assert!(stats.gc_runs_slc > 0);
         let util = stats.gc_page_utilization();
-        assert!(util < 0.30, "4K-only workload must fragment pages, got {util}");
+        assert!(
+            util < 0.30,
+            "4K-only workload must fragment pages, got {util}"
+        );
     }
 
     #[test]

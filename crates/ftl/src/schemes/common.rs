@@ -3,9 +3,7 @@
 //! differ only in placement policy, victim selection and GC data movement;
 //! everything else lives here.
 
-use ipu_flash::{
-    BlockAddr, CellMode, FlashDevice, FlashGeometry, Nanos, Ppa, Spa, SubpageState,
-};
+use ipu_flash::{BlockAddr, CellMode, FlashDevice, FlashGeometry, Nanos, Ppa, Spa, SubpageState};
 use ipu_trace::IoRequest;
 
 use crate::block_mgr::BlockManager;
@@ -143,10 +141,7 @@ impl FtlCore {
         let mut out: Vec<Vec<Lsn>> = Vec::new();
         for lsn in req.subpage_span() {
             match out.last_mut() {
-                Some(group)
-                    if group.len() < spp as usize
-                        && lsn / spp == group[0] / spp =>
-                {
+                Some(group) if group.len() < spp as usize && lsn / spp == group[0] / spp => {
                     group.push(lsn);
                 }
                 _ => out.push(vec![lsn]),
@@ -157,7 +152,10 @@ impl FtlCore {
 
     /// Addresses of the active blocks at `level`.
     pub fn active_addrs(&self, level: BlockLevel) -> Vec<BlockAddr> {
-        self.actives[level as usize].iter().map(|a| a.addr).collect()
+        self.actives[level as usize]
+            .iter()
+            .map(|a| a.addr)
+            .collect()
     }
 
     /// Whether `addr` is currently an active block of any level.
@@ -178,7 +176,11 @@ impl FtlCore {
             pages,
             self.geometry.subpages_per_page(),
         );
-        self.actives[level as usize].push(ActiveBlock { addr, next_page: 0, pages });
+        self.actives[level as usize].push(ActiveBlock {
+            addr,
+            next_page: 0,
+            pages,
+        });
     }
 
     fn free_blocks_for(&self, level: BlockLevel) -> u64 {
@@ -206,8 +208,7 @@ impl FtlCore {
         loop {
             // Top up the ring.
             while self.actives[li].len() < self.cfg.write_parallelism {
-                let comfortable =
-                    self.free_blocks_for(level) > self.cfg.write_parallelism as u64;
+                let comfortable = self.free_blocks_for(level) > self.cfg.write_parallelism as u64;
                 if !self.actives[li].is_empty() && !comfortable {
                     break;
                 }
@@ -375,7 +376,10 @@ impl FtlCore {
         }
 
         if kind == FlashOpKind::HostProgram {
-            let level = self.meta.level(block_idx).unwrap_or(BlockLevel::HighDensity);
+            let level = self
+                .meta
+                .level(block_idx)
+                .unwrap_or(BlockLevel::HighDensity);
             self.stats.note_host_program(level, lsns.len() as u32);
         }
     }
@@ -394,9 +398,7 @@ impl FtlCore {
             match self.map.lookup(lsn) {
                 Some(spa) => {
                     if let Some((start, len)) = runs.last_mut() {
-                        if start.ppa == spa.ppa
-                            && start.subpage + *len == spa.subpage
-                            && *len < spp
+                        if start.ppa == spa.ppa && start.subpage + *len == spa.subpage && *len < spp
                         {
                             *len += 1;
                             continue;
@@ -409,8 +411,14 @@ impl FtlCore {
         }
 
         for (spa, len) in runs {
-            let res = dev.read(spa, len).unwrap_or_else(|e| panic!("read {spa} failed: {e}"));
-            batch.push(self.chip_of(spa.ppa.block_addr()), FlashOpKind::HostRead, res.latency_ns);
+            let res = dev
+                .read(spa, len)
+                .unwrap_or_else(|e| panic!("read {spa} failed: {e}"));
+            batch.push(
+                self.chip_of(spa.ppa.block_addr()),
+                FlashOpKind::HostRead,
+                res.latency_ns,
+            );
             self.stats.host_read_rber_sum += res.rber * len as f64;
             self.stats.host_subpages_read += len as u64;
             if res.uncorrectable {
@@ -436,9 +444,8 @@ impl FtlCore {
         let bytes = subpages * cfg.geometry.subpage_size;
         let rber = cfg.ber.baseline_rber(cfg.initial_pe_cycles, CellMode::Mlc);
         let ecc = cfg.ecc.decode(bytes, rber);
-        let latency = cfg.timing.read_ns(CellMode::Mlc)
-            + cfg.timing.transfer_ns(bytes)
-            + ecc.latency_ns;
+        let latency =
+            cfg.timing.read_ns(CellMode::Mlc) + cfg.timing.transfer_ns(bytes) + ecc.latency_ns;
         // Spread pre-trace data across chips deterministically by address.
         let chip = (req.first_lsn() % cfg.geometry.total_chips() as u64) as u32;
         batch.push(chip, FlashOpKind::UnmappedRead, latency);
@@ -541,7 +548,11 @@ impl FtlCore {
                 }
             }
             if !subs.is_empty() {
-                groups.push(PageGroup { page: p, subs, updated: meta.page_updated(p) });
+                groups.push(PageGroup {
+                    page: p,
+                    subs,
+                    updated: meta.page_updated(p),
+                });
             }
         }
         groups
@@ -606,7 +617,10 @@ impl FtlCore {
         now: Nanos,
         batch: &mut OpBatch,
     ) {
-        let meta = self.meta.close_block(block_idx).expect("victim must be tracked");
+        let meta = self
+            .meta
+            .close_block(block_idx)
+            .expect("victim must be tracked");
         let addr = meta.addr;
         let block = dev.block_by_index(block_idx);
         let total = block.total_subpages();
@@ -619,7 +633,11 @@ impl FtlCore {
             self.stats.gc_runs_mlc += 1;
         }
 
-        let mode = if self.blocks.is_slc_region(addr) { CellMode::Slc } else { CellMode::Mlc };
+        let mode = if self.blocks.is_slc_region(addr) {
+            CellMode::Slc
+        } else {
+            CellMode::Mlc
+        };
         let res = dev.erase(addr, mode);
         batch.push(self.chip_of(addr), FlashOpKind::Erase, res.latency_ns);
         self.owners.clear_block(block_idx);
@@ -654,7 +672,9 @@ impl FtlCore {
                 coldest = Some((pe, i));
             }
         }
-        let Some((min_pe, victim)) = coldest else { return };
+        let Some((min_pe, victim)) = coldest else {
+            return;
+        };
         // Most-worn block anywhere in the SLC region.
         let max_pe = self
             .blocks
@@ -715,7 +735,9 @@ impl FtlCore {
                 + block.count_subpages(SubpageState::Valid)
                 + block.count_subpages(SubpageState::Invalid);
             if total != sum {
-                return Err(format!("block {i}: subpage accounting {sum} != total {total}"));
+                return Err(format!(
+                    "block {i}: subpage accounting {sum} != total {total}"
+                ));
             }
             for p in 0..block.page_count() {
                 let page = block.page(p);
@@ -748,12 +770,7 @@ impl FtlCore {
     /// Runs MLC-region GC (greedy, subpage-granular compaction within MLC)
     /// until the region is back above threshold. MLC blocks accumulate
     /// invalid subpages as cached data gets re-written and re-evicted.
-    pub fn run_mlc_gc_if_needed(
-        &mut self,
-        dev: &mut FlashDevice,
-        now: Nanos,
-        batch: &mut OpBatch,
-    ) {
+    pub fn run_mlc_gc_if_needed(&mut self, dev: &mut FlashDevice, now: Nanos, batch: &mut OpBatch) {
         let mut rounds = 0;
         while self.mlc_gc_needed() && self.mlc_gc_gate_open(now) && rounds < 8 {
             rounds += 1;
@@ -868,11 +885,20 @@ mod tests {
         // One SLC block to Hot; one to Work; Hot's block fills, then the next
         // Hot request must land in Work's open block before going to MLC.
         for _ in 0..4 {
-            assert_eq!(core.take_page(&mut dev, BlockLevel::Hot, &mut tb).1, BlockLevel::Hot);
+            assert_eq!(
+                core.take_page(&mut dev, BlockLevel::Hot, &mut tb).1,
+                BlockLevel::Hot
+            );
         }
-        assert_eq!(core.take_page(&mut dev, BlockLevel::Work, &mut tb).1, BlockLevel::Work);
+        assert_eq!(
+            core.take_page(&mut dev, BlockLevel::Work, &mut tb).1,
+            BlockLevel::Work
+        );
         // Hot is full and no free SLC blocks remain; falls back to Work.
-        assert_eq!(core.take_page(&mut dev, BlockLevel::Hot, &mut tb).1, BlockLevel::Work);
+        assert_eq!(
+            core.take_page(&mut dev, BlockLevel::Hot, &mut tb).1,
+            BlockLevel::Work
+        );
     }
 
     #[test]
@@ -881,7 +907,15 @@ mod tests {
         let mut tb = OpBatch::new();
         let mut batch = OpBatch::new();
         let (ppa, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        core.program_group(&mut dev, ppa, 0, &[10, 11], FlashOpKind::HostProgram, 5, &mut batch);
+        core.program_group(
+            &mut dev,
+            ppa,
+            0,
+            &[10, 11],
+            FlashOpKind::HostProgram,
+            5,
+            &mut batch,
+        );
 
         assert_eq!(core.map.lookup(10), Some(Spa::new(ppa, 0)));
         assert_eq!(core.map.lookup(11), Some(Spa::new(ppa, 1)));
@@ -893,7 +927,15 @@ mod tests {
 
         // Re-write lsn 10: old location invalidated, owners updated.
         let (ppa2, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        core.program_group(&mut dev, ppa2, 0, &[10], FlashOpKind::HostProgram, 6, &mut batch);
+        core.program_group(
+            &mut dev,
+            ppa2,
+            0,
+            &[10],
+            FlashOpKind::HostProgram,
+            6,
+            &mut batch,
+        );
         assert_eq!(core.map.lookup(10), Some(Spa::new(ppa2, 0)));
         assert!(core.owners.owner(bi, Spa::new(ppa, 0)).is_none());
         assert_eq!(
@@ -948,12 +990,36 @@ mod tests {
 
         // Fill one Work block with two pages: one fully valid, one half stale.
         let (p0, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        core.program_group(&mut dev, p0, 0, &[0, 1, 2, 3], FlashOpKind::HostProgram, 1, &mut batch);
+        core.program_group(
+            &mut dev,
+            p0,
+            0,
+            &[0, 1, 2, 3],
+            FlashOpKind::HostProgram,
+            1,
+            &mut batch,
+        );
         let (p1, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        core.program_group(&mut dev, p1, 0, &[8, 9], FlashOpKind::HostProgram, 2, &mut batch);
+        core.program_group(
+            &mut dev,
+            p1,
+            0,
+            &[8, 9],
+            FlashOpKind::HostProgram,
+            2,
+            &mut batch,
+        );
         // Supersede lsn 8 elsewhere → p1 keeps one valid subpage.
         let (p2, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        core.program_group(&mut dev, p2, 0, &[8], FlashOpKind::HostProgram, 3, &mut batch);
+        core.program_group(
+            &mut dev,
+            p2,
+            0,
+            &[8],
+            FlashOpKind::HostProgram,
+            3,
+            &mut batch,
+        );
 
         let victim_idx = core.block_idx(p0.block_addr());
         let groups = core.collect_victim_groups(&dev, victim_idx);
@@ -964,14 +1030,24 @@ mod tests {
         // Relocate everything to MLC and erase.
         let victim_addr = p0.block_addr();
         for g in &groups {
-            core.relocate_group(&mut dev, victim_addr, g, BlockLevel::HighDensity, 10, &mut batch);
+            core.relocate_group(
+                &mut dev,
+                victim_addr,
+                g,
+                BlockLevel::HighDensity,
+                10,
+                &mut batch,
+            );
         }
         core.erase_victim(&mut dev, victim_idx, 10, &mut batch);
 
         // Mapping intact: every LSN still resolves, now in MLC.
         for lsn in [0u64, 1, 2, 3, 8, 9] {
             let spa = core.map.lookup(lsn).unwrap();
-            assert!(!core.blocks.is_slc_region(spa.ppa.block_addr()), "lsn {lsn} still in SLC");
+            assert!(
+                !core.blocks.is_slc_region(spa.ppa.block_addr()),
+                "lsn {lsn} still in SLC"
+            );
         }
         assert_eq!(core.stats.gc_moved_subpages, 6);
         assert_eq!(core.stats.gc_evicted_subpages, 6);

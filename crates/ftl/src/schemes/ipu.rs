@@ -39,7 +39,9 @@ pub struct IpuFtl {
 
 impl IpuFtl {
     pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
-        IpuFtl { core: FtlCore::new(dev, cfg) }
+        IpuFtl {
+            core: FtlCore::new(dev, cfg),
+        }
     }
 
     /// Handles one chunk of a write request (Algorithm 1, lines 2–13).
@@ -66,7 +68,8 @@ impl IpuFtl {
         // New data goes straight to a Work block (Algorithm 1 line 5).
         if !new_lsns.is_empty() {
             let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch);
-            self.core.program_group(dev, ppa, 0, &new_lsns, FlashOpKind::HostProgram, now, batch);
+            self.core
+                .program_group(dev, ppa, 0, &new_lsns, FlashOpKind::HostProgram, now, batch);
         }
 
         // Updates: intra-page if the old page can absorb them, else upgrade.
@@ -166,8 +169,13 @@ impl IpuFtl {
             for group in self.core.collect_victim_groups(dev, victim) {
                 // Degraded movement: updated pages keep their level, cold
                 // pages sink one level (Work-level cold data leaves the cache).
-                let dest = if group.updated { victim_level } else { victim_level.demoted() };
-                self.core.relocate_group(dev, victim_addr, &group, dest, now, batch);
+                let dest = if group.updated {
+                    victim_level
+                } else {
+                    victim_level.demoted()
+                };
+                self.core
+                    .relocate_group(dev, victim_addr, &group, dest, now, batch);
             }
             self.core.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
@@ -233,7 +241,10 @@ mod tests {
     /// coexist without falling back down the hierarchy.
     fn setup_roomy() -> (IpuFtl, FlashDevice) {
         let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
-        let cfg = FtlConfig { slc_ratio: 0.25, ..FtlConfig::default() };
+        let cfg = FtlConfig {
+            slc_ratio: 0.25,
+            ..FtlConfig::default()
+        };
         let ftl = IpuFtl::new(&mut dev, cfg);
         assert_eq!(ftl.core.blocks.slc_total(), 8);
         (ftl, dev)
@@ -285,10 +296,16 @@ mod tests {
         ftl.on_write(&w(0, 4096), 9, &mut dev);
         assert_eq!(ftl.stats().upgraded_writes, 1);
         let spa = ftl.core.map.lookup(0).unwrap();
-        let level = ftl.core.meta.level(ftl.core.block_idx(spa.ppa.block_addr()));
+        let level = ftl
+            .core
+            .meta
+            .level(ftl.core.block_idx(spa.ppa.block_addr()));
         assert_eq!(level, Some(BlockLevel::Monitor));
         assert_eq!(spa.subpage, 0);
-        assert_eq!(ftl.stats().host_programs_per_level[BlockLevel::Monitor as usize], 1);
+        assert_eq!(
+            ftl.stats().host_programs_per_level[BlockLevel::Monitor as usize],
+            1
+        );
     }
 
     #[test]
@@ -299,7 +316,10 @@ mod tests {
             ftl.on_write(&w(0, 4096), t, &mut dev);
         }
         let spa = ftl.core.map.lookup(0).unwrap();
-        let level = ftl.core.meta.level(ftl.core.block_idx(spa.ppa.block_addr()));
+        let level = ftl
+            .core
+            .meta
+            .level(ftl.core.block_idx(spa.ppa.block_addr()));
         assert_eq!(level, Some(BlockLevel::Hot));
         assert_eq!(ftl.stats().upgraded_writes, 2);
         assert_eq!(ftl.stats().intra_page_updates, 9);
@@ -345,7 +365,10 @@ mod tests {
         }
         let stats = ftl.stats();
         assert!(stats.gc_runs_slc > 0);
-        assert!(stats.gc_evicted_subpages > 0, "cold data must leave the cache");
+        assert!(
+            stats.gc_evicted_subpages > 0,
+            "cold data must leave the cache"
+        );
         // Hot slot survives with a live mapping.
         assert!(ftl.core.map.lookup(0).is_some());
     }

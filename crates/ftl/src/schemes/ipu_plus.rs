@@ -42,7 +42,10 @@ pub struct IpuPlusFtl {
 
 impl IpuPlusFtl {
     pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
-        IpuPlusFtl { core: FtlCore::new(dev, cfg), cold_open_pages: VecDeque::new() }
+        IpuPlusFtl {
+            core: FtlCore::new(dev, cfg),
+            cold_open_pages: VecDeque::new(),
+        }
     }
 
     /// Number of open cold-packing pages (introspection for tests).
@@ -74,23 +77,19 @@ impl IpuPlusFtl {
 
     /// Writes new (cold) data: packed into a shared page when small, fresh
     /// Work page otherwise.
-    fn write_new(
-        &mut self,
-        lsns: &[Lsn],
-        now: Nanos,
-        dev: &mut FlashDevice,
-        batch: &mut OpBatch,
-    ) {
+    fn write_new(&mut self, lsns: &[Lsn], now: Nanos, dev: &mut FlashDevice, batch: &mut OpBatch) {
         let k = lsns.len() as u8;
         if k < self.core.spp() {
             if let Some((ppa, off)) = self.find_cold_slot(dev, k) {
-                self.core.program_group(dev, ppa, off, lsns, FlashOpKind::HostProgram, now, batch);
+                self.core
+                    .program_group(dev, ppa, off, lsns, FlashOpKind::HostProgram, now, batch);
                 self.refresh_cold_page(dev, ppa);
                 return;
             }
         }
         let (ppa, level) = self.core.take_host_page(dev, BlockLevel::Work, batch);
-        self.core.program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
+        self.core
+            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
         if level.is_slc() && k < self.core.spp() {
             self.cold_open_pages.push_back(ppa);
             while self.cold_open_pages.len() > self.core.cfg.mga_open_page_limit {
@@ -146,7 +145,8 @@ impl IpuPlusFtl {
                 let cap = BlockLevel::from_flag_clamped(self.core.cfg.ipu_max_level as i32);
                 let target = cur.promoted().min(cap);
                 let (ppa, _) = self.core.take_page(dev, target, batch);
-                self.core.program_group(dev, ppa, 0, group, FlashOpKind::HostProgram, now, batch);
+                self.core
+                    .program_group(dev, ppa, 0, group, FlashOpKind::HostProgram, now, batch);
                 self.core.stats.upgraded_writes += 1;
             }
         }
@@ -201,10 +201,16 @@ impl IpuPlusFtl {
             let victim_meta = self.core.meta.get(victim).expect("tracked victim");
             let victim_addr = victim_meta.addr;
             let victim_level = victim_meta.level;
-            self.cold_open_pages.retain(|p| p.block_addr() != victim_addr);
+            self.cold_open_pages
+                .retain(|p| p.block_addr() != victim_addr);
             for group in self.core.collect_victim_groups(dev, victim) {
-                let dest = if group.updated { victim_level } else { victim_level.demoted() };
-                self.core.relocate_group(dev, victim_addr, &group, dest, now, batch);
+                let dest = if group.updated {
+                    victim_level
+                } else {
+                    victim_level.demoted()
+                };
+                self.core
+                    .relocate_group(dev, victim_addr, &group, dest, now, batch);
             }
             self.core.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
@@ -273,7 +279,10 @@ mod tests {
 
     fn setup() -> (IpuPlusFtl, FlashDevice) {
         let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
-        let cfg = FtlConfig { slc_ratio: 0.25, ..FtlConfig::default() };
+        let cfg = FtlConfig {
+            slc_ratio: 0.25,
+            ..FtlConfig::default()
+        };
         let ftl = IpuPlusFtl::new(&mut dev, cfg);
         (ftl, dev)
     }
@@ -314,7 +323,10 @@ mod tests {
         // burn fewer SLC blocks.
         let run = |plus: bool| {
             let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
-            let cfg = FtlConfig { slc_ratio: 0.25, ..FtlConfig::default() };
+            let cfg = FtlConfig {
+                slc_ratio: 0.25,
+                ..FtlConfig::default()
+            };
             let mut ftl: Box<dyn FtlScheme> = if plus {
                 Box::new(IpuPlusFtl::new(&mut dev, cfg))
             } else {
@@ -322,7 +334,11 @@ mod tests {
             };
             for i in 0..200u64 {
                 let now = i * 20_000_000;
-                ftl.on_write(&IoRequest::new(now, OpKind::Write, i * 65536, 4096), now, &mut dev);
+                ftl.on_write(
+                    &IoRequest::new(now, OpKind::Write, i * 65536, 4096),
+                    now,
+                    &mut dev,
+                );
             }
             (ftl.stats().clone(), dev.wear().totals())
         };
@@ -334,7 +350,10 @@ mod tests {
             plus_wear.slc_erases,
             ipu_wear.slc_erases
         );
-        assert_eq!(plus_stats.intra_page_updates, 0, "pure cold stream has no updates");
+        assert_eq!(
+            plus_stats.intra_page_updates, 0,
+            "pure cold stream has no updates"
+        );
     }
 
     #[test]
@@ -344,7 +363,10 @@ mod tests {
             ftl.on_write(&w(0, 4096), t, &mut dev);
         }
         let spa = ftl.core.map.lookup(0).unwrap();
-        let level = ftl.core.meta.level(ftl.core.block_idx(spa.ppa.block_addr()));
+        let level = ftl
+            .core
+            .meta
+            .level(ftl.core.block_idx(spa.ppa.block_addr()));
         assert_eq!(level, Some(BlockLevel::Hot));
     }
 

@@ -35,7 +35,10 @@ pub struct MgaFtl {
 
 impl MgaFtl {
     pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
-        MgaFtl { core: FtlCore::new(dev, cfg), open_pages: VecDeque::new() }
+        MgaFtl {
+            core: FtlCore::new(dev, cfg),
+            open_pages: VecDeque::new(),
+        }
     }
 
     /// Number of currently-open packing candidate pages (introspection).
@@ -77,14 +80,16 @@ impl MgaFtl {
         // Pack sub-page chunks into an open page when possible.
         if k < self.core.spp() {
             if let Some((_, ppa, off)) = self.find_open_slot(dev, k) {
-                self.core.program_group(dev, ppa, off, lsns, FlashOpKind::HostProgram, now, batch);
+                self.core
+                    .program_group(dev, ppa, off, lsns, FlashOpKind::HostProgram, now, batch);
                 self.refresh_open_page(dev, ppa);
                 return;
             }
         }
         // Otherwise open a fresh page; leftovers become packing space.
         let (ppa, level) = self.core.take_host_page(dev, BlockLevel::Work, batch);
-        self.core.program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
+        self.core
+            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
         if level.is_slc() && k < self.core.spp() {
             self.open_pages.push_back(ppa);
             while self.open_pages.len() > self.core.cfg.mga_open_page_limit {

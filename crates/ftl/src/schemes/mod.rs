@@ -68,7 +68,12 @@ impl SchemeKind {
 
     /// The paper's schemes plus this repo's extensions.
     pub fn all_extended() -> [SchemeKind; 4] {
-        [SchemeKind::Baseline, SchemeKind::Mga, SchemeKind::Ipu, SchemeKind::IpuPlus]
+        [
+            SchemeKind::Baseline,
+            SchemeKind::Mga,
+            SchemeKind::Ipu,
+            SchemeKind::IpuPlus,
+        ]
     }
 
     /// Display label as used in the paper.

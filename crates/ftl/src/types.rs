@@ -28,7 +28,8 @@ pub enum BlockLevel {
 
 impl BlockLevel {
     /// All SLC-mode cache levels, ascending.
-    pub const SLC_LEVELS: [BlockLevel; 3] = [BlockLevel::Work, BlockLevel::Monitor, BlockLevel::Hot];
+    pub const SLC_LEVELS: [BlockLevel; 3] =
+        [BlockLevel::Work, BlockLevel::Monitor, BlockLevel::Hot];
 
     /// Numeric `block_flag` as in the paper's Algorithm 1.
     #[inline]

@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn disabled_leveler_never_checks() {
-        let cfg = WearLevelingConfig { enabled: false, ..Default::default() };
+        let cfg = WearLevelingConfig {
+            enabled: false,
+            ..Default::default()
+        };
         let mut wl = WearLeveler::new();
         for _ in 0..10_000 {
             assert!(!wl.note_erase(&cfg));
@@ -102,12 +105,18 @@ mod tests {
         };
         let mut wl = WearLeveler::new();
         let fired: Vec<bool> = (0..9).map(|_| wl.note_erase(&cfg)).collect();
-        assert_eq!(fired, vec![false, false, false, true, false, false, false, true, false]);
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, true, false]
+        );
     }
 
     #[test]
     fn gap_comparison_is_strict_and_saturating() {
-        let cfg = WearLevelingConfig { wear_gap_threshold: 64, ..Default::default() };
+        let cfg = WearLevelingConfig {
+            wear_gap_threshold: 64,
+            ..Default::default()
+        };
         assert!(!WearLeveler::gap_exceeded(&cfg, 4000, 4064));
         assert!(WearLeveler::gap_exceeded(&cfg, 4000, 4065));
         assert!(!WearLeveler::gap_exceeded(&cfg, 4100, 4000)); // inverted inputs

@@ -30,7 +30,10 @@ fn check_scheme(kind: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
     let mut dev = FlashDevice::new(DeviceConfig::small_for_tests());
     // Slightly roomier SLC region so all IPU levels can engage; still small
     // enough that GC fires constantly under this workload.
-    let cfg = FtlConfig { slc_ratio: 0.2, ..FtlConfig::default() };
+    let cfg = FtlConfig {
+        slc_ratio: 0.2,
+        ..FtlConfig::default()
+    };
     let mut ftl = kind.build(&mut dev, cfg);
 
     let mut shadow: std::collections::HashMap<u64, ()> = std::collections::HashMap::new();
@@ -39,7 +42,11 @@ fn check_scheme(kind: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
         let size = op.size_subpages as u32 * 4096;
         let req = IoRequest::new(
             t as u64 * 1000,
-            if op.write { OpKind::Write } else { OpKind::Read },
+            if op.write {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
             offset,
             size,
         );

@@ -1,0 +1,216 @@
+//! Host-interface configuration: tenants, queue depth, arbitration policy.
+
+use ipu_flash::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// How the host controller picks the next submission queue to service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbitrationPolicy {
+    /// Equal turns over non-empty queues.
+    RoundRobin,
+    /// Service shares proportional to each tenant's `weight`.
+    WeightedRoundRobin,
+    /// Always the lowest `priority` value with work; ties round-robin.
+    StrictPriority,
+}
+
+impl ArbitrationPolicy {
+    /// Parses the CLI spelling (`rr`, `wrr`, `prio`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rr" | "round-robin" => Ok(ArbitrationPolicy::RoundRobin),
+            "wrr" | "weighted" => Ok(ArbitrationPolicy::WeightedRoundRobin),
+            "prio" | "priority" => Ok(ArbitrationPolicy::StrictPriority),
+            other => Err(format!(
+                "unknown arbitration policy `{other}` (rr | wrr | prio)"
+            )),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ArbitrationPolicy::RoundRobin => "rr",
+            ArbitrationPolicy::WeightedRoundRobin => "wrr",
+            ArbitrationPolicy::StrictPriority => "prio",
+        }
+    }
+}
+
+/// One tenant (one submission/completion queue pair).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    pub name: String,
+    /// Share under weighted round-robin (≥ 1).
+    pub weight: u32,
+    /// Class under strict priority; **lower is more urgent** (NVMe style).
+    pub priority: u32,
+}
+
+impl TenantSpec {
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            priority: 0,
+        }
+    }
+
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "tenant weight must be ≥ 1");
+        self.weight = weight;
+        self
+    }
+
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Parses a CLI tenant list. Either a bare count (`"3"` → three equal
+    /// tenants `t0..t2`) or comma-separated `name[:weight[:priority]]`
+    /// entries, e.g. `"db:4:0,log:1:1"`.
+    pub fn parse_list(spec: &str) -> Result<Vec<TenantSpec>, String> {
+        if let Ok(n) = spec.parse::<usize>() {
+            if n == 0 {
+                return Err("tenant count must be ≥ 1".into());
+            }
+            return Ok((0..n).map(|i| TenantSpec::new(format!("t{i}"))).collect());
+        }
+        let mut tenants = Vec::new();
+        for entry in spec.split(',') {
+            let mut parts = entry.split(':');
+            let name = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+                format!("empty tenant name in `{spec}` (want name[:weight[:priority]])")
+            })?;
+            let mut t = TenantSpec::new(name);
+            if let Some(w) = parts.next() {
+                let w: u32 = w
+                    .parse()
+                    .map_err(|_| format!("bad weight `{w}` for tenant `{name}`"))?;
+                if w == 0 {
+                    return Err(format!("tenant `{name}`: weight must be ≥ 1"));
+                }
+                t.weight = w;
+            }
+            if let Some(p) = parts.next() {
+                t.priority = p
+                    .parse()
+                    .map_err(|_| format!("bad priority `{p}` for tenant `{name}`"))?;
+            }
+            if let Some(extra) = parts.next() {
+                return Err(format!("unexpected `:{extra}` in tenant `{entry}`"));
+            }
+            tenants.push(t);
+        }
+        Ok(tenants)
+    }
+}
+
+/// Full host-interface configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Bound on per-tenant outstanding requests (submitted + in flight).
+    pub queue_depth: usize,
+    pub arbitration: ArbitrationPolicy,
+    /// Controller time to fetch/decode one command. The dispatcher is a
+    /// serial resource: with a non-zero overhead it becomes the arbitration
+    /// bottleneck under saturation; at 0 (the default) dispatch is free and
+    /// closed-loop QD=1 reduces exactly to serialized open-loop replay.
+    pub dispatch_overhead_ns: Nanos,
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl HostConfig {
+    pub fn new(
+        queue_depth: usize,
+        arbitration: ArbitrationPolicy,
+        tenants: Vec<TenantSpec>,
+    ) -> Self {
+        assert!(queue_depth >= 1, "queue depth must be ≥ 1");
+        assert!(!tenants.is_empty(), "at least one tenant required");
+        HostConfig {
+            queue_depth,
+            arbitration,
+            dispatch_overhead_ns: 0,
+            tenants,
+        }
+    }
+
+    /// Single tenant, round-robin (degenerate), given depth.
+    pub fn single(queue_depth: usize) -> Self {
+        HostConfig::new(
+            queue_depth,
+            ArbitrationPolicy::RoundRobin,
+            vec![TenantSpec::new("t0")],
+        )
+    }
+
+    pub fn with_dispatch_overhead(mut self, ns: Nanos) -> Self {
+        self.dispatch_overhead_ns = ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_policy_spellings() {
+        assert_eq!(
+            ArbitrationPolicy::parse("rr").unwrap(),
+            ArbitrationPolicy::RoundRobin
+        );
+        assert_eq!(
+            ArbitrationPolicy::parse("wrr").unwrap(),
+            ArbitrationPolicy::WeightedRoundRobin
+        );
+        assert_eq!(
+            ArbitrationPolicy::parse("prio").unwrap(),
+            ArbitrationPolicy::StrictPriority
+        );
+        assert!(ArbitrationPolicy::parse("fifo").is_err());
+    }
+
+    #[test]
+    fn parses_tenant_count() {
+        let ts = TenantSpec::parse_list("3").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[1].name, "t1");
+        assert!(ts.iter().all(|t| t.weight == 1 && t.priority == 0));
+    }
+
+    #[test]
+    fn parses_tenant_specs() {
+        let ts = TenantSpec::parse_list("db:4:0,log:1:1,scan").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0], TenantSpec::new("db").with_weight(4).with_priority(0));
+        assert_eq!(
+            ts[1],
+            TenantSpec::new("log").with_weight(1).with_priority(1)
+        );
+        assert_eq!(ts[2], TenantSpec::new("scan"));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(TenantSpec::parse_list("0").is_err());
+        assert!(TenantSpec::parse_list("a:0").is_err());
+        assert!(TenantSpec::parse_list("a:x").is_err());
+        assert!(TenantSpec::parse_list("a:1:2:3").is_err());
+        assert!(TenantSpec::parse_list(":2").is_err());
+    }
+
+    #[test]
+    fn config_round_trips_json() {
+        let cfg = HostConfig::new(
+            16,
+            ArbitrationPolicy::WeightedRoundRobin,
+            TenantSpec::parse_list("db:4:0,log:1:1").unwrap(),
+        )
+        .with_dispatch_overhead(1_500);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: HostConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,371 @@
+//! Latency statistics: means, extrema and log-bucketed percentiles.
+//!
+//! Moved here from `ipu-sim` so the host interface can aggregate per-tenant
+//! latency with the same machinery the replay engine uses; `ipu_sim`
+//! re-exports [`LatencyStats`] for backwards compatibility.
+
+use ipu_flash::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ buckets in the latency histogram (covers 1 ns .. ~584 y).
+const BUCKETS: usize = 64;
+
+/// Streaming latency statistics with a log₂ histogram for percentiles.
+///
+/// ```
+/// use ipu_host::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for ns in [250_000, 300_000, 9_000_000] {
+///     stats.record(ns);
+/// }
+/// assert_eq!(stats.count(), 3);
+/// assert!((stats.mean_ms() - 3.1833).abs() < 1e-3);
+/// assert!(stats.percentile_ns(99.0) >= 4_000_000); // the slow outlier
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyStats {
+    count: u64,
+    sum_ns: u128,
+    /// Smallest recorded sample; 0 while empty so an empty histogram never
+    /// serializes a `u64::MAX` sentinel into reports.
+    min_ns: Nanos,
+    max_ns: Nanos,
+    /// `buckets[b]` counts samples with `floor(log2(ns)) == b` (0 → bucket 0).
+    buckets: Vec<u64>,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl LatencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: Nanos) {
+        self.min_ns = if self.count == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        let b = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[b.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Merges another stats object into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count > 0 {
+            self.min_ns = if self.count == 0 {
+                other.min_ns
+            } else {
+                self.min_ns.min(other.min_ns)
+            };
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total of all recorded samples in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Mean latency in milliseconds (the paper's Figure 5 unit).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns() / 1e6
+    }
+
+    pub fn min_ns(&self) -> Option<Nanos> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    pub fn max_ns(&self) -> Nanos {
+        self.max_ns
+    }
+
+    /// Approximate percentile (0–100) from the log histogram: the geometric
+    /// midpoint of the bucket containing the requested rank.
+    pub fn percentile_ns(&self, p: f64) -> Nanos {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = 1u128 << b;
+                let hi = 1u128 << (b + 1);
+                return (((lo + hi) / 2) as u64)
+                    .min(self.max_ns)
+                    .max(if b == 0 { 1 } else { 0 });
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Time-weighted queue-occupancy histogram: `ns_at[k]` is the simulated time
+/// the queue held exactly `k` outstanding requests (0 ≤ k ≤ depth).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyHistogram {
+    ns_at: Vec<u128>,
+}
+
+impl OccupancyHistogram {
+    pub fn new(depth: usize) -> Self {
+        OccupancyHistogram {
+            ns_at: vec![0; depth + 1],
+        }
+    }
+
+    /// Accounts `dt` nanoseconds spent at occupancy `level`.
+    pub fn observe(&mut self, level: usize, dt: Nanos) {
+        assert!(level < self.ns_at.len(), "occupancy {level} exceeds depth");
+        self.ns_at[level] += dt as u128;
+    }
+
+    /// Total observed time.
+    pub fn total_ns(&self) -> u128 {
+        self.ns_at.iter().sum()
+    }
+
+    /// Time spent at each level, in level order.
+    pub fn levels(&self) -> &[u128] {
+        &self.ns_at
+    }
+
+    /// Time-weighted mean occupancy (0 when nothing was observed).
+    pub fn mean(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .ns_at
+            .iter()
+            .enumerate()
+            .map(|(k, &ns)| k as f64 * ns as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// Fraction of observed time the queue was completely full.
+    pub fn full_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.ns_at.last().expect("depth ≥ 0 means ≥ 1 level") as f64 / total as f64
+    }
+}
+
+/// Per-tenant quality-of-service metrics for one closed-loop run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    pub name: String,
+    /// Requests completed.
+    pub completed: u64,
+    /// Submission (queue-slot admission) to completion.
+    pub service_latency: LatencyStats,
+    /// Original arrival to completion — includes admission stall.
+    pub e2e_latency: LatencyStats,
+    /// Total time requests waited for a queue slot before admission.
+    pub admission_stall_ns: u128,
+    /// Requests that stalled at admission (arrived to a full queue).
+    pub stalled_requests: u64,
+    pub occupancy: OccupancyHistogram,
+    /// First request arrival, ns.
+    pub first_arrival_ns: Nanos,
+    /// Last completion, ns.
+    pub last_completion_ns: Nanos,
+}
+
+impl TenantMetrics {
+    pub fn new(name: impl Into<String>, queue_depth: usize) -> Self {
+        TenantMetrics {
+            name: name.into(),
+            completed: 0,
+            service_latency: LatencyStats::new(),
+            e2e_latency: LatencyStats::new(),
+            admission_stall_ns: 0,
+            stalled_requests: 0,
+            occupancy: OccupancyHistogram::new(queue_depth),
+            first_arrival_ns: 0,
+            last_completion_ns: 0,
+        }
+    }
+
+    /// Completed requests per second over this tenant's own active window
+    /// (first arrival → last completion). Using the tenant's window rather
+    /// than the global horizon lets the fairness ratio expose starvation even
+    /// when every request eventually completes.
+    pub fn throughput_rps(&self) -> f64 {
+        let window = self
+            .last_completion_ns
+            .saturating_sub(self.first_arrival_ns);
+        if window == 0 || self.completed == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1e9 / window as f64
+    }
+
+    /// Mean admission stall per completed request, ns.
+    pub fn mean_stall_ns(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.admission_stall_ns as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Fairness as the min/max ratio of per-tenant throughput: 1.0 is perfectly
+/// fair, values near 0 mean some tenant is starved. Tenants that never
+/// completed anything drive the ratio to 0; fewer than two tenants is 1.0 by
+/// definition.
+pub fn fairness_ratio(tenants: &[TenantMetrics]) -> f64 {
+    if tenants.len() < 2 {
+        return 1.0;
+    }
+    let tp: Vec<f64> = tenants.iter().map(TenantMetrics::throughput_rps).collect();
+    let max = tp.iter().cloned().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        return 1.0; // no tenant moved at all: vacuously fair
+    }
+    let min = tp.iter().cloned().fold(f64::INFINITY, f64::min);
+    min / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert!(s.min_ns().is_none());
+        assert_eq!(s.percentile_ns(50.0), 0);
+    }
+
+    #[test]
+    fn empty_stats_serialize_without_sentinel() {
+        // Regression: the old representation kept `min_ns = u64::MAX` while
+        // empty, which leaked into JSON reports. Empty must serialize as 0.
+        let json = serde_json::to_string(&LatencyStats::new()).unwrap();
+        assert!(
+            !json.contains(&u64::MAX.to_string()),
+            "sentinel leaked: {json}"
+        );
+        let back: LatencyStats = serde_json::from_str(&json).unwrap();
+        assert!(back.min_ns().is_none());
+        // And min tracking still works after a round-trip of an empty stats.
+        let mut back = back;
+        back.record(42);
+        assert_eq!(back.min_ns(), Some(42));
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut s = LatencyStats::new();
+        for ns in [100u64, 200, 300] {
+            s.record(ns);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean_ns(), 200.0);
+        assert_eq!(s.min_ns(), Some(100));
+        assert_eq!(s.max_ns(), 300);
+        assert!((s.mean_ms() - 0.0002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_accurate() {
+        let mut s = LatencyStats::new();
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            s.record(1_000);
+        }
+        for _ in 0..10 {
+            s.record(1_000_000);
+        }
+        let p50 = s.percentile_ns(50.0);
+        let p99 = s.percentile_ns(99.0);
+        assert!((512..=2048).contains(&p50), "p50 {p50}");
+        assert!(p99 >= 500_000, "p99 {p99}");
+        assert!(p99 <= s.max_ns());
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(10);
+        b.record(1_000_000);
+        b.record(2_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min_ns(), Some(10));
+        assert_eq!(a.max_ns(), 2_000_000);
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.clone();
+        a.merge(&LatencyStats::new());
+        assert_eq!(a.count(), snapshot.count());
+        assert_eq!(a.min_ns(), snapshot.min_ns());
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_min() {
+        let mut empty = LatencyStats::new();
+        let mut full = LatencyStats::new();
+        full.record(500);
+        empty.merge(&full);
+        assert_eq!(empty.min_ns(), Some(500));
+        assert_eq!(empty.max_ns(), 500);
+    }
+
+    #[test]
+    fn zero_latency_sample_is_tolerated() {
+        let mut s = LatencyStats::new();
+        s.record(0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min_ns(), Some(0));
+    }
+}

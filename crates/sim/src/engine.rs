@@ -23,12 +23,20 @@ pub struct ReplayConfig {
 impl ReplayConfig {
     /// Paper-scale configuration (Table 2) for `scheme`.
     pub fn paper_scale(scheme: SchemeKind) -> Self {
-        ReplayConfig { device: DeviceConfig::paper_scale(), ftl: FtlConfig::default(), scheme }
+        ReplayConfig {
+            device: DeviceConfig::paper_scale(),
+            ftl: FtlConfig::default(),
+            scheme,
+        }
     }
 
     /// Small configuration for tests.
     pub fn small_for_tests(scheme: SchemeKind) -> Self {
-        ReplayConfig { device: DeviceConfig::small_for_tests(), ftl: FtlConfig::default(), scheme }
+        ReplayConfig {
+            device: DeviceConfig::small_for_tests(),
+            ftl: FtlConfig::default(),
+            scheme,
+        }
     }
 }
 
@@ -207,7 +215,10 @@ mod tests {
             assert_eq!(report.write_latency.count(), 30);
             assert_eq!(report.read_latency.count(), 5);
             assert_eq!(report.overall_latency.count(), 35);
-            assert!(report.write_latency.mean_ns() > 0.0, "{kind}: zero write latency");
+            assert!(
+                report.write_latency.mean_ns() > 0.0,
+                "{kind}: zero write latency"
+            );
             assert!(report.read_latency.mean_ns() > 0.0);
             assert!(report.read_error_rate() > 0.0);
             assert!(report.simulated_horizon_ns >= reqs.last().unwrap().timestamp_ns);
@@ -259,9 +270,10 @@ mod tests {
         assert!(report.busy.host_write_ns > 0, "writes must register");
         assert!(report.busy.host_read_ns > 0, "reads must register");
         // Utilization is a sane fraction.
-        let u = report
-            .busy
-            .utilization(cfg.device.geometry.total_chips(), report.simulated_horizon_ns);
+        let u = report.busy.utilization(
+            cfg.device.geometry.total_chips(),
+            report.simulated_horizon_ns,
+        );
         assert!(u > 0.0 && u <= 1.0 + 1e-9, "utilization {u} out of range");
         // Host write busy time is at least the SLC program time per write op.
         let min_write = cfg.device.timing.program_ns(ipu_flash::CellMode::Slc);
@@ -274,8 +286,9 @@ mod tests {
     fn queueing_shows_up_under_burst_arrivals() {
         let cfg = ReplayConfig::small_for_tests(SchemeKind::Baseline);
         // All requests arrive at t=0 targeting the same plane → serialization.
-        let burst: Vec<IoRequest> =
-            (0..8).map(|i| IoRequest::new(0, OpKind::Write, i * 65536, 4096)).collect();
+        let burst: Vec<IoRequest> = (0..8)
+            .map(|i| IoRequest::new(0, OpKind::Write, i * 65536, 4096))
+            .collect();
         let spaced: Vec<IoRequest> = (0..8)
             .map(|i| IoRequest::new(i * 100_000_000, OpKind::Write, i * 65536, 4096))
             .collect();

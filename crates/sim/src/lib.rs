@@ -17,10 +17,12 @@
 //! assert_eq!(report.requests, 1);
 //! ```
 
+pub mod closed_loop;
 pub mod engine;
 pub mod metrics;
 pub mod resources;
 
+pub use closed_loop::{replay_closed_loop, replay_closed_loop_detailed, ClosedLoopReport};
 pub use engine::{replay, replay_with_progress, ReplayConfig, SimReport};
 pub use metrics::LatencyStats;
 pub use resources::ChipSchedule;

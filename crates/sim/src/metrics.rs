@@ -1,181 +1,8 @@
-//! Latency statistics: means, extrema and log-bucketed percentiles.
+//! Latency statistics.
+//!
+//! The implementation lives in `ipu-host` (the host interface aggregates
+//! per-tenant latency with the same histogram); this module re-exports it so
+//! existing `ipu_sim::metrics::LatencyStats` / `ipu_sim::LatencyStats` paths
+//! keep working.
 
-use ipu_flash::Nanos;
-use serde::{Deserialize, Serialize};
-
-/// Number of log₂ buckets in the latency histogram (covers 1 ns .. ~584 y).
-const BUCKETS: usize = 64;
-
-/// Streaming latency statistics with a log₂ histogram for percentiles.
-///
-/// ```
-/// use ipu_sim::LatencyStats;
-///
-/// let mut stats = LatencyStats::new();
-/// for ns in [250_000, 300_000, 9_000_000] {
-///     stats.record(ns);
-/// }
-/// assert_eq!(stats.count(), 3);
-/// assert!((stats.mean_ms() - 3.1833).abs() < 1e-3);
-/// assert!(stats.percentile_ns(99.0) >= 4_000_000); // the slow outlier
-/// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LatencyStats {
-    count: u64,
-    sum_ns: u128,
-    min_ns: Nanos,
-    max_ns: Nanos,
-    /// `buckets[b]` counts samples with `floor(log2(ns)) == b` (0 → bucket 0).
-    buckets: Vec<u64>,
-}
-
-impl Default for LatencyStats {
-    fn default() -> Self {
-        LatencyStats { count: 0, sum_ns: 0, min_ns: Nanos::MAX, max_ns: 0, buckets: vec![0; BUCKETS] }
-    }
-}
-
-impl LatencyStats {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, ns: Nanos) {
-        self.count += 1;
-        self.sum_ns += ns as u128;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-        let b = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
-        self.buckets[b.min(BUCKETS - 1)] += 1;
-    }
-
-    /// Merges another stats object into this one.
-    pub fn merge(&mut self, other: &LatencyStats) {
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        if other.count > 0 {
-            self.min_ns = self.min_ns.min(other.min_ns);
-            self.max_ns = self.max_ns.max(other.max_ns);
-        }
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64
-        }
-    }
-
-    /// Mean latency in milliseconds (the paper's Figure 5 unit).
-    pub fn mean_ms(&self) -> f64 {
-        self.mean_ns() / 1e6
-    }
-
-    pub fn min_ns(&self) -> Option<Nanos> {
-        (self.count > 0).then_some(self.min_ns)
-    }
-
-    pub fn max_ns(&self) -> Nanos {
-        self.max_ns
-    }
-
-    /// Approximate percentile (0–100) from the log histogram: the geometric
-    /// midpoint of the bucket containing the requested rank.
-    pub fn percentile_ns(&self, p: f64) -> Nanos {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let lo = 1u128 << b;
-                let hi = 1u128 << (b + 1);
-                return (((lo + hi) / 2) as u64).min(self.max_ns).max(if b == 0 { 1 } else { 0 });
-            }
-        }
-        self.max_ns
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_stats_are_zeroed() {
-        let s = LatencyStats::new();
-        assert_eq!(s.count(), 0);
-        assert_eq!(s.mean_ns(), 0.0);
-        assert!(s.min_ns().is_none());
-        assert_eq!(s.percentile_ns(50.0), 0);
-    }
-
-    #[test]
-    fn mean_min_max_exact() {
-        let mut s = LatencyStats::new();
-        for ns in [100u64, 200, 300] {
-            s.record(ns);
-        }
-        assert_eq!(s.count(), 3);
-        assert_eq!(s.mean_ns(), 200.0);
-        assert_eq!(s.min_ns(), Some(100));
-        assert_eq!(s.max_ns(), 300);
-        assert!((s.mean_ms() - 0.0002).abs() < 1e-12);
-    }
-
-    #[test]
-    fn percentiles_are_bucket_accurate() {
-        let mut s = LatencyStats::new();
-        // 90 fast samples (~1 µs), 10 slow (~1 ms).
-        for _ in 0..90 {
-            s.record(1_000);
-        }
-        for _ in 0..10 {
-            s.record(1_000_000);
-        }
-        let p50 = s.percentile_ns(50.0);
-        let p99 = s.percentile_ns(99.0);
-        assert!((512..=2048).contains(&p50), "p50 {p50}");
-        assert!(p99 >= 500_000, "p99 {p99}");
-        assert!(p99 <= s.max_ns());
-    }
-
-    #[test]
-    fn merge_combines_populations() {
-        let mut a = LatencyStats::new();
-        let mut b = LatencyStats::new();
-        a.record(10);
-        b.record(1_000_000);
-        b.record(2_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-        assert_eq!(a.min_ns(), Some(10));
-        assert_eq!(a.max_ns(), 2_000_000);
-        // Merging an empty histogram changes nothing.
-        let snapshot = a.clone();
-        a.merge(&LatencyStats::new());
-        assert_eq!(a.count(), snapshot.count());
-        assert_eq!(a.min_ns(), snapshot.min_ns());
-    }
-
-    #[test]
-    fn zero_latency_sample_is_tolerated() {
-        let mut s = LatencyStats::new();
-        s.record(0);
-        assert_eq!(s.count(), 1);
-        assert_eq!(s.min_ns(), Some(0));
-    }
-}
+pub use ipu_host::metrics::LatencyStats;

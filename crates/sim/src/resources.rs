@@ -184,8 +184,8 @@ mod tests {
         let mut s = ChipSchedule::new(1);
         s.schedule(0, 0, 100); // host op [0, 100)
         s.schedule_background(0, 100, 50); // GC available from t=100
-        // A host op at t=500: the GC op ran in the idle gap [100, 150),
-        // leaving the chip free — no queueing behind it.
+                                           // A host op at t=500: the GC op ran in the idle gap [100, 150),
+                                           // leaving the chip free — no queueing behind it.
         let (start, end) = s.schedule(0, 500, 10);
         assert_eq!((start, end), (500, 510));
         assert_eq!(s.background_backlog(0), 0);
@@ -196,7 +196,7 @@ mod tests {
     fn in_flight_background_delays_host() {
         let mut s = ChipSchedule::new(1);
         s.schedule_background(0, 0, 1_000); // starts at t=0 (chip idle)
-        // Host op arriving at t=300 finds the GC pulse in flight → waits.
+                                            // Host op arriving at t=300 finds the GC pulse in flight → waits.
         let (start, end) = s.schedule(0, 300, 10);
         assert_eq!((start, end), (1_000, 1_010));
     }
@@ -206,7 +206,7 @@ mod tests {
         let mut s = ChipSchedule::new(1);
         s.schedule(0, 0, 1_000); // host busy [0, 1000)
         s.schedule_background(0, 0, 10_000); // cannot start before t=1000
-        // A host op at t=500 jumps ahead of the *queued* background op.
+                                             // A host op at t=500 jumps ahead of the *queued* background op.
         let (start, end) = s.schedule(0, 500, 10);
         assert_eq!((start, end), (1_000, 1_010));
         assert_eq!(s.background_backlog(0), 10_000);
@@ -219,7 +219,10 @@ mod tests {
         let mut s = ChipSchedule::new(1);
         s.schedule_background(0, 5_000, 100); // not available before t=5000
         let (start, _) = s.schedule(0, 1_000, 10);
-        assert_eq!(start, 1_000, "background op from the future must not run early");
+        assert_eq!(
+            start, 1_000,
+            "background op from the future must not run early"
+        );
         // At t=10_000 it has run.
         let (start, _) = s.schedule(0, 10_000, 10);
         assert_eq!(start, 10_000);

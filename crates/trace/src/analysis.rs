@@ -23,7 +23,10 @@ pub struct Log2Histogram {
 
 impl Default for Log2Histogram {
     fn default() -> Self {
-        Log2Histogram { buckets: vec![0; 64], count: 0 }
+        Log2Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
     }
 }
 
@@ -33,7 +36,11 @@ impl Log2Histogram {
     }
 
     pub fn record(&mut self, v: u64) {
-        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[b.min(63)] += 1;
         self.count += 1;
     }
@@ -205,7 +212,10 @@ mod tests {
             "exponential gaps must have CoV ≈ 1, got {}",
             a.interarrival_cov
         );
-        assert!(a.rewrite_fraction > 0.3, "calibrated traces are update-heavy");
+        assert!(
+            a.rewrite_fraction > 0.3,
+            "calibrated traces are update-heavy"
+        );
         // Working-set curve is non-decreasing.
         assert!(a.working_set_curve.windows(2).all(|w| w[1] >= w[0]));
         assert_eq!(a.working_set_curve.len(), 100);

@@ -22,6 +22,7 @@ pub mod request;
 pub mod specs;
 pub mod stats;
 pub mod synth;
+pub mod tenants;
 pub mod writer;
 
 pub use analysis::{Log2Histogram, TraceAnalysis};
@@ -30,4 +31,5 @@ pub use request::{IoRequest, OpKind, SUBPAGE_BYTES};
 pub use specs::{all_paper_traces, paper_trace, PaperTrace};
 pub use stats::{SizeBucket, TraceStats, UpdateSizeDistribution};
 pub use synth::{SyntheticTraceSpec, TraceGenerator};
+pub use tenants::{clone_shifted, split_by_lba, split_round_robin, SplitStrategy};
 pub use writer::{to_msr_string, write_msr};

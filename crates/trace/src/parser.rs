@@ -38,10 +38,15 @@ const FILETIME_TICK_NS: u64 = 100;
 ///
 /// The timestamp is *absolute* (FILETIME converted to ns); callers rebase.
 pub fn parse_msr_line(line: &str, line_no: usize) -> Result<IoRequest, ParseError> {
-    let err = |message: String| ParseError { line: line_no, message };
+    let err = |message: String| ParseError {
+        line: line_no,
+        message,
+    };
     let mut fields = line.trim().split(',');
     let mut next = |name: &str| {
-        fields.next().ok_or_else(|| err(format!("missing field `{name}`")))
+        fields
+            .next()
+            .ok_or_else(|| err(format!("missing field `{name}`")))
     };
 
     let ts: u64 = next("Timestamp")?
@@ -55,14 +60,24 @@ pub fn parse_msr_line(line: &str, line_no: usize) -> Result<IoRequest, ParseErro
         t if t.eq_ignore_ascii_case("write") => OpKind::Write,
         other => return Err(err(format!("unknown op `{other}`"))),
     };
-    let offset: u64 =
-        next("Offset")?.trim().parse().map_err(|e| err(format!("bad offset: {e}")))?;
-    let size: u64 = next("Size")?.trim().parse().map_err(|e| err(format!("bad size: {e}")))?;
+    let offset: u64 = next("Offset")?
+        .trim()
+        .parse()
+        .map_err(|e| err(format!("bad offset: {e}")))?;
+    let size: u64 = next("Size")?
+        .trim()
+        .parse()
+        .map_err(|e| err(format!("bad size: {e}")))?;
     if size == 0 || size > u32::MAX as u64 {
         return Err(err(format!("size {size} out of range")));
     }
 
-    Ok(IoRequest::new(ts.saturating_mul(FILETIME_TICK_NS), op, offset, size as u32))
+    Ok(IoRequest::new(
+        ts.saturating_mul(FILETIME_TICK_NS),
+        op,
+        offset,
+        size as u32,
+    ))
 }
 
 /// Parses a whole MSR-format trace, rebasing timestamps to start at zero and
@@ -72,7 +87,10 @@ pub fn parse_msr_reader<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, ParseEr
     let mut requests = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
-        let line = line.map_err(|e| ParseError { line: line_no, message: e.to_string() })?;
+        let line = line.map_err(|e| ParseError {
+            line: line_no,
+            message: e.to_string(),
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -108,7 +126,9 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
         assert_eq!(reqs.len(), 3);
         // Sorted by time, first at zero.
         assert_eq!(reqs[0].timestamp_ns, 0);
-        assert!(reqs.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        assert!(reqs
+            .windows(2)
+            .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
         assert_eq!(reqs[0].op, OpKind::Read);
         assert_eq!(reqs[0].offset, 383496192);
         assert_eq!(reqs[0].size, 32768);

@@ -39,7 +39,12 @@ pub struct IoRequest {
 impl IoRequest {
     pub fn new(timestamp_ns: u64, op: OpKind, offset: u64, size: u32) -> Self {
         assert!(size > 0, "zero-sized request");
-        IoRequest { timestamp_ns, op, offset, size }
+        IoRequest {
+            timestamp_ns,
+            op,
+            offset,
+            size,
+        }
     }
 
     /// First logical subpage number touched.

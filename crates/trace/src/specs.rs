@@ -140,7 +140,8 @@ mod tests {
     #[test]
     fn all_specs_validate() {
         for spec in all_paper_traces() {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 

@@ -174,8 +174,12 @@ mod tests {
 
     #[test]
     fn write_ratio_and_sizes() {
-        let reqs =
-            vec![w(0, 0, 4096), w(1, 4096, 8192), rd(2, 0, 4096), rd(3, 0, 4096)];
+        let reqs = vec![
+            w(0, 0, 4096),
+            w(1, 4096, 8192),
+            rd(2, 0, 4096),
+            rd(3, 0, 4096),
+        ];
         let s = TraceStats::compute(&reqs);
         assert_eq!(s.requests, 4);
         assert_eq!(s.writes, 2);

@@ -79,7 +79,10 @@ impl SyntheticTraceSpec {
     /// Returns a copy scaled to `requests` total requests (slot populations
     /// scale with the write count, preserving every calibrated ratio).
     pub fn with_requests(&self, requests: u64) -> Self {
-        SyntheticTraceSpec { requests, ..self.clone() }
+        SyntheticTraceSpec {
+            requests,
+            ..self.clone()
+        }
     }
 
     /// Expected number of write requests.
@@ -127,7 +130,14 @@ impl SyntheticTraceSpec {
         let ro_reads = reads * (1.0 - self.read_written_fraction);
         // Read-only slots average two accesses each.
         let read_only = (ro_reads / 2.0).ceil().max(1.0) as u64;
-        (p, SlotPopulations { hot, cold, read_only })
+        (
+            p,
+            SlotPopulations {
+                hot,
+                cold,
+                read_only,
+            },
+        )
     }
 
     /// Validates the calibration parameters.
@@ -197,7 +207,13 @@ impl TraceGenerator {
         spec.validate().expect("invalid synthetic trace spec");
         let pops = spec.slot_populations();
         let rng = StdRng::seed_from_u64(spec.seed);
-        TraceGenerator { spec, pops, rng, clock_ns: 0, emitted: 0 }
+        TraceGenerator {
+            spec,
+            pops,
+            rng,
+            clock_ns: 0,
+            emitted: 0,
+        }
     }
 
     /// The spec driving this generator.
@@ -250,7 +266,11 @@ impl TraceGenerator {
             self.pops.hot + self.pops.cold + self.rng.gen_range(0..self.pops.read_only)
         };
 
-        let op = if is_write { OpKind::Write } else { OpKind::Read };
+        let op = if is_write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
         IoRequest::new(self.clock_ns, op, slot * SLOT_BYTES, size)
     }
 
@@ -310,7 +330,9 @@ mod tests {
     #[test]
     fn timestamps_are_monotone_nondecreasing() {
         let reqs = TraceGenerator::new(toy_spec()).generate();
-        assert!(reqs.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        assert!(reqs
+            .windows(2)
+            .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Splitting a trace into per-tenant streams for multi-queue replay.
+//!
+//! Closed-loop host-interface experiments need one request stream per tenant.
+//! Three deterministic strategies cover the common cases:
+//!
+//! * [`split_round_robin`] — requests dealt to tenants in arrival order;
+//!   tenants share the address space (a "noisy neighbours on one volume"
+//!   model).
+//! * [`split_by_lba`] — the observed address range is cut into equal
+//!   contiguous extents, one per tenant (a "partitioned namespaces" model).
+//! * [`clone_shifted`] — each tenant replays a full copy of the trace with
+//!   its addresses rebased into a private extent (an "N identical
+//!   independent workloads" model).
+
+use crate::request::IoRequest;
+
+/// How to derive per-tenant streams from one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    RoundRobin,
+    ByLba,
+    CloneShifted,
+}
+
+impl SplitStrategy {
+    /// Parses the CLI spelling (`rr`, `lba`, `clone`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rr" | "round-robin" => Ok(SplitStrategy::RoundRobin),
+            "lba" => Ok(SplitStrategy::ByLba),
+            "clone" | "clone-shifted" => Ok(SplitStrategy::CloneShifted),
+            other => Err(format!(
+                "unknown split strategy `{other}` (rr | lba | clone)"
+            )),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SplitStrategy::RoundRobin => "rr",
+            SplitStrategy::ByLba => "lba",
+            SplitStrategy::CloneShifted => "clone",
+        }
+    }
+
+    /// Applies the strategy.
+    pub fn split(self, requests: &[IoRequest], tenants: usize) -> Vec<Vec<IoRequest>> {
+        match self {
+            SplitStrategy::RoundRobin => split_round_robin(requests, tenants),
+            SplitStrategy::ByLba => split_by_lba(requests, tenants),
+            SplitStrategy::CloneShifted => clone_shifted(requests, tenants),
+        }
+    }
+}
+
+/// Deals requests to `tenants` streams in arrival order.
+pub fn split_round_robin(requests: &[IoRequest], tenants: usize) -> Vec<Vec<IoRequest>> {
+    assert!(tenants >= 1, "need at least one tenant");
+    let mut streams = vec![Vec::with_capacity(requests.len() / tenants + 1); tenants];
+    for (i, req) in requests.iter().enumerate() {
+        streams[i % tenants].push(*req);
+    }
+    streams
+}
+
+/// Assigns each request to the tenant owning its address extent: the span
+/// `[min_offset, max_offset]` observed in the trace is divided into `tenants`
+/// equal extents. Streams keep arrival order; request counts per tenant
+/// follow the trace's own address locality (and may be skewed).
+pub fn split_by_lba(requests: &[IoRequest], tenants: usize) -> Vec<Vec<IoRequest>> {
+    assert!(tenants >= 1, "need at least one tenant");
+    let mut streams = vec![Vec::new(); tenants];
+    if requests.is_empty() {
+        return streams;
+    }
+    let lo = requests.iter().map(|r| r.offset).min().expect("non-empty");
+    let hi = requests.iter().map(|r| r.offset).max().expect("non-empty");
+    let extent = ((hi - lo) / tenants as u64 + 1).max(1);
+    for req in requests {
+        let t = (((req.offset - lo) / extent) as usize).min(tenants - 1);
+        streams[t].push(*req);
+    }
+    streams
+}
+
+/// Gives every tenant a full copy of the trace, rebased into a private
+/// address extent so the copies never collide: tenant `t` adds
+/// `t × stride` to each offset, where the stride is the trace's address span
+/// rounded up to the next 64 KiB cache-slot boundary.
+pub fn clone_shifted(requests: &[IoRequest], tenants: usize) -> Vec<Vec<IoRequest>> {
+    assert!(tenants >= 1, "need at least one tenant");
+    if requests.is_empty() {
+        return vec![Vec::new(); tenants];
+    }
+    const SLOT_BYTES: u64 = 64 * 1024;
+    let span = requests
+        .iter()
+        .map(|r| r.offset + r.size as u64)
+        .max()
+        .expect("non-empty");
+    let stride = span.div_ceil(SLOT_BYTES) * SLOT_BYTES;
+    (0..tenants as u64)
+        .map(|t| {
+            requests
+                .iter()
+                .map(|r| {
+                    let mut c = *r;
+                    c.offset += t * stride;
+                    c
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::OpKind;
+
+    fn trace(n: u64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| IoRequest::new(i * 1_000, OpKind::Write, i * 65536, 4096))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_deals_evenly_and_keeps_order() {
+        let streams = split_round_robin(&trace(10), 3);
+        assert_eq!(
+            streams.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        for s in &streams {
+            assert!(s.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        }
+        // Every request lands in exactly one stream.
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn lba_split_partitions_address_space() {
+        let streams = split_by_lba(&trace(9), 3);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 9);
+        // Extents are disjoint: every stream's max offset < next stream's min.
+        for pair in streams.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let a_max = a.iter().map(|r| r.offset).max().unwrap();
+            let b_min = b.iter().map(|r| r.offset).min().unwrap();
+            assert!(a_max < b_min, "extents overlap: {a_max} ≥ {b_min}");
+        }
+    }
+
+    #[test]
+    fn clone_shifted_copies_never_collide() {
+        let streams = clone_shifted(&trace(4), 3);
+        assert_eq!(streams.len(), 3);
+        assert!(streams.iter().all(|s| s.len() == 4));
+        // Same timing everywhere; address extents disjoint across tenants.
+        for (t, s) in streams.iter().enumerate() {
+            assert_eq!(s[0].timestamp_ns, 0);
+            let _ = t;
+        }
+        let max0 = streams[0]
+            .iter()
+            .map(|r| r.offset + r.size as u64)
+            .max()
+            .unwrap();
+        let min1 = streams[1].iter().map(|r| r.offset).min().unwrap();
+        assert!(min1 >= max0, "tenant extents collide");
+        // Stride is slot-aligned so tenants do not share cache slots.
+        assert_eq!(min1 % (64 * 1024), 0);
+    }
+
+    #[test]
+    fn single_tenant_split_is_identity() {
+        let t = trace(5);
+        assert_eq!(split_round_robin(&t, 1), vec![t.clone()]);
+        assert_eq!(split_by_lba(&t, 1), vec![t.clone()]);
+        assert_eq!(clone_shifted(&t, 1), vec![t.clone()]);
+    }
+
+    #[test]
+    fn empty_trace_splits_to_empty_streams() {
+        for strat in [
+            SplitStrategy::RoundRobin,
+            SplitStrategy::ByLba,
+            SplitStrategy::CloneShifted,
+        ] {
+            let streams = strat.split(&[], 2);
+            assert_eq!(streams.len(), 2);
+            assert!(streams.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            SplitStrategy::parse("rr").unwrap(),
+            SplitStrategy::RoundRobin
+        );
+        assert_eq!(SplitStrategy::parse("lba").unwrap(), SplitStrategy::ByLba);
+        assert_eq!(
+            SplitStrategy::parse("clone").unwrap(),
+            SplitStrategy::CloneShifted
+        );
+        assert!(SplitStrategy::parse("hash").is_err());
+    }
+}

@@ -20,12 +20,11 @@ const EXPORT_EPOCH_TICKS: u64 = 130_963_392_000_000_000;
 ///
 /// Timestamps are rebased onto [`EXPORT_EPOCH_TICKS`]; `hostname` fills the
 /// format's host field (the paper's traces use short machine names).
-pub fn write_msr<W: Write>(
-    mut w: W,
-    requests: &[IoRequest],
-    hostname: &str,
-) -> io::Result<()> {
-    writeln!(w, "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime")?;
+pub fn write_msr<W: Write>(mut w: W, requests: &[IoRequest], hostname: &str) -> io::Result<()> {
+    writeln!(
+        w,
+        "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"
+    )?;
     for r in requests {
         let ticks = EXPORT_EPOCH_TICKS + r.timestamp_ns / FILETIME_TICK_NS;
         let op = if r.op.is_write() { "Write" } else { "Read" };
@@ -69,8 +68,7 @@ mod tests {
 
     #[test]
     fn generated_traces_survive_the_round_trip() {
-        let spec = crate::specs::paper_trace(crate::specs::PaperTrace::Lun2)
-            .with_requests(2_000);
+        let spec = crate::specs::paper_trace(crate::specs::PaperTrace::Lun2).with_requests(2_000);
         let original = crate::synth::TraceGenerator::new(spec).generate();
         let csv = to_msr_string(&original, "lun2");
         let parsed = parse_msr_reader(csv.as_bytes()).unwrap();

@@ -57,14 +57,21 @@ fn update_size_buckets_match_table1_for_all_traces() {
     for t in PaperTrace::all() {
         let expected = t.table1_row();
         let s = scaled_stats(t, 0.1);
-        let measured = [s.update_sizes.up_to_4k, s.update_sizes.up_to_8k, s.update_sizes.over_8k];
+        let measured = [
+            s.update_sizes.up_to_4k,
+            s.update_sizes.up_to_8k,
+            s.update_sizes.over_8k,
+        ];
         for (i, (m, e)) in measured.iter().zip(expected.iter()).enumerate() {
             assert!(
                 (m - e).abs() < 0.04,
                 "{t}: bucket {i} measured {m:.3} vs table {e:.3}"
             );
         }
-        assert!(s.update_sizes.updated_requests > 0, "{t}: no updates generated");
+        assert!(
+            s.update_sizes.updated_requests > 0,
+            "{t}: no updates generated"
+        );
     }
 }
 

@@ -18,7 +18,10 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     println!("Uncorrectable-read probability under sampled errors (seed {seed}, wdev0)");
-    println!("{:<6} {:>12} {:>16} {:>20}", "P/E", "scheme", "host reads", "uncorrectable");
+    println!(
+        "{:<6} {:>12} {:>16} {:>20}",
+        "P/E", "scheme", "host reads", "uncorrectable"
+    );
     for pe in [5000u32, 6000, 6500, 7000] {
         for scheme in SchemeKind::all() {
             let mut cfg = ExperimentConfig::scaled(scale);

@@ -28,7 +28,9 @@ fn figure4_example() {
         meta.open_block(idx, addr, BlockLevel::Work, 4, 4);
         for p in 0..4u32 {
             dev.program(Spa::new(addr.page(p), 0), 4).unwrap();
-            meta.get_mut(idx).unwrap().note_program(p, 0, 4, written_at, updated);
+            meta.get_mut(idx)
+                .unwrap()
+                .note_program(p, 0, 4, written_at, updated);
         }
         // 6 invalid subpages in both candidates, as in the figure.
         for (p, s) in [(0u32, 0u8), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)] {
@@ -67,7 +69,10 @@ fn end_to_end(scale: f64) {
 }
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     figure4_example();
     end_to_end(scale);
 }

@@ -34,24 +34,45 @@ fn main() {
     let file = File::open(&path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
     let requests = parse_msr_reader(BufReader::new(file))
         .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
-    eprintln!("replaying {} requests under {scheme} on the paper-scale device ...", requests.len());
+    eprintln!(
+        "replaying {} requests under {scheme} on the paper-scale device ...",
+        requests.len()
+    );
 
     let cfg = ReplayConfig::paper_scale(scheme);
     let report = replay_with_progress(&cfg, &requests, &path, |done, total| {
         if total > 0 {
-            eprint!("\r  {done}/{total} requests ({:.0}%)", done as f64 / total as f64 * 100.0);
+            eprint!(
+                "\r  {done}/{total} requests ({:.0}%)",
+                done as f64 / total as f64 * 100.0
+            );
         }
     });
     eprintln!();
 
     println!("scheme            : {}", report.scheme);
     println!("requests          : {}", report.requests);
-    println!("read latency      : {:.4} ms mean", report.read_latency.mean_ms());
-    println!("write latency     : {:.4} ms mean", report.write_latency.mean_ms());
-    println!("overall latency   : {:.4} ms mean", report.overall_latency.mean_ms());
+    println!(
+        "read latency      : {:.4} ms mean",
+        report.read_latency.mean_ms()
+    );
+    println!(
+        "write latency     : {:.4} ms mean",
+        report.write_latency.mean_ms()
+    );
+    println!(
+        "overall latency   : {:.4} ms mean",
+        report.overall_latency.mean_ms()
+    );
     println!("read error rate   : {:.3e}", report.read_error_rate());
-    println!("GC page util      : {:.1}%", report.gc_page_utilization() * 100.0);
-    println!("SLC / MLC erases  : {} / {}", report.wear.slc_erases, report.wear.mlc_erases);
+    println!(
+        "GC page util      : {:.1}%",
+        report.gc_page_utilization() * 100.0
+    );
+    println!(
+        "SLC / MLC erases  : {} / {}",
+        report.wear.slc_erases, report.wear.mlc_erases
+    );
     println!(
         "host writes SLC/MLC: {} / {} subpages",
         report.ftl.host_subpages_to_slc, report.ftl.host_subpages_to_mlc

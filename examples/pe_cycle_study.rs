@@ -36,12 +36,19 @@ fn main() {
 
     // Sanity note: both metrics must grow with wear for every scheme.
     for (si, scheme) in sweep.matrices[0].schemes.iter().enumerate() {
-        let errs: Vec<f64> =
-            sweep.matrices.iter().map(|m| m.report(0, si).read_error_rate()).collect();
+        let errs: Vec<f64> = sweep
+            .matrices
+            .iter()
+            .map(|m| m.report(0, si).read_error_rate())
+            .collect();
         let grew = errs.windows(2).all(|w| w[1] > w[0]);
         println!(
             "{scheme}: read error rate {} with wear ({:.2e} → {:.2e})",
-            if grew { "grows monotonically" } else { "is NOT monotone (unexpected!)" },
+            if grew {
+                "grows monotonically"
+            } else {
+                "is NOT monotone (unexpected!)"
+            },
             errs.first().unwrap(),
             errs.last().unwrap()
         );

@@ -24,8 +24,14 @@ fn main() {
         let stats = TraceStats::compute(&requests);
         println!("MSR trace {path}: {} requests", stats.requests);
         println!("  write ratio        : {:.1}%", stats.write_ratio * 100.0);
-        println!("  avg write size     : {:.1} KB", stats.avg_write_size / 1024.0);
-        println!("  hot write ratio    : {:.1}%", stats.hot_write_ratio * 100.0);
+        println!(
+            "  avg write size     : {:.1} KB",
+            stats.avg_write_size / 1024.0
+        );
+        println!(
+            "  hot write ratio    : {:.1}%",
+            stats.hot_write_ratio * 100.0
+        );
         println!("  update ratio       : {:.1}%", stats.update_ratio * 100.0);
         println!(
             "  update sizes       : ≤4K {:.1}%  4–8K {:.1}%  >8K {:.1}%",
@@ -38,8 +44,14 @@ fn main() {
             stats.written_footprint_bytes() as f64 / (1u64 << 30) as f64
         );
         let analysis = TraceAnalysis::compute(&requests);
-        println!("  rewrite fraction   : {:.1}%", analysis.rewrite_fraction * 100.0);
-        println!("  interarrival CoV   : {:.2} (1.0 = Poisson)", analysis.interarrival_cov);
+        println!(
+            "  rewrite fraction   : {:.1}%",
+            analysis.rewrite_fraction * 100.0
+        );
+        println!(
+            "  interarrival CoV   : {:.2} (1.0 = Poisson)",
+            analysis.interarrival_cov
+        );
         println!(
             "  update reuse dist  : p50 ≈ {} writes, p95 ≈ {} writes",
             analysis.update_reuse_distance.quantile(0.5),

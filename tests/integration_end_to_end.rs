@@ -68,7 +68,11 @@ fn ipu_keeps_update_chains_intra_page_in_msr_replay() {
         "expected many intra-page updates, got {}",
         report.ftl.intra_page_updates
     );
-    assert!(report.ftl.upgraded_writes >= 6, "upgrades missing: {}", report.ftl.upgraded_writes);
+    assert!(
+        report.ftl.upgraded_writes >= 6,
+        "upgrades missing: {}",
+        report.ftl.upgraded_writes
+    );
 }
 
 #[test]
@@ -130,12 +134,17 @@ fn device_state_matches_mapping_after_heavy_churn() {
     assert!(!core.map.is_empty());
     for (lsn, spa) in core.map.iter() {
         let page = dev.block(spa.ppa.block_addr()).page(spa.ppa.page);
-        assert_eq!(page.subpage(spa.subpage), SubpageState::Valid, "lsn {lsn} stale");
+        assert_eq!(
+            page.subpage(spa.subpage),
+            SubpageState::Valid,
+            "lsn {lsn} stale"
+        );
         let bi = core.block_idx(spa.ppa.block_addr());
         assert_eq!(core.owners.owner(bi, spa), Some(lsn));
     }
     // The consolidated checker agrees.
-    core.check_invariants(&dev).expect("invariant violation after churn");
+    core.check_invariants(&dev)
+        .expect("invariant violation after churn");
 }
 
 #[test]
@@ -150,7 +159,11 @@ fn invariants_hold_for_every_scheme_under_mixed_io() {
                 t += 400_000;
                 let req = IoRequest::new(
                     t,
-                    if (round + slot) % 4 == 0 { OpKind::Read } else { OpKind::Write },
+                    if (round + slot) % 4 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
                     slot * 65536,
                     4096 * (1 + (slot % 3) as u32),
                 );
@@ -160,7 +173,9 @@ fn invariants_hold_for_every_scheme_under_mixed_io() {
                 };
             }
         }
-        ftl.core().check_invariants(&dev).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        ftl.core()
+            .check_invariants(&dev)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
     }
 }
 
@@ -188,5 +203,8 @@ fn scaled_experiment_config_preserves_cache_pressure_ratio() {
         "pressure ratio drifts with scale: {r2:.2} vs {r4:.2}"
     );
     // And there is real pressure (multiple cache turnovers).
-    assert!(r2 > 2.0, "scaled runs must still pressure the cache (ratio {r2:.2})");
+    assert!(
+        r2 > 2.0,
+        "scaled runs must still pressure the cache (ratio {r2:.2})"
+    );
 }

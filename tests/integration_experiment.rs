@@ -19,8 +19,11 @@ fn pe_sweep_degrades_error_rate_and_latency_monotonically() {
     let sweep = experiment::run_pe_sweep(&cfg, &[1000, 4000, 8000]);
     assert_eq!(sweep.matrices.len(), 3);
     for (si, scheme) in sweep.matrices[0].schemes.iter().enumerate() {
-        let errs: Vec<f64> =
-            sweep.matrices.iter().map(|m| m.report(0, si).read_error_rate()).collect();
+        let errs: Vec<f64> = sweep
+            .matrices
+            .iter()
+            .map(|m| m.report(0, si).read_error_rate())
+            .collect();
         assert!(
             errs.windows(2).all(|w| w[1] > w[0]),
             "{scheme}: error rate not monotone over P/E: {errs:?}"
@@ -45,9 +48,16 @@ fn scheme_error_ordering_holds_at_every_pe_point() {
     let cfg = tiny_cfg();
     let sweep = experiment::run_pe_sweep(&cfg, &[1000, 8000]);
     for m in &sweep.matrices {
-        let mga = m.report(0, m.scheme_index(SchemeKind::Mga).unwrap()).read_error_rate();
-        let ipu = m.report(0, m.scheme_index(SchemeKind::Ipu).unwrap()).read_error_rate();
-        assert!(ipu < mga, "IPU ({ipu:.3e}) must beat MGA ({mga:.3e}) at every age");
+        let mga = m
+            .report(0, m.scheme_index(SchemeKind::Mga).unwrap())
+            .read_error_rate();
+        let ipu = m
+            .report(0, m.scheme_index(SchemeKind::Ipu).unwrap())
+            .read_error_rate();
+        assert!(
+            ipu < mga,
+            "IPU ({ipu:.3e}) must beat MGA ({mga:.3e}) at every age"
+        );
     }
 }
 
@@ -86,9 +96,10 @@ fn matrix_results_persist_and_reload() {
     let m = experiment::run_main_matrix(&cfg);
     let dir = std::env::temp_dir().join("ipu-integration-records");
     let path = dir.join("matrix.json");
-    ExperimentRecord::new("itest", cfg.clone(), m.clone()).save(&path).unwrap();
-    let loaded: ExperimentRecord<ipu_core::MatrixResult> =
-        ExperimentRecord::load(&path).unwrap();
+    ExperimentRecord::new("itest", cfg.clone(), m.clone())
+        .save(&path)
+        .unwrap();
+    let loaded: ExperimentRecord<ipu_core::MatrixResult> = ExperimentRecord::load(&path).unwrap();
     assert_eq!(loaded.config, cfg);
     assert_eq!(loaded.result.traces, m.traces);
     assert_eq!(

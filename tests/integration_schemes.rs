@@ -38,7 +38,10 @@ fn every_scheme_absorbs_the_whole_trace() {
             "{kind}: request accounting broken"
         );
         assert!(r.overall_latency.mean_ns() > 0.0);
-        assert!(r.ftl.gc_runs_slc > 0, "{kind}: cache pressure never triggered GC");
+        assert!(
+            r.ftl.gc_runs_slc > 0,
+            "{kind}: cache pressure never triggered GC"
+        );
     }
 }
 
@@ -49,11 +52,22 @@ fn figure8_ordering_baseline_best_mga_worst() {
     let ipu = report(SchemeKind::Ipu).read_error_rate();
     // Paper Fig. 8: Baseline lowest; MGA pays the most in-page disturb
     // (+14.0% in the paper); IPU sits just above Baseline (+3.5%).
-    assert!(base < ipu, "Baseline ({base:.3e}) must beat IPU ({ipu:.3e})");
+    assert!(
+        base < ipu,
+        "Baseline ({base:.3e}) must beat IPU ({ipu:.3e})"
+    );
     assert!(ipu < mga, "IPU ({ipu:.3e}) must beat MGA ({mga:.3e})");
     // And the increments are single-digit percents, not multiples.
-    assert!(mga / base < 1.5, "MGA penalty implausibly large: {}", mga / base);
-    assert!(ipu / base < 1.1, "IPU penalty should be small: {}", ipu / base);
+    assert!(
+        mga / base < 1.5,
+        "MGA penalty implausibly large: {}",
+        mga / base
+    );
+    assert!(
+        ipu / base < 1.1,
+        "IPU penalty should be small: {}",
+        ipu / base
+    );
 }
 
 #[test]
@@ -88,8 +102,17 @@ fn figure11_ordering_mapping_memory() {
     let i = m.scheme_index(SchemeKind::Ipu).unwrap();
     // Paper Fig. 11: Baseline = 1.0, MGA largest (+23.7%), IPU ≈ +0.84%.
     assert!((norm[b] - 1.0).abs() < 1e-12);
-    assert!(norm[g] > norm[i], "MGA ({}) must exceed IPU ({})", norm[g], norm[i]);
-    assert!(norm[i] > 1.0 && norm[i] < 1.01, "IPU overhead {} should be <1%", norm[i]);
+    assert!(
+        norm[g] > norm[i],
+        "MGA ({}) must exceed IPU ({})",
+        norm[g],
+        norm[i]
+    );
+    assert!(
+        norm[i] > 1.0 && norm[i] < 1.01,
+        "IPU overhead {} should be <1%",
+        norm[i]
+    );
 }
 
 #[test]
@@ -119,7 +142,10 @@ fn figure5_partial_programming_beats_baseline() {
     // (−6.4% / −14.9%). Our reproduction preserves that both are ≤ Baseline;
     // see EXPERIMENTS.md for the IPU-vs-MGA discussion.
     assert!(mga < base, "MGA ({mga}) must beat Baseline ({base})");
-    assert!(ipu <= base * 1.01, "IPU ({ipu}) must not lose to Baseline ({base})");
+    assert!(
+        ipu <= base * 1.01,
+        "IPU ({ipu}) must not lose to Baseline ({base})"
+    );
 }
 
 #[test]
@@ -136,7 +162,10 @@ fn figure7_ipu_uses_all_three_levels() {
 #[test]
 fn intra_page_updates_dominate_ipu_update_handling() {
     let r = report(SchemeKind::Ipu);
-    assert!(r.ftl.intra_page_updates > r.ftl.upgraded_writes, "intra-page must dominate");
+    assert!(
+        r.ftl.intra_page_updates > r.ftl.upgraded_writes,
+        "intra-page must dominate"
+    );
     assert!(r.ftl.upgraded_writes > 0, "upgrades must occur");
     // Baseline and MGA never do intra-page updates.
     assert_eq!(report(SchemeKind::Baseline).ftl.intra_page_updates, 0);
@@ -151,9 +180,18 @@ fn partial_program_counters_match_scheme_semantics() {
     let base = report(SchemeKind::Baseline);
     let mga = report(SchemeKind::Mga);
     let ipu = report(SchemeKind::Ipu);
-    assert!(base.device.in_page_disturb_events == 0, "Baseline must have no in-page disturb");
-    assert!(mga.device.in_page_disturb_events > 0, "MGA packing must disturb in-page data");
-    assert!(ipu.device.in_page_disturb_events > 0, "IPU updates disturb obsolete versions");
+    assert!(
+        base.device.in_page_disturb_events == 0,
+        "Baseline must have no in-page disturb"
+    );
+    assert!(
+        mga.device.in_page_disturb_events > 0,
+        "MGA packing must disturb in-page data"
+    );
+    assert!(
+        ipu.device.in_page_disturb_events > 0,
+        "IPU updates disturb obsolete versions"
+    );
     // MGA's disturbed data is *valid* (others' data); IPU's is its own
     // obsolete version — visible as MGA's higher read error rate, asserted in
     // figure8_ordering. Here check volumes are comparable magnitudes.

@@ -1,0 +1,403 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item token stream directly (no `syn`/`quote` available offline)
+//! and emits `Serialize`/`Deserialize` impls against the crate's `Value`
+//! model. Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields, including simple generic parameters
+//!   (`struct Record<T> { ... }`) and `#[serde(default)]` on fields;
+//! * enums with unit variants and struct variants (externally tagged:
+//!   `"Variant"` / `{"Variant": {..fields..}}`, matching real serde).
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    skip_attrs(&mut toks);
+    skip_visibility(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    let generics = parse_generics(&mut toks);
+
+    let body_group = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple structs are not supported (`{name}`)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: unit structs are not supported (`{name}`)")
+            }
+            Some(_) => continue, // e.g. `where` clauses are not supported but skip gracefully
+            None => panic!("serde_derive: no body found for `{name}`"),
+        }
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips attributes; returns whether any was `#[serde(default)]`.
+fn skip_attrs(toks: &mut Peekable) -> bool {
+    let mut has_default = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(i)) = inner.first() {
+                        if i.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                let text = args.stream().to_string();
+                                if text.split(',').any(|a| a.trim() == "default") {
+                                    has_default = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn skip_visibility(toks: &mut Peekable) {
+    if let Some(TokenTree::Ident(i)) = toks.peek() {
+        if i.to_string() == "pub" {
+            toks.next();
+            // `pub(crate)` etc.
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` if present; only plain type parameters are supported.
+fn parse_generics(toks: &mut Peekable) -> Vec<String> {
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    toks.next();
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut expect_param = true;
+    for tok in toks.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Ident(i) if depth == 1 && expect_param => {
+                params.push(i.to_string());
+                expect_param = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetime parameters are not supported")
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level `,` (angle brackets tracked;
+        // grouped tokens like `[f64; 3]` arrive as single trees).
+        let mut angle = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let mut fields = None;
+        // Consume up to the `,` separating variants.
+        while let Some(tok) = toks.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    toks.next();
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    fields = Some(parse_fields(g.stream()));
+                    toks.next();
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!("serde_derive: tuple variants are not supported (`{name}`)")
+                }
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: Bound, ...>` header and `Name<T, ...>` type, given the trait bound.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{}::{1} => ::serde::Value::Str(\"{1}\".to_string()),",
+                        item.name, v.name
+                    ),
+                    Some(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0})),",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{}::{1} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             \"{1}\".to_string(), \
+                             ::serde::Value::Object(::std::vec![{pushes}]))]),",
+                            item.name, v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn field_expr(ty_name: &str, f: &Field, source: &str) -> String {
+    let fallback = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(\
+             ::serde::Error::missing_field(\"{ty_name}\", \"{}\"))",
+            f.name
+        )
+    };
+    format!(
+        "{0}: match {source}.get_field(\"{0}\") {{\n\
+             ::core::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+             ::core::option::Option::None => {fallback},\n\
+         }},",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "::serde::Deserialize");
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| field_expr(&item.name, f, "__v"))
+                .collect();
+            format!("::core::result::Result::Ok({} {{ {inits} }})", item.name)
+        }
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "\"{1}\" => ::core::result::Result::Ok({0}::{1}),",
+                        item.name, v.name
+                    )
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| field_expr(&item.name, f, "__inner"))
+                        .collect();
+                    format!(
+                        "\"{1}\" => ::core::result::Result::Ok({0}::{1} {{ {inits} }}),",
+                        item.name, v.name
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(\
+                             ::serde::Error::unknown_variant(\"{0}\", __other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             __other => ::core::result::Result::Err(\
+                                 ::serde::Error::unknown_variant(\"{0}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(\
+                         ::serde::Error::type_mismatch(\"enum `{0}`\", __other)),\n\
+                 }}",
+                item.name
+            )
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
