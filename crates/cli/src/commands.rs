@@ -28,6 +28,9 @@ COMMANDS
   sweep                 The §4.5 P/E-cycle sweep (Figures 13 & 14)
   simulate              Closed-loop multi-queue host replay: QD × scheme sweep
                         with per-tenant latency, occupancy and fairness
+  reliability           Fault-injection experiment: request completion status,
+                        read-retry recovery and bad-block retirement per scheme
+                        (defaults to --fault-profile light)
   replay <trace.csv>    Replay a real MSR-format trace file
   ablate <levels|gc|nop>  Design-choice ablations (DESIGN.md A1–A3)
   figures               Render the main figures as SVG files (--out <dir>)
@@ -42,6 +45,9 @@ COMMON OPTIONS
   --pe <n>              Pre-aged P/E cycles (default 4000)
   --threads <n>         Sweep parallelism (default: cores − 1)
   --save <file.json>    Also write the raw results as JSON
+  --fault-profile <p>   Media fault injection: none | light | heavy
+                        (default none; light/heavy also arm the read-retry
+                        ladder — see DESIGN.md §10)
 
 SIMULATE OPTIONS
   --queue-depth <a,b>   Queue depths to sweep (default 1,4,16,64)
@@ -58,6 +64,7 @@ EXAMPLES
   ipu-sim ablate gc --scale 0.05
   ipu-sim simulate --traces ts0 --queue-depth 1,16 --tenants fg:4:0,bg:1:1 \\
           --arbitration wrr --scale 0.01
+  ipu-sim reliability --fault-profile heavy --traces ts0 --scale 0.05
 ";
 
 /// Builds the experiment config from the common flags.
@@ -81,8 +88,27 @@ fn config_from(args: &ParsedArgs) -> Result<ExperimentConfig, ArgError> {
             .map(|n| parse_scheme(n))
             .collect::<Result<_, _>>()?;
     }
+    if let Some(name) = args.flag("fault-profile") {
+        apply_fault_profile(&mut cfg.device, name)?;
+    }
     cfg.validate().map_err(ArgError)?;
     Ok(cfg)
+}
+
+/// Applies a named fault profile (and its read-retry ladder) to the device.
+fn apply_fault_profile(
+    device: &mut ipu_core::flash::DeviceConfig,
+    name: &str,
+) -> Result<(), ArgError> {
+    let (fault, retry) = ipu_core::flash::FaultProfile::named(name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown fault profile `{name}` (expected one of: {})",
+            ipu_core::flash::FaultProfile::NAMES.join(", ")
+        ))
+    })?;
+    device.fault = fault;
+    device.retry = retry;
+    Ok(())
 }
 
 fn parse_trace(name: &str) -> Result<PaperTrace, ArgError> {
@@ -236,6 +262,27 @@ pub fn detailed_report(r: &SimReport) -> String {
         r.busy.background_ns as f64 / 1e9,
         horizon as f64 / 1e9,
     ));
+    s.push_str(&format!(
+        "reliability         : {} success / {} recovered / {} failed \
+         (availability {:.6})\n",
+        r.reliability.success,
+        r.reliability.recovered,
+        r.reliability.failed,
+        r.reliability.availability(),
+    ));
+    s.push_str(&format!(
+        "recovery counters   : {} read retries ({} recovered, {:.3} ms ladder), \
+         {} uncorrectable, {} retired blocks, {} program retries, {} data-loss, \
+         {} scrub rewrites\n",
+        r.ftl.read_retries,
+        r.ftl.recovered_reads,
+        r.ftl.retry_latency_ns as f64 / 1e6,
+        r.ftl.host_uncorrectable_reads,
+        r.ftl.retired_blocks,
+        r.ftl.program_retries,
+        r.ftl.data_loss_events,
+        r.ftl.scrub_rewrites,
+    ));
     s
 }
 
@@ -303,6 +350,19 @@ pub fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `ipu-sim reliability`: the trace × scheme matrix under fault injection,
+/// reported as completion status plus the recovery-path counters.
+pub fn cmd_reliability(args: &ParsedArgs) -> Result<String, ArgError> {
+    let mut cfg = config_from(args)?;
+    if args.flag("fault-profile").is_none() {
+        apply_fault_profile(&mut cfg.device, "light")?;
+    }
+    let matrix = experiment::run_main_matrix(&cfg);
+    let text = report::render_reliability(&matrix);
+    maybe_save(args, &cfg, "reliability", matrix)?;
+    Ok(text)
+}
+
 /// `ipu-sim replay <trace.csv>`
 pub fn cmd_replay(args: &ParsedArgs) -> Result<String, ArgError> {
     let path = args
@@ -318,7 +378,10 @@ pub fn cmd_replay(args: &ParsedArgs) -> Result<String, ArgError> {
     let requests = parse_msr_reader(BufReader::new(file))
         .map_err(|e| ArgError(format!("cannot parse {path}: {e}")))?;
     eprintln!("replaying {} requests under {scheme} ...", requests.len());
-    let cfg = ReplayConfig::paper_scale(scheme);
+    let mut cfg = ReplayConfig::paper_scale(scheme);
+    if let Some(name) = args.flag("fault-profile") {
+        apply_fault_profile(&mut cfg.device, name)?;
+    }
     let r = replay_with_progress(&cfg, &requests, path, |done, total| {
         if total > 0 && done % (1 << 18) == 0 {
             eprintln!("  {done}/{total}");
@@ -401,7 +464,15 @@ mod tests {
         ParsedArgs::parse(s.split_whitespace().map(str::to_string), flags).unwrap()
     }
 
-    const COMMON: &[&str] = &["scale", "traces", "schemes", "pe", "threads", "save"];
+    const COMMON: &[&str] = &[
+        "scale",
+        "traces",
+        "schemes",
+        "pe",
+        "threads",
+        "save",
+        "fault-profile",
+    ];
 
     #[test]
     fn config_respects_flags() {
@@ -422,6 +493,30 @@ mod tests {
         assert!(config_from(&parsed("run --traces nosuch", COMMON)).is_err());
         assert!(config_from(&parsed("run --schemes nosuch", COMMON)).is_err());
         assert!(config_from(&parsed("run --pe pony", COMMON)).is_err());
+        assert!(config_from(&parsed("run --fault-profile pony", COMMON)).is_err());
+    }
+
+    #[test]
+    fn fault_profile_arms_injection_and_retry() {
+        let cfg = config_from(&parsed("run --fault-profile light", COMMON)).unwrap();
+        assert!(!cfg.device.fault.is_inert());
+        assert!(!cfg.device.retry.steps.is_empty());
+        // Default stays the pre-fault-model device.
+        let cfg = config_from(&parsed("run", COMMON)).unwrap();
+        assert!(cfg.device.fault.is_inert());
+        assert!(cfg.device.retry.steps.is_empty());
+    }
+
+    #[test]
+    fn tiny_reliability_run_reports_recovery() {
+        let p = parsed(
+            "reliability --scale 0.002 --traces lun2 --threads 1",
+            COMMON,
+        );
+        let text = cmd_reliability(&p).unwrap();
+        assert!(text.contains("Reliability"));
+        assert!(text.contains("recovered"));
+        assert!(text.contains("retry-ladder latency"));
     }
 
     #[test]
@@ -462,6 +557,7 @@ mod tests {
         "arbitration",
         "dispatch-overhead",
         "split",
+        "fault-profile",
     ];
 
     #[test]

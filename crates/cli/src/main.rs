@@ -27,6 +27,7 @@ const COMMON_FLAGS: &[&str] = &[
     "arbitration",
     "dispatch-overhead",
     "split",
+    "fault-profile",
 ];
 
 fn main() {
@@ -50,6 +51,7 @@ fn main() {
         "run" => commands::cmd_run(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
         "simulate" => commands::cmd_simulate(&parsed),
+        "reliability" => commands::cmd_reliability(&parsed),
         "replay" => commands::cmd_replay(&parsed),
         "ablate" => commands::cmd_ablate(&parsed),
         "figures" => commands::cmd_figures(&parsed),

@@ -339,6 +339,55 @@ pub fn render_fig11(m: &MatrixResult) -> String {
     format!("Figure 11 — normalized mapping table size\n{}", t.render())
 }
 
+/// Reliability section (extension): per-request completion status under the
+/// configured fault profile, plus the recovery-path counters — read retries,
+/// recovered reads, retired blocks and accounted data loss.
+pub fn render_reliability(m: &MatrixResult) -> String {
+    let mut t = TextTable::new(&[
+        "Trace",
+        "Scheme",
+        "success",
+        "recovered",
+        "failed",
+        "avail",
+        "retries",
+        "retired",
+        "uncorr",
+        "data loss",
+    ]);
+    for (ti, trace) in m.traces.iter().enumerate() {
+        for (si, scheme) in m.schemes.iter().enumerate() {
+            let r = m.report(ti, si);
+            t.row(vec![
+                trace.clone(),
+                scheme.label().to_string(),
+                r.reliability.success.to_string(),
+                r.reliability.recovered.to_string(),
+                r.reliability.failed.to_string(),
+                format!("{:.6}", r.reliability.availability()),
+                r.ftl.read_retries.to_string(),
+                r.ftl.retired_blocks.to_string(),
+                r.ftl.host_uncorrectable_reads.to_string(),
+                r.ftl.data_loss_events.to_string(),
+            ]);
+        }
+    }
+    let mut out = format!(
+        "Reliability — request completion and recovery under fault injection\n{}",
+        t.render()
+    );
+    let total_retry_ns: u64 = (0..m.traces.len())
+        .flat_map(|ti| (0..m.schemes.len()).map(move |si| (ti, si)))
+        .map(|(ti, si)| m.report(ti, si).ftl.retry_latency_ns)
+        .sum();
+    out.push('\n');
+    out.push_str(&format!(
+        "total retry-ladder latency: {:.3} ms across all runs\n",
+        total_retry_ns as f64 / 1e6
+    ));
+    out
+}
+
 /// Figures 13/14: the P/E sweep, one row per (P/E, scheme) with latency and
 /// error rate averaged (geometric mean over traces handled by mean_ratio; here
 /// we print arithmetic means across traces, as the paper's bars do).

@@ -233,6 +233,25 @@ pub fn evaluate(m: &MatrixResult) -> Vec<ClaimResult> {
             ratio(m, Ipu, Mga, slc_erases),
             1.5,
         ),
+        // Extension: the fault/recovery subsystem must be inert when no
+        // faults are injected — the paper's evaluation assumes a clean medium.
+        check_order(
+            "ext / fault model",
+            "No uncorrectable reads, failed requests or retired blocks under the nominal error model",
+            f64::NAN,
+            m.reports
+                .iter()
+                .flatten()
+                .map(|r| (r.ftl.host_uncorrectable_reads + r.ftl.retired_blocks) as f64)
+                .sum(),
+            m.reports.iter().flatten().all(|r| {
+                r.ftl.host_uncorrectable_reads == 0
+                    && r.ftl.retired_blocks == 0
+                    && r.ftl.data_loss_events == 0
+                    && r.reliability.failed == 0
+                    && r.reliability.total == r.reliability.success
+            }),
+        ),
     ]
 }
 

@@ -6,6 +6,7 @@ use crate::error::ber::BerModel;
 use crate::error::disturb::DisturbConfig;
 use crate::error::ecc::EccModel;
 use crate::error::sampling::ErrorMode;
+use crate::fault::{FaultProfile, RetryLadder};
 use crate::geometry::FlashGeometry;
 use crate::mode::CellMode;
 use crate::time::{ms_to_ns, Nanos};
@@ -115,6 +116,13 @@ pub struct DeviceConfig {
     /// paper's averaged metrics) or a deterministic Poisson draw per read
     /// (tail studies: uncorrectable-read probability, retry behaviour).
     pub error_mode: ErrorMode,
+    /// Injected media faults (inert by default; see [`FaultProfile`]).
+    #[serde(default)]
+    pub fault: FaultProfile,
+    /// Read-retry ladder the FTL walks on uncorrectable reads (empty by
+    /// default: no retries, the pre-fault-model behaviour).
+    #[serde(default)]
+    pub retry: RetryLadder,
 }
 
 impl DeviceConfig {
@@ -130,6 +138,8 @@ impl DeviceConfig {
             initial_mode: CellMode::Mlc,
             max_partial_programs: crate::state::MAX_PARTIAL_PROGRAMS_SLC,
             error_mode: ErrorMode::Expected,
+            fault: FaultProfile::default(),
+            retry: RetryLadder::default(),
         }
     }
 
@@ -151,6 +161,8 @@ impl DeviceConfig {
         if self.max_partial_programs == 0 {
             return Err("max_partial_programs must be at least 1".into());
         }
+        self.fault.validate()?;
+        self.retry.validate()?;
         Ok(())
     }
 }

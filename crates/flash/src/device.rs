@@ -30,6 +30,30 @@ pub enum FlashError {
     ReadOfFreeSubpage(Spa),
     /// Attempted to invalidate a subpage that is not valid.
     NotValid(Spa),
+    /// The program pulse reported a status failure (injected media fault).
+    /// The attempt still occupied the chip for `latency_ns`.
+    ProgramFailed { spa: Spa, latency_ns: Nanos },
+    /// The erase pulse reported a status failure (injected media fault).
+    EraseFailed { addr: BlockAddr, latency_ns: Nanos },
+}
+
+impl FlashError {
+    /// "Never written": the target subpage is erased, not corrupted. During
+    /// power-loss reconstruction this tells the FTL a mapping candidate was
+    /// simply never programmed, as opposed to a media failure.
+    pub fn is_never_written(&self) -> bool {
+        matches!(self, FlashError::ReadOfFreeSubpage(_))
+    }
+
+    /// A media failure: the operation was well-formed but the flash array
+    /// failed it. These are the errors the recovery paths (retirement,
+    /// remap, retry) handle; everything else is a caller bug.
+    pub fn is_media_failure(&self) -> bool {
+        matches!(
+            self,
+            FlashError::ProgramFailed { .. } | FlashError::EraseFailed { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for FlashError {
@@ -45,6 +69,8 @@ impl std::fmt::Display for FlashError {
             }
             FlashError::ReadOfFreeSubpage(s) => write!(f, "read of erased subpage: {s}"),
             FlashError::NotValid(s) => write!(f, "subpage not valid: {s}"),
+            FlashError::ProgramFailed { spa, .. } => write!(f, "program failed at {spa}"),
+            FlashError::EraseFailed { addr, .. } => write!(f, "erase failed at {addr}"),
         }
     }
 }
@@ -98,6 +124,19 @@ pub struct OpCounters {
     pub uncorrectable_reads: u64,
     pub in_page_disturb_events: u64,
     pub neighbour_disturb_events: u64,
+    /// Injected program-status failures (the attempt is also in `programs`).
+    #[serde(default)]
+    pub program_failures: u64,
+    /// Injected erase-status failures (the attempt is also in `erases`).
+    #[serde(default)]
+    pub erase_failures: u64,
+    /// Reads forced uncorrectable by the fault injector (also counted in
+    /// `uncorrectable_reads`).
+    #[serde(default)]
+    pub injected_read_failures: u64,
+    /// Reads whose RBER was amplified by an injected transient spike.
+    #[serde(default)]
+    pub rber_spikes: u64,
 }
 
 /// A NAND flash device.
@@ -216,6 +255,26 @@ impl FlashDevice {
             }
         }
 
+        // Injected program-status failure: the pulse runs (and its latency is
+        // charged via the error) but no subpage state changes; the FTL is
+        // expected to retire the block and remap the data.
+        if !self.cfg.fault.is_inert() {
+            let die = g.die_index(spa.ppa.block_addr());
+            let addr_key = ((idx as u64) << 20) | ((spa.ppa.page as u64) << 4) | spa.subpage as u64;
+            if self
+                .cfg
+                .fault
+                .program_fails(self.counters.programs, die, idx as u64, addr_key)
+            {
+                let bytes = count as u32 * g.subpage_size;
+                let latency_ns =
+                    self.cfg.timing.transfer_ns(bytes) + self.cfg.timing.program_ns(mode);
+                self.counters.programs += 1;
+                self.counters.program_failures += 1;
+                return Err(FlashError::ProgramFailed { spa, latency_ns });
+            }
+        }
+
         let in_page_disturbed = self.blocks[idx]
             .page_mut(spa.ppa.page)
             .apply_program(spa.subpage, count)
@@ -261,6 +320,21 @@ impl FlashDevice {
     /// time follows the expected raw bit errors of the *actual* subpages read
     /// (their block's P/E wear amplified by their disturb history).
     pub fn read(&mut self, spa: Spa, count: u8) -> Result<ReadResult, FlashError> {
+        self.read_scaled(spa, count, 1.0)
+    }
+
+    /// Reads with an RBER scale factor, modelling one step of the read-retry
+    /// ladder: re-sensing at shifted reference voltages is slower (the caller
+    /// adds the step's extra latency) but sees fewer raw bit errors.
+    ///
+    /// Injected read faults re-draw on every call — the operation counter
+    /// advances per read — so a retry of a transient failure can succeed.
+    pub fn read_scaled(
+        &mut self,
+        spa: Spa,
+        count: u8,
+        rber_scale: f64,
+    ) -> Result<ReadResult, FlashError> {
         let g = self.cfg.geometry.clone();
         let idx = g.block_index(spa.ppa.block_addr()) as usize;
         let mode = self.blocks[idx].mode();
@@ -293,8 +367,28 @@ impl FlashDevice {
                 page.neighbour_disturbs(),
             ) * read_factor;
         }
-        let rber = rber_sum / count as f64;
+        let mut rber = rber_sum / count as f64 * rber_scale;
         self.blocks[idx].note_read();
+
+        // Injected transient faults: an RBER spike amplifies this read's
+        // error rate; a sense failure forces the read uncorrectable outright.
+        let mut injected_fail = false;
+        if !self.cfg.fault.is_inert() {
+            let die = g.die_index(spa.ppa.block_addr());
+            let addr_key = ((idx as u64) << 20) | ((spa.ppa.page as u64) << 4) | spa.subpage as u64;
+            let spike =
+                self.cfg
+                    .fault
+                    .read_rber_factor(self.counters.reads, die, idx as u64, addr_key);
+            if spike != 1.0 {
+                rber *= spike;
+                self.counters.rber_spikes += 1;
+            }
+            injected_fail =
+                self.cfg
+                    .fault
+                    .read_fails(self.counters.reads, die, idx as u64, addr_key);
+        }
 
         let bytes = count as u32 * g.subpage_size;
         // Realize the raw error count per the configured mode; the stream key
@@ -312,9 +406,13 @@ impl FlashDevice {
         let latency_ns =
             self.cfg.timing.read_ns(mode) + self.cfg.timing.transfer_ns(bytes) + ecc.latency_ns;
 
+        let uncorrectable = ecc.uncorrectable || injected_fail;
         self.counters.reads += 1;
         self.counters.subpages_read += count as u64;
-        if ecc.uncorrectable {
+        if injected_fail {
+            self.counters.injected_read_failures += 1;
+        }
+        if uncorrectable {
             self.counters.uncorrectable_reads += 1;
         }
 
@@ -322,7 +420,7 @@ impl FlashDevice {
             latency_ns,
             rber,
             expected_bit_errors: ecc.expected_bit_errors,
-            uncorrectable: ecc.uncorrectable,
+            uncorrectable,
         })
     }
 
@@ -360,7 +458,36 @@ impl FlashDevice {
             .map_err(|_| FlashError::NotValid(spa))
     }
 
-    /// Erases a block, re-formatting it into `new_mode`.
+    /// Erase that consults the fault injector: on an injected status failure
+    /// the pulse's latency is charged via the error but the block keeps its
+    /// old state and no wear is recorded; the FTL must retire the block.
+    pub fn try_erase(
+        &mut self,
+        addr: BlockAddr,
+        new_mode: CellMode,
+    ) -> Result<EraseResult, FlashError> {
+        if !self.cfg.fault.is_inert() {
+            let g = self.cfg.geometry.clone();
+            let idx = g.block_index(addr);
+            let die = g.die_index(addr);
+            if self
+                .cfg
+                .fault
+                .erase_fails(self.counters.erases, die, idx, idx)
+            {
+                self.counters.erases += 1;
+                self.counters.erase_failures += 1;
+                return Err(FlashError::EraseFailed {
+                    addr,
+                    latency_ns: self.cfg.timing.erase_ns(),
+                });
+            }
+        }
+        Ok(self.erase(addr, new_mode))
+    }
+
+    /// Erases a block, re-formatting it into `new_mode`. Infallible: the
+    /// fault injector is consulted only by [`FlashDevice::try_erase`].
     pub fn erase(&mut self, addr: BlockAddr, new_mode: CellMode) -> EraseResult {
         let g = self.cfg.geometry.clone();
         let idx = g.block_index(addr);
@@ -502,6 +629,124 @@ mod tests {
         let (mut dev, addr) = slc_device();
         let err = dev.read(Spa::new(addr.page(0), 0), 1).unwrap_err();
         assert!(matches!(err, FlashError::ReadOfFreeSubpage(_)));
+        // "Never written" is distinct from a media failure: power-loss
+        // reconstruction probes subpages and must tell the two apart.
+        assert!(err.is_never_written());
+        assert!(!err.is_media_failure());
+    }
+
+    #[test]
+    fn injected_program_fault_charges_latency_without_state_change() {
+        let mut cfg = DeviceConfig::small_for_tests();
+        cfg.fault.program_fail = 1.0;
+        let mut dev = FlashDevice::new(cfg);
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        let err = dev.program(Spa::new(addr.page(0), 0), 4).unwrap_err();
+        assert!(err.is_media_failure() && !err.is_never_written());
+        let t = dev.config().timing.clone();
+        match err {
+            FlashError::ProgramFailed { latency_ns, .. } => assert_eq!(
+                latency_ns,
+                t.transfer_ns(16 * 1024) + t.program_ns(CellMode::Slc)
+            ),
+            other => panic!("expected ProgramFailed, got {other}"),
+        }
+        // The attempt is counted but no subpage was written.
+        assert_eq!(dev.counters().programs, 1);
+        assert_eq!(dev.counters().program_failures, 1);
+        assert_eq!(dev.counters().subpages_programmed, 0);
+        assert_eq!(dev.block(addr).page(0).subpage(0), SubpageState::Free);
+    }
+
+    #[test]
+    fn injected_erase_fault_keeps_block_state() {
+        let mut cfg = DeviceConfig::small_for_tests();
+        cfg.fault.erase_fail = 1.0;
+        let mut dev = FlashDevice::new(cfg);
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        dev.program(Spa::new(addr.page(0), 0), 1).unwrap();
+        let err = dev.try_erase(addr, CellMode::Slc).unwrap_err();
+        assert!(matches!(err, FlashError::EraseFailed { .. }));
+        assert!(err.is_media_failure());
+        // The block keeps its programmed state; no wear was recorded.
+        assert_eq!(dev.block(addr).page(0).subpage(0), SubpageState::Valid);
+        assert_eq!(dev.wear().totals().slc_erases, 0);
+        assert_eq!(dev.counters().erase_failures, 1);
+    }
+
+    #[test]
+    fn try_erase_with_inert_profile_matches_erase() {
+        let (mut dev, addr) = slc_device();
+        dev.program(Spa::new(addr.page(0), 0), 1).unwrap();
+        let r = dev.try_erase(addr, CellMode::Mlc).unwrap();
+        assert_eq!(r.latency_ns, dev.config().timing.erase_ns());
+        assert!(dev.block(addr).is_pristine());
+        assert_eq!(dev.counters().erase_failures, 0);
+    }
+
+    #[test]
+    fn injected_read_fault_forces_uncorrectable() {
+        let mut cfg = DeviceConfig::small_for_tests();
+        cfg.fault.read_fail = 1.0;
+        let mut dev = FlashDevice::new(cfg);
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        dev.program(Spa::new(addr.page(0), 0), 1).unwrap();
+        let r = dev.read(Spa::new(addr.page(0), 0), 1).unwrap();
+        assert!(r.uncorrectable);
+        assert_eq!(dev.counters().injected_read_failures, 1);
+        assert_eq!(dev.counters().uncorrectable_reads, 1);
+    }
+
+    #[test]
+    fn transient_read_faults_redraw_per_attempt() {
+        let mut cfg = DeviceConfig::small_for_tests();
+        cfg.fault.read_fail = 0.5;
+        cfg.fault.seed = 11;
+        let mut dev = FlashDevice::new(cfg);
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        dev.program(Spa::new(addr.page(0), 0), 1).unwrap();
+        let outcomes: Vec<bool> = (0..32)
+            .map(|_| {
+                dev.read(Spa::new(addr.page(0), 0), 1)
+                    .unwrap()
+                    .uncorrectable
+            })
+            .collect();
+        assert!(
+            outcomes.iter().any(|&u| u) && outcomes.iter().any(|&u| !u),
+            "a 50% transient fault must both strike and spare across retries: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn read_scaled_lowers_rber() {
+        let (mut dev, addr) = slc_device();
+        let spa = Spa::new(addr.page(0), 0);
+        dev.program(spa, 1).unwrap();
+        let base = dev.read(spa, 1).unwrap();
+        let scaled = dev.read_scaled(spa, 1, 0.5).unwrap();
+        assert!((scaled.rber - base.rber * 0.5).abs() < 1e-18);
+        assert!(scaled.expected_bit_errors < base.expected_bit_errors);
+    }
+
+    #[test]
+    fn rber_spike_amplifies_one_read() {
+        let mut cfg = DeviceConfig::small_for_tests();
+        cfg.fault.rber_spike = 1.0;
+        cfg.fault.rber_spike_factor = 8.0;
+        let mut dev = FlashDevice::new(cfg);
+        let addr = BlockAddr::new(0, 0, 0, 0, 0);
+        dev.set_block_mode(addr, CellMode::Slc);
+        let spa = Spa::new(addr.page(0), 0);
+        dev.program(spa, 1).unwrap();
+        let spiked = dev.read(spa, 1).unwrap().rber;
+        let clean = dev.effective_rber(spa);
+        assert!((spiked - clean * 8.0).abs() < 1e-15);
+        assert_eq!(dev.counters().rber_spikes, 1);
     }
 
     #[test]

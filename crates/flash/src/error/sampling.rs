@@ -26,7 +26,7 @@ pub enum ErrorMode {
 
 /// SplitMix64: tiny, high-quality, counter-based PRNG (public domain).
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -36,7 +36,7 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// A uniform f64 in [0, 1) from a hashed key.
 #[inline]
-fn uniform(key: u64) -> f64 {
+pub(crate) fn uniform(key: u64) -> f64 {
     (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
 }
 

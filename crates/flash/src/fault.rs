@@ -1,0 +1,405 @@
+//! Deterministic fault injection and the read-retry ladder.
+//!
+//! Real controllers survive media faults that this simulator previously only
+//! counted: program-status failures retire the block, erase failures do too,
+//! and reads that fail BCH decode walk a *read-retry ladder* — re-sensing the
+//! page with shifted reference voltages, each step slower but with a lower
+//! effective RBER. This module supplies both halves:
+//!
+//! * [`FaultProfile`] — seedable per-operation fault rates (program-fail,
+//!   erase-fail, read-fail, transient RBER spikes), optionally scoped to one
+//!   die or block. Draws are counter-based SplitMix64 hashes of
+//!   `(seed, op counter, physical address)`, so runs are bit-reproducible and
+//!   an all-zero profile is exactly the fault-free device.
+//! * [`RetryLadder`] — the retry steps the FTL walks on an uncorrectable
+//!   read: each step adds latency and scales the effective RBER fed to the
+//!   ECC model (voltage-shifted re-reads recover most transient errors).
+//!
+//! The default for both is inert: zero rates, zero steps — byte-identical
+//! behaviour and serialization compatibility with fault-unaware configs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::sampling::{splitmix64, uniform};
+use crate::time::Nanos;
+
+/// Where injected faults strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FaultScope {
+    /// Every die and block draws faults.
+    #[default]
+    Global,
+    /// Only operations on this dense die index draw faults.
+    Die { die: u32 },
+    /// Only operations on this dense block index draw faults.
+    Block { block: u64 },
+}
+
+/// Seedable, deterministic fault rates. All-zero (the default) injects
+/// nothing and short-circuits before consuming any randomness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Seed isolating this profile's draw stream from the error-sampling RNG.
+    pub seed: u64,
+    /// Probability a program operation reports a status failure.
+    pub program_fail: f64,
+    /// Probability an erase operation reports a status failure.
+    pub erase_fail: f64,
+    /// Probability a read comes back uncorrectable regardless of its RBER
+    /// (transient sense failure; a retry re-draws independently).
+    pub read_fail: f64,
+    /// Probability a read sees a transient RBER spike.
+    pub rber_spike: f64,
+    /// Multiplier applied to the read's RBER when a spike strikes.
+    pub rber_spike_factor: f64,
+    /// Which dies/blocks the profile applies to.
+    pub scope: FaultScope,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            program_fail: 0.0,
+            erase_fail: 0.0,
+            read_fail: 0.0,
+            rber_spike: 0.0,
+            rber_spike_factor: 1.0,
+            scope: FaultScope::Global,
+        }
+    }
+}
+
+/// Fault classes get disjoint hash salts so one op counter never correlates
+/// draws across classes.
+const SALT_PROGRAM: u64 = 0x50524F47; // "PROG"
+const SALT_ERASE: u64 = 0x45524153; // "ERAS"
+const SALT_READ: u64 = 0x52454144; // "READ"
+const SALT_SPIKE: u64 = 0x53504B45; // "SPKE"
+
+impl FaultProfile {
+    /// Whether this profile can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.program_fail == 0.0
+            && self.erase_fail == 0.0
+            && self.read_fail == 0.0
+            && self.rber_spike == 0.0
+    }
+
+    /// Whether the scope covers an operation on `(die, block)`.
+    fn in_scope(&self, die: u32, block_idx: u64) -> bool {
+        match self.scope {
+            FaultScope::Global => true,
+            FaultScope::Die { die: d } => d == die,
+            FaultScope::Block { block: b } => b == block_idx,
+        }
+    }
+
+    #[inline]
+    fn draw(&self, rate: f64, salt: u64, op_counter: u64, addr_key: u64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(splitmix64(salt ^ op_counter))
+            .wrapping_add(addr_key);
+        uniform(key) < rate
+    }
+
+    /// Whether the `op_counter`-th program on `(die, block_idx)` fails.
+    pub fn program_fails(&self, op_counter: u64, die: u32, block_idx: u64, addr_key: u64) -> bool {
+        self.in_scope(die, block_idx)
+            && self.draw(self.program_fail, SALT_PROGRAM, op_counter, addr_key)
+    }
+
+    /// Whether the `op_counter`-th erase on `(die, block_idx)` fails.
+    pub fn erase_fails(&self, op_counter: u64, die: u32, block_idx: u64, addr_key: u64) -> bool {
+        self.in_scope(die, block_idx)
+            && self.draw(self.erase_fail, SALT_ERASE, op_counter, addr_key)
+    }
+
+    /// Whether the `op_counter`-th read on `(die, block_idx)` fails outright.
+    pub fn read_fails(&self, op_counter: u64, die: u32, block_idx: u64, addr_key: u64) -> bool {
+        self.in_scope(die, block_idx) && self.draw(self.read_fail, SALT_READ, op_counter, addr_key)
+    }
+
+    /// RBER multiplier for the `op_counter`-th read (1.0 = no spike).
+    pub fn read_rber_factor(
+        &self,
+        op_counter: u64,
+        die: u32,
+        block_idx: u64,
+        addr_key: u64,
+    ) -> f64 {
+        if self.in_scope(die, block_idx)
+            && self.draw(self.rber_spike, SALT_SPIKE, op_counter, addr_key)
+        {
+            self.rber_spike_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Canned named profiles for the CLI's `--fault-profile`; returns the
+    /// profile and its matching retry ladder.
+    pub fn named(name: &str) -> Option<(FaultProfile, RetryLadder)> {
+        match name {
+            "none" => Some((FaultProfile::default(), RetryLadder::default())),
+            "light" => Some((
+                FaultProfile {
+                    seed: 0x1117,
+                    program_fail: 1e-4,
+                    erase_fail: 1e-4,
+                    read_fail: 1e-3,
+                    rber_spike: 1e-3,
+                    rber_spike_factor: 8.0,
+                    scope: FaultScope::Global,
+                },
+                RetryLadder::standard(),
+            )),
+            "heavy" => Some((
+                FaultProfile {
+                    seed: 0x8EA7,
+                    program_fail: 2e-3,
+                    erase_fail: 1e-3,
+                    read_fail: 1e-2,
+                    rber_spike: 5e-3,
+                    rber_spike_factor: 16.0,
+                    scope: FaultScope::Global,
+                },
+                RetryLadder::standard(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`FaultProfile::named`].
+    pub const NAMES: [&'static str; 3] = ["none", "light", "heavy"];
+
+    /// Validates rates are probabilities and the spike factor is sane.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("program_fail", self.program_fail),
+            ("erase_fail", self.erase_fail),
+            ("read_fail", self.read_fail),
+            ("rber_spike", self.rber_spike),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("fault rate {name} = {v} out of [0,1]"));
+            }
+        }
+        if self.rber_spike_factor < 1.0 {
+            return Err(format!(
+                "rber_spike_factor {} must be >= 1.0",
+                self.rber_spike_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One step of the read-retry ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryStep {
+    /// Extra sensing/setup latency this step adds on top of the re-read.
+    pub extra_latency_ns: Nanos,
+    /// Factor applied to the page's effective RBER for this re-read
+    /// (voltage-shifted reads see fewer raw errors; < 1.0 helps).
+    pub rber_scale: f64,
+}
+
+/// The retry steps walked, in order, after an uncorrectable read. Empty by
+/// default: a fault-unaware config never retries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RetryLadder {
+    pub steps: Vec<RetryStep>,
+}
+
+impl RetryLadder {
+    /// A representative 4-step ladder: progressively slower reads with
+    /// progressively stronger RBER reduction, as datasheet retry tables do.
+    pub fn standard() -> Self {
+        RetryLadder {
+            steps: vec![
+                RetryStep {
+                    extra_latency_ns: 50_000,
+                    rber_scale: 0.7,
+                },
+                RetryStep {
+                    extra_latency_ns: 100_000,
+                    rber_scale: 0.5,
+                },
+                RetryStep {
+                    extra_latency_ns: 150_000,
+                    rber_scale: 0.35,
+                },
+                RetryStep {
+                    extra_latency_ns: 200_000,
+                    rber_scale: 0.2,
+                },
+            ],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Validates scales are positive and non-increasing is not required but
+    /// each scale must be in (0, 1].
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.steps.iter().enumerate() {
+            if !(s.rber_scale > 0.0 && s.rber_scale <= 1.0) {
+                return Err(format!(
+                    "retry step {i}: rber_scale {} out of (0,1]",
+                    s.rber_scale
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_inert() {
+        let p = FaultProfile::default();
+        assert!(p.is_inert());
+        assert!(!p.program_fails(0, 0, 0, 0));
+        assert!(!p.erase_fails(1, 0, 0, 0));
+        assert!(!p.read_fails(2, 0, 0, 0));
+        assert_eq!(p.read_rber_factor(3, 0, 0, 0), 1.0);
+        assert!(RetryLadder::default().is_empty());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_rate_accurate() {
+        let p = FaultProfile {
+            program_fail: 0.1,
+            seed: 7,
+            ..FaultProfile::default()
+        };
+        let a: Vec<bool> = (0..1000).map(|i| p.program_fails(i, 0, 0, i)).collect();
+        let b: Vec<bool> = (0..1000).map(|i| p.program_fails(i, 0, 0, i)).collect();
+        assert_eq!(a, b, "same key must draw identically");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(
+            (50..200).contains(&hits),
+            "10% of 1000 draws ≈ 100, got {hits}"
+        );
+        // A different seed decorrelates the stream.
+        let p2 = FaultProfile {
+            seed: 8,
+            ..p.clone()
+        };
+        let c: Vec<bool> = (0..1000).map(|i| p2.program_fails(i, 0, 0, i)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scope_restricts_faults() {
+        let p = FaultProfile {
+            program_fail: 1.0,
+            scope: FaultScope::Die { die: 2 },
+            ..FaultProfile::default()
+        };
+        assert!(p.program_fails(0, 2, 99, 0));
+        assert!(!p.program_fails(0, 1, 99, 0));
+        let p = FaultProfile {
+            program_fail: 1.0,
+            scope: FaultScope::Block { block: 5 },
+            ..FaultProfile::default()
+        };
+        assert!(p.program_fails(0, 0, 5, 0));
+        assert!(!p.program_fails(0, 0, 6, 0));
+    }
+
+    #[test]
+    fn fault_classes_draw_independently() {
+        let p = FaultProfile {
+            program_fail: 0.5,
+            erase_fail: 0.5,
+            read_fail: 0.5,
+            seed: 3,
+            ..FaultProfile::default()
+        };
+        let prog: Vec<bool> = (0..256).map(|i| p.program_fails(i, 0, 0, 0)).collect();
+        let ers: Vec<bool> = (0..256).map(|i| p.erase_fails(i, 0, 0, 0)).collect();
+        assert_ne!(prog, ers, "salts must decorrelate fault classes");
+    }
+
+    #[test]
+    fn named_profiles_resolve() {
+        for name in FaultProfile::NAMES {
+            let (p, ladder) = FaultProfile::named(name).unwrap();
+            p.validate().unwrap();
+            ladder.validate().unwrap();
+            if name == "none" {
+                assert!(p.is_inert());
+                assert!(ladder.is_empty());
+            } else {
+                assert!(!p.is_inert());
+                assert_eq!(ladder.len(), 4);
+            }
+        }
+        assert!(FaultProfile::named("bogus").is_none());
+    }
+
+    #[test]
+    fn rber_spike_scales_reads() {
+        let p = FaultProfile {
+            rber_spike: 1.0,
+            rber_spike_factor: 8.0,
+            ..FaultProfile::default()
+        };
+        assert_eq!(p.read_rber_factor(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        let p = FaultProfile {
+            program_fail: 1.5,
+            ..FaultProfile::default()
+        };
+        assert!(p.validate().is_err());
+        let p = FaultProfile {
+            rber_spike_factor: 0.5,
+            ..FaultProfile::default()
+        };
+        assert!(p.validate().is_err());
+        let l = RetryLadder {
+            steps: vec![RetryStep {
+                extra_latency_ns: 0,
+                rber_scale: 0.0,
+            }],
+        };
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn profile_round_trips_through_serde() {
+        let (p, l) = FaultProfile::named("heavy").unwrap();
+        let pj = serde_json::to_string(&p).unwrap();
+        let lj = serde_json::to_string(&l).unwrap();
+        assert_eq!(p, serde_json::from_str::<FaultProfile>(&pj).unwrap());
+        assert_eq!(l, serde_json::from_str::<RetryLadder>(&lj).unwrap());
+        // A config serialized before the fault fields existed deserializes
+        // to the inert default.
+        let v: FaultProfile = serde_json::from_str(
+            r#"{"seed":0,"program_fail":0.0,"erase_fail":0.0,"read_fail":0.0,
+                "rber_spike":0.0,"rber_spike_factor":1.0,"scope":"Global"}"#,
+        )
+        .unwrap();
+        assert!(v.is_inert());
+    }
+}

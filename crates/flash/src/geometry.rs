@@ -156,6 +156,13 @@ impl FlashGeometry {
         b.channel * self.chips_per_channel + b.chip
     }
 
+    /// Flattens the die coordinates of an address into a dense die index
+    /// (`0..total_chips() * dies_per_chip`); fault scopes key on this.
+    #[inline]
+    pub fn die_index(&self, b: BlockAddr) -> u32 {
+        self.chip_index(b) * self.dies_per_chip + b.die
+    }
+
     /// Inverse of [`FlashGeometry::block_index`].
     pub fn block_from_index(&self, idx: u64) -> BlockAddr {
         debug_assert!(idx < self.total_blocks());

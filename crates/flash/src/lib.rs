@@ -49,6 +49,7 @@
 pub mod config;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod mode;
 pub mod state;
@@ -61,6 +62,7 @@ pub use error::ber::BerModel;
 pub use error::disturb::DisturbConfig;
 pub use error::ecc::EccModel;
 pub use error::sampling::ErrorMode;
+pub use fault::{FaultProfile, FaultScope, RetryLadder, RetryStep};
 pub use geometry::{BlockAddr, FlashGeometry, Ppa, Spa};
 pub use mode::CellMode;
 pub use state::{BlockState, PageState, SubpageState};

@@ -6,7 +6,7 @@
 //! blocks to open as active write targets and return them after GC erases.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use ipu_flash::{BlockAddr, FlashGeometry, Nanos};
 
@@ -165,6 +165,49 @@ impl BlockManager {
         self.mlc_free.len() as u64
     }
 
+    /// Permanently removes a block from its region: it never re-enters a
+    /// free pool, and the region total shrinks so the GC-threshold arithmetic
+    /// tracks the *usable* region size. The caller has already drained the
+    /// block (it is in no pool when retired).
+    pub fn retire(&mut self, addr: BlockAddr) {
+        if self.is_slc_region(addr) {
+            self.slc_total = self.slc_total.saturating_sub(1);
+        } else {
+            self.mlc_total = self.mlc_total.saturating_sub(1);
+        }
+    }
+
+    /// Rebuilds the free pools from scratch after a power loss: every block
+    /// that is neither retired (`bad`) nor holding live data (`in_use`) is
+    /// free, re-inserted in the original chip-striding order so allocation
+    /// parallelism is preserved. Pending (in-flight) erases are dropped —
+    /// the physical erase completed before the crash in this model, so those
+    /// blocks come back immediately free.
+    pub fn rebuild_free(&mut self, bad: &HashSet<u64>, in_use: &HashSet<u64>) {
+        self.slc_free.clear();
+        self.mlc_free.clear();
+        self.slc_pending.clear();
+        self.mlc_pending.clear();
+        let planes_per_chip = self.geometry.dies_per_chip * self.geometry.planes_per_die;
+        for b in 0..self.geometry.blocks_per_plane {
+            for sub_plane in 0..planes_per_chip {
+                for chip in 0..self.geometry.total_chips() {
+                    let plane_flat = chip * planes_per_chip + sub_plane;
+                    let idx = plane_flat as u64 * self.geometry.blocks_per_plane as u64 + b as u64;
+                    if bad.contains(&idx) || in_use.contains(&idx) {
+                        continue;
+                    }
+                    let addr = self.geometry.block_from_index(idx);
+                    if self.is_slc_region[idx as usize] {
+                        self.slc_free.push_back(addr);
+                    } else {
+                        self.mlc_free.push_back(addr);
+                    }
+                }
+            }
+        }
+    }
+
     /// All SLC-region block addresses (for region formatting at startup).
     pub fn slc_region_blocks(&self) -> Vec<BlockAddr> {
         (0..self.geometry.total_blocks())
@@ -245,6 +288,44 @@ mod tests {
         assert!(m.allocate_slc().is_some());
         assert!(m.allocate_slc().is_some());
         assert!(m.allocate_slc().is_none());
+    }
+
+    #[test]
+    fn retire_shrinks_region_totals() {
+        let mut m = mgr();
+        let a = m.allocate_slc().unwrap();
+        m.retire(a);
+        assert_eq!(m.slc_total(), 1);
+        assert_eq!(m.slc_free_count(), 1);
+        let b = m.allocate_mlc().unwrap();
+        m.retire(b);
+        assert_eq!(m.mlc_total(), 29);
+    }
+
+    #[test]
+    fn rebuild_free_skips_bad_and_in_use() {
+        let g = FlashGeometry::small_for_tests();
+        let mut m = BlockManager::new(&g, &FtlConfig::default());
+        let slc = m.allocate_slc().unwrap();
+        let mlc = m.allocate_mlc().unwrap();
+        let bad_addr = m.allocate_mlc().unwrap();
+        m.retire(bad_addr);
+        // Park a block in pending: rebuild must drop the pending list.
+        let parked = m.allocate_mlc().unwrap();
+        m.release_at(parked, 1_000_000);
+
+        let bad: HashSet<u64> = [g.block_index(bad_addr)].into_iter().collect();
+        let in_use: HashSet<u64> = [g.block_index(slc), g.block_index(mlc)]
+            .into_iter()
+            .collect();
+        m.rebuild_free(&bad, &in_use);
+        assert_eq!(m.slc_free_count(), 1); // 2 total − 1 in use
+        assert_eq!(m.mlc_free_count(), 28); // 30 − 1 bad − 1 in use
+        assert_eq!(m.mlc_pending_count(), 0, "pending erases dropped");
+        // Striding order is preserved: first allocations span distinct chips.
+        let a = m.allocate_mlc().unwrap();
+        let b = m.allocate_mlc().unwrap();
+        assert_ne!(g.chip_index(a), g.chip_index(b));
     }
 
     #[test]

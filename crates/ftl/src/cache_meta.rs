@@ -76,6 +76,16 @@ impl BlockMeta {
         self.page_updated[page as usize]
     }
 
+    /// Restores one subpage's bookkeeping from a durable (OOB) record during
+    /// power-loss reconstruction. `written_ns` is the timestamp as persisted
+    /// (already clamped non-zero at program time).
+    pub fn restore_program(&mut self, page: u32, subpage: u8, written_ns: Nanos, follow_up: bool) {
+        self.sub_written_ns[(page * self.subpages_per_page + subpage as u32) as usize] = written_ns;
+        if follow_up {
+            self.page_updated[page as usize] = true;
+        }
+    }
+
     /// Number of pages tracked.
     pub fn page_count(&self) -> u32 {
         self.page_updated.len() as u32
@@ -115,6 +125,32 @@ impl CacheMeta {
     /// Removes a block's metadata (called at erase).
     pub fn close_block(&mut self, block_idx: u64) -> Option<BlockMeta> {
         self.blocks.remove(&block_idx)
+    }
+
+    /// Re-registers a block with its *original* open sequence number during
+    /// power-loss reconstruction (ISR GC tie-breaking depends on open order,
+    /// so rebuilt metadata must preserve it). Does not advance `next_seq`;
+    /// callers finish with [`CacheMeta::set_next_seq`].
+    pub fn restore_block(
+        &mut self,
+        block_idx: u64,
+        addr: BlockAddr,
+        level: BlockLevel,
+        opened_seq: u64,
+        pages: u32,
+        subpages_per_page: u32,
+    ) {
+        let prev = self.blocks.insert(
+            block_idx,
+            BlockMeta::new(addr, level, opened_seq, pages, subpages_per_page),
+        );
+        debug_assert!(prev.is_none(), "block {addr} restored twice");
+    }
+
+    /// Sets the next open sequence number (power-loss reconstruction: one
+    /// past the largest restored `opened_seq`).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
     }
 
     pub fn get(&self, block_idx: u64) -> Option<&BlockMeta> {
@@ -203,6 +239,22 @@ mod tests {
             m.written_at(0, 0) > 0,
             "written_at must distinguish written from never"
         );
+    }
+
+    #[test]
+    fn restore_preserves_open_order_and_flags() {
+        let mut c = CacheMeta::new();
+        c.restore_block(7, addr(), BlockLevel::Monitor, 41, 4, 4);
+        c.set_next_seq(42);
+        let m = c.get_mut(7).unwrap();
+        m.restore_program(1, 2, 5000, true);
+        assert_eq!(m.opened_seq(), 41);
+        assert_eq!(m.written_at(1, 2), 5000);
+        assert!(m.page_updated(1));
+        assert!(!m.page_updated(0));
+        // The next freshly-opened block continues the sequence.
+        c.open_block(8, BlockAddr::new(0, 0, 0, 0, 8), BlockLevel::Work, 4, 4);
+        assert_eq!(c.get(8).unwrap().opened_seq(), 42);
     }
 
     #[test]

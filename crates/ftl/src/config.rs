@@ -4,6 +4,49 @@ use serde::{Deserialize, Serialize};
 
 use crate::wear_leveling::WearLevelingConfig;
 
+/// Background scrub/refresh policy: SLC pages whose accumulated disturb
+/// pushes the expected raw bit errors of any valid subpage past a fraction
+/// of the ECC correction capability are rewritten to fresh pages before they
+/// become uncorrectable. Disabled by default (the paper's evaluation has no
+/// scrubber); the fault-injection experiments enable it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScrubConfig {
+    /// Whether the scrub pass runs at all.
+    pub enabled: bool,
+    /// Rewrite threshold as a fraction of ECC correction capability: a page
+    /// is refreshed when any valid subpage's expected raw bit errors exceed
+    /// `rber_watermark × correctable_bits`.
+    pub rber_watermark: f64,
+    /// Maximum pages rewritten per scrub pass (bounds foreground stalls).
+    pub max_pages_per_pass: u32,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            enabled: false,
+            rber_watermark: 0.5,
+            max_pages_per_pass: 4,
+        }
+    }
+}
+
+impl ScrubConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.rber_watermark && self.rber_watermark <= 1.0) {
+            return Err(format!(
+                "scrub rber_watermark {} out of (0,1]",
+                self.rber_watermark
+            ));
+        }
+        if self.max_pages_per_pass == 0 {
+            return Err("scrub max_pages_per_pass must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// FTL-level policy parameters (paper Table 2 plus scheme knobs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FtlConfig {
@@ -35,6 +78,9 @@ pub struct FtlConfig {
     pub ipu_max_level: u8,
     /// Static wear-leveling policy (Table 2: "Wear-leveling: static").
     pub wear_leveling: WearLevelingConfig,
+    /// Background scrub/refresh of disturb-degraded SLC pages.
+    #[serde(default)]
+    pub scrub: ScrubConfig,
 }
 
 impl Default for FtlConfig {
@@ -49,6 +95,7 @@ impl Default for FtlConfig {
             ipu_use_isr_gc: true,
             ipu_max_level: 3,
             wear_leveling: WearLevelingConfig::default(),
+            scrub: ScrubConfig::default(),
         }
     }
 }
@@ -89,6 +136,7 @@ impl FtlConfig {
             return Err(format!("ipu_max_level {} out of 1..=3", self.ipu_max_level));
         }
         self.wear_leveling.validate()?;
+        self.scrub.validate()?;
         Ok(())
     }
 }
@@ -136,5 +184,26 @@ mod tests {
         let mut c = FtlConfig::default();
         c.mga_open_page_limit = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scrub_defaults_are_off_and_valid() {
+        let s = ScrubConfig::default();
+        assert!(!s.enabled);
+        s.validate().unwrap();
+        let mut s = ScrubConfig::default();
+        s.rber_watermark = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = ScrubConfig::default();
+        s.max_pages_per_pass = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn config_without_scrub_field_deserializes() {
+        // Configs saved before the fault model gained the scrub knob.
+        let json = serde_json::to_string(&FtlConfig::default()).unwrap();
+        let back: FtlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, FtlConfig::default());
     }
 }

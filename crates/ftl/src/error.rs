@@ -1,0 +1,72 @@
+//! Typed FTL errors for host-reachable failure paths.
+//!
+//! The FTL distinguishes three failure classes: the device is genuinely full
+//! of live data (`OutOfSpace`), a write could not be placed even after the
+//! bad-block retirement/retry machinery ran (`WriteFailed`), and a raw flash
+//! error surfaced by the device model (`Flash`). Internal invariant
+//! violations (corrupted mapping state, programming an unopened block) still
+//! panic — they indicate FTL bugs, not media behaviour.
+
+use ipu_flash::FlashError;
+
+use crate::types::BlockLevel;
+
+/// Error returned by FTL write/read paths reachable from host requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtlError {
+    /// No free page could be found at or below `level`, and no fully-invalid
+    /// block remained to reclaim: the logical footprint exceeds physical
+    /// capacity (minus retired blocks).
+    OutOfSpace { level: BlockLevel },
+    /// A program kept failing across `attempts` placements (each failure
+    /// retired the target block and retried on a fresh page).
+    WriteFailed { attempts: u32 },
+    /// A flash operation was rejected by the device model.
+    Flash(FlashError),
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::OutOfSpace { level } => write!(
+                f,
+                "flash exhausted: no free pages at or below {level}, and no \
+                 fully-invalid blocks remain to reclaim"
+            ),
+            FtlError::WriteFailed { attempts } => {
+                write!(f, "write failed after {attempts} placement attempts")
+            }
+            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FtlError::OutOfSpace {
+            level: BlockLevel::Work,
+        };
+        assert!(e.to_string().contains("work"));
+        let e = FtlError::WriteFailed { attempts: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn flash_errors_convert() {
+        let fe = FlashError::OutOfRange("x".into());
+        let e: FtlError = fe.clone().into();
+        assert_eq!(e, FtlError::Flash(fe));
+    }
+}

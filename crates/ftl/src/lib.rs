@@ -17,6 +17,7 @@
 pub mod block_mgr;
 pub mod cache_meta;
 pub mod config;
+pub mod error;
 pub mod gc;
 pub mod mapping;
 pub mod memory;
@@ -28,11 +29,12 @@ pub mod wear_leveling;
 
 pub use block_mgr::BlockManager;
 pub use cache_meta::{BlockMeta, CacheMeta};
-pub use config::FtlConfig;
+pub use config::{FtlConfig, ScrubConfig};
+pub use error::FtlError;
 pub use gc::{greedy_score, isr_score, select_greedy, select_isr, GcGranularity};
 pub use mapping::{ChunkSummary, MappingTable, OwnerTable};
 pub use memory::MappingMemory;
-pub use ops::{FlashOpKind, OpBatch, OpRecord};
+pub use ops::{FlashOpKind, OpBatch, OpRecord, ReqStatus};
 pub use schemes::{common::FtlCore, FtlScheme, SchemeKind};
 pub use stats::FtlStats;
 pub use types::{BlockLevel, Lcn, Lsn};

@@ -46,10 +46,36 @@ pub struct OpRecord {
     pub latency_ns: Nanos,
 }
 
+/// Completion status of one host request, in ascending severity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqStatus {
+    /// Served without incident.
+    #[default]
+    Success,
+    /// Served, but only after fault recovery (read-retry ladder succeeded,
+    /// or a program was replayed onto a fresh page after a failure).
+    Recovered,
+    /// Data was lost or the request could not be completed (retry ladder
+    /// exhausted, write placement failed, or space ran out).
+    Failed,
+}
+
+impl ReqStatus {
+    /// Raises the status to `to` if `to` is more severe; never lowers it.
+    pub fn escalate(&mut self, to: ReqStatus) {
+        if (to as u8) > (*self as u8) {
+            *self = to;
+        }
+    }
+}
+
 /// All operations triggered by one host request (including any GC it tripped).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpBatch {
     pub ops: Vec<OpRecord>,
+    /// Outcome of the request these operations served.
+    #[serde(default)]
+    pub status: ReqStatus,
 }
 
 impl OpBatch {
@@ -97,6 +123,33 @@ mod tests {
         assert!(!FlashOpKind::GcRead.is_host());
         assert!(!FlashOpKind::GcProgram.is_host());
         assert!(!FlashOpKind::Erase.is_host());
+    }
+
+    #[test]
+    fn status_escalates_monotonically() {
+        let mut s = ReqStatus::default();
+        assert_eq!(s, ReqStatus::Success);
+        s.escalate(ReqStatus::Recovered);
+        assert_eq!(s, ReqStatus::Recovered);
+        s.escalate(ReqStatus::Success); // never lowers
+        assert_eq!(s, ReqStatus::Recovered);
+        s.escalate(ReqStatus::Failed);
+        assert_eq!(s, ReqStatus::Failed);
+        s.escalate(ReqStatus::Recovered);
+        assert_eq!(s, ReqStatus::Failed);
+    }
+
+    #[test]
+    fn batch_status_survives_serde() {
+        let mut b = OpBatch::new();
+        b.push(0, FlashOpKind::HostRead, 10);
+        b.status.escalate(ReqStatus::Recovered);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: OpBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+        // Pre-fault-model batches deserialize with the default status.
+        let legacy: OpBatch = serde_json::from_str(r#"{"ops":[]}"#).unwrap();
+        assert_eq!(legacy.status, ReqStatus::Success);
     }
 
     #[test]

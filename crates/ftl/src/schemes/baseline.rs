@@ -12,6 +12,7 @@ use ipu_flash::{FlashDevice, Nanos};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
+use crate::error::FtlError;
 use crate::gc::{select_greedy, GcGranularity};
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
@@ -40,11 +41,11 @@ impl BaselineFtl {
         now: Nanos,
         dev: &mut FlashDevice,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         // A fresh page per chunk, always; no partial programming.
-        let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch);
+        let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch)?;
         self.core
-            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
+            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch)
     }
 
     fn run_gc(&mut self, now: Nanos, dev: &mut FlashDevice, batch: &mut OpBatch) {
@@ -66,16 +67,28 @@ impl BaselineFtl {
             };
             let Some(victim) = victim else { break };
             let victim_addr = self.core.meta.get(victim).expect("tracked victim").addr;
+            let mut aborted = false;
             for group in self.core.collect_victim_groups(dev, victim) {
                 // Plain cache eviction: all valid data leaves the SLC region.
-                self.core.relocate_group(
-                    dev,
-                    victim_addr,
-                    &group,
-                    BlockLevel::HighDensity,
-                    now,
-                    batch,
-                );
+                if self
+                    .core
+                    .relocate_group(
+                        dev,
+                        victim_addr,
+                        &group,
+                        BlockLevel::HighDensity,
+                        now,
+                        batch,
+                    )
+                    .is_err()
+                {
+                    aborted = true;
+                    break;
+                }
+            }
+            if aborted {
+                // Never erase a partially-relocated victim.
+                break;
             }
             self.core.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
@@ -83,6 +96,7 @@ impl BaselineFtl {
         }
         self.core.run_mlc_gc_if_needed(dev, now, batch);
         self.core.run_wear_leveling_if_due(dev, now, batch);
+        self.core.run_scrub_if_due(dev, now, batch);
     }
 }
 
@@ -96,7 +110,9 @@ impl FtlScheme for BaselineFtl {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
         for chunk in self.core.chunks(req) {
-            self.write_chunk(&chunk, now, dev, &mut batch);
+            if let Err(e) = self.write_chunk(&chunk, now, dev, &mut batch) {
+                self.core.note_write_failure(&e, &mut batch);
+            }
             self.run_gc(now, dev, &mut batch);
         }
         batch
@@ -105,8 +121,14 @@ impl FtlScheme for BaselineFtl {
     fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
         let mut batch = OpBatch::new();
         self.core.begin_request(now);
-        self.core.host_read(req, dev, &mut batch);
+        if let Err(e) = self.core.host_read(req, dev, &mut batch) {
+            self.core.note_read_failure(&e, &mut batch);
+        }
         batch
+    }
+
+    fn power_cycle(&mut self, dev: &FlashDevice) {
+        self.core.rebuild_from_flash(dev);
     }
 
     fn stats(&self) -> &FtlStats {

@@ -3,18 +3,31 @@
 //! differ only in placement policy, victim selection and GC data movement;
 //! everything else lives here.
 
-use ipu_flash::{BlockAddr, CellMode, FlashDevice, FlashGeometry, Nanos, Ppa, Spa, SubpageState};
+use std::collections::{HashMap, HashSet};
+
+use ipu_flash::{
+    BlockAddr, CellMode, FlashDevice, FlashError, FlashGeometry, Nanos, Ppa, RetryLadder, Spa,
+    SubpageState,
+};
 use ipu_trace::IoRequest;
 
 use crate::block_mgr::BlockManager;
 use crate::cache_meta::CacheMeta;
 use crate::config::FtlConfig;
+use crate::error::FtlError;
 use crate::gc::{select_greedy, GcGranularity};
 use crate::mapping::{MappingTable, OwnerTable};
-use crate::ops::{FlashOpKind, OpBatch};
+use crate::ops::{FlashOpKind, OpBatch, ReqStatus};
 use crate::stats::FtlStats;
 use crate::types::{BlockLevel, Lsn};
 use crate::wear_leveling::WearLeveler;
+
+/// Maximum placements tried for one program group before the write fails
+/// (each failed attempt retires its block and retries on a fresh page).
+const MAX_PROGRAM_ATTEMPTS: u32 = 4;
+
+/// SLC blocks examined per scrub pass (bounds the per-request scan cost).
+const SCRUB_BLOCKS_PER_PASS: usize = 8;
 
 /// An open block accepting sequential page allocations.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +60,28 @@ pub struct PageGroup {
     pub updated: bool,
 }
 
+/// Durable per-subpage record, modelling what a real FTL writes into the
+/// page's out-of-band (spare) area alongside the data. Power-loss recovery
+/// rebuilds the mapping table and cache metadata from these.
+#[derive(Debug, Clone, Copy)]
+struct SubTag {
+    lsn: Lsn,
+    written_ns: Nanos,
+    /// Whether this program was a follow-up (second+) op on its page — the
+    /// durable form of the intra-page-update flag.
+    follow_up: bool,
+}
+
+/// Durable per-block shadow: level label, open order and the OOB tags of
+/// every subpage programmed in the current erase cycle. Erase drops the
+/// entry (OOB is erased with the data); retirement drops it too.
+#[derive(Debug, Clone)]
+struct BlockOob {
+    level: BlockLevel,
+    opened_seq: u64,
+    tags: HashMap<(u32, u8), SubTag>,
+}
+
 /// Shared FTL state and mechanics.
 #[derive(Debug)]
 pub struct FtlCore {
@@ -75,6 +110,17 @@ pub struct FtlCore {
     wear_leveler: WearLeveler,
     /// A wear-gap check is due (set by erase accounting).
     wl_check_due: bool,
+    /// Read-retry ladder walked on uncorrectable host reads (from the device
+    /// config; empty = pre-fault-model behaviour).
+    retry: RetryLadder,
+    /// Dense indices of blocks retired after program/erase failures. This is
+    /// the bad-block table: durable (a real FTL persists it in flash), so it
+    /// survives power loss.
+    bad_blocks: HashSet<u64>,
+    /// Durable OOB shadow per in-use block (see [`BlockOob`]).
+    oob: HashMap<u64, BlockOob>,
+    /// Round-robin position of the background scrub scan.
+    scrub_cursor: u64,
 }
 
 impl FtlCore {
@@ -101,7 +147,16 @@ impl FtlCore {
             erase_ns: dev.config().timing.erase_ns(),
             wear_leveler: WearLeveler::new(),
             wl_check_due: false,
+            retry: dev.config().retry.clone(),
+            bad_blocks: HashSet::new(),
+            oob: HashMap::new(),
+            scrub_cursor: 0,
         }
+    }
+
+    /// Dense indices of blocks retired after media failures.
+    pub fn bad_blocks(&self) -> &HashSet<u64> {
+        &self.bad_blocks
     }
 
     /// Device geometry this FTL serves.
@@ -291,11 +346,24 @@ impl FtlCore {
             } else {
                 CellMode::Mlc
             };
-            let res = dev.erase(meta.addr, mode);
-            batch.push(self.chip_of(meta.addr), FlashOpKind::Erase, res.latency_ns);
             self.owners.clear_block(v);
-            self.blocks.release(meta.addr);
-            reclaimed += 1;
+            self.oob.remove(&v);
+            match dev.try_erase(meta.addr, mode) {
+                Ok(res) => {
+                    batch.push(self.chip_of(meta.addr), FlashOpKind::Erase, res.latency_ns);
+                    self.blocks.release(meta.addr);
+                    reclaimed += 1;
+                }
+                Err(FlashError::EraseFailed { latency_ns, .. }) => {
+                    // The failed pulse still occupied the chip; the block is
+                    // permanently retired instead of re-entering the pool.
+                    batch.push(self.chip_of(meta.addr), FlashOpKind::Erase, latency_ns);
+                    self.bad_blocks.insert(v);
+                    self.stats.retired_blocks += 1;
+                    self.blocks.retire(meta.addr);
+                }
+                Err(e) => panic!("erase of {} rejected: {e}", meta.addr),
+            }
         }
         reclaimed
     }
@@ -304,7 +372,8 @@ impl FtlCore {
     /// (paper: "lower level blocks can be instead selected only if no
     /// available block can be found"), and ultimately to the MLC region.
     /// If every pool is empty, the host stalls while fully-invalid blocks are
-    /// reclaimed on the spot; a device genuinely full of valid data panics.
+    /// reclaimed on the spot; a device genuinely full of valid data returns
+    /// [`FtlError::OutOfSpace`].
     ///
     /// Returns the page and the level it actually landed at.
     pub fn take_page(
@@ -312,9 +381,9 @@ impl FtlCore {
         dev: &mut FlashDevice,
         level: BlockLevel,
         batch: &mut OpBatch,
-    ) -> (Ppa, BlockLevel) {
+    ) -> Result<(Ppa, BlockLevel), FtlError> {
         if let Some(x) = self.try_take_chain(level) {
-            return x;
+            return Ok(x);
         }
         let limit = self.blocks.slc_total() + self.blocks.mlc_total();
         for _ in 0..limit {
@@ -322,14 +391,10 @@ impl FtlCore {
                 break;
             }
             if let Some(x) = self.try_take_chain(level) {
-                return x;
+                return Ok(x);
             }
         }
-        panic!(
-            "flash exhausted: no free pages at or below {level}, and no \
-             fully-invalid blocks remain to reclaim — the device is full of \
-             live data (logical footprint exceeds physical capacity)"
-        );
+        Err(FtlError::OutOfSpace { level })
     }
 
     /// Programs `lsns` into `ppa` starting at subpage `start`, maintaining the
@@ -337,6 +402,13 @@ impl FtlCore {
     ///
     /// Old locations of the LSNs are invalidated. `kind` distinguishes host
     /// programs from GC relocations for both timing and statistics.
+    ///
+    /// On a media program failure the block is retired (its valid data is
+    /// relocated, see [`FtlCore::retire_block`]) and the group retries on a
+    /// fresh page at the failed block's level, up to [`MAX_PROGRAM_ATTEMPTS`]
+    /// placements. No mapping state mutates on a failed attempt — the
+    /// injected failure leaves the target subpages free — so consistency
+    /// holds at every exit.
     #[allow(clippy::too_many_arguments)] // the flash op tuple is irreducible here
     pub fn program_group(
         &mut self,
@@ -347,47 +419,149 @@ impl FtlCore {
         kind: FlashOpKind,
         now: Nanos,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         assert!(!lsns.is_empty());
-        let addr = ppa.block_addr();
-        let block_idx = self.block_idx(addr);
-        let follow_up = dev.block(addr).page(ppa.page).program_ops() > 0;
+        let mut ppa = ppa;
+        let mut start = start;
+        let mut attempts: u32 = 0;
+        loop {
+            let addr = ppa.block_addr();
+            let block_idx = self.block_idx(addr);
+            let follow_up = dev.block(addr).page(ppa.page).program_ops() > 0;
 
-        let res = dev
-            .program(Spa::new(ppa, start), lsns.len() as u8)
-            .unwrap_or_else(|e| panic!("program at {ppa}+{start} failed: {e}"));
-        batch.push(self.chip_of(addr), kind, res.latency_ns);
+            match dev.program(Spa::new(ppa, start), lsns.len() as u8) {
+                Ok(res) => {
+                    batch.push(self.chip_of(addr), kind, res.latency_ns);
 
-        for (i, &lsn) in lsns.iter().enumerate() {
-            let spa = Spa::new(ppa, start + i as u8);
-            if let Some(old) = self.map.insert(lsn, spa) {
-                // Superseded version: invalidate unless it was in this very
-                // erase cycle's victim (GC callers remap before erase, and the
-                // old block may be mid-teardown; invalidate is still safe
-                // because the subpage is valid until the erase).
-                dev.invalidate(old).expect("stale mapping must be valid");
-                self.owners.clear(self.block_idx(old.ppa.block_addr()), old);
+                    // Durable OOB shadow: what a real FTL writes into the
+                    // page's spare area, read back at power-loss recovery.
+                    let (level, opened_seq) = self
+                        .meta
+                        .get(block_idx)
+                        .map(|m| (m.level, m.opened_seq()))
+                        .unwrap_or((BlockLevel::HighDensity, 0));
+                    let oob = self.oob.entry(block_idx).or_insert_with(|| BlockOob {
+                        level,
+                        opened_seq,
+                        tags: HashMap::new(),
+                    });
+                    for (i, &lsn) in lsns.iter().enumerate() {
+                        oob.tags.insert(
+                            (ppa.page, start + i as u8),
+                            SubTag {
+                                lsn,
+                                written_ns: now.max(1),
+                                follow_up,
+                            },
+                        );
+                    }
+
+                    for (i, &lsn) in lsns.iter().enumerate() {
+                        let spa = Spa::new(ppa, start + i as u8);
+                        if let Some(old) = self.map.insert(lsn, spa) {
+                            // Superseded version: invalidate unless it was in
+                            // this very erase cycle's victim (GC callers remap
+                            // before erase, and the old block may be
+                            // mid-teardown; invalidate is still safe because
+                            // the subpage is valid until the erase).
+                            dev.invalidate(old).expect("stale mapping must be valid");
+                            self.owners.clear(self.block_idx(old.ppa.block_addr()), old);
+                        }
+                        self.owners.set(block_idx, spa, lsn);
+                    }
+
+                    if let Some(meta) = self.meta.get_mut(block_idx) {
+                        meta.note_program(ppa.page, start, lsns.len() as u8, now, follow_up);
+                    }
+
+                    if kind == FlashOpKind::HostProgram {
+                        let level = self
+                            .meta
+                            .level(block_idx)
+                            .unwrap_or(BlockLevel::HighDensity);
+                        self.stats.note_host_program(level, lsns.len() as u32);
+                    }
+                    return Ok(());
+                }
+                Err(FlashError::ProgramFailed { latency_ns, .. }) => {
+                    // The failed pulse occupied the chip; charge it, retire
+                    // the block, and retry on a fresh page at the same level.
+                    attempts += 1;
+                    batch.push(self.chip_of(addr), kind, latency_ns);
+                    let level = self
+                        .meta
+                        .level(block_idx)
+                        .unwrap_or(BlockLevel::HighDensity);
+                    self.retire_block(dev, block_idx, now, batch);
+                    self.stats.program_retries += 1;
+                    if attempts >= MAX_PROGRAM_ATTEMPTS {
+                        return Err(FtlError::WriteFailed { attempts });
+                    }
+                    let (new_ppa, _) = self.take_page(dev, level, batch)?;
+                    ppa = new_ppa;
+                    start = 0;
+                }
+                Err(e) => panic!("program at {ppa}+{start} rejected: {e}"),
             }
-            self.owners.set(block_idx, spa, lsn);
         }
+    }
 
-        if let Some(meta) = self.meta.get_mut(block_idx) {
-            meta.note_program(ppa.page, start, lsns.len() as u8, now, follow_up);
+    /// Permanently retires a block after a media program failure: removes it
+    /// from active rings, relocates its remaining valid data, and strikes it
+    /// from the allocation pools. Subpages whose relocation itself fails are
+    /// counted as data loss and unmapped (a real drive would return read
+    /// errors for them).
+    fn retire_block(
+        &mut self,
+        dev: &mut FlashDevice,
+        block_idx: u64,
+        now: Nanos,
+        batch: &mut OpBatch,
+    ) {
+        self.bad_blocks.insert(block_idx);
+        self.stats.retired_blocks += 1;
+        let Some(meta) = self.meta.get(block_idx) else {
+            return;
+        };
+        let addr = meta.addr;
+        let level = meta.level;
+        for ring in self.actives.iter_mut() {
+            ring.retain(|a| a.addr != addr);
         }
-
-        if kind == FlashOpKind::HostProgram {
-            let level = self
-                .meta
-                .level(block_idx)
-                .unwrap_or(BlockLevel::HighDensity);
-            self.stats.note_host_program(level, lsns.len() as u32);
+        for group in self.collect_victim_groups(dev, block_idx) {
+            if self
+                .relocate_group(dev, addr, &group, level, now, batch)
+                .is_err()
+            {
+                for &(s, lsn) in &group.subs {
+                    let spa = Spa::new(addr.page(group.page), s);
+                    self.map.remove(lsn);
+                    self.owners.clear(block_idx, spa);
+                    let _ = dev.invalidate(spa);
+                    self.stats.data_loss_events += 1;
+                }
+            }
         }
+        self.meta.close_block(block_idx);
+        self.oob.remove(&block_idx);
+        self.owners.clear_block(block_idx);
+        self.blocks.retire(addr);
     }
 
     /// Serves a host read request: looks up every logical subpage, merges
     /// physically-contiguous runs, reads them, and charges unmapped subpages
     /// as MLC-resident pre-trace data.
-    pub fn host_read(&mut self, req: &IoRequest, dev: &mut FlashDevice, batch: &mut OpBatch) {
+    ///
+    /// Uncorrectable reads walk the device's read-retry ladder; data loss is
+    /// accounted only when every retry step is exhausted. The Fig. 8 RBER
+    /// average intentionally sums only the *initial* read of each run, so
+    /// retry traffic never skews the paper's error-rate reproduction.
+    pub fn host_read(
+        &mut self,
+        req: &IoRequest,
+        dev: &mut FlashDevice,
+        batch: &mut OpBatch,
+    ) -> Result<(), FtlError> {
         self.stats.host_read_requests += 1;
         let spp = self.spp();
 
@@ -411,24 +585,67 @@ impl FtlCore {
         }
 
         for (spa, len) in runs {
-            let res = dev
-                .read(spa, len)
-                .unwrap_or_else(|e| panic!("read {spa} failed: {e}"));
-            batch.push(
-                self.chip_of(spa.ppa.block_addr()),
-                FlashOpKind::HostRead,
-                res.latency_ns,
-            );
+            let chip = self.chip_of(spa.ppa.block_addr());
+            let res = dev.read(spa, len)?;
+            batch.push(chip, FlashOpKind::HostRead, res.latency_ns);
             self.stats.host_read_rber_sum += res.rber * len as f64;
             self.stats.host_subpages_read += len as u64;
             if res.uncorrectable {
                 self.stats.host_uncorrectable_reads += 1;
+                self.walk_retry_ladder(dev, spa, len, chip, batch);
             }
         }
 
         if unmapped > 0 && self.cfg.serve_unmapped_reads_from_mlc {
             self.charge_unmapped_read(dev, req, unmapped, batch);
         }
+        Ok(())
+    }
+
+    /// Walks the read-retry ladder after an uncorrectable read: each step
+    /// re-reads at a tighter reference voltage (modelled as an RBER scale
+    /// plus a fixed latency penalty) until ECC decodes or the ladder runs
+    /// dry. The batch status records recovery vs. loss for the host layer.
+    fn walk_retry_ladder(
+        &mut self,
+        dev: &mut FlashDevice,
+        spa: Spa,
+        len: u8,
+        chip: u32,
+        batch: &mut OpBatch,
+    ) {
+        let steps = self.retry.steps.clone();
+        for step in steps {
+            self.stats.read_retries += 1;
+            let res = match dev.read_scaled(spa, len, step.rber_scale) {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            let lat = res.latency_ns + step.extra_latency_ns;
+            batch.push(chip, FlashOpKind::HostRead, lat);
+            self.stats.retry_latency_ns += lat;
+            if !res.uncorrectable {
+                self.stats.recovered_reads += 1;
+                batch.status.escalate(ReqStatus::Recovered);
+                return;
+            }
+        }
+        self.stats.data_loss_events += 1;
+        batch.status.escalate(ReqStatus::Failed);
+    }
+
+    /// Accounts a host write that ultimately failed (placement retries or
+    /// physical space exhausted) and marks the request's completion status.
+    pub fn note_write_failure(&mut self, _err: &FtlError, batch: &mut OpBatch) {
+        self.stats.host_write_failures += 1;
+        batch.status.escalate(ReqStatus::Failed);
+    }
+
+    /// Accounts a host read the device rejected outright and marks the
+    /// request's completion status.
+    pub fn note_read_failure(&mut self, _err: &FtlError, batch: &mut OpBatch) {
+        self.stats.data_loss_events += 1;
+        batch.status.escalate(ReqStatus::Failed);
     }
 
     /// Charges a read of `subpages` never-written subpages as if the data were
@@ -515,7 +732,7 @@ impl FtlCore {
         dev: &mut FlashDevice,
         level: BlockLevel,
         batch: &mut OpBatch,
-    ) -> (Ppa, BlockLevel) {
+    ) -> Result<(Ppa, BlockLevel), FtlError> {
         if level.is_slc() && self.slc_bypass_needed() {
             self.take_page(dev, BlockLevel::HighDensity, batch)
         } else {
@@ -560,6 +777,10 @@ impl FtlCore {
 
     /// Relocates one page group to `dest_level`: reads the valid subpages and
     /// programs them (compacted) into a fresh page at the destination.
+    ///
+    /// An error leaves the victim's remaining subpages valid and mapped —
+    /// callers must abort the victim's erase, never tear down partially-moved
+    /// data.
     pub fn relocate_group(
         &mut self,
         dev: &mut FlashDevice,
@@ -568,7 +789,7 @@ impl FtlCore {
         dest_level: BlockLevel,
         now: Nanos,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         // Read contiguous runs of the valid subpages.
         let page_ppa = victim_addr.page(group.page);
         let chip = self.chip_of(victim_addr);
@@ -581,9 +802,7 @@ impl FtlCore {
             {
                 len += 1;
             }
-            let res = dev
-                .read(Spa::new(page_ppa, run_start), len)
-                .expect("GC read of valid data");
+            let res = dev.read(Spa::new(page_ppa, run_start), len)?;
             batch.push(chip, FlashOpKind::GcRead, res.latency_ns);
             i += len as usize;
         }
@@ -598,13 +817,14 @@ impl FtlCore {
             dest_level
         };
         let lsns: Vec<Lsn> = group.subs.iter().map(|&(_, l)| l).collect();
-        let (dest_ppa, actual_level) = self.take_page(dev, dest_level, batch);
-        self.program_group(dev, dest_ppa, 0, &lsns, FlashOpKind::GcProgram, now, batch);
+        let (dest_ppa, actual_level) = self.take_page(dev, dest_level, batch)?;
+        self.program_group(dev, dest_ppa, 0, &lsns, FlashOpKind::GcProgram, now, batch)?;
 
         self.stats.gc_moved_subpages += lsns.len() as u64;
         if !actual_level.is_slc() {
             self.stats.gc_evicted_subpages += lsns.len() as u64;
         }
+        Ok(())
     }
 
     /// Finishes a GC: records Figure 9 utilization, erases the victim back
@@ -638,12 +858,25 @@ impl FtlCore {
         } else {
             CellMode::Mlc
         };
-        let res = dev.erase(addr, mode);
-        batch.push(self.chip_of(addr), FlashOpKind::Erase, res.latency_ns);
         self.owners.clear_block(block_idx);
-        self.blocks.release_at(addr, now + res.latency_ns);
-        if self.wear_leveler.note_erase(&self.cfg.wear_leveling) {
-            self.wl_check_due = true;
+        self.oob.remove(&block_idx);
+        match dev.try_erase(addr, mode) {
+            Ok(res) => {
+                batch.push(self.chip_of(addr), FlashOpKind::Erase, res.latency_ns);
+                self.blocks.release_at(addr, now + res.latency_ns);
+                if self.wear_leveler.note_erase(&self.cfg.wear_leveling) {
+                    self.wl_check_due = true;
+                }
+            }
+            Err(FlashError::EraseFailed { latency_ns, .. }) => {
+                // Failed pulse still occupied the chip; the victim (already
+                // fully relocated) is retired instead of rejoining the pool.
+                batch.push(self.chip_of(addr), FlashOpKind::Erase, latency_ns);
+                self.bad_blocks.insert(block_idx);
+                self.stats.retired_blocks += 1;
+                self.blocks.retire(addr);
+            }
+            Err(e) => panic!("erase of {addr} rejected: {e}"),
         }
     }
 
@@ -690,7 +923,14 @@ impl FtlCore {
         let victim_addr = victim_meta.addr;
         let level = victim_meta.level;
         for group in self.collect_victim_groups(dev, victim) {
-            self.relocate_group(dev, victim_addr, &group, level, now, batch);
+            if self
+                .relocate_group(dev, victim_addr, &group, level, now, batch)
+                .is_err()
+            {
+                // Movement stalled (space or media): abandon this migration
+                // without erasing — the un-moved data is still valid in place.
+                return;
+            }
         }
         self.erase_victim(dev, victim, now, batch);
         self.stats.wear_leveling_migrations += 1;
@@ -784,21 +1024,162 @@ impl FtlCore {
                 select_greedy(cands, GcGranularity::Subpage)
             };
             let Some(victim) = victim else { break };
+            let mut aborted = false;
             for group in self.collect_victim_groups(dev, victim) {
                 let victim_addr = self.meta.get(victim).expect("tracked").addr;
-                self.relocate_group(
-                    dev,
-                    victim_addr,
-                    &group,
-                    BlockLevel::HighDensity,
-                    now,
-                    batch,
-                );
+                if self
+                    .relocate_group(
+                        dev,
+                        victim_addr,
+                        &group,
+                        BlockLevel::HighDensity,
+                        now,
+                        batch,
+                    )
+                    .is_err()
+                {
+                    aborted = true;
+                    break;
+                }
+            }
+            if aborted {
+                // Un-moved data is still valid in place; never erase a
+                // partially-relocated victim.
+                break;
             }
             self.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
             self.finish_mlc_gc_round(now, round_cost);
         }
+    }
+
+    /// Background scrub/refresh: scans a bounded window of in-use SLC blocks
+    /// (round-robin across requests) and rewrites pages whose accumulated
+    /// disturb pushes any valid subpage's expected raw bit errors past the
+    /// configured fraction of ECC capability. Off by default
+    /// (`ScrubConfig::enabled`), so the paper's figures are unaffected.
+    pub fn run_scrub_if_due(&mut self, dev: &mut FlashDevice, now: Nanos, batch: &mut OpBatch) {
+        if !self.cfg.scrub.enabled {
+            return;
+        }
+        let subpage_size = self.geometry.subpage_size;
+        let watermark =
+            self.cfg.scrub.rber_watermark * dev.config().ecc.correctable_bits(subpage_size) as f64;
+        let bits_per_subpage = (subpage_size * 8) as f64;
+
+        let mut slc: Vec<u64> = self.meta.slc_blocks().map(|(i, _)| i).collect();
+        slc.sort_unstable();
+        if slc.is_empty() {
+            return;
+        }
+        let offset = (self.scrub_cursor % slc.len() as u64) as usize;
+        let mut rewrites = 0u32;
+        for k in 0..slc.len().min(SCRUB_BLOCKS_PER_PASS) {
+            let block_idx = slc[(offset + k) % slc.len()];
+            self.scrub_cursor = self.scrub_cursor.wrapping_add(1);
+            let Some(meta) = self.meta.get(block_idx) else {
+                continue;
+            };
+            let addr = meta.addr;
+            let level = meta.level;
+            if self.is_active(addr) {
+                continue;
+            }
+            // Pages where any valid subpage is past the watermark.
+            let block = dev.block_by_index(block_idx);
+            let mut hot_pages: Vec<u32> = Vec::new();
+            for p in 0..block.page_count() {
+                let page = block.page(p);
+                for s in 0..page.subpage_count() {
+                    if page.subpage(s) == SubpageState::Valid {
+                        let spa = Spa::new(addr.page(p), s);
+                        if dev.effective_rber(spa) * bits_per_subpage > watermark {
+                            hot_pages.push(p);
+                            break;
+                        }
+                    }
+                }
+            }
+            if hot_pages.is_empty() {
+                continue;
+            }
+            let groups = self.collect_victim_groups(dev, block_idx);
+            for g in groups.iter().filter(|g| hot_pages.contains(&g.page)) {
+                if rewrites >= self.cfg.scrub.max_pages_per_pass
+                    || self
+                        .relocate_group(dev, addr, g, level, now, batch)
+                        .is_err()
+                {
+                    return;
+                }
+                self.stats.scrub_rewrites += 1;
+                rewrites += 1;
+            }
+        }
+    }
+
+    /// Rebuilds all volatile FTL state from durable flash contents after a
+    /// power loss: the mapping table, owner table and cache metadata are
+    /// reconstructed from the per-block OOB shadow (level, open order, and
+    /// per-subpage LSN tags), and the free pools are re-derived from which
+    /// blocks hold data. The bad-block table is durable and survives as-is.
+    ///
+    /// Divergences from the pre-cut state, by design: active blocks are
+    /// closed (their remaining free pages are not resumed — a real FTL
+    /// re-opens fresh blocks), in-flight erases complete instantly (the
+    /// device already erased them), and GC/wear-leveling pacing restarts.
+    pub fn rebuild_from_flash(&mut self, dev: &FlashDevice) {
+        self.map = MappingTable::new();
+        self.owners = OwnerTable::new(&self.geometry);
+        self.meta = CacheMeta::new();
+        self.actives = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        self.rr = [0; 4];
+        self.slc_gc_ready_at = 0;
+        self.mlc_gc_ready_at = 0;
+        self.wear_leveler = WearLeveler::new();
+        self.wl_check_due = false;
+        self.scrub_cursor = 0;
+
+        // Replay OOB records in open order so ISR GC's FIFO tie-breaking is
+        // preserved across the power cycle.
+        let oob = std::mem::take(&mut self.oob);
+        let mut entries: Vec<(u64, BlockOob)> = oob.into_iter().collect();
+        entries.sort_by_key(|&(idx, ref b)| (b.opened_seq, idx));
+        let mut max_seq: Option<u64> = None;
+        for (idx, blk) in &entries {
+            let idx = *idx;
+            let addr = self.geometry.block_from_index(idx);
+            let block = dev.block_by_index(idx);
+            self.meta.restore_block(
+                idx,
+                addr,
+                blk.level,
+                blk.opened_seq,
+                block.page_count(),
+                self.geometry.subpages_per_page(),
+            );
+            max_seq = Some(max_seq.map_or(blk.opened_seq, |m| m.max(blk.opened_seq)));
+            let mut tags: Vec<(&(u32, u8), &SubTag)> = blk.tags.iter().collect();
+            tags.sort_by_key(|&(&k, _)| k);
+            for (&(page, sub), tag) in tags {
+                self.meta
+                    .get_mut(idx)
+                    .expect("just restored")
+                    .restore_program(page, sub, tag.written_ns, tag.follow_up);
+                // Only *valid* subpages re-enter the map: the OOB tag of a
+                // superseded subpage is stale by definition.
+                if block.page(page).subpage(sub) == SubpageState::Valid {
+                    let spa = Spa::new(addr.page(page), sub);
+                    self.map.insert(tag.lsn, spa);
+                    self.owners.set(idx, spa, tag.lsn);
+                }
+            }
+        }
+        self.meta.set_next_seq(max_seq.map_or(0, |m| m + 1));
+        self.oob = entries.into_iter().collect();
+
+        let in_use: HashSet<u64> = self.meta.iter().map(|(i, _)| i).collect();
+        self.blocks.rebuild_free(&self.bad_blocks, &in_use);
     }
 }
 
@@ -848,17 +1229,17 @@ mod tests {
     fn take_page_allocates_sequentially_then_new_block() {
         let (mut core, mut dev) = core_and_dev();
         let mut tb = OpBatch::new();
-        let (p0, l0) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        let (p1, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (p0, l0) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
+        let (p1, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         assert_eq!(l0, BlockLevel::Work);
         assert_eq!(p0.block_addr(), p1.block_addr());
         assert_eq!(p0.page, 0);
         assert_eq!(p1.page, 1);
 
         // Exhaust the 4-page SLC block; the next page comes from a new block.
-        core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        core.take_page(&mut dev, BlockLevel::Work, &mut tb);
-        let (p4, l4) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
+        core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
+        let (p4, l4) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         assert_ne!(p4.block_addr(), p0.block_addr());
         assert_eq!(l4, BlockLevel::Work);
         assert_eq!(core.blocks.slc_free_count(), 0);
@@ -870,10 +1251,10 @@ mod tests {
         let mut tb = OpBatch::new();
         // Drain both SLC blocks (2 blocks × 4 pages).
         for _ in 0..8 {
-            let (_, l) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+            let (_, l) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
             assert_eq!(l, BlockLevel::Work);
         }
-        let (ppa, l) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (ppa, l) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         assert_eq!(l, BlockLevel::HighDensity);
         assert!(!core.blocks.is_slc_region(ppa.block_addr()));
     }
@@ -886,17 +1267,23 @@ mod tests {
         // Hot request must land in Work's open block before going to MLC.
         for _ in 0..4 {
             assert_eq!(
-                core.take_page(&mut dev, BlockLevel::Hot, &mut tb).1,
+                core.take_page(&mut dev, BlockLevel::Hot, &mut tb)
+                    .unwrap()
+                    .1,
                 BlockLevel::Hot
             );
         }
         assert_eq!(
-            core.take_page(&mut dev, BlockLevel::Work, &mut tb).1,
+            core.take_page(&mut dev, BlockLevel::Work, &mut tb)
+                .unwrap()
+                .1,
             BlockLevel::Work
         );
         // Hot is full and no free SLC blocks remain; falls back to Work.
         assert_eq!(
-            core.take_page(&mut dev, BlockLevel::Hot, &mut tb).1,
+            core.take_page(&mut dev, BlockLevel::Hot, &mut tb)
+                .unwrap()
+                .1,
             BlockLevel::Work
         );
     }
@@ -906,7 +1293,7 @@ mod tests {
         let (mut core, mut dev) = core_and_dev();
         let mut tb = OpBatch::new();
         let mut batch = OpBatch::new();
-        let (ppa, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (ppa, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         core.program_group(
             &mut dev,
             ppa,
@@ -915,7 +1302,8 @@ mod tests {
             FlashOpKind::HostProgram,
             5,
             &mut batch,
-        );
+        )
+        .unwrap();
 
         assert_eq!(core.map.lookup(10), Some(Spa::new(ppa, 0)));
         assert_eq!(core.map.lookup(11), Some(Spa::new(ppa, 1)));
@@ -926,7 +1314,7 @@ mod tests {
         assert_eq!(batch.ops[0].kind, FlashOpKind::HostProgram);
 
         // Re-write lsn 10: old location invalidated, owners updated.
-        let (ppa2, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (ppa2, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         core.program_group(
             &mut dev,
             ppa2,
@@ -935,7 +1323,8 @@ mod tests {
             FlashOpKind::HostProgram,
             6,
             &mut batch,
-        );
+        )
+        .unwrap();
         assert_eq!(core.map.lookup(10), Some(Spa::new(ppa2, 0)));
         assert!(core.owners.owner(bi, Spa::new(ppa, 0)).is_none());
         assert_eq!(
@@ -949,7 +1338,7 @@ mod tests {
         let (mut core, mut dev) = core_and_dev();
         let mut tb = OpBatch::new();
         let mut batch = OpBatch::new();
-        let (ppa, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (ppa, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         core.program_group(
             &mut dev,
             ppa,
@@ -958,11 +1347,12 @@ mod tests {
             FlashOpKind::HostProgram,
             0,
             &mut batch,
-        );
+        )
+        .unwrap();
 
         let mut rbatch = OpBatch::new();
         let req = IoRequest::new(1, OpKind::Read, 0, 16384);
-        core.host_read(&req, &mut dev, &mut rbatch);
+        core.host_read(&req, &mut dev, &mut rbatch).unwrap();
         // All four subpages contiguous in one page → exactly one read op.
         assert_eq!(rbatch.count(FlashOpKind::HostRead), 1);
         assert_eq!(core.stats.host_subpages_read, 4);
@@ -974,7 +1364,7 @@ mod tests {
         let (mut core, mut dev) = core_and_dev();
         let mut batch = OpBatch::new();
         let req = IoRequest::new(0, OpKind::Read, 1 << 20, 8192);
-        core.host_read(&req, &mut dev, &mut batch);
+        core.host_read(&req, &mut dev, &mut batch).unwrap();
         assert_eq!(batch.count(FlashOpKind::UnmappedRead), 1);
         assert_eq!(core.stats.unmapped_reads, 1);
         assert_eq!(core.stats.host_subpages_read, 2);
@@ -989,7 +1379,7 @@ mod tests {
         let mut batch = OpBatch::new();
 
         // Fill one Work block with two pages: one fully valid, one half stale.
-        let (p0, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (p0, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         core.program_group(
             &mut dev,
             p0,
@@ -998,8 +1388,9 @@ mod tests {
             FlashOpKind::HostProgram,
             1,
             &mut batch,
-        );
-        let (p1, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        )
+        .unwrap();
+        let (p1, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         core.program_group(
             &mut dev,
             p1,
@@ -1008,9 +1399,10 @@ mod tests {
             FlashOpKind::HostProgram,
             2,
             &mut batch,
-        );
+        )
+        .unwrap();
         // Supersede lsn 8 elsewhere → p1 keeps one valid subpage.
-        let (p2, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb);
+        let (p2, _) = core.take_page(&mut dev, BlockLevel::Work, &mut tb).unwrap();
         core.program_group(
             &mut dev,
             p2,
@@ -1019,7 +1411,8 @@ mod tests {
             FlashOpKind::HostProgram,
             3,
             &mut batch,
-        );
+        )
+        .unwrap();
 
         let victim_idx = core.block_idx(p0.block_addr());
         let groups = core.collect_victim_groups(&dev, victim_idx);
@@ -1037,7 +1430,8 @@ mod tests {
                 BlockLevel::HighDensity,
                 10,
                 &mut batch,
-            );
+            )
+            .unwrap();
         }
         core.erase_victim(&mut dev, victim_idx, 10, &mut batch);
 

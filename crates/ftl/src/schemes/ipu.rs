@@ -22,6 +22,7 @@ use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
+use crate::error::FtlError;
 use crate::gc::select_isr;
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
@@ -51,7 +52,7 @@ impl IpuFtl {
         now: Nanos,
         dev: &mut FlashDevice,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         // Partition the chunk's subpages by where their current version lives.
         let mut new_lsns: Vec<Lsn> = Vec::new();
         let mut groups: Vec<(Ppa, Vec<Lsn>)> = Vec::new();
@@ -67,9 +68,16 @@ impl IpuFtl {
 
         // New data goes straight to a Work block (Algorithm 1 line 5).
         if !new_lsns.is_empty() {
-            let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch);
-            self.core
-                .program_group(dev, ppa, 0, &new_lsns, FlashOpKind::HostProgram, now, batch);
+            let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch)?;
+            self.core.program_group(
+                dev,
+                ppa,
+                0,
+                &new_lsns,
+                FlashOpKind::HostProgram,
+                now,
+                batch,
+            )?;
         }
 
         // Updates: intra-page if the old page can absorb them, else upgrade.
@@ -100,7 +108,7 @@ impl IpuFtl {
                         FlashOpKind::HostProgram,
                         now,
                         batch,
-                    );
+                    )?;
                     self.core.stats.intra_page_updates += 1;
                 }
                 None => {
@@ -118,7 +126,7 @@ impl IpuFtl {
                     // data in the cache is the point of the hierarchy, and the
                     // fallback chain inside take_page already handles genuine
                     // exhaustion.
-                    let (ppa, _) = self.core.take_page(dev, target, batch);
+                    let (ppa, _) = self.core.take_page(dev, target, batch)?;
                     self.core.program_group(
                         dev,
                         ppa,
@@ -127,11 +135,12 @@ impl IpuFtl {
                         FlashOpKind::HostProgram,
                         now,
                         batch,
-                    );
+                    )?;
                     self.core.stats.upgraded_writes += 1;
                 }
             }
         }
+        Ok(())
     }
 
     /// ISR-driven GC with degraded data movement (Algorithm 1 lines 14–19).
@@ -166,6 +175,7 @@ impl IpuFtl {
             let victim_meta = self.core.meta.get(victim).expect("tracked victim");
             let victim_addr = victim_meta.addr;
             let victim_level = victim_meta.level;
+            let mut aborted = false;
             for group in self.core.collect_victim_groups(dev, victim) {
                 // Degraded movement: updated pages keep their level, cold
                 // pages sink one level (Work-level cold data leaves the cache).
@@ -174,8 +184,18 @@ impl IpuFtl {
                 } else {
                     victim_level.demoted()
                 };
-                self.core
-                    .relocate_group(dev, victim_addr, &group, dest, now, batch);
+                if self
+                    .core
+                    .relocate_group(dev, victim_addr, &group, dest, now, batch)
+                    .is_err()
+                {
+                    aborted = true;
+                    break;
+                }
+            }
+            if aborted {
+                // Never erase a partially-relocated victim.
+                break;
             }
             self.core.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
@@ -183,6 +203,7 @@ impl IpuFtl {
         }
         self.core.run_mlc_gc_if_needed(dev, now, batch);
         self.core.run_wear_leveling_if_due(dev, now, batch);
+        self.core.run_scrub_if_due(dev, now, batch);
     }
 }
 
@@ -196,7 +217,9 @@ impl FtlScheme for IpuFtl {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
         for chunk in self.core.chunks(req) {
-            self.write_chunk(&chunk, now, dev, &mut batch);
+            if let Err(e) = self.write_chunk(&chunk, now, dev, &mut batch) {
+                self.core.note_write_failure(&e, &mut batch);
+            }
             self.run_gc(now, dev, &mut batch);
         }
         batch
@@ -205,8 +228,14 @@ impl FtlScheme for IpuFtl {
     fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
         let mut batch = OpBatch::new();
         self.core.begin_request(now);
-        self.core.host_read(req, dev, &mut batch);
+        if let Err(e) = self.core.host_read(req, dev, &mut batch) {
+            self.core.note_read_failure(&e, &mut batch);
+        }
         batch
+    }
+
+    fn power_cycle(&mut self, dev: &FlashDevice) {
+        self.core.rebuild_from_flash(dev);
     }
 
     fn stats(&self) -> &FtlStats {

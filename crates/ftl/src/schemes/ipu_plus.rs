@@ -23,6 +23,7 @@ use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
+use crate::error::FtlError;
 use crate::gc::select_isr;
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
@@ -77,25 +78,52 @@ impl IpuPlusFtl {
 
     /// Writes new (cold) data: packed into a shared page when small, fresh
     /// Work page otherwise.
-    fn write_new(&mut self, lsns: &[Lsn], now: Nanos, dev: &mut FlashDevice, batch: &mut OpBatch) {
+    fn write_new(
+        &mut self,
+        lsns: &[Lsn],
+        now: Nanos,
+        dev: &mut FlashDevice,
+        batch: &mut OpBatch,
+    ) -> Result<(), FtlError> {
         let k = lsns.len() as u8;
         if k < self.core.spp() {
             if let Some((ppa, off)) = self.find_cold_slot(dev, k) {
-                self.core
-                    .program_group(dev, ppa, off, lsns, FlashOpKind::HostProgram, now, batch);
+                let res = self.core.program_group(
+                    dev,
+                    ppa,
+                    off,
+                    lsns,
+                    FlashOpKind::HostProgram,
+                    now,
+                    batch,
+                );
+                // A failed program may have retired blocks holding open pages.
+                self.cold_open_pages.retain(|p| {
+                    !self
+                        .core
+                        .bad_blocks()
+                        .contains(&self.core.block_idx(p.block_addr()))
+                });
                 self.refresh_cold_page(dev, ppa);
-                return;
+                return res;
             }
         }
-        let (ppa, level) = self.core.take_host_page(dev, BlockLevel::Work, batch);
+        let (ppa, level) = self.core.take_host_page(dev, BlockLevel::Work, batch)?;
         self.core
-            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
-        if level.is_slc() && k < self.core.spp() {
+            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch)?;
+        if level.is_slc()
+            && k < self.core.spp()
+            && !self
+                .core
+                .bad_blocks()
+                .contains(&self.core.block_idx(ppa.block_addr()))
+        {
             self.cold_open_pages.push_back(ppa);
             while self.cold_open_pages.len() > self.core.cfg.mga_open_page_limit {
                 self.cold_open_pages.pop_front();
             }
         }
+        Ok(())
     }
 
     /// IPU's update handling, verbatim: intra-page when possible, else
@@ -107,7 +135,7 @@ impl IpuPlusFtl {
         now: Nanos,
         dev: &mut FlashDevice,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         let addr = old_ppa.block_addr();
         let block = dev.block(addr);
         let intra_offset = if block.mode() == CellMode::Slc {
@@ -130,7 +158,7 @@ impl IpuPlusFtl {
                     FlashOpKind::HostProgram,
                     now,
                     batch,
-                );
+                )?;
                 self.core.stats.intra_page_updates += 1;
                 // If the page was an open cold page, its remaining space may
                 // now be gone.
@@ -144,12 +172,20 @@ impl IpuPlusFtl {
                     .unwrap_or(BlockLevel::HighDensity);
                 let cap = BlockLevel::from_flag_clamped(self.core.cfg.ipu_max_level as i32);
                 let target = cur.promoted().min(cap);
-                let (ppa, _) = self.core.take_page(dev, target, batch);
-                self.core
-                    .program_group(dev, ppa, 0, group, FlashOpKind::HostProgram, now, batch);
+                let (ppa, _) = self.core.take_page(dev, target, batch)?;
+                self.core.program_group(
+                    dev,
+                    ppa,
+                    0,
+                    group,
+                    FlashOpKind::HostProgram,
+                    now,
+                    batch,
+                )?;
                 self.core.stats.upgraded_writes += 1;
             }
         }
+        Ok(())
     }
 
     fn write_chunk(
@@ -158,7 +194,7 @@ impl IpuPlusFtl {
         now: Nanos,
         dev: &mut FlashDevice,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         let mut new_lsns: Vec<Lsn> = Vec::new();
         let mut groups: Vec<(Ppa, Vec<Lsn>)> = Vec::new();
         for &lsn in lsns {
@@ -171,11 +207,12 @@ impl IpuPlusFtl {
             }
         }
         if !new_lsns.is_empty() {
-            self.write_new(&new_lsns, now, dev, batch);
+            self.write_new(&new_lsns, now, dev, batch)?;
         }
         for (old_ppa, group) in groups {
-            self.write_update(old_ppa, &group, now, dev, batch);
+            self.write_update(old_ppa, &group, now, dev, batch)?;
         }
+        Ok(())
     }
 
     /// IPU's ISR GC with degraded movement, plus open-page hygiene.
@@ -203,14 +240,25 @@ impl IpuPlusFtl {
             let victim_level = victim_meta.level;
             self.cold_open_pages
                 .retain(|p| p.block_addr() != victim_addr);
+            let mut aborted = false;
             for group in self.core.collect_victim_groups(dev, victim) {
                 let dest = if group.updated {
                     victim_level
                 } else {
                     victim_level.demoted()
                 };
-                self.core
-                    .relocate_group(dev, victim_addr, &group, dest, now, batch);
+                if self
+                    .core
+                    .relocate_group(dev, victim_addr, &group, dest, now, batch)
+                    .is_err()
+                {
+                    aborted = true;
+                    break;
+                }
+            }
+            if aborted {
+                // Never erase a partially-relocated victim.
+                break;
             }
             self.core.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
@@ -218,6 +266,7 @@ impl IpuPlusFtl {
         }
         self.core.run_mlc_gc_if_needed(dev, now, batch);
         self.core.run_wear_leveling_if_due(dev, now, batch);
+        self.core.run_scrub_if_due(dev, now, batch);
     }
 }
 
@@ -231,7 +280,9 @@ impl FtlScheme for IpuPlusFtl {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
         for chunk in self.core.chunks(req) {
-            self.write_chunk(&chunk, now, dev, &mut batch);
+            if let Err(e) = self.write_chunk(&chunk, now, dev, &mut batch) {
+                self.core.note_write_failure(&e, &mut batch);
+            }
             self.run_gc(now, dev, &mut batch);
         }
         batch
@@ -240,8 +291,16 @@ impl FtlScheme for IpuPlusFtl {
     fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
         let mut batch = OpBatch::new();
         self.core.begin_request(now);
-        self.core.host_read(req, dev, &mut batch);
+        if let Err(e) = self.core.host_read(req, dev, &mut batch) {
+            self.core.note_read_failure(&e, &mut batch);
+        }
         batch
+    }
+
+    fn power_cycle(&mut self, dev: &FlashDevice) {
+        // Cold packing candidates are volatile controller state.
+        self.cold_open_pages.clear();
+        self.core.rebuild_from_flash(dev);
     }
 
     fn stats(&self) -> &FtlStats {

@@ -16,6 +16,7 @@ use ipu_flash::{FlashDevice, Nanos, Ppa};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
+use crate::error::FtlError;
 use crate::gc::{select_greedy, GcGranularity};
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
@@ -75,27 +76,50 @@ impl MgaFtl {
         now: Nanos,
         dev: &mut FlashDevice,
         batch: &mut OpBatch,
-    ) {
+    ) -> Result<(), FtlError> {
         let k = lsns.len() as u8;
         // Pack sub-page chunks into an open page when possible.
         if k < self.core.spp() {
             if let Some((_, ppa, off)) = self.find_open_slot(dev, k) {
-                self.core
-                    .program_group(dev, ppa, off, lsns, FlashOpKind::HostProgram, now, batch);
+                let res = self.core.program_group(
+                    dev,
+                    ppa,
+                    off,
+                    lsns,
+                    FlashOpKind::HostProgram,
+                    now,
+                    batch,
+                );
+                // A failed program may have retired the target block; the
+                // refresh drops the page either way once it is unusable. Open
+                // pages on retired blocks are purged below regardless.
+                self.open_pages.retain(|p| {
+                    !self
+                        .core
+                        .bad_blocks()
+                        .contains(&self.core.block_idx(p.block_addr()))
+                });
                 self.refresh_open_page(dev, ppa);
-                return;
+                return res;
             }
         }
         // Otherwise open a fresh page; leftovers become packing space.
-        let (ppa, level) = self.core.take_host_page(dev, BlockLevel::Work, batch);
+        let (ppa, level) = self.core.take_host_page(dev, BlockLevel::Work, batch)?;
         self.core
-            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch);
-        if level.is_slc() && k < self.core.spp() {
+            .program_group(dev, ppa, 0, lsns, FlashOpKind::HostProgram, now, batch)?;
+        if level.is_slc()
+            && k < self.core.spp()
+            && !self
+                .core
+                .bad_blocks()
+                .contains(&self.core.block_idx(ppa.block_addr()))
+        {
             self.open_pages.push_back(ppa);
             while self.open_pages.len() > self.core.cfg.mga_open_page_limit {
                 self.open_pages.pop_front();
             }
         }
+        Ok(())
     }
 
     fn run_gc(&mut self, now: Nanos, dev: &mut FlashDevice, batch: &mut OpBatch) {
@@ -119,15 +143,27 @@ impl MgaFtl {
             let victim_addr = self.core.meta.get(victim).expect("tracked victim").addr;
             // Victim pages can no longer serve as packing targets.
             self.open_pages.retain(|p| p.block_addr() != victim_addr);
+            let mut aborted = false;
             for group in self.core.collect_victim_groups(dev, victim) {
-                self.core.relocate_group(
-                    dev,
-                    victim_addr,
-                    &group,
-                    BlockLevel::HighDensity,
-                    now,
-                    batch,
-                );
+                if self
+                    .core
+                    .relocate_group(
+                        dev,
+                        victim_addr,
+                        &group,
+                        BlockLevel::HighDensity,
+                        now,
+                        batch,
+                    )
+                    .is_err()
+                {
+                    aborted = true;
+                    break;
+                }
+            }
+            if aborted {
+                // Never erase a partially-relocated victim.
+                break;
             }
             self.core.erase_victim(dev, victim, now, batch);
             let round_cost = batch.total_latency_sum() - cost_before;
@@ -135,6 +171,7 @@ impl MgaFtl {
         }
         self.core.run_mlc_gc_if_needed(dev, now, batch);
         self.core.run_wear_leveling_if_due(dev, now, batch);
+        self.core.run_scrub_if_due(dev, now, batch);
     }
 }
 
@@ -148,7 +185,9 @@ impl FtlScheme for MgaFtl {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
         for chunk in self.core.chunks(req) {
-            self.write_chunk(&chunk, now, dev, &mut batch);
+            if let Err(e) = self.write_chunk(&chunk, now, dev, &mut batch) {
+                self.core.note_write_failure(&e, &mut batch);
+            }
             self.run_gc(now, dev, &mut batch);
         }
         batch
@@ -157,8 +196,16 @@ impl FtlScheme for MgaFtl {
     fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
         let mut batch = OpBatch::new();
         self.core.begin_request(now);
-        self.core.host_read(req, dev, &mut batch);
+        if let Err(e) = self.core.host_read(req, dev, &mut batch) {
+            self.core.note_read_failure(&e, &mut batch);
+        }
         batch
+    }
+
+    fn power_cycle(&mut self, dev: &FlashDevice) {
+        // Open packing candidates are volatile controller state.
+        self.open_pages.clear();
+        self.core.rebuild_from_flash(dev);
     }
 
     fn stats(&self) -> &FtlStats {

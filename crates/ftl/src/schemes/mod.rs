@@ -38,6 +38,13 @@ pub trait FtlScheme {
     /// Handles a host read request.
     fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch;
 
+    /// Simulates a sudden power loss and recovery: every volatile structure
+    /// (mapping table, owner table, cache metadata, open blocks, scheme-local
+    /// packing state) is dropped and rebuilt from durable flash contents —
+    /// the per-page OOB records and the bad-block table. Statistics survive
+    /// (they model host-side observability, not drive RAM).
+    fn power_cycle(&mut self, dev: &FlashDevice);
+
     /// FTL statistics accumulated so far.
     fn stats(&self) -> &FtlStats;
 

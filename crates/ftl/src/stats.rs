@@ -49,6 +49,33 @@ pub struct FtlStats {
     pub host_uncorrectable_reads: u64,
     /// Blocks migrated by static wear-leveling.
     pub wear_leveling_migrations: u64,
+
+    /// Uncorrectable host reads recovered by the read-retry ladder.
+    #[serde(default)]
+    pub recovered_reads: u64,
+    /// Individual retry-step reads issued while walking the ladder.
+    #[serde(default)]
+    pub read_retries: u64,
+    /// Total latency of retry-step reads (cell read + ECC + step penalty), ns.
+    #[serde(default)]
+    pub retry_latency_ns: u64,
+    /// Blocks permanently retired after program or erase failures.
+    #[serde(default)]
+    pub retired_blocks: u64,
+    /// Programs replayed onto a fresh page after a program failure.
+    #[serde(default)]
+    pub program_retries: u64,
+    /// Host write requests that ultimately failed (placement retries
+    /// exhausted or physical space ran out).
+    #[serde(default)]
+    pub host_write_failures: u64,
+    /// Data-loss events: host reads still uncorrectable after the full retry
+    /// ladder, plus subpages unrecoverable during block retirement.
+    #[serde(default)]
+    pub data_loss_events: u64,
+    /// Pages rewritten by the background scrub/refresh pass.
+    #[serde(default)]
+    pub scrub_rewrites: u64,
 }
 
 impl FtlStats {

@@ -38,5 +38,7 @@ pub mod queue;
 
 pub use arbiter::Arbiter;
 pub use config::{ArbitrationPolicy, HostConfig, TenantSpec};
-pub use metrics::{fairness_ratio, LatencyStats, OccupancyHistogram, TenantMetrics};
+pub use metrics::{
+    fairness_ratio, LatencyStats, OccupancyHistogram, ReliabilityStats, TenantMetrics,
+};
 pub use queue::{run_closed_loop, HostReport, RequestOutcome};

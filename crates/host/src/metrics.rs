@@ -256,6 +256,60 @@ impl TenantMetrics {
     }
 }
 
+/// Per-request completion reliability over one run: how many requests
+/// completed cleanly, how many needed recovery (read-retry), and how many
+/// ultimately failed (data loss or write failure). Populated by the replay
+/// engines from each request's FTL completion status.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityStats {
+    /// Requests completed (any status).
+    pub total: u64,
+    /// Requests that completed without any fault-path involvement.
+    pub success: u64,
+    /// Requests recovered after one or more retry steps.
+    pub recovered: u64,
+    /// Requests that failed: data irrecoverable or write not persisted.
+    pub failed: u64,
+}
+
+impl ReliabilityStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_success(&mut self) {
+        self.total += 1;
+        self.success += 1;
+    }
+
+    pub fn record_recovered(&mut self) {
+        self.total += 1;
+        self.recovered += 1;
+    }
+
+    pub fn record_failed(&mut self) {
+        self.total += 1;
+        self.failed += 1;
+    }
+
+    /// Merges another reliability tally into this one.
+    pub fn merge(&mut self, other: &ReliabilityStats) {
+        self.total += other.total;
+        self.success += other.success;
+        self.recovered += other.recovered;
+        self.failed += other.failed;
+    }
+
+    /// Fraction of requests that did not fail (1.0 when empty).
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.total - self.failed) as f64 / self.total as f64
+        }
+    }
+}
+
 /// Fairness as the min/max ratio of per-tenant throughput: 1.0 is perfectly
 /// fair, values near 0 mean some tenant is starved. Tenants that never
 /// completed anything drive the ratio to 0; fewer than two tenants is 1.0 by
@@ -367,5 +421,33 @@ mod tests {
         s.record(0);
         assert_eq!(s.count(), 1);
         assert_eq!(s.min_ns(), Some(0));
+    }
+
+    #[test]
+    fn reliability_counts_and_merges() {
+        let mut r = ReliabilityStats::new();
+        assert_eq!(r.availability(), 1.0);
+        r.record_success();
+        r.record_recovered();
+        let mut other = ReliabilityStats::new();
+        other.record_failed();
+        other.record_success();
+        r.merge(&other);
+        assert_eq!(r.total, 4);
+        assert_eq!(r.success, 2);
+        assert_eq!(r.recovered, 1);
+        assert_eq!(r.failed, 1);
+        assert!((r.availability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_deserializes_from_legacy_reports() {
+        // Reports saved before the fault model lack the field entirely;
+        // containers mark it #[serde(default)], so defaults must be inert.
+        let r = ReliabilityStats::default();
+        assert_eq!(r.total, 0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReliabilityStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -13,7 +13,7 @@ use ipu_trace::{IoRequest, OpKind};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{BusyBreakdown, ReplayConfig, SimReport};
-use crate::metrics::LatencyStats;
+use crate::metrics::{LatencyStats, ReliabilityStats};
 use crate::resources::ChipSchedule;
 
 /// Result of one closed-loop run: the device-side aggregates of an open-loop
@@ -57,6 +57,7 @@ pub fn replay_closed_loop_detailed(
     let mut dev = ipu_flash::FlashDevice::new(cfg.device.clone());
     let mut ftl = cfg.scheme.build(&mut dev, cfg.ftl.clone());
     let mut chips = ChipSchedule::new(cfg.device.geometry.total_chips());
+    let mut reliability = ReliabilityStats::new();
 
     let arrivals: Vec<Vec<u64>> = workloads
         .iter()
@@ -73,6 +74,11 @@ pub fn replay_closed_loop_detailed(
             OpKind::Write => ftl.on_write(&req, dispatch, &mut dev),
             OpKind::Read => ftl.on_read(&req, dispatch, &mut dev),
         };
+        match batch.status {
+            ipu_ftl::ReqStatus::Success => reliability.record_success(),
+            ipu_ftl::ReqStatus::Recovered => reliability.record_recovered(),
+            ipu_ftl::ReqStatus::Failed => reliability.record_failed(),
+        }
         let mut completion = dispatch;
         for op in &batch.ops {
             match op.kind {
@@ -123,6 +129,7 @@ pub fn replay_closed_loop_detailed(
             host_read_ns: chips.read_busy(),
             background_ns: chips.background_done(),
         },
+        reliability,
     };
     (
         ClosedLoopReport {
@@ -162,7 +169,8 @@ mod tests {
             let cfg = ReplayConfig::small_for_tests(scheme);
             let host = HostConfig::single(1);
             let reqs = workload(40, 0, 1_000); // bursty: device outpaced
-            let (closed, outcomes) = replay_closed_loop_detailed(&cfg, &host, std::slice::from_ref(&reqs), "t");
+            let (closed, outcomes) =
+                replay_closed_loop_detailed(&cfg, &host, std::slice::from_ref(&reqs), "t");
 
             // Rebuild the serialized request stream open-loop style.
             let mut serialized = Vec::new();
@@ -248,7 +256,12 @@ mod tests {
             .map(|i| IoRequest::new(0, OpKind::Write, (i % 16) * 65536, 4096))
             .collect();
         let stall = |qd: usize| {
-            let closed = replay_closed_loop(&cfg, &HostConfig::single(qd), std::slice::from_ref(&burst), "b");
+            let closed = replay_closed_loop(
+                &cfg,
+                &HostConfig::single(qd),
+                std::slice::from_ref(&burst),
+                "b",
+            );
             closed.host.tenants[0].admission_stall_ns
         };
         let (s1, s16) = (stall(1), stall(16));

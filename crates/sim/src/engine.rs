@@ -9,7 +9,7 @@ use ipu_ftl::{FtlConfig, FtlStats, MappingMemory, SchemeKind};
 use ipu_trace::{IoRequest, OpKind};
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::LatencyStats;
+use crate::metrics::{LatencyStats, ReliabilityStats};
 use crate::resources::ChipSchedule;
 
 /// Everything needed to run one simulation.
@@ -66,6 +66,10 @@ pub struct SimReport {
     /// Chip-time breakdown over the run: host write/erase, host read, and
     /// background (GC) nanoseconds executed.
     pub busy: BusyBreakdown,
+    /// Per-request completion reliability (success / recovered / failed);
+    /// absent in reports saved before the fault model existed.
+    #[serde(default)]
+    pub reliability: ReliabilityStats,
 }
 
 /// Total device busy time by operation class.
@@ -119,6 +123,7 @@ pub fn replay_with_progress(
     let mut read_latency = LatencyStats::new();
     let mut write_latency = LatencyStats::new();
     let mut overall_latency = LatencyStats::new();
+    let mut reliability = ReliabilityStats::new();
 
     let total = requests.len() as u64;
     for (i, req) in requests.iter().enumerate() {
@@ -127,6 +132,11 @@ pub fn replay_with_progress(
             OpKind::Write => ftl.on_write(req, now, &mut dev),
             OpKind::Read => ftl.on_read(req, now, &mut dev),
         };
+        match batch.status {
+            ipu_ftl::ReqStatus::Success => reliability.record_success(),
+            ipu_ftl::ReqStatus::Recovered => reliability.record_recovered(),
+            ipu_ftl::ReqStatus::Failed => reliability.record_failed(),
+        }
 
         // Host reads get read priority (program/erase suspension), host
         // writes are serviced FIFO per chip, and GC operations run as
@@ -179,6 +189,7 @@ pub fn replay_with_progress(
             host_read_ns: chips.read_busy(),
             background_ns: chips.background_done(),
         },
+        reliability,
     }
 }
 

@@ -20,9 +20,11 @@
 pub mod closed_loop;
 pub mod engine;
 pub mod metrics;
+pub mod power_loss;
 pub mod resources;
 
 pub use closed_loop::{replay_closed_loop, replay_closed_loop_detailed, ClosedLoopReport};
 pub use engine::{replay, replay_with_progress, ReplayConfig, SimReport};
-pub use metrics::LatencyStats;
+pub use metrics::{LatencyStats, ReliabilityStats};
+pub use power_loss::{durable_snapshot, replay_with_power_loss, DurableSnapshot, PowerLossReport};
 pub use resources::ChipSchedule;

@@ -5,4 +5,4 @@
 //! existing `ipu_sim::metrics::LatencyStats` / `ipu_sim::LatencyStats` paths
 //! keep working.
 
-pub use ipu_host::metrics::LatencyStats;
+pub use ipu_host::metrics::{LatencyStats, ReliabilityStats};
