@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Performance-regression gate: compare a fresh benchmark profile against
+the committed baseline.
+
+Usage: check_perf.py <BENCH_profile.json> <ci/bench_baseline.json>
+
+Both files are `BenchProfile` JSON written by `ipu-sim profile`. The gate:
+
+1. refuses to compare across schema versions or different workloads — the
+   monotonic counter fingerprint (requests, GC runs, device programs, ...)
+   must match the baseline exactly, otherwise the two runs did not simulate
+   the same work and the throughput numbers are meaningless;
+2. fails when aggregate throughput (simulated ops per wall second) drops
+   more than THRESHOLD (default 25%) below the baseline;
+3. prints the per-phase wall-time comparison either way, so a regression's
+   guilty phase is visible straight from the CI log.
+
+Refreshing the baseline
+-----------------------
+After an intentional perf change (or a runner-hardware change), regenerate
+with the same fixed workload the gate runs and commit the result:
+
+    cargo run --release -p ipu-cli -- profile \
+        --traces ts0 --scale 0.02 --threads 1 --out ci/bench_baseline.json
+
+Tuning: set PERF_GATE_THRESHOLD (a fraction, e.g. 0.25) to override the
+allowed regression; CI runners with noisy neighbours may need headroom.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def counters_map(profile):
+    return {name: value for name, value in profile["counters"]["counters"]}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+    threshold = float(os.environ.get("PERF_GATE_THRESHOLD", DEFAULT_THRESHOLD))
+
+    if candidate["schema_version"] != baseline["schema_version"]:
+        print(
+            f"FAIL: schema version {candidate['schema_version']} != baseline "
+            f"{baseline['schema_version']}; refresh ci/bench_baseline.json "
+            f"(see this script's docstring)",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Workload identity: the counter fingerprints must agree exactly.
+    cand_counters = counters_map(candidate)
+    base_counters = counters_map(baseline)
+    if cand_counters != base_counters:
+        drift = sorted(set(cand_counters) | set(base_counters))
+        print("FAIL: workload fingerprint mismatch — runs are not comparable:",
+              file=sys.stderr)
+        for name in drift:
+            b, c = base_counters.get(name, 0), cand_counters.get(name, 0)
+            if b != c:
+                print(f"  {name}: baseline {b} != candidate {c}", file=sys.stderr)
+        print(
+            "If the simulation intentionally changed, refresh the baseline "
+            "(see this script's docstring).",
+            file=sys.stderr,
+        )
+        return 1
+
+    base_tp = baseline["sim_ops_per_sec"]
+    cand_tp = candidate["sim_ops_per_sec"]
+    ratio = cand_tp / base_tp if base_tp > 0 else float("inf")
+
+    print(f"throughput: baseline {base_tp:,.0f} ops/s, candidate "
+          f"{cand_tp:,.0f} ops/s ({ratio:.2%} of baseline)")
+    print(f"{'phase':<18} {'baseline(s)':>12} {'candidate(s)':>13} {'ratio':>7}")
+    base_phases = {p["phase"]: p for p in baseline["phases"]}
+    for p in candidate["phases"]:
+        b = base_phases.get(p["phase"], {}).get("wall_seconds", 0.0)
+        c = p["wall_seconds"]
+        r = f"{c / b:.2f}x" if b > 0 else "new"
+        print(f"{p['phase']:<18} {b:>12.3f} {c:>13.3f} {r:>7}")
+
+    if ratio < 1.0 - threshold:
+        print(
+            f"FAIL: throughput regressed {1.0 - ratio:.1%} "
+            f"(allowed {threshold:.0%}). If intentional, refresh "
+            f"ci/bench_baseline.json (see this script's docstring).",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"perf gate OK (allowed regression {threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

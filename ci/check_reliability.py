@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Fault-smoke gate: assert the reliability matrix shows clean recovery.
+
+Usage: check_reliability.py <reliability.json>
+
+The input is the ExperimentRecord written by
+`ipu-sim reliability --save reliability.json`. Under the light fault profile
+every scheme must complete every request (no data loss, no failed requests)
+while actually exercising the read-retry ladder — a run where no retries
+fire means the fault injection silently stopped working and the smoke test
+is vacuous.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        record = json.load(f)
+
+    reports = [r for row in record["result"]["reports"] for r in row]
+    assert reports, "empty reliability matrix"
+    for r in reports:
+        ftl = r["ftl"]
+        rel = r["reliability"]
+        assert ftl["data_loss_events"] == 0, (r["scheme"], ftl)
+        assert rel["failed"] == 0, (r["scheme"], rel)
+    assert any(r["ftl"]["read_retries"] > 0 for r in reports), (
+        "light profile never exercised the retry ladder"
+    )
+
+    retries = sum(r["ftl"]["read_retries"] for r in reports)
+    print(
+        f"reliability OK: {len(reports)} reports, {retries} read retries, "
+        f"0 failed requests, 0 data-loss events"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

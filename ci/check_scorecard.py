@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scorecard gate: fail CI when a previously-passing paper claim regresses.
+
+Usage: check_scorecard.py <scorecard.json> <ci/scorecard_baseline.json>
+
+Both files are the ExperimentRecord written by
+`ipu-sim scorecard --save ...`. Each claim's outcome ranks
+Reproduced > Partial > Deviation; the gate fails if any claim's rank drops
+below the committed baseline (improvements are fine and are reported so the
+baseline can be ratcheted), or if a baseline claim disappears entirely.
+
+Refreshing the baseline
+-----------------------
+After claims legitimately change (new claims, or an accepted accuracy
+trade-off discussed in EXPERIMENTS.md), regenerate with the gate's fixed
+workload and commit the result:
+
+    cargo run --release -p ipu-cli -- scorecard \
+        --traces ts0 --scale 0.02 --threads 1 --save ci/scorecard_baseline.json
+"""
+
+import json
+import sys
+
+RANK = {"Deviation": 0, "Partial": 1, "Reproduced": 2}
+
+
+def load_claims(path):
+    with open(path) as f:
+        record = json.load(f)
+    return {c["claim"]: c["outcome"] for c in record["result"]}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = load_claims(sys.argv[1])
+    baseline = load_claims(sys.argv[2])
+
+    failures = []
+    improvements = []
+    for claim, base_outcome in sorted(baseline.items()):
+        cand_outcome = candidate.get(claim)
+        if cand_outcome is None:
+            failures.append(f"claim dropped from scorecard: {claim!r}")
+            continue
+        base_rank, cand_rank = RANK[base_outcome], RANK[cand_outcome]
+        if cand_rank < base_rank:
+            failures.append(
+                f"{claim!r}: {base_outcome} -> {cand_outcome}"
+            )
+        elif cand_rank > base_rank:
+            improvements.append(
+                f"{claim!r}: {base_outcome} -> {cand_outcome}"
+            )
+
+    new_claims = sorted(set(candidate) - set(baseline))
+    for claim in new_claims:
+        print(f"new claim (not gated): {claim!r} = {candidate[claim]}")
+    for line in improvements:
+        print(f"improved (consider ratcheting the baseline): {line}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} claim(s) regressed vs baseline:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "If this trade-off is intentional, document it in EXPERIMENTS.md "
+            "and refresh ci/scorecard_baseline.json (see this script's "
+            "docstring).",
+            file=sys.stderr,
+        )
+        return 1
+
+    counts = {o: sum(1 for v in candidate.values() if v == o) for o in RANK}
+    print(
+        f"scorecard gate OK: {len(baseline)} gated claims held "
+        f"(candidate: {counts['Reproduced']} reproduced, "
+        f"{counts['Partial']} partial, {counts['Deviation']} deviations)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,8 @@ use ipu_core::host::{ArbitrationPolicy, TenantSpec};
 use ipu_core::sim::{replay_with_progress, ReplayConfig, SimReport};
 use ipu_core::trace::{parse_msr_reader, PaperTrace, SplitStrategy};
 use ipu_core::{
-    experiment, report, run_qd_sweep, ExperimentConfig, ExperimentRecord, QdSweepHostSpec,
-    QdSweepResult, PAPER_PE_POINTS, PAPER_QD_POINTS,
+    experiment, report, run_profile, run_qd_sweep, ExperimentConfig, ExperimentRecord,
+    QdSweepHostSpec, QdSweepResult, PAPER_PE_POINTS, PAPER_QD_POINTS,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -34,6 +34,11 @@ COMMANDS
   replay <trace.csv>    Replay a real MSR-format trace file
   ablate <levels|gc|nop>  Design-choice ablations (DESIGN.md A1–A3)
   figures               Render the main figures as SVG files (--out <dir>)
+  profile               Deterministic wall-clock benchmark: replay with the
+                        ipu-obs instrumentation armed, write BENCH_profile.json
+                        (throughput + per-phase wall time; CI's perf gate input)
+  scorecard             Check the paper's claims against a measured matrix
+                        (--save writes the JSON the CI scorecard gate diffs)
   help                  Show this text
 
 COMMON OPTIONS
@@ -48,6 +53,12 @@ COMMON OPTIONS
   --fault-profile <p>   Media fault injection: none | light | heavy
                         (default none; light/heavy also arm the read-retry
                         ladder — see DESIGN.md §10)
+
+PROFILE OPTIONS
+  --out <file.json>     Where to write the benchmark profile
+                        (default BENCH_profile.json)
+  --events <file.jsonl> Also dump the structured span/counter/event log as
+                        JSON Lines (one object per line, `type`-tagged)
 
 SIMULATE OPTIONS
   --queue-depth <a,b>   Queue depths to sweep (default 1,4,16,64)
@@ -65,6 +76,8 @@ EXAMPLES
   ipu-sim simulate --traces ts0 --queue-depth 1,16 --tenants fg:4:0,bg:1:1 \\
           --arbitration wrr --scale 0.01
   ipu-sim reliability --fault-profile heavy --traces ts0 --scale 0.05
+  ipu-sim profile --traces ts0 --scale 0.02 --threads 1
+  ipu-sim scorecard --traces ts0 --scale 0.02 --save scorecard.json
 ";
 
 /// Builds the experiment config from the common flags.
@@ -191,6 +204,11 @@ pub fn cmd_figure(args: &ParsedArgs) -> Result<String, ArgError> {
 /// `ipu-sim run`
 pub fn cmd_run(args: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = config_from(args)?;
+    // Arm the observability layer so the detailed report can say where the
+    // replay's wall time went, not just what the simulation computed.
+    ipu_core::obs::reset();
+    ipu_core::obs::enable();
+    let t0 = std::time::Instant::now();
     let mut out = String::new();
     for &trace in &cfg.traces {
         for &scheme in &cfg.schemes {
@@ -199,7 +217,77 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, ArgError> {
             out.push('\n');
         }
     }
+    let total = t0.elapsed().as_secs_f64();
+    ipu_core::obs::disable();
+    let snapshot = ipu_core::obs::snapshot();
+    let phases = ipu_core::profile::phase_breakdown(&snapshot, total);
+    out.push_str(&report::render_phase_breakdown(&phases, total));
     Ok(out)
+}
+
+/// `ipu-sim profile`: the deterministic wall-clock benchmark harness. Writes
+/// `BENCH_profile.json` (the perf gate's input) and prints the human-readable
+/// throughput and phase breakdown.
+pub fn cmd_profile(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = config_from(args)?;
+    let profile = run_profile(&cfg);
+
+    let out_path = args.flag("out").unwrap_or("BENCH_profile.json");
+    let json = serde_json::to_string_pretty(&profile)
+        .map_err(|e| ArgError(format!("cannot serialize profile: {e}")))?;
+    std::fs::write(out_path, json)
+        .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+
+    if let Some(events_path) = args.flag("events") {
+        // One JSON object per line: the aggregate snapshot + counter
+        // fingerprint first, then every buffered event in record order.
+        let mut jsonl =
+            ipu_core::obs::snapshot_jsonl(&ipu_core::obs::snapshot(), Some(&profile.counters));
+        jsonl.push_str(&ipu_core::obs::events_jsonl());
+        std::fs::write(events_path, jsonl)
+            .map_err(|e| ArgError(format!("cannot write {events_path}: {e}")))?;
+        eprintln!("wrote event log to {events_path}");
+    }
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Benchmark profile — {} requests over {} trace(s) × {} scheme(s) at scale {}\n\
+         wall time {:.3}s, throughput {:.0} simulated ops/sec\n\n",
+        profile.requests,
+        profile.traces.len(),
+        profile.schemes.len(),
+        profile.scale,
+        profile.wall_seconds,
+        profile.sim_ops_per_sec,
+    ));
+    s.push_str(&report::render_phase_breakdown(
+        &profile.phases,
+        profile.wall_seconds,
+    ));
+    s.push('\n');
+    let mut t = report::TextTable::new(&["Trace", "Scheme", "requests", "wall(s)", "ops/sec"]);
+    for r in &profile.runs {
+        t.row(vec![
+            r.trace.clone(),
+            r.scheme.label().to_string(),
+            r.requests.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.0}", r.ops_per_sec),
+        ]);
+    }
+    s.push_str(&t.render());
+    s.push_str(&format!("\nwrote benchmark profile to {out_path}\n"));
+    Ok(s)
+}
+
+/// `ipu-sim scorecard`: evaluate the paper's claims on a measured matrix and
+/// (with --save) write the JSON the CI scorecard gate compares.
+pub fn cmd_scorecard(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = config_from(args)?;
+    let matrix = experiment::run_main_matrix(&cfg);
+    let results = ipu_core::evaluate_scorecard(&matrix);
+    maybe_save(args, &cfg, "scorecard", results.clone())?;
+    Ok(ipu_core::scorecard::render(&results))
 }
 
 /// Formats the detailed single-run report used by `run` and `replay`.
@@ -588,6 +676,75 @@ mod tests {
                 "`{bad}` must fail"
             );
         }
+    }
+
+    const PROFILE: &[&str] = &[
+        "scale",
+        "traces",
+        "schemes",
+        "pe",
+        "threads",
+        "out",
+        "events",
+        "fault-profile",
+    ];
+
+    #[test]
+    fn tiny_profile_writes_benchmark_json_and_events() {
+        let dir = std::env::temp_dir().join("ipu_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_profile.json");
+        let events = dir.join("events.jsonl");
+        let p = parsed(
+            &format!(
+                "profile --scale 0.002 --traces ts0 --schemes ipu --threads 1 \
+                 --out {} --events {}",
+                out.display(),
+                events.display()
+            ),
+            PROFILE,
+        );
+        let text = cmd_profile(&p).unwrap();
+        assert!(text.contains("Phase breakdown"));
+        assert!(text.contains("ops/sec"));
+
+        let profile: ipu_core::BenchProfile =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(profile.schema_version, ipu_core::BENCH_SCHEMA_VERSION);
+        assert!(profile.requests > 0);
+        assert!(profile.sim_ops_per_sec > 0.0);
+        assert!(profile.counters.get("requests").unwrap_or(0) > 0);
+
+        // The JSONL log: one `type`-tagged JSON object per line.
+        let log = std::fs::read_to_string(&events).unwrap();
+        assert!(!log.is_empty());
+        for line in log.lines() {
+            assert!(line.contains("\"type\""), "untagged JSONL line: {line}");
+        }
+    }
+
+    #[test]
+    fn tiny_scorecard_renders_and_saves() {
+        let dir = std::env::temp_dir().join("ipu_cli_scorecard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let save = dir.join("scorecard.json");
+        let p = parsed(
+            &format!(
+                "scorecard --scale 0.01 --traces ts0 --threads 1 --save {}",
+                save.display()
+            ),
+            COMMON,
+        );
+        let text = cmd_scorecard(&p).unwrap();
+        assert!(text.contains("scorecard"));
+        assert!(text.contains("REPRODUCED"));
+        // The saved JSON is what CI's scorecard gate parses (in Python, where
+        // the NaN→null sentinels of ordering claims are fine); spot-check the
+        // fields it reads.
+        let json = std::fs::read_to_string(&save).unwrap();
+        assert!(json.contains("\"outcome\""));
+        assert!(json.contains("\"claim\""));
+        assert!(json.contains("Reproduced"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ const COMMON_FLAGS: &[&str] = &[
     "dispatch-overhead",
     "split",
     "fault-profile",
+    "events",
 ];
 
 fn main() {
@@ -55,6 +56,8 @@ fn main() {
         "replay" => commands::cmd_replay(&parsed),
         "ablate" => commands::cmd_ablate(&parsed),
         "figures" => commands::cmd_figures(&parsed),
+        "profile" => commands::cmd_profile(&parsed),
+        "scorecard" => commands::cmd_scorecard(&parsed),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{}", commands::USAGE);
             std::process::exit(2);

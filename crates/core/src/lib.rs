@@ -22,6 +22,7 @@ pub mod charts;
 pub mod config;
 pub mod experiment;
 pub mod parallel;
+pub mod profile;
 pub mod qd_sweep;
 pub mod report;
 pub mod results;
@@ -35,6 +36,7 @@ pub use experiment::{
     MatrixResult, PeSweepResult, PAPER_PE_POINTS,
 };
 pub use parallel::{default_threads, parallel_map};
+pub use profile::{run_profile, BenchProfile, PhaseWall, RunProfile, BENCH_SCHEMA_VERSION};
 pub use qd_sweep::{run_qd_sweep, QdSweepHostSpec, QdSweepResult, PAPER_QD_POINTS};
 pub use results::ExperimentRecord;
 pub use scorecard::{evaluate as evaluate_scorecard, ClaimResult, Outcome};
@@ -44,5 +46,6 @@ pub use svg::{write_figures, GroupedBars, LineChart};
 pub use ipu_flash as flash;
 pub use ipu_ftl as ftl;
 pub use ipu_host as host;
+pub use ipu_obs as obs;
 pub use ipu_sim as sim;
 pub use ipu_trace as trace;

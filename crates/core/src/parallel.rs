@@ -103,4 +103,56 @@ mod tests {
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
     }
+
+    #[test]
+    fn more_threads_than_items_clamps() {
+        // 64 threads over 3 items: the clamp must spawn at most 3 workers
+        // and every item still maps exactly once, in order.
+        assert_eq!(
+            parallel_map(vec![10, 20, 30], 64, |x: i32| x + 1),
+            vec![11, 21, 31]
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(parallel_map(vec![1, 2], 0, |x: i32| -x), vec![-1, -2]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_multi_thread() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map((0..16).collect(), 4, |x: i32| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(r.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn worker_panic_propagates_single_thread() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(vec![1, 2, 3], 1, |x: i32| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn moves_non_clone_items_through() {
+        // Items are moved into workers (no Clone bound): Box<i32> qualifies.
+        let out = parallel_map(
+            (0..10).map(Box::new).collect::<Vec<Box<i32>>>(),
+            3,
+            |b: Box<i32>| *b * 3,
+        );
+        assert_eq!(out, (0..10).map(|x| x * 3).collect::<Vec<_>>());
+    }
 }

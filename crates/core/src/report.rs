@@ -3,6 +3,7 @@
 use ipu_ftl::SchemeKind;
 
 use crate::experiment::{BerCurvePoint, MatrixResult, PeSweepResult, TraceCalibrationRow};
+use crate::profile::PhaseWall;
 use crate::qd_sweep::QdSweepResult;
 
 /// A simple aligned text table.
@@ -463,6 +464,38 @@ pub fn render_qd_sweep(s: &QdSweepResult) -> String {
     )
 }
 
+/// The per-phase wall-time breakdown measured by `ipu-obs` spans. `total`
+/// is the wall time of everything (instrumented or not); the residual row
+/// shows time outside any span (allocation, aggregation, scheduling model).
+pub fn render_phase_breakdown(phases: &[PhaseWall], total_seconds: f64) -> String {
+    let mut t = TextTable::new(&["Phase", "spans", "wall(s)", "share"]);
+    let mut covered = 0.0;
+    for p in phases {
+        covered += p.wall_seconds;
+        t.row(vec![
+            p.phase.clone(),
+            p.count.to_string(),
+            format!("{:.3}", p.wall_seconds),
+            pct(p.share),
+        ]);
+    }
+    let residual = (total_seconds - covered).max(0.0);
+    t.row(vec![
+        "(uninstrumented)".to_string(),
+        "—".to_string(),
+        format!("{residual:.3}"),
+        pct(if total_seconds > 0.0 {
+            residual / total_seconds
+        } else {
+            0.0
+        }),
+    ]);
+    format!(
+        "Phase breakdown — exclusive wall time per instrumented phase\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +552,34 @@ mod tests {
         let text = render_fig5(&m);
         assert!(text.contains("█"), "bar chart missing from fig5 output");
         assert!(text.contains("summary:"));
+    }
+
+    #[test]
+    fn phase_breakdown_lists_phases_and_residual() {
+        let phases = vec![
+            PhaseWall {
+                phase: "ftl_write".into(),
+                count: 1000,
+                wall_seconds: 0.6,
+                share: 0.6,
+            },
+            PhaseWall {
+                phase: "gc".into(),
+                count: 12,
+                wall_seconds: 0.25,
+                share: 0.25,
+            },
+        ];
+        let text = render_phase_breakdown(&phases, 1.0);
+        assert!(text.contains("Phase breakdown"));
+        assert!(text.contains("ftl_write"));
+        assert!(text.contains("gc"));
+        // Residual row accounts for the uninstrumented 0.15s.
+        assert!(text.contains("(uninstrumented)"));
+        assert!(text.contains("15.0%"));
+        // Degenerate zero-length profile renders without dividing by zero.
+        let empty = render_phase_breakdown(&[], 0.0);
+        assert!(empty.contains("(uninstrumented)"));
     }
 
     #[test]

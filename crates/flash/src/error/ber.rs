@@ -1,6 +1,6 @@
 //! Raw bit error rate (RBER) model.
 //!
-//! The paper consumes RBER measurements from Zhang et al. (FAST'16, ref. [19])
+//! The paper consumes RBER measurements from Zhang et al. (FAST'16, ref. \[19\])
 //! as a lookup inside SSDsim. Those hardware measurements are not public, so we
 //! fit the standard exponential wear-out model
 //!

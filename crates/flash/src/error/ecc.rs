@@ -1,7 +1,7 @@
 //! BCH ECC decode latency model.
 //!
 //! The paper's Table 2 bounds ECC decode time between 0.0005 ms and 0.0968 ms,
-//! citing Micheloni et al. (ISSCC'06, ref. [26]): a BCH code correcting 5 bits
+//! citing Micheloni et al. (ISSCC'06, ref. \[26\]): a BCH code correcting 5 bits
 //! per 512-byte sector. A 4 KB subpage therefore comprises 8 codewords able to
 //! correct 40 raw bit errors in total.
 //!
@@ -20,9 +20,9 @@ use crate::time::{ms_to_ns, Nanos};
 /// BCH ECC configuration and latency model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EccModel {
-    /// Codeword payload size in bytes (ref. [26]: 512 B sectors).
+    /// Codeword payload size in bytes (ref. \[26\]: 512 B sectors).
     pub codeword_bytes: u32,
-    /// Correctable bits per codeword (ref. [26]: 5-bit BCH).
+    /// Correctable bits per codeword (ref. \[26\]: 5-bit BCH).
     pub correctable_bits_per_codeword: u32,
     /// Decode latency with (near) zero errors, in ms (Table 2 `ECC min time`).
     pub min_time_ms: f64,

@@ -404,8 +404,8 @@ impl FtlCore {
     /// programs from GC relocations for both timing and statistics.
     ///
     /// On a media program failure the block is retired (its valid data is
-    /// relocated, see [`FtlCore::retire_block`]) and the group retries on a
-    /// fresh page at the failed block's level, up to [`MAX_PROGRAM_ATTEMPTS`]
+    /// relocated by `FtlCore::retire_block`) and the group retries on a
+    /// fresh page at the failed block's level, up to `MAX_PROGRAM_ATTEMPTS`
     /// placements. No mapping state mutates on a failed attempt — the
     /// injected failure leaves the target subpages free — so consistency
     /// holds at every exit.
@@ -614,6 +614,7 @@ impl FtlCore {
         chip: u32,
         batch: &mut OpBatch,
     ) {
+        let _span = ipu_obs::span(ipu_obs::Phase::EccRetry);
         let steps = self.retry.steps.clone();
         for step in steps {
             self.stats.read_retries += 1;
@@ -627,9 +628,11 @@ impl FtlCore {
             if !res.uncorrectable {
                 self.stats.recovered_reads += 1;
                 batch.status.escalate(ReqStatus::Recovered);
+                ipu_obs::event(ipu_obs::Phase::EccRetry, "read_recovered", lat);
                 return;
             }
         }
+        ipu_obs::event(ipu_obs::Phase::EccRetry, "read_exhausted", 0);
         self.stats.data_loss_events += 1;
         batch.status.escalate(ReqStatus::Failed);
     }
@@ -894,6 +897,7 @@ impl FtlCore {
         if !std::mem::take(&mut self.wl_check_due) {
             return;
         }
+        let _span = ipu_obs::span(ipu_obs::Phase::Migration);
         // Least-worn in-use (non-active) SLC block.
         let mut coldest: Option<(u32, u64)> = None;
         for (i, m) in self.meta.slc_blocks() {
@@ -934,6 +938,7 @@ impl FtlCore {
         }
         self.erase_victim(dev, victim, now, batch);
         self.stats.wear_leveling_migrations += 1;
+        ipu_obs::event(ipu_obs::Phase::Migration, "wear_level_migration", victim);
     }
 
     /// Exhaustively cross-checks logical and physical state; returns the
@@ -1013,6 +1018,7 @@ impl FtlCore {
     pub fn run_mlc_gc_if_needed(&mut self, dev: &mut FlashDevice, now: Nanos, batch: &mut OpBatch) {
         let mut rounds = 0;
         while self.mlc_gc_needed() && self.mlc_gc_gate_open(now) && rounds < 8 {
+            let _span = ipu_obs::span(ipu_obs::Phase::Gc);
             rounds += 1;
             let cost_before = batch.total_latency_sum();
             let victim = {
@@ -1062,6 +1068,7 @@ impl FtlCore {
         if !self.cfg.scrub.enabled {
             return;
         }
+        let _span = ipu_obs::span(ipu_obs::Phase::Migration);
         let subpage_size = self.geometry.subpage_size;
         let watermark =
             self.cfg.scrub.rber_watermark * dev.config().ecc.correctable_bits(subpage_size) as f64;

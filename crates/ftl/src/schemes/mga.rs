@@ -128,6 +128,7 @@ impl MgaFtl {
             && self.core.slc_gc_gate_open(now)
             && rounds < self.core.cfg.gc_rounds_per_write
         {
+            let _span = ipu_obs::span(ipu_obs::Phase::Gc);
             rounds += 1;
             let cost_before = batch.total_latency_sum();
             let victim = {

@@ -99,6 +99,10 @@ pub fn run_closed_loop(
     arrivals: &[Vec<Nanos>],
     mut service: impl FnMut(usize, usize, Nanos) -> Nanos,
 ) -> (HostReport, Vec<RequestOutcome>) {
+    // Covers the whole closed loop; the FTL/device work the service callback
+    // performs opens its own (nested) spans, so exclusive-time accounting
+    // leaves this span with just the queue/arbitration/admission machinery.
+    let _span = ipu_obs::span(ipu_obs::Phase::HostArbitration);
     assert_eq!(
         arrivals.len(),
         cfg.tenants.len(),

@@ -1,0 +1,157 @@
+//! Monotonic counter snapshots with diffing.
+//!
+//! A [`CounterSnapshot`] is a named set of monotonic counter values captured
+//! at one instant — e.g. the summed `FtlStats` fields before and after a
+//! profiled replay. [`CounterSnapshot::diff`] turns two snapshots into the
+//! per-counter deltas for the interval, flagging any counter that moved
+//! backwards (a monotonicity violation worth failing a perf gate over).
+
+use serde::{Deserialize, Serialize};
+
+/// Named monotonic counters captured at one instant. Names are kept sorted
+/// and unique so snapshots serialize deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    counters: Vec<(String, u64)>,
+}
+
+/// One counter's movement between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterDelta {
+    pub name: String,
+    pub earlier: u64,
+    pub later: u64,
+    /// `later - earlier`; negative iff the counter regressed.
+    pub delta: i64,
+}
+
+impl CounterSnapshot {
+    pub fn new() -> Self {
+        CounterSnapshot::default()
+    }
+
+    /// Sets counter `name` to `value`, replacing any existing entry.
+    pub fn set(&mut self, name: &str, value: u64) -> &mut Self {
+        match self
+            .counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.counters[i].1 = value,
+            Err(i) => self.counters.insert(i, (name.to_string(), value)),
+        }
+        self
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// All `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Per-counter movement since `earlier`. Counters present in only one
+    /// snapshot are treated as 0 in the other (a counter appearing later is
+    /// growth from zero; one that vanished reads as a regression to zero).
+    pub fn diff(&self, earlier: &CounterSnapshot) -> Vec<CounterDelta> {
+        let mut names: Vec<&str> = self
+            .iter()
+            .map(|(n, _)| n)
+            .chain(earlier.iter().map(|(n, _)| n))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let e = earlier.get(name).unwrap_or(0);
+                let l = self.get(name).unwrap_or(0);
+                (e != l).then(|| CounterDelta {
+                    name: name.to_string(),
+                    earlier: e,
+                    later: l,
+                    delta: l as i64 - e as i64,
+                })
+            })
+            .collect()
+    }
+
+    /// True iff no counter moved backwards since `earlier`.
+    pub fn is_monotonic_since(&self, earlier: &CounterSnapshot) -> bool {
+        self.diff(earlier).iter().all(|d| d.delta >= 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, u64)]) -> CounterSnapshot {
+        let mut s = CounterSnapshot::new();
+        for (n, v) in pairs {
+            s.set(n, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn set_get_keeps_sorted_unique_names() {
+        let mut s = snap(&[("zeta", 1), ("alpha", 2), ("mid", 3)]);
+        assert_eq!(s.get("alpha"), Some(2));
+        assert_eq!(s.get("nosuch"), None);
+        s.set("alpha", 9);
+        assert_eq!(s.len(), 3, "set replaces, never duplicates");
+        assert_eq!(s.get("alpha"), Some(9));
+        let names: Vec<&str> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn diff_reports_only_moved_counters() {
+        let a = snap(&[("reads", 10), ("writes", 5), ("steady", 7)]);
+        let b = snap(&[("reads", 25), ("writes", 5), ("steady", 7), ("gc", 2)]);
+        let d = b.diff(&a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, "gc");
+        assert_eq!((d[0].earlier, d[0].later, d[0].delta), (0, 2, 2));
+        assert_eq!(d[1].name, "reads");
+        assert_eq!(d[1].delta, 15);
+        assert!(b.is_monotonic_since(&a));
+        // Empty diff against itself.
+        assert!(b.diff(&b).is_empty());
+    }
+
+    #[test]
+    fn backwards_movement_is_flagged() {
+        let a = snap(&[("reads", 10)]);
+        let b = snap(&[("reads", 4)]);
+        let d = b.diff(&a);
+        assert_eq!(d[0].delta, -6);
+        assert!(!b.is_monotonic_since(&a));
+        // A vanished counter also reads as a regression to zero.
+        let c = snap(&[]);
+        assert!(!c.is_monotonic_since(&a));
+        assert!(a.is_monotonic_since(&c));
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let s = snap(&[("a", 1), ("b", u64::MAX)]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CounterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,195 @@
+//! Bounded event buffer and JSONL export.
+//!
+//! Point events ([`crate::event`]) land in a process-wide bounded buffer;
+//! [`events_jsonl`] and [`snapshot_jsonl`] render events, span stats and
+//! counters as one JSON object per line — the flight-recorder format the
+//! `profile` CLI command can dump next to `BENCH_profile.json`.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::CounterSnapshot;
+use crate::span::{ObsSnapshot, Phase};
+
+/// Events kept before new ones are dropped (counted, not silently).
+pub const EVENT_CAPACITY: usize = 65_536;
+
+/// One recorded point event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsEvent {
+    /// Nanoseconds since [`crate::enable`] last (re)set the epoch.
+    pub t_ns: u64,
+    pub phase: Phase,
+    pub label: String,
+    pub value: u64,
+}
+
+struct EventBuf {
+    epoch: Option<Instant>,
+    events: Vec<ObsEvent>,
+    dropped: u64,
+}
+
+static EVENTS: Mutex<EventBuf> = Mutex::new(EventBuf {
+    epoch: None,
+    events: Vec::new(),
+    dropped: 0,
+});
+
+pub(crate) fn set_epoch() {
+    let mut buf = EVENTS.lock().unwrap();
+    if buf.epoch.is_none() {
+        buf.epoch = Some(Instant::now());
+    }
+}
+
+pub(crate) fn reset_events() {
+    let mut buf = EVENTS.lock().unwrap();
+    buf.epoch = None;
+    buf.events.clear();
+    buf.dropped = 0;
+}
+
+pub(crate) fn record_event(phase: Phase, label: &str, value: u64) {
+    let mut buf = EVENTS.lock().unwrap();
+    if buf.events.len() >= EVENT_CAPACITY {
+        buf.dropped += 1;
+        return;
+    }
+    let t_ns = buf
+        .epoch
+        .map(|e| e.elapsed().as_nanos() as u64)
+        .unwrap_or(0);
+    buf.events.push(ObsEvent {
+        t_ns,
+        phase,
+        label: label.to_string(),
+        value,
+    });
+}
+
+/// Copies out the buffered events and the dropped-event count.
+pub fn events() -> (Vec<ObsEvent>, u64) {
+    let buf = EVENTS.lock().unwrap();
+    (buf.events.clone(), buf.dropped)
+}
+
+/// Renders the buffered events as JSONL: one `{"type":"event",...}` object
+/// per line, with a trailing `{"type":"events_dropped",...}` line when the
+/// buffer overflowed.
+pub fn events_jsonl() -> String {
+    let (events, dropped) = events();
+    let mut out = String::new();
+    for e in &events {
+        out.push_str(&jsonl_line("event", &serde::Serialize::to_value(e)));
+    }
+    if dropped > 0 {
+        out.push_str(&jsonl_line(
+            "events_dropped",
+            &serde::Value::Object(vec![(
+                "count".to_string(),
+                serde::Value::UInt(dropped as u128),
+            )]),
+        ));
+    }
+    out
+}
+
+/// Renders a span snapshot plus an optional counter snapshot as JSONL: one
+/// `{"type":"span",...}` object per phase and one `{"type":"counter",...}`
+/// object per counter.
+pub fn snapshot_jsonl(snapshot: &ObsSnapshot, counters: Option<&CounterSnapshot>) -> String {
+    let mut out = String::new();
+    for p in &snapshot.phases {
+        out.push_str(&jsonl_line("span", &serde::Serialize::to_value(p)));
+    }
+    if let Some(counters) = counters {
+        for (name, value) in counters.iter() {
+            out.push_str(&jsonl_line(
+                "counter",
+                &serde::Value::Object(vec![
+                    ("name".to_string(), serde::Value::Str(name.to_string())),
+                    ("value".to_string(), serde::Value::UInt(value as u128)),
+                ]),
+            ));
+        }
+    }
+    out
+}
+
+/// One JSONL line: the record's fields with a leading `"type"` tag.
+fn jsonl_line(kind: &str, value: &serde::Value) -> String {
+    let mut fields = vec![("type".to_string(), serde::Value::Str(kind.to_string()))];
+    if let serde::Value::Object(pairs) = value {
+        fields.extend(pairs.clone());
+    }
+    let mut line =
+        serde_json::to_string(&serde::Value::Object(fields)).expect("obs records always serialize");
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{PhaseStat, TEST_LOCK};
+
+    #[test]
+    fn events_record_and_export_as_jsonl() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        crate::event(Phase::Gc, "slc_round", 3);
+        crate::event(Phase::Migration, "wear_level", 1);
+        crate::disable();
+        let (events, dropped) = events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 0);
+        assert_eq!(events[0].label, "slc_round");
+        assert!(events[0].t_ns <= events[1].t_ns, "event times are ordered");
+        let jsonl = events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"event\""));
+        assert!(lines[0].contains("\"phase\":\"gc\""));
+        assert!(lines[1].contains("\"label\":\"wear_level\""));
+        crate::reset();
+        assert!(events_jsonl().is_empty());
+    }
+
+    #[test]
+    fn disabled_events_are_not_recorded() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::event(Phase::Gc, "ignored", 1);
+        assert_eq!(events().0.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_jsonl_renders_spans_and_counters() {
+        let snap = ObsSnapshot {
+            phases: vec![PhaseStat {
+                phase: Phase::FtlWrite,
+                count: 7,
+                self_ns: 1234,
+            }],
+        };
+        let mut counters = CounterSnapshot::new();
+        counters.set("host_write_requests", 42);
+        let jsonl = snapshot_jsonl(&snap, Some(&counters));
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"phase\":\"ftl_write\""));
+        assert!(lines[0].contains("\"self_ns\":1234"));
+        assert!(lines[1].contains("\"type\":\"counter\""));
+        assert!(lines[1].contains("\"value\":42"));
+        // Every line parses back as a JSON object.
+        for line in lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert!(matches!(v, serde::Value::Object(_)));
+        }
+    }
+}

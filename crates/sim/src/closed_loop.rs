@@ -13,8 +13,8 @@ use ipu_trace::{IoRequest, OpKind};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{BusyBreakdown, ReplayConfig, SimReport};
-use crate::metrics::{LatencyStats, ReliabilityStats};
 use crate::resources::ChipSchedule;
+use ipu_host::metrics::{LatencyStats, ReliabilityStats};
 
 /// Result of one closed-loop run: the device-side aggregates of an open-loop
 /// [`SimReport`] plus the host-side per-tenant QoS report.
@@ -71,8 +71,14 @@ pub fn replay_closed_loop_detailed(
         let mut req = workloads[tenant][seq];
         req.timestamp_ns = dispatch;
         let batch = match req.op {
-            OpKind::Write => ftl.on_write(&req, dispatch, &mut dev),
-            OpKind::Read => ftl.on_read(&req, dispatch, &mut dev),
+            OpKind::Write => {
+                let _span = ipu_obs::span(ipu_obs::Phase::FtlWrite);
+                ftl.on_write(&req, dispatch, &mut dev)
+            }
+            OpKind::Read => {
+                let _span = ipu_obs::span(ipu_obs::Phase::FtlRead);
+                ftl.on_read(&req, dispatch, &mut dev)
+            }
         };
         match batch.status {
             ipu_ftl::ReqStatus::Success => reliability.record_success(),

@@ -9,8 +9,8 @@ use ipu_ftl::{FtlConfig, FtlStats, MappingMemory, SchemeKind};
 use ipu_trace::{IoRequest, OpKind};
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::{LatencyStats, ReliabilityStats};
 use crate::resources::ChipSchedule;
+use ipu_host::metrics::{LatencyStats, ReliabilityStats};
 
 /// Everything needed to run one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,8 +129,14 @@ pub fn replay_with_progress(
     for (i, req) in requests.iter().enumerate() {
         let now = req.timestamp_ns;
         let batch = match req.op {
-            OpKind::Write => ftl.on_write(req, now, &mut dev),
-            OpKind::Read => ftl.on_read(req, now, &mut dev),
+            OpKind::Write => {
+                let _span = ipu_obs::span(ipu_obs::Phase::FtlWrite);
+                ftl.on_write(req, now, &mut dev)
+            }
+            OpKind::Read => {
+                let _span = ipu_obs::span(ipu_obs::Phase::FtlRead);
+                ftl.on_read(req, now, &mut dev)
+            }
         };
         match batch.status {
             ipu_ftl::ReqStatus::Success => reliability.record_success(),

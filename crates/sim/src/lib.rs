@@ -19,12 +19,13 @@
 
 pub mod closed_loop;
 pub mod engine;
-pub mod metrics;
 pub mod power_loss;
 pub mod resources;
 
 pub use closed_loop::{replay_closed_loop, replay_closed_loop_detailed, ClosedLoopReport};
 pub use engine::{replay, replay_with_progress, ReplayConfig, SimReport};
-pub use metrics::{LatencyStats, ReliabilityStats};
+// The latency/reliability histogram implementations live in `ipu-host` (the
+// host interface aggregates per-tenant latency with the same types).
+pub use ipu_host::metrics::{LatencyStats, ReliabilityStats};
 pub use power_loss::{durable_snapshot, replay_with_power_loss, DurableSnapshot, PowerLossReport};
 pub use resources::ChipSchedule;

@@ -3,7 +3,7 @@
 //! Mid-replay, every volatile FTL structure (mapping table, owner table,
 //! cache metadata, open-block rings, scheme-local packing state) is dropped
 //! and rebuilt from durable flash contents — the per-page OOB records and the
-//! bad-block table ([`FtlScheme::power_cycle`]). The rebuilt state is
+//! bad-block table ([`ipu_ftl::FtlScheme::power_cycle`]). The rebuilt state is
 //! checked against a **golden oracle**: the durable view of the same FTL an
 //! instant before power was cut. Recovery is correct iff the two are
 //! identical and the core's structural invariants still hold.

@@ -1,6 +1,6 @@
 //! Parser for the MSR-Cambridge block I/O trace format.
 //!
-//! The SNIA-published MSR Cambridge traces (Narayanan et al., ref. [20]) are
+//! The SNIA-published MSR Cambridge traces (Narayanan et al., ref. \[20\]) are
 //! CSV lines of the form
 //!
 //! ```text
@@ -84,6 +84,7 @@ pub fn parse_msr_line(line: &str, line_no: usize) -> Result<IoRequest, ParseErro
 /// sorting by arrival time. Blank lines and a leading header line are skipped;
 /// malformed data lines are errors.
 pub fn parse_msr_reader<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, ParseError> {
+    let _span = ipu_obs::span(ipu_obs::Phase::TraceDecode);
     let mut requests = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;

@@ -233,6 +233,7 @@ impl TraceGenerator {
 
     /// Generates the full request stream.
     pub fn generate(mut self) -> Vec<IoRequest> {
+        let _span = ipu_obs::span(ipu_obs::Phase::TraceDecode);
         let n = self.spec.requests as usize;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {

@@ -18,7 +18,7 @@ const EXPORT_EPOCH_TICKS: u64 = 130_963_392_000_000_000;
 
 /// Writes `requests` in MSR CSV format, including the header line.
 ///
-/// Timestamps are rebased onto [`EXPORT_EPOCH_TICKS`]; `hostname` fills the
+/// Timestamps are rebased onto `EXPORT_EPOCH_TICKS`; `hostname` fills the
 /// format's host field (the paper's traces use short machine names).
 pub fn write_msr<W: Write>(mut w: W, requests: &[IoRequest], hostname: &str) -> io::Result<()> {
     writeln!(
