@@ -1,17 +1,20 @@
 //! Minimal dependency-free argument parsing for the `ipu-sim` binary.
 //!
-//! Grammar: `ipu-sim <command> [positional...] [--flag value]...`. Flags may
-//! appear anywhere after the command; unknown flags are errors so typos fail
-//! loudly instead of silently running a multi-minute default sweep.
+//! Grammar: `ipu-sim <command> [positional...] [--flag value | --switch]...`.
+//! Flags take a value, switches stand alone; both may appear anywhere after
+//! the command. Unknown names are errors so typos fail loudly instead of
+//! silently running a multi-minute default sweep.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed command line: a command word, positionals, and `--key value` flags.
+/// Parsed command line: a command word, positionals, `--key value` flags and
+/// value-less `--switch`es.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     pub command: String,
     pub positionals: Vec<String>,
     flags: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 /// A parse failure with a user-facing message.
@@ -28,10 +31,22 @@ impl std::error::Error for ArgError {}
 
 impl ParsedArgs {
     /// Parses `args` (excluding the program name) against the allowed flag
-    /// names for the command.
+    /// names for the command. Switch-free convenience over
+    /// [`ParsedArgs::parse_with_switches`].
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn parse(
         args: impl IntoIterator<Item = String>,
         allowed_flags: &[&str],
+    ) -> Result<ParsedArgs, ArgError> {
+        Self::parse_with_switches(args, allowed_flags, &[])
+    }
+
+    /// [`ParsedArgs::parse`] with additional value-less switches (e.g.
+    /// `--cache`): a name in `allowed_switches` consumes no value.
+    pub fn parse_with_switches(
+        args: impl IntoIterator<Item = String>,
+        allowed_flags: &[&str],
+        allowed_switches: &[&str],
     ) -> Result<ParsedArgs, ArgError> {
         let mut it = args.into_iter();
         let command = it
@@ -39,13 +54,21 @@ impl ParsedArgs {
             .ok_or_else(|| ArgError("missing command".into()))?;
         let mut positionals = Vec::new();
         let mut flags = HashMap::new();
+        let mut switches = HashSet::new();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if allowed_switches.contains(&name) {
+                    if !switches.insert(name.to_string()) {
+                        return Err(ArgError(format!("switch --{name} given twice")));
+                    }
+                    continue;
+                }
                 if !allowed_flags.contains(&name) {
                     return Err(ArgError(format!(
                         "unknown flag --{name} (allowed: {})",
                         allowed_flags
                             .iter()
+                            .chain(allowed_switches)
                             .map(|f| format!("--{f}"))
                             .collect::<Vec<_>>()
                             .join(", ")
@@ -65,12 +88,18 @@ impl ParsedArgs {
             command,
             positionals,
             flags,
+            switches,
         })
     }
 
     /// String flag value.
     pub fn flag(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Whether a value-less switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
     }
 
     /// Typed flag value with a default; parse failures are errors.
@@ -138,5 +167,27 @@ mod tests {
     fn bad_typed_values_error() {
         let p = ParsedArgs::parse(argv("x --scale pony"), &["scale"]).unwrap();
         assert!(p.flag_parsed("scale", 1.0f64).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let p = ParsedArgs::parse_with_switches(
+            argv("figure 5 --cache --scale 0.1"),
+            &["scale"],
+            &["cache", "no-cache"],
+        )
+        .unwrap();
+        assert!(p.switch("cache"));
+        assert!(!p.switch("no-cache"));
+        assert_eq!(p.flag_parsed("scale", 1.0).unwrap(), 0.1);
+        assert_eq!(p.positionals, vec!["5"]);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_switches_error() {
+        assert!(
+            ParsedArgs::parse_with_switches(argv("x --cache --cache"), &[], &["cache"]).is_err()
+        );
+        assert!(ParsedArgs::parse_with_switches(argv("x --cache"), &["scale"], &[]).is_err());
     }
 }

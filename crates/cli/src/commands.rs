@@ -8,8 +8,8 @@ use ipu_core::host::{ArbitrationPolicy, TenantSpec};
 use ipu_core::sim::{replay_with_progress, ReplayConfig, SimReport};
 use ipu_core::trace::{parse_msr_reader, PaperTrace, SplitStrategy};
 use ipu_core::{
-    experiment, report, run_profile, run_qd_sweep, ExperimentConfig, ExperimentRecord,
-    QdSweepHostSpec, QdSweepResult, PAPER_PE_POINTS, PAPER_QD_POINTS,
+    experiment, report, run_profile, run_qd_sweep_with, ExperimentConfig, ExperimentRecord,
+    QdSweepHostSpec, QdSweepResult, ReplayCache, TraceSet, PAPER_PE_POINTS, PAPER_QD_POINTS,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -53,6 +53,12 @@ COMMON OPTIONS
   --fault-profile <p>   Media fault injection: none | light | heavy
                         (default none; light/heavy also arm the read-retry
                         ladder — see DESIGN.md §10)
+  --cache | --no-cache  Force the on-disk replay cache on/off. Replays are
+                        pure functions of (device, FTL, scheme, trace spec);
+                        figure/figures/sweep cache by default, everything
+                        else opts in with --cache. Cache hits are reported;
+                        corrupt entries are re-simulated, never trusted.
+  --cache-dir <dir>     Cache location (default .ipu-cache; implies --cache)
 
 PROFILE OPTIONS
   --out <file.json>     Where to write the benchmark profile
@@ -108,6 +114,34 @@ fn config_from(args: &ParsedArgs) -> Result<ExperimentConfig, ArgError> {
     Ok(cfg)
 }
 
+/// Resolves the replay-cache flags. `default_on` is the command's policy
+/// (pure figure-regeneration commands cache by default); `--cache`,
+/// `--cache-dir` and `--no-cache` override it.
+fn cache_from(args: &ParsedArgs, default_on: bool) -> Result<Option<ReplayCache>, ArgError> {
+    let force_on = args.switch("cache") || args.flag("cache-dir").is_some();
+    let force_off = args.switch("no-cache");
+    if args.switch("cache") && force_off {
+        return Err(ArgError("--cache and --no-cache conflict".into()));
+    }
+    if force_off {
+        return Ok(None);
+    }
+    if force_on || default_on {
+        let dir = args.flag("cache-dir").unwrap_or(ReplayCache::DEFAULT_DIR);
+        return Ok(Some(ReplayCache::new(dir)));
+    }
+    Ok(None)
+}
+
+/// The hit/miss summary line appended to a cached command's output.
+fn cache_line(cache: &ReplayCache) -> String {
+    format!(
+        "replay cache ({}): {}\n",
+        cache.dir().display(),
+        cache.stats()
+    )
+}
+
 /// Applies a named fault profile (and its read-retry ladder) to the device.
 fn apply_fault_profile(
     device: &mut ipu_core::flash::DeviceConfig,
@@ -159,7 +193,8 @@ fn maybe_save<T: serde::Serialize + serde::de::DeserializeOwned>(
 /// `ipu-sim tables`
 pub fn cmd_tables(args: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = config_from(args)?;
-    let rows = experiment::run_trace_tables(&cfg);
+    let traces = TraceSet::generate(&cfg);
+    let rows = experiment::run_trace_tables_with(&cfg, &traces);
     maybe_save(args, &cfg, "tables", rows.clone())?;
     Ok(format!(
         "{}\n{}",
@@ -179,15 +214,20 @@ pub fn cmd_figure(args: &ParsedArgs) -> Result<String, ArgError> {
         let points: Vec<u32> = (0..=10).map(|i| i * 1000).collect();
         return Ok(report::render_fig2(&experiment::run_ber_curve(&points)));
     }
-    if n == "13" || n == "14" {
-        let cfg = config_from(args)?;
-        let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
-        maybe_save(args, &cfg, "pe_sweep", sweep.clone())?;
-        return Ok(report::render_pe_sweep(&sweep));
-    }
     let cfg = config_from(args)?;
-    let matrix = experiment::run_main_matrix(&cfg);
-    let text = match n {
+    let cache = cache_from(args, true)?;
+    let traces = TraceSet::generate(&cfg);
+    if n == "13" || n == "14" {
+        let sweep = experiment::run_pe_sweep_with(&cfg, &PAPER_PE_POINTS, &traces, cache.as_ref());
+        maybe_save(args, &cfg, "pe_sweep", sweep.clone())?;
+        let mut text = report::render_pe_sweep(&sweep);
+        if let Some(cache) = &cache {
+            text.push_str(&cache_line(cache));
+        }
+        return Ok(text);
+    }
+    let matrix = experiment::run_main_matrix_with(&cfg, &traces, cache.as_ref());
+    let mut text = match n {
         "5" => report::render_fig5(&matrix),
         "6" => report::render_fig6(&matrix),
         "7" => report::render_fig7(&matrix),
@@ -198,22 +238,28 @@ pub fn cmd_figure(args: &ParsedArgs) -> Result<String, ArgError> {
         other => return Err(ArgError(format!("no figure `{other}` (2,5..11,13,14)"))),
     };
     maybe_save(args, &cfg, &format!("fig{n}"), matrix)?;
+    if let Some(cache) = &cache {
+        text.push_str(&cache_line(cache));
+    }
     Ok(text)
 }
 
 /// `ipu-sim run`
 pub fn cmd_run(args: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = config_from(args)?;
+    let cache = cache_from(args, false)?;
     // Arm the observability layer so the detailed report can say where the
     // replay's wall time went, not just what the simulation computed.
     ipu_core::obs::reset();
     ipu_core::obs::enable();
     let t0 = std::time::Instant::now();
+    // One generation per trace, shared across all schemes of the row.
+    let traces = TraceSet::generate(&cfg);
+    let reports = experiment::run_matrix_with(&cfg, &traces, cache.as_ref());
     let mut out = String::new();
-    for &trace in &cfg.traces {
-        for &scheme in &cfg.schemes {
-            let r = experiment::run_one(&cfg, trace, scheme);
-            out.push_str(&detailed_report(&r));
+    for row in &reports {
+        for r in row {
+            out.push_str(&detailed_report(r));
             out.push('\n');
         }
     }
@@ -222,6 +268,9 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, ArgError> {
     let snapshot = ipu_core::obs::snapshot();
     let phases = ipu_core::profile::phase_breakdown(&snapshot, total);
     out.push_str(&report::render_phase_breakdown(&phases, total));
+    if let Some(cache) = &cache {
+        out.push_str(&cache_line(cache));
+    }
     Ok(out)
 }
 
@@ -284,10 +333,16 @@ pub fn cmd_profile(args: &ParsedArgs) -> Result<String, ArgError> {
 /// (with --save) write the JSON the CI scorecard gate compares.
 pub fn cmd_scorecard(args: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = config_from(args)?;
-    let matrix = experiment::run_main_matrix(&cfg);
+    let cache = cache_from(args, false)?;
+    let traces = TraceSet::generate(&cfg);
+    let matrix = experiment::run_main_matrix_with(&cfg, &traces, cache.as_ref());
     let results = ipu_core::evaluate_scorecard(&matrix);
     maybe_save(args, &cfg, "scorecard", results.clone())?;
-    Ok(ipu_core::scorecard::render(&results))
+    let mut text = ipu_core::scorecard::render(&results);
+    if let Some(cache) = &cache {
+        text.push_str(&cache_line(cache));
+    }
+    Ok(text)
 }
 
 /// Formats the detailed single-run report used by `run` and `replay`.
@@ -378,23 +433,37 @@ pub fn detailed_report(r: &SimReport) -> String {
 pub fn cmd_figures(args: &ParsedArgs) -> Result<String, ArgError> {
     let out = args.flag("out").unwrap_or("figures");
     let cfg = config_from(args)?;
-    let matrix = experiment::run_main_matrix(&cfg);
-    let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
+    let cache = cache_from(args, true)?;
+    // One trace generation serves the main matrix and all four P/E matrices.
+    let traces = TraceSet::generate(&cfg);
+    let matrix = experiment::run_main_matrix_with(&cfg, &traces, cache.as_ref());
+    let sweep = experiment::run_pe_sweep_with(&cfg, &PAPER_PE_POINTS, &traces, cache.as_ref());
     let written = ipu_core::svg::write_figures(std::path::Path::new(out), &matrix, Some(&sweep))
         .map_err(|e| ArgError(format!("cannot write figures: {e}")))?;
-    Ok(written
+    let mut text = written
         .iter()
         .map(|p| format!("wrote {}", p.display()))
         .collect::<Vec<_>>()
-        .join("\n"))
+        .join("\n");
+    if let Some(cache) = &cache {
+        text.push('\n');
+        text.push_str(&cache_line(cache));
+    }
+    Ok(text)
 }
 
 /// `ipu-sim sweep`
 pub fn cmd_sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = config_from(args)?;
-    let sweep = experiment::run_pe_sweep(&cfg, &PAPER_PE_POINTS);
+    let cache = cache_from(args, true)?;
+    let traces = TraceSet::generate(&cfg);
+    let sweep = experiment::run_pe_sweep_with(&cfg, &PAPER_PE_POINTS, &traces, cache.as_ref());
     maybe_save(args, &cfg, "pe_sweep", sweep.clone())?;
-    Ok(report::render_pe_sweep(&sweep))
+    let mut text = report::render_pe_sweep(&sweep);
+    if let Some(cache) = &cache {
+        text.push_str(&cache_line(cache));
+    }
+    Ok(text)
 }
 
 /// `ipu-sim simulate`: the closed-loop host-interface QD sweep.
@@ -426,10 +495,13 @@ pub fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
         split: split.label().to_string(),
     };
 
+    // Closed-loop reports are not cached (the cache keys open-loop replays),
+    // but the streams are still generated once and shared across all sweeps.
+    let traces = TraceSet::generate(&cfg);
     let mut out = String::new();
     let mut results: Vec<QdSweepResult> = Vec::new();
     for &trace in &cfg.traces {
-        let sweep = run_qd_sweep(&cfg, trace, &host, &qd_points);
+        let sweep = run_qd_sweep_with(&cfg, trace, &host, &qd_points, &traces);
         out.push_str(&report::render_qd_sweep(&sweep));
         out.push('\n');
         results.push(sweep);
@@ -445,9 +517,14 @@ pub fn cmd_reliability(args: &ParsedArgs) -> Result<String, ArgError> {
     if args.flag("fault-profile").is_none() {
         apply_fault_profile(&mut cfg.device, "light")?;
     }
-    let matrix = experiment::run_main_matrix(&cfg);
-    let text = report::render_reliability(&matrix);
+    let cache = cache_from(args, false)?;
+    let traces = TraceSet::generate(&cfg);
+    let matrix = experiment::run_main_matrix_with(&cfg, &traces, cache.as_ref());
+    let mut text = report::render_reliability(&matrix);
     maybe_save(args, &cfg, "reliability", matrix)?;
+    if let Some(cache) = &cache {
+        text.push_str(&cache_line(cache));
+    }
     Ok(text)
 }
 
@@ -486,6 +563,11 @@ pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
         .ok_or_else(|| ArgError("ablate needs one of: levels, gc, nop".into()))?
         .as_str();
     let base = config_from(args)?;
+    let cache = cache_from(args, false)?;
+    let cache = cache.as_ref();
+    // The ablations vary FTL/device knobs, never the traces — one generation
+    // serves every variant.
+    let traces = TraceSet::generate(&base);
     let mut out = String::new();
     match which {
         "levels" => {
@@ -493,7 +575,7 @@ pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
                 let mut cfg = base.clone();
                 cfg.ftl.ipu_max_level = max_level;
                 for &trace in &cfg.traces {
-                    let r = experiment::run_one(&cfg, trace, SchemeKind::Ipu);
+                    let r = experiment::run_one_with(&cfg, trace, SchemeKind::Ipu, &traces, cache);
                     out.push_str(&format!(
                         "{} levels≤{}: overall {:.4} ms, intra {}, upgrades {}\n",
                         trace.name(),
@@ -510,7 +592,7 @@ pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
                 let mut cfg = base.clone();
                 cfg.ftl.ipu_use_isr_gc = isr;
                 for &trace in &cfg.traces {
-                    let r = experiment::run_one(&cfg, trace, SchemeKind::Ipu);
+                    let r = experiment::run_one_with(&cfg, trace, SchemeKind::Ipu, &traces, cache);
                     out.push_str(&format!(
                         "{} gc={label}: overall {:.4} ms, evicted {}, SLC erases {}\n",
                         trace.name(),
@@ -527,7 +609,7 @@ pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
                 cfg.device.max_partial_programs = limit;
                 for &trace in &cfg.traces {
                     for &scheme in &cfg.schemes {
-                        let r = experiment::run_one(&cfg, trace, scheme);
+                        let r = experiment::run_one_with(&cfg, trace, scheme, &traces, cache);
                         out.push_str(&format!(
                             "{} {} nop={limit}: overall {:.4} ms, util {:.1}%\n",
                             trace.name(),
@@ -745,6 +827,55 @@ mod tests {
         assert!(json.contains("\"outcome\""));
         assert!(json.contains("\"claim\""));
         assert!(json.contains("Reproduced"));
+    }
+
+    fn parsed_with_switches(s: &str, flags: &[&str], switches: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse_with_switches(s.split_whitespace().map(str::to_string), flags, switches)
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_caches_replays_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("ipu_cli_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut flags = COMMON.to_vec();
+        flags.push("cache-dir");
+        let argv = format!(
+            "figure 5 --scale 0.002 --traces lun2 --schemes ipu --threads 1 --cache-dir {}",
+            dir.display()
+        );
+        // First run simulates and fills the cache; second serves every cell
+        // from disk and renders the identical figure.
+        let p = parsed_with_switches(&argv, &flags, &["cache", "no-cache"]);
+        let cold = cmd_figure(&p).unwrap();
+        assert!(
+            cold.contains("misses"),
+            "cold run must report misses: {cold}"
+        );
+        let warm = cmd_figure(&p).unwrap();
+        assert!(warm.contains("1 hits, 0 misses"), "warm run: {warm}");
+        let strip = |s: &str| s.lines().filter(|l| !l.contains("replay cache")).count();
+        assert_eq!(strip(&cold), strip(&warm));
+
+        // --no-cache wins over a default-on command.
+        let p = parsed_with_switches(
+            "figure 5 --scale 0.002 --traces lun2 --schemes ipu --threads 1 --no-cache",
+            COMMON,
+            &["cache", "no-cache"],
+        );
+        let off = cmd_figure(&p).unwrap();
+        assert!(!off.contains("replay cache"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_cache_switches_error() {
+        let p = parsed_with_switches(
+            "figure 5 --scale 0.002 --cache --no-cache",
+            COMMON,
+            &["cache", "no-cache"],
+        );
+        assert!(cmd_figure(&p).is_err());
     }
 
     #[test]

@@ -29,7 +29,11 @@ const COMMON_FLAGS: &[&str] = &[
     "split",
     "fault-profile",
     "events",
+    "cache-dir",
 ];
+
+/// Value-less switches accepted by every command.
+const COMMON_SWITCHES: &[&str] = &["cache", "no-cache"];
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +42,7 @@ fn main() {
         return;
     }
 
-    let parsed = match ParsedArgs::parse(raw, COMMON_FLAGS) {
+    let parsed = match ParsedArgs::parse_with_switches(raw, COMMON_FLAGS, COMMON_SWITCHES) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::USAGE);

@@ -83,6 +83,17 @@ impl ExperimentConfig {
         cfg
     }
 
+    /// The replay-engine configuration this experiment uses for `scheme` —
+    /// the replay-relevant subset (device, FTL, scheme) that also keys the
+    /// on-disk replay cache.
+    pub fn replay_config(&self, scheme: SchemeKind) -> ipu_sim::ReplayConfig {
+        ipu_sim::ReplayConfig {
+            device: self.device.clone(),
+            ftl: self.ftl.clone(),
+            scheme,
+        }
+    }
+
     /// Worker thread count to use.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {

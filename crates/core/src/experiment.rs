@@ -4,43 +4,105 @@
 //! renders as the same rows/series the paper prints, and that EXPERIMENTS.md
 //! records as paper-vs-measured.
 
+use std::sync::Arc;
+
 use ipu_flash::{BerModel, CellMode};
 use ipu_ftl::{MappingMemory, SchemeKind};
-use ipu_sim::{replay, ReplayConfig, SimReport};
-use ipu_trace::{PaperTrace, TraceGenerator, TraceStats};
+use ipu_sim::{replay, SimReport};
+use ipu_trace::{IoRequest, PaperTrace, SyntheticTraceSpec, TraceGenerator, TraceStats};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::ReplayCache;
 use crate::config::ExperimentConfig;
 use crate::parallel::parallel_map;
+use crate::trace_set::TraceSet;
 
-/// Generates the (scaled) calibrated request stream for one trace.
-pub fn generate_trace(cfg: &ExperimentConfig, trace: PaperTrace) -> Vec<ipu_trace::IoRequest> {
+/// The calibrated trace spec scaled to `cfg.scale` — the exact generator
+/// input for one trace, and (with the replay config) the replay-cache key.
+pub fn scaled_spec(cfg: &ExperimentConfig, trace: PaperTrace) -> SyntheticTraceSpec {
     let spec = ipu_trace::paper_trace(trace);
-    let scaled = spec.with_requests(((spec.requests as f64) * cfg.scale).max(1.0) as u64);
-    TraceGenerator::new(scaled).generate()
+    let requests = ((spec.requests as f64) * cfg.scale).max(1.0) as u64;
+    spec.with_requests(requests)
 }
 
-/// Runs one (trace, scheme) cell of the evaluation matrix.
+/// Generates the (scaled) calibrated request stream for one trace.
+pub fn generate_trace(cfg: &ExperimentConfig, trace: PaperTrace) -> Vec<IoRequest> {
+    TraceGenerator::new(scaled_spec(cfg, trace)).generate()
+}
+
+/// Replays one already-generated stream for one matrix cell, consulting the
+/// replay cache when one is supplied.
+fn replay_cell(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    scheme: SchemeKind,
+    requests: &[IoRequest],
+    cache: Option<&ReplayCache>,
+) -> SimReport {
+    let replay_cfg = cfg.replay_config(scheme);
+    match cache {
+        Some(cache) => cache.get_or_replay(
+            &replay_cfg,
+            &scaled_spec(cfg, trace),
+            requests,
+            trace.name(),
+        ),
+        None => replay(&replay_cfg, requests, trace.name()),
+    }
+}
+
+/// Runs one (trace, scheme) cell of the evaluation matrix from scratch
+/// (generates the stream itself, no sharing, no cache). The matrix runners
+/// below share streams via [`TraceSet`] instead.
 pub fn run_one(cfg: &ExperimentConfig, trace: PaperTrace, scheme: SchemeKind) -> SimReport {
     let requests = generate_trace(cfg, trace);
-    let replay_cfg = ReplayConfig {
-        device: cfg.device.clone(),
-        ftl: cfg.ftl.clone(),
-        scheme,
-    };
-    replay(&replay_cfg, &requests, trace.name())
+    replay_cell(cfg, trace, scheme, &requests, None)
+}
+
+/// [`run_one`] over a pre-generated shared stream and an optional replay
+/// cache — the ablation runner reuses one [`TraceSet`] across every config
+/// variant (the streams only depend on `(trace, scale)`).
+pub fn run_one_with(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    scheme: SchemeKind,
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> SimReport {
+    replay_cell(cfg, trace, scheme, &traces.get(trace), cache)
 }
 
 /// The full trace × scheme matrix, run with the configured parallelism.
 /// `result[t][s]` corresponds to `cfg.traces[t]`, `cfg.schemes[s]`.
+///
+/// Generates each trace once (see [`TraceSet`]); use [`run_matrix_with`] to
+/// share pre-generated streams across several matrices or enable the replay
+/// cache.
 pub fn run_matrix(cfg: &ExperimentConfig) -> Vec<Vec<SimReport>> {
+    run_matrix_with(cfg, &TraceSet::generate(cfg), None)
+}
+
+/// [`run_matrix`] over pre-generated shared streams, optionally served from
+/// (and filling) an on-disk [`ReplayCache`].
+pub fn run_matrix_with(
+    cfg: &ExperimentConfig,
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> Vec<Vec<SimReport>> {
     cfg.validate().expect("invalid experiment config");
-    let jobs: Vec<(PaperTrace, SchemeKind)> = cfg
+    let jobs: Vec<(PaperTrace, SchemeKind, Arc<[IoRequest]>)> = cfg
         .traces
         .iter()
-        .flat_map(|&t| cfg.schemes.iter().map(move |&s| (t, s)))
+        .flat_map(|&t| {
+            let requests = traces.get(t);
+            cfg.schemes
+                .iter()
+                .map(move |&s| (t, s, Arc::clone(&requests)))
+        })
         .collect();
-    let flat = parallel_map(jobs, cfg.effective_threads(), |(t, s)| run_one(cfg, t, s));
+    let flat = parallel_map(jobs, cfg.effective_threads(), |(t, s, requests)| {
+        replay_cell(cfg, t, s, &requests, cache)
+    });
     flat.chunks(cfg.schemes.len()).map(|c| c.to_vec()).collect()
 }
 
@@ -61,9 +123,18 @@ pub struct TraceCalibrationRow {
 
 /// Regenerates Tables 1 and 3: per-trace statistics of the calibrated streams.
 pub fn run_trace_tables(cfg: &ExperimentConfig) -> Vec<TraceCalibrationRow> {
-    let jobs = cfg.traces.clone();
-    parallel_map(jobs, cfg.effective_threads(), |trace| {
-        let requests = generate_trace(cfg, trace);
+    run_trace_tables_with(cfg, &TraceSet::generate(cfg))
+}
+
+/// [`run_trace_tables`] over pre-generated shared streams (the CLI reuses
+/// the same [`TraceSet`] it feeds the matrix runners).
+pub fn run_trace_tables_with(
+    cfg: &ExperimentConfig,
+    traces: &TraceSet,
+) -> Vec<TraceCalibrationRow> {
+    let jobs: Vec<(PaperTrace, Arc<[IoRequest]>)> =
+        cfg.traces.iter().map(|&t| (t, traces.get(t))).collect();
+    parallel_map(jobs, cfg.effective_threads(), |(trace, requests)| {
         TraceCalibrationRow {
             trace: trace.name().to_string(),
             measured: TraceStats::compute(&requests),
@@ -118,10 +189,20 @@ pub struct MatrixResult {
 /// Runs the full evaluation matrix once; Figures 5, 6, 7, 8, 9, 10 and 11
 /// are all views over this result.
 pub fn run_main_matrix(cfg: &ExperimentConfig) -> MatrixResult {
+    run_main_matrix_with(cfg, &TraceSet::generate(cfg), None)
+}
+
+/// [`run_main_matrix`] over pre-generated shared streams and an optional
+/// replay cache.
+pub fn run_main_matrix_with(
+    cfg: &ExperimentConfig,
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> MatrixResult {
     MatrixResult {
         traces: cfg.traces.iter().map(|t| t.name().to_string()).collect(),
         schemes: cfg.schemes.clone(),
-        reports: run_matrix(cfg),
+        reports: run_matrix_with(cfg, traces, cache),
     }
 }
 
@@ -189,10 +270,24 @@ pub struct PeSweepResult {
 }
 
 /// Runs the §4.5 sweep; the paper uses P/E ∈ {1000, 2000, 4000, 8000}.
+///
+/// The streams only depend on `(traces, scale)`, not on aging, so one
+/// [`TraceSet`] serves every P/E point.
 pub fn run_pe_sweep(cfg: &ExperimentConfig, pe_points: &[u32]) -> PeSweepResult {
+    run_pe_sweep_with(cfg, pe_points, &TraceSet::generate(cfg), None)
+}
+
+/// [`run_pe_sweep`] over pre-generated shared streams and an optional replay
+/// cache (each P/E point keys separately: aging is part of the device config).
+pub fn run_pe_sweep_with(
+    cfg: &ExperimentConfig,
+    pe_points: &[u32],
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> PeSweepResult {
     let matrices = pe_points
         .iter()
-        .map(|&pe| run_main_matrix(&cfg.with_pe_cycles(pe)))
+        .map(|&pe| run_main_matrix_with(&cfg.with_pe_cycles(pe), traces, cache))
         .collect();
     PeSweepResult {
         pe_points: pe_points.to_vec(),

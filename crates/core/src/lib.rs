@@ -18,6 +18,7 @@
 //! println!("{}", report::render_fig5(&matrix));
 //! ```
 
+pub mod cache;
 pub mod charts;
 pub mod config;
 pub mod experiment;
@@ -28,19 +29,25 @@ pub mod report;
 pub mod results;
 pub mod scorecard;
 pub mod svg;
+pub mod trace_set;
 
+pub use cache::{CacheStats, ReplayCache, CACHE_SCHEMA_VERSION};
 pub use charts::{chart_matrix, BarChart};
 pub use config::ExperimentConfig;
 pub use experiment::{
-    run_ber_curve, run_main_matrix, run_matrix, run_one, run_pe_sweep, run_trace_tables,
-    MatrixResult, PeSweepResult, PAPER_PE_POINTS,
+    run_ber_curve, run_main_matrix, run_main_matrix_with, run_matrix, run_matrix_with, run_one,
+    run_one_with, run_pe_sweep, run_pe_sweep_with, run_trace_tables, run_trace_tables_with,
+    scaled_spec, MatrixResult, PeSweepResult, PAPER_PE_POINTS,
 };
 pub use parallel::{default_threads, parallel_map};
 pub use profile::{run_profile, BenchProfile, PhaseWall, RunProfile, BENCH_SCHEMA_VERSION};
-pub use qd_sweep::{run_qd_sweep, QdSweepHostSpec, QdSweepResult, PAPER_QD_POINTS};
+pub use qd_sweep::{
+    run_qd_sweep, run_qd_sweep_with, QdSweepHostSpec, QdSweepResult, PAPER_QD_POINTS,
+};
 pub use results::ExperimentRecord;
 pub use scorecard::{evaluate as evaluate_scorecard, ClaimResult, Outcome};
 pub use svg::{write_figures, GroupedBars, LineChart};
+pub use trace_set::TraceSet;
 
 // Re-export the layer crates so downstream users need only one dependency.
 pub use ipu_flash as flash;

@@ -16,11 +16,11 @@ use std::time::Instant;
 
 use ipu_ftl::SchemeKind;
 use ipu_obs::{CounterSnapshot, ObsSnapshot, Phase};
-use ipu_sim::{replay, ReplayConfig, SimReport};
+use ipu_sim::{replay, SimReport};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
-use crate::experiment::generate_trace;
+use crate::trace_set::TraceSet;
 
 /// Schema version of [`BenchProfile`]; bump on breaking shape changes so the
 /// perf gate refuses to compare incompatible baselines.
@@ -138,17 +138,18 @@ pub fn run_profile(cfg: &ExperimentConfig) -> BenchProfile {
     ipu_obs::enable();
     let t0 = Instant::now();
 
+    // Generate every trace exactly once, sequentially and inside the
+    // instrumented window, so the trace_decode phase stays attributed and
+    // wall_seconds keeps covering generation + replays.
+    let traces = TraceSet::generate_with_threads(cfg, 1);
+
     let mut runs = Vec::new();
     let mut counters = CounterSnapshot::new();
     let mut total_requests = 0u64;
     for &trace in &cfg.traces {
-        let requests = generate_trace(cfg, trace);
+        let requests = traces.get(trace);
         for &scheme in &cfg.schemes {
-            let replay_cfg = ReplayConfig {
-                device: cfg.device.clone(),
-                ftl: cfg.ftl.clone(),
-                scheme,
-            };
+            let replay_cfg = cfg.replay_config(scheme);
             let t = Instant::now();
             let report = replay(&replay_cfg, &requests, trace.name());
             let wall_seconds = t.elapsed().as_secs_f64();

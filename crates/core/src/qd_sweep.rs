@@ -9,13 +9,13 @@
 
 use ipu_ftl::SchemeKind;
 use ipu_host::{ArbitrationPolicy, HostConfig, TenantSpec};
-use ipu_sim::{replay_closed_loop, ClosedLoopReport, ReplayConfig};
+use ipu_sim::{replay_closed_loop, ClosedLoopReport};
 use ipu_trace::{PaperTrace, SplitStrategy};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
-use crate::experiment::generate_trace;
 use crate::parallel::parallel_map;
+use crate::trace_set::TraceSet;
 
 /// The default sweep points: QD 1 (fully serialized) through 64.
 pub const PAPER_QD_POINTS: [usize; 4] = [1, 4, 16, 64];
@@ -79,11 +79,26 @@ pub fn run_qd_sweep(
     host: &QdSweepHostSpec,
     qd_points: &[usize],
 ) -> QdSweepResult {
+    let mut single = cfg.clone();
+    single.traces = vec![trace];
+    run_qd_sweep_with(cfg, trace, host, qd_points, &TraceSet::generate(&single))
+}
+
+/// [`run_qd_sweep`] over a pre-generated shared stream: the CLI hands the
+/// same [`TraceSet`] to the open-loop matrix and this sweep so the trace is
+/// synthesized once per invocation.
+pub fn run_qd_sweep_with(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    host: &QdSweepHostSpec,
+    qd_points: &[usize],
+    traces: &TraceSet,
+) -> QdSweepResult {
     assert!(
         !qd_points.is_empty(),
         "sweep needs at least one queue depth"
     );
-    let requests = generate_trace(cfg, trace);
+    let requests = traces.get(trace);
     let streams = host.split_strategy().split(&requests, host.tenants.len());
 
     let jobs: Vec<(usize, SchemeKind)> = qd_points
@@ -91,11 +106,7 @@ pub fn run_qd_sweep(
         .flat_map(|&qd| cfg.schemes.iter().map(move |&s| (qd, s)))
         .collect();
     let flat = parallel_map(jobs, cfg.effective_threads(), |(qd, scheme)| {
-        let replay_cfg = ReplayConfig {
-            device: cfg.device.clone(),
-            ftl: cfg.ftl.clone(),
-            scheme,
-        };
+        let replay_cfg = cfg.replay_config(scheme);
         replay_closed_loop(&replay_cfg, &host.host_config(qd), &streams, trace.name())
     });
 

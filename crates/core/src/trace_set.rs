@@ -1,0 +1,113 @@
+//! Shared calibrated request streams: generate each trace once per run.
+//!
+//! Every cell of the trace × scheme evaluation matrix replays the *same*
+//! calibrated stream, yet the original runners called
+//! [`generate_trace`] per cell — a
+//! 6-trace × 4-scheme matrix synthesized each multi-million-request trace
+//! four times, and the P/E sweep multiplied that again per aging point.
+//! A [`TraceSet`] generates each `(spec, scale)` stream exactly once and
+//! hands out cheap [`Arc`] clones, so figure regeneration spends its wall
+//! time simulating instead of re-deriving identical inputs.
+
+use std::sync::Arc;
+
+use ipu_trace::{IoRequest, PaperTrace};
+
+use crate::config::ExperimentConfig;
+use crate::experiment::generate_trace;
+use crate::parallel::parallel_map;
+
+/// The calibrated request streams of one experiment run, generated once and
+/// shared (`Arc<[IoRequest]>`) across every scheme / queue-depth / P/E cell.
+///
+/// A set is tied to the `(traces, scale)` of the config it was generated
+/// from; replay-side knobs (schemes, P/E cycles, fault profiles) do not
+/// affect the streams, so one set serves a whole P/E sweep.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    scale: f64,
+    entries: Vec<(PaperTrace, Arc<[IoRequest]>)>,
+}
+
+impl TraceSet {
+    /// Generates every trace in `cfg.traces` once, using the configured
+    /// parallelism (trace synthesis is embarrassingly parallel across traces).
+    pub fn generate(cfg: &ExperimentConfig) -> Self {
+        Self::generate_with_threads(cfg, cfg.effective_threads())
+    }
+
+    /// [`TraceSet::generate`] with an explicit worker count; `threads == 1`
+    /// generates strictly sequentially (the profile harness uses this so
+    /// wall-clock attribution is not polluted by sibling generators).
+    pub fn generate_with_threads(cfg: &ExperimentConfig, threads: usize) -> Self {
+        let streams = parallel_map(cfg.traces.clone(), threads, |trace| {
+            Arc::<[IoRequest]>::from(generate_trace(cfg, trace))
+        });
+        TraceSet {
+            scale: cfg.scale,
+            entries: cfg.traces.iter().copied().zip(streams).collect(),
+        }
+    }
+
+    /// The scale the set was generated at.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Traces present, in generation order.
+    pub fn traces(&self) -> impl Iterator<Item = PaperTrace> + '_ {
+        self.entries.iter().map(|&(t, _)| t)
+    }
+
+    /// The shared stream for `trace`.
+    ///
+    /// # Panics
+    /// If `trace` was not in the config this set was generated from — the
+    /// runners require every requested trace to be generated up front so no
+    /// path silently regenerates one.
+    pub fn get(&self, trace: PaperTrace) -> Arc<[IoRequest]> {
+        self.entries
+            .iter()
+            .find(|&&(t, _)| t == trace)
+            .map(|(_, reqs)| Arc::clone(reqs))
+            .unwrap_or_else(|| {
+                panic!(
+                    "TraceSet generated without {trace}; regenerate it from a \
+                     config containing every trace the experiment runs"
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::scaled(0.002);
+        cfg.traces = vec![PaperTrace::Ts0, PaperTrace::Lun2];
+        cfg.threads = 2;
+        cfg
+    }
+
+    #[test]
+    fn streams_match_direct_generation_and_are_shared() {
+        let cfg = tiny_cfg();
+        let set = TraceSet::generate(&cfg);
+        assert_eq!(set.traces().count(), 2);
+        assert_eq!(set.scale(), cfg.scale);
+        for &trace in &cfg.traces {
+            let shared = set.get(trace);
+            assert_eq!(&*shared, &generate_trace(&cfg, trace)[..]);
+            // Two gets return the same allocation, not a regeneration.
+            assert!(Arc::ptr_eq(&shared, &set.get(trace)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TraceSet generated without")]
+    fn missing_trace_is_a_loud_error() {
+        let set = TraceSet::generate(&tiny_cfg());
+        set.get(PaperTrace::Usr0);
+    }
+}

@@ -83,6 +83,16 @@ impl OpBatch {
         Self::default()
     }
 
+    /// Resets the batch for the next request, retaining the `ops` allocation.
+    ///
+    /// The replay hot path reuses one batch across every request of a trace
+    /// (see `FtlScheme::on_write_into`), so the per-request `Vec` grows to the
+    /// workload's high-water mark once and is never reallocated again.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.status = ReqStatus::Success;
+    }
+
     pub fn push(&mut self, chip: u32, kind: FlashOpKind, latency_ns: Nanos) {
         self.ops.push(OpRecord {
             chip,

@@ -193,13 +193,20 @@ impl FtlCore {
     /// holds the valid data from a single request").
     pub fn chunks(&self, req: &IoRequest) -> Vec<Vec<Lsn>> {
         let spp = self.spp() as u64;
-        let mut out: Vec<Vec<Lsn>> = Vec::new();
-        for lsn in req.subpage_span() {
+        let span = req.subpage_span();
+        // At most one group per page touched (+1 for a misaligned head).
+        let mut out: Vec<Vec<Lsn>> =
+            Vec::with_capacity(((span.end - span.start) / spp + 2) as usize);
+        for lsn in span {
             match out.last_mut() {
                 Some(group) if group.len() < spp as usize && lsn / spp == group[0] / spp => {
                     group.push(lsn);
                 }
-                _ => out.push(vec![lsn]),
+                _ => {
+                    let mut group = Vec::with_capacity(spp as usize);
+                    group.push(lsn);
+                    out.push(group);
+                }
             }
         }
         out
@@ -566,7 +573,8 @@ impl FtlCore {
         let spp = self.spp();
 
         // Build physical runs: (start spa, length) over consecutive LSNs.
-        let mut runs: Vec<(Spa, u8)> = Vec::new();
+        // Worst case one run per subpage touched — pre-size to avoid regrowth.
+        let mut runs: Vec<(Spa, u8)> = Vec::with_capacity(req.subpage_count() as usize);
         let mut unmapped: u32 = 0;
         for lsn in req.subpage_span() {
             match self.map.lookup(lsn) {

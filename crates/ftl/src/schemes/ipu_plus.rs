@@ -276,26 +276,34 @@ impl FtlScheme for IpuPlusFtl {
         "IPU+"
     }
 
-    fn on_write(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
-        let mut batch = OpBatch::new();
+    fn on_write_into(
+        &mut self,
+        req: &IoRequest,
+        now: Nanos,
+        dev: &mut FlashDevice,
+        out: &mut OpBatch,
+    ) {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
         for chunk in self.core.chunks(req) {
-            if let Err(e) = self.write_chunk(&chunk, now, dev, &mut batch) {
-                self.core.note_write_failure(&e, &mut batch);
+            if let Err(e) = self.write_chunk(&chunk, now, dev, out) {
+                self.core.note_write_failure(&e, out);
             }
-            self.run_gc(now, dev, &mut batch);
+            self.run_gc(now, dev, out);
         }
-        batch
     }
 
-    fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
-        let mut batch = OpBatch::new();
+    fn on_read_into(
+        &mut self,
+        req: &IoRequest,
+        now: Nanos,
+        dev: &mut FlashDevice,
+        out: &mut OpBatch,
+    ) {
         self.core.begin_request(now);
-        if let Err(e) = self.core.host_read(req, dev, &mut batch) {
-            self.core.note_read_failure(&e, &mut batch);
+        if let Err(e) = self.core.host_read(req, dev, out) {
+            self.core.note_read_failure(&e, out);
         }
-        batch
     }
 
     fn power_cycle(&mut self, dev: &FlashDevice) {

@@ -31,12 +31,45 @@ pub trait FtlScheme {
     /// Scheme name as printed in the paper's figures.
     fn name(&self) -> &'static str;
 
-    /// Handles a host write request at simulated time `now`; returns every
-    /// flash operation issued, including GC work the write triggered.
-    fn on_write(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch;
+    /// Handles a host write request at simulated time `now`, appending every
+    /// flash operation issued — including GC work the write triggered — to
+    /// `out`. `out` arrives cleared; callers on the replay hot path reuse one
+    /// batch across requests (via [`OpBatch::clear`]) so no per-request `Vec`
+    /// allocation happens once the batch has grown to the workload's
+    /// high-water mark.
+    fn on_write_into(
+        &mut self,
+        req: &IoRequest,
+        now: Nanos,
+        dev: &mut FlashDevice,
+        out: &mut OpBatch,
+    );
 
-    /// Handles a host read request.
-    fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch;
+    /// Handles a host read request; same output contract as
+    /// [`FtlScheme::on_write_into`].
+    fn on_read_into(
+        &mut self,
+        req: &IoRequest,
+        now: Nanos,
+        dev: &mut FlashDevice,
+        out: &mut OpBatch,
+    );
+
+    /// Convenience wrapper over [`FtlScheme::on_write_into`] allocating a
+    /// fresh batch; fine for tests and one-off calls, avoid in replay loops.
+    fn on_write(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
+        let mut batch = OpBatch::new();
+        self.on_write_into(req, now, dev, &mut batch);
+        batch
+    }
+
+    /// Convenience wrapper over [`FtlScheme::on_read_into`] allocating a
+    /// fresh batch.
+    fn on_read(&mut self, req: &IoRequest, now: Nanos, dev: &mut FlashDevice) -> OpBatch {
+        let mut batch = OpBatch::new();
+        self.on_read_into(req, now, dev, &mut batch);
+        batch
+    }
 
     /// Simulates a sudden power loss and recovery: every volatile structure
     /// (mapping table, owner table, cache metadata, open blocks, scheme-local

@@ -119,7 +119,9 @@ impl LatencyStats {
     }
 
     /// Approximate percentile (0–100) from the log histogram: the geometric
-    /// midpoint of the bucket containing the requested rank.
+    /// midpoint `2^(b+0.5)` of the log₂ bucket `[2^b, 2^(b+1))` containing
+    /// the requested rank, clamped into `[min_ns, max_ns]` so no percentile
+    /// ever reports outside the recorded sample range.
     pub fn percentile_ns(&self, p: f64) -> Nanos {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.count == 0 {
@@ -130,11 +132,10 @@ impl LatencyStats {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let lo = 1u128 << b;
-                let hi = 1u128 << (b + 1);
-                return (((lo + hi) / 2) as u64)
-                    .min(self.max_ns)
-                    .max(if b == 0 { 1 } else { 0 });
+                // Geometric midpoint of [2^b, 2^(b+1)): 2^b · √2. Computed in
+                // f64 (exact for any bucket exponent that fits the histogram).
+                let geo = ((1u128 << b) as f64 * std::f64::consts::SQRT_2) as u64;
+                return geo.clamp(self.min_ns, self.max_ns);
             }
         }
         self.max_ns
@@ -385,6 +386,27 @@ mod tests {
         assert!((512..=2048).contains(&p50), "p50 {p50}");
         assert!(p99 >= 500_000, "p99 {p99}");
         assert!(p99 <= s.max_ns());
+    }
+
+    #[test]
+    fn percentiles_never_leave_the_sample_range() {
+        // Regression: a sample near the top of its bucket (e.g. 1900 in
+        // [1024, 2048)) used to report p1 ≈ bucket midpoint < min sample.
+        let mut s = LatencyStats::new();
+        for _ in 0..100 {
+            s.record(1_900);
+        }
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            let v = s.percentile_ns(p);
+            assert!(v >= 1_900, "p{p} = {v} below min 1900");
+            assert!(v <= 1_900, "p{p} = {v} above max 1900");
+        }
+        // Geometric (not arithmetic) midpoint: a lone 1 µs sample sits in
+        // [512, 1024) whose geometric midpoint is ⌊512·√2⌋ = 724.
+        let mut g = LatencyStats::new();
+        g.record(1_000);
+        g.record(700);
+        assert_eq!(g.percentile_ns(50.0), 724);
     }
 
     #[test]

@@ -64,20 +64,23 @@ pub fn replay_closed_loop_detailed(
         .map(|w| w.iter().map(|r| r.timestamp_ns).collect())
         .collect();
 
+    // One batch reused across every dispatched request (cleared per call).
+    let mut batch = ipu_ftl::OpBatch::new();
     let (host_report, outcomes) = run_closed_loop(host, &arrivals, |tenant, seq, dispatch| {
         // The FTL sees the request as if it arrived at dispatch time — in a
         // closed loop the device never learns the host wanted to send it
         // earlier.
         let mut req = workloads[tenant][seq];
         req.timestamp_ns = dispatch;
-        let batch = match req.op {
+        batch.clear();
+        match req.op {
             OpKind::Write => {
                 let _span = ipu_obs::span(ipu_obs::Phase::FtlWrite);
-                ftl.on_write(&req, dispatch, &mut dev)
+                ftl.on_write_into(&req, dispatch, &mut dev, &mut batch);
             }
             OpKind::Read => {
                 let _span = ipu_obs::span(ipu_obs::Phase::FtlRead);
-                ftl.on_read(&req, dispatch, &mut dev)
+                ftl.on_read_into(&req, dispatch, &mut dev, &mut batch);
             }
         };
         match batch.status {
@@ -103,6 +106,10 @@ pub fn replay_closed_loop_detailed(
         }
         completion
     });
+
+    // Run deferred background GC to completion before reporting (matches the
+    // open-loop engine's report-time accounting).
+    chips.finish();
 
     // Host-visible latency (submission→completion) split by op kind.
     let mut read_latency = LatencyStats::new();

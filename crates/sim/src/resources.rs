@@ -116,6 +116,11 @@ impl ChipSchedule {
         self.busy_until[chip as usize]
     }
 
+    /// Time at which `chip`'s read channel becomes free.
+    pub fn read_until(&self, chip: u32) -> Nanos {
+        self.read_until[chip as usize]
+    }
+
     /// Outstanding background nanoseconds on `chip`.
     pub fn background_backlog(&self, chip: u32) -> Nanos {
         self.background[chip as usize].iter().map(|&(_, d)| d).sum()
@@ -136,11 +141,30 @@ impl ChipSchedule {
         self.read_busy
     }
 
-    /// The latest horizon across all chips, counting outstanding background
-    /// work as if it ran serially after the host horizon.
+    /// Runs every deferred background operation to completion on all chips.
+    ///
+    /// The lazy drain in [`ChipSchedule::schedule`] only advances a chip when
+    /// a later *host write/erase* arrives there, so a replay ending in a
+    /// read-only (or idle) tail would report work still queued that a real
+    /// drive finishes in its idle time. Replay engines call this once before
+    /// building the report, so `background_done()` covers all GC issued and
+    /// the backlog is empty at report time.
+    pub fn finish(&mut self) {
+        for c in 0..self.background.len() {
+            while let Some((enq, dur)) = self.background[c].pop_front() {
+                let start = self.busy_until[c].max(enq);
+                self.busy_until[c] = start + dur;
+                self.background_done += dur;
+            }
+        }
+    }
+
+    /// The latest horizon across all chips and both channels: host write/erase
+    /// work (counting outstanding background work as if it ran serially after
+    /// the host horizon) and the read channel.
     pub fn horizon(&self) -> Nanos {
         (0..self.chips())
-            .map(|c| self.busy_until(c) + self.background_backlog(c))
+            .map(|c| (self.busy_until(c) + self.background_backlog(c)).max(self.read_until(c)))
             .max()
             .unwrap_or(0)
     }
@@ -233,5 +257,36 @@ mod tests {
     #[should_panic(expected = "at least one chip")]
     fn zero_chips_rejected() {
         ChipSchedule::new(0);
+    }
+
+    #[test]
+    fn horizon_covers_the_read_channel() {
+        let mut s = ChipSchedule::new(2);
+        s.schedule(0, 0, 100);
+        // A late read on chip 1 extends past every write horizon.
+        let (_, end) = s.schedule_read(1, 5_000, 250);
+        assert_eq!(end, 5_250);
+        assert_eq!(s.horizon(), 5_250, "read channel must bound the horizon");
+    }
+
+    #[test]
+    fn finish_drains_deferred_background_work() {
+        let mut s = ChipSchedule::new(2);
+        s.schedule(0, 0, 1_000); // host busy [0, 1000)
+        s.schedule_background(0, 0, 10_000); // queued behind the host op
+        s.schedule_background(1, 7_000, 30); // not available until t=7000
+        assert_eq!(s.background_done(), 0);
+        s.finish();
+        assert_eq!(s.background_backlog(0), 0);
+        assert_eq!(s.background_backlog(1), 0);
+        assert_eq!(s.background_done(), 10_030);
+        // Chip 0 ran its GC right after the host op; chip 1 waited for the
+        // enqueue time.
+        assert_eq!(s.busy_until(0), 11_000);
+        assert_eq!(s.busy_until(1), 7_030);
+        assert_eq!(s.horizon(), 11_000);
+        // Idempotent.
+        s.finish();
+        assert_eq!(s.background_done(), 10_030);
     }
 }
