@@ -13,6 +13,8 @@
 //! * `IPU_BENCH_THREADS` — worker threads for the sweep (default: cores − 1).
 //! * `IPU_BENCH_REFRESH=1` — ignore and overwrite the cache.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -41,7 +41,8 @@ COMMANDS
                         (--save writes the JSON the CI scorecard gate diffs)
   help                  Show this text
 
-COMMON OPTIONS
+COMMON OPTIONS (commands accept only the options they use; anything else
+is rejected rather than silently ignored)
   --scale <f>           Fraction of the published request counts (default 0.1;
                         the device scales along, preserving cache pressure)
   --traces <a,b,...>    Subset of ts0,wdev0,lun1,usr0,ads,lun2 (default: all)
@@ -89,7 +90,7 @@ EXAMPLES
 /// Builds the experiment config from the common flags.
 fn config_from(args: &ParsedArgs) -> Result<ExperimentConfig, ArgError> {
     let scale: f64 = args.flag_parsed("scale", 0.1)?;
-    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+    if !(scale > 0.0 && scale <= 1.0) {
         return Err(ArgError(format!("--scale {scale} out of (0, 1]")));
     }
     let mut cfg = ExperimentConfig::scaled(scale);

@@ -9,17 +9,28 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Device model (Table 2). `initial_pe_cycles` is the §4.5 sweep knob.
+    #[serde(default)]
     pub device: DeviceConfig,
     /// FTL policy parameters.
+    #[serde(default)]
     pub ftl: FtlConfig,
     /// Fraction of each trace's published request count to replay (1.0 = the
     /// full Table 3 counts; smaller values keep the calibrated ratios).
+    ///
+    /// Serde default 0.0 fails [`ExperimentConfig::validate`] loudly rather
+    /// than silently running the full paper scale.
+    #[serde(default)]
     pub scale: f64,
-    /// Traces to run, in report order.
+    /// Traces to run, in report order. Serde default is the empty list, which
+    /// fails [`ExperimentConfig::validate`].
+    #[serde(default)]
     pub traces: Vec<PaperTrace>,
-    /// Schemes to compare, in report order.
+    /// Schemes to compare, in report order. Serde default is the empty list,
+    /// which fails [`ExperimentConfig::validate`].
+    #[serde(default)]
     pub schemes: Vec<SchemeKind>,
     /// Worker threads for trace×scheme sweeps (0 = auto).
+    #[serde(default)]
     pub threads: usize,
 }
 

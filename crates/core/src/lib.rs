@@ -18,6 +18,8 @@
 //! println!("{}", report::render_fig5(&matrix));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod charts;
 pub mod config;

@@ -99,22 +99,42 @@ impl TimingConfig {
 /// Full device configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceConfig {
+    /// Physical layout (channels × chips × dies × planes × blocks × pages).
+    #[serde(default)]
     pub geometry: FlashGeometry,
+    /// Operation latencies (Table 2).
+    #[serde(default)]
     pub timing: TimingConfig,
+    /// Raw bit error rate model.
+    #[serde(default)]
     pub ber: BerModel,
+    /// Read/program disturb accumulation model.
+    #[serde(default)]
     pub disturb: DisturbConfig,
+    /// ECC correction strength.
+    #[serde(default)]
     pub ecc: EccModel,
     /// Initial P/E cycle count pre-applied to every block, modelling device age
     /// (paper §4.5 sweeps this over {1000, 2000, 4000, 8000}; default 4000).
+    ///
+    /// Serde default is the type default (0 = fresh device), not the
+    /// paper-scale 4000: a config file that omits it asks for no pre-ageing.
+    #[serde(default)]
     pub initial_pe_cycles: u32,
     /// Mode blocks are formatted to at device creation.
+    #[serde(default)]
     pub initial_mode: CellMode,
     /// Manufacturer NOP limit: maximum program operations per SLC-mode page
     /// (paper / datasheets: 4). Ablation benches sweep {1, 2, 4}.
+    ///
+    /// Serde default 0 fails [`DeviceConfig::validate`] loudly rather than
+    /// silently picking a NOP limit.
+    #[serde(default)]
     pub max_partial_programs: u8,
     /// How reads realize raw bit errors: the expectation (default, the
     /// paper's averaged metrics) or a deterministic Poisson draw per read
     /// (tail studies: uncorrectable-read probability, retry behaviour).
+    #[serde(default)]
     pub error_mode: ErrorMode,
     /// Injected media faults (inert by default; see [`FaultProfile`]).
     #[serde(default)]
@@ -123,6 +143,13 @@ pub struct DeviceConfig {
     /// default: no retries, the pre-fault-model behaviour).
     #[serde(default)]
     pub retry: RetryLadder,
+}
+
+impl Default for DeviceConfig {
+    /// The paper-scale device ([`DeviceConfig::paper_scale`]).
+    fn default() -> Self {
+        Self::paper_scale()
+    }
 }
 
 impl DeviceConfig {

@@ -151,6 +151,7 @@ pub struct FlashDevice {
 impl FlashDevice {
     /// Creates a device with every block erased into `cfg.initial_mode`.
     pub fn new(cfg: DeviceConfig) -> Self {
+        // ipu-lint: allow(no-panic) — constructor contract: configs are validated at the experiment boundary, a bad one here is programmer error
         cfg.validate().expect("invalid device configuration");
         let g = &cfg.geometry;
         let subpages = g.subpages_per_page() as u8;
@@ -380,6 +381,7 @@ impl FlashDevice {
                 self.cfg
                     .fault
                     .read_rber_factor(self.counters.reads, die, idx as u64, addr_key);
+            // ipu-lint: allow(float-eq) — read_rber_factor returns the literal 1.0 as its "no spike" sentinel, so exact comparison is the contract
             if spike != 1.0 {
                 rber *= spike;
                 self.counters.rber_spikes += 1;

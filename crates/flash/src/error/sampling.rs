@@ -47,6 +47,7 @@ pub(crate) fn uniform(key: u64) -> f64 {
 /// bounded even for pathological parameters.
 pub fn sample_poisson(mean: f64, seed: u64, stream: u64) -> u32 {
     assert!(mean >= 0.0, "negative mean");
+    // ipu-lint: allow(float-eq) — exact-zero fast path: a zero mean (error injection disabled) must yield exactly zero errors
     if mean == 0.0 {
         return 0;
     }

@@ -80,10 +80,14 @@ const SALT_SPIKE: u64 = 0x53504B45; // "SPKE"
 impl FaultProfile {
     /// Whether this profile can never inject anything.
     pub fn is_inert(&self) -> bool {
-        self.program_fail == 0.0
-            && self.erase_fail == 0.0
-            && self.read_fail == 0.0
-            && self.rber_spike == 0.0
+        let rates = [
+            self.program_fail,
+            self.erase_fail,
+            self.read_fail,
+            self.rber_spike,
+        ];
+        // ipu-lint: allow(float-eq) — rates come verbatim from config; 0.0 is the "disabled" sentinel, never a computed value
+        rates.iter().all(|&r| r == 0.0)
     }
 
     /// Whether the scope covers an operation on `(die, block)`.

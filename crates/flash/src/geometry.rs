@@ -32,6 +32,13 @@ pub struct FlashGeometry {
     pub subpage_size: u32,
 }
 
+impl Default for FlashGeometry {
+    /// The paper-scale geometry (Table 2).
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
 impl FlashGeometry {
     /// Paper-scale geometry: 65,536 blocks as in Table 2.
     pub fn paper_scale() -> Self {

@@ -46,6 +46,8 @@
 //! assert!(first.latency_ns > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod device;
 pub mod error;

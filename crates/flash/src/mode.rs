@@ -10,11 +10,12 @@
 use serde::{Deserialize, Serialize};
 
 /// Operating mode of a flash block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CellMode {
     /// Single-level-cell mode: one bit per cell. Used for the cache region.
     Slc,
     /// Multi-level-cell mode: two bits per cell. The native high-density mode.
+    #[default]
     Mlc,
 }
 

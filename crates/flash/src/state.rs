@@ -181,13 +181,12 @@ impl PageState {
     /// Marks a valid subpage invalid (logical overwrite / trim).
     pub(crate) fn invalidate(&mut self, s: u8) -> Result<(), ProgramStateError> {
         assert!(s < self.subpage_count);
-        match self.subpages[s as usize] {
-            SubpageState::Valid => {
-                self.subpages[s as usize] = SubpageState::Invalid;
-                Ok(())
-            }
-            other => Err(ProgramStateError::NotValid(s, other)),
+        let cur = self.subpages[s as usize];
+        if cur != SubpageState::Valid {
+            return Err(ProgramStateError::NotValid(s, cur));
         }
+        self.subpages[s as usize] = SubpageState::Invalid;
+        Ok(())
     }
 }
 

@@ -34,11 +34,19 @@ impl WearTracker {
         }
     }
 
-    /// Records an erase of `block_idx` performed in `mode`.
+    /// Records an erase of `block_idx` performed in `mode`. Out-of-range
+    /// indices are ignored (callers derive them from device geometry).
     pub fn record_erase(&mut self, block_idx: u64, mode: CellMode) {
-        match mode {
-            CellMode::Slc => self.slc_erases[block_idx as usize] += 1,
-            CellMode::Mlc => self.mlc_erases[block_idx as usize] += 1,
+        let tab = match mode {
+            CellMode::Slc => &mut self.slc_erases,
+            CellMode::Mlc => &mut self.mlc_erases,
+        };
+        debug_assert!(
+            (block_idx as usize) < tab.len(),
+            "block {block_idx} out of range"
+        );
+        if let Some(n) = tab.get_mut(block_idx as usize) {
+            *n += 1;
         }
     }
 

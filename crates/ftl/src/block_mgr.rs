@@ -6,7 +6,7 @@
 //! blocks to open as active write targets and return them after GC erases.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use ipu_flash::{BlockAddr, FlashGeometry, Nanos};
 
@@ -183,7 +183,7 @@ impl BlockManager {
     /// parallelism is preserved. Pending (in-flight) erases are dropped —
     /// the physical erase completed before the crash in this model, so those
     /// blocks come back immediately free.
-    pub fn rebuild_free(&mut self, bad: &HashSet<u64>, in_use: &HashSet<u64>) {
+    pub fn rebuild_free(&mut self, bad: &BTreeSet<u64>, in_use: &BTreeSet<u64>) {
         self.slc_free.clear();
         self.mlc_free.clear();
         self.slc_pending.clear();
@@ -314,8 +314,8 @@ mod tests {
         let parked = m.allocate_mlc().unwrap();
         m.release_at(parked, 1_000_000);
 
-        let bad: HashSet<u64> = [g.block_index(bad_addr)].into_iter().collect();
-        let in_use: HashSet<u64> = [g.block_index(slc), g.block_index(mlc)]
+        let bad: BTreeSet<u64> = [g.block_index(bad_addr)].into_iter().collect();
+        let in_use: BTreeSet<u64> = [g.block_index(slc), g.block_index(mlc)]
             .into_iter()
             .collect();
         m.rebuild_free(&bad, &in_use);

@@ -6,7 +6,7 @@
 //! ISR GC policy's Equation 2), and whether a page has received an intra-page
 //! update (which drives the paper's degraded data movement in GC).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ipu_flash::{BlockAddr, Nanos};
 
@@ -95,7 +95,7 @@ impl BlockMeta {
 /// Registry of in-use blocks and their metadata, keyed by dense block index.
 #[derive(Debug, Clone, Default)]
 pub struct CacheMeta {
-    blocks: HashMap<u64, BlockMeta>,
+    blocks: BTreeMap<u64, BlockMeta>,
     next_seq: u64,
 }
 
@@ -130,7 +130,9 @@ impl CacheMeta {
     /// Re-registers a block with its *original* open sequence number during
     /// power-loss reconstruction (ISR GC tie-breaking depends on open order,
     /// so rebuilt metadata must preserve it). Does not advance `next_seq`;
-    /// callers finish with [`CacheMeta::set_next_seq`].
+    /// callers finish with [`CacheMeta::set_next_seq`]. Returns the freshly
+    /// inserted metadata so callers can replay per-subpage records without a
+    /// second (fallible) lookup.
     pub fn restore_block(
         &mut self,
         block_idx: u64,
@@ -139,12 +141,16 @@ impl CacheMeta {
         opened_seq: u64,
         pages: u32,
         subpages_per_page: u32,
-    ) {
-        let prev = self.blocks.insert(
-            block_idx,
-            BlockMeta::new(addr, level, opened_seq, pages, subpages_per_page),
-        );
-        debug_assert!(prev.is_none(), "block {addr} restored twice");
+    ) -> &mut BlockMeta {
+        let meta = BlockMeta::new(addr, level, opened_seq, pages, subpages_per_page);
+        match self.blocks.entry(block_idx) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                debug_assert!(false, "block {addr} restored twice");
+                e.insert(meta);
+                e.into_mut()
+            }
+            std::collections::btree_map::Entry::Vacant(v) => v.insert(meta),
+        }
     }
 
     /// Sets the next open sequence number (power-loss reconstruction: one

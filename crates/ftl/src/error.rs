@@ -4,8 +4,10 @@
 //! of live data (`OutOfSpace`), a write could not be placed even after the
 //! bad-block retirement/retry machinery ran (`WriteFailed`), and a raw flash
 //! error surfaced by the device model (`Flash`). Internal invariant
-//! violations (corrupted mapping state, programming an unopened block) still
-//! panic — they indicate FTL bugs, not media behaviour.
+//! violations (corrupted mapping state, programming an unopened block) also
+//! surface as `Flash` errors rather than panics — `ipu-lint`'s `no-panic`
+//! rule keeps host-reachable FTL paths panic-free, and
+//! `FtlCore::check_invariants` is the debugging tool for state corruption.
 
 use ipu_flash::FlashError;
 

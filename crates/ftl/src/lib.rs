@@ -14,6 +14,8 @@
 //! Schemes execute against an [`ipu_flash::FlashDevice`] and emit
 //! [`ops::OpBatch`]es of timed operations that `ipu-sim` schedules onto chips.
 
+#![forbid(unsafe_code)]
+
 pub mod block_mgr;
 pub mod cache_meta;
 pub mod config;

@@ -67,7 +67,9 @@ impl BaselineFtl {
                 select_greedy(cands, GcGranularity::Subpage)
             };
             let Some(victim) = victim else { break };
-            let victim_addr = self.core.meta.get(victim).expect("tracked victim").addr;
+            let Some(victim_addr) = self.core.meta.get(victim).map(|m| m.addr) else {
+                break;
+            };
             let mut aborted = false;
             for group in self.core.collect_victim_groups(dev, victim) {
                 // Plain cache eviction: all valid data leaves the SLC region.

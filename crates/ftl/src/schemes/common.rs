@@ -3,7 +3,7 @@
 //! differ only in placement policy, victim selection and GC data movement;
 //! everything else lives here.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ipu_flash::{
     BlockAddr, CellMode, FlashDevice, FlashError, FlashGeometry, Nanos, Ppa, RetryLadder, Spa,
@@ -79,7 +79,9 @@ struct SubTag {
 struct BlockOob {
     level: BlockLevel,
     opened_seq: u64,
-    tags: HashMap<(u32, u8), SubTag>,
+    /// Ordered so power-loss replay walks tags in (page, subpage) order
+    /// without an explicit sort.
+    tags: BTreeMap<(u32, u8), SubTag>,
 }
 
 /// Shared FTL state and mechanics.
@@ -115,10 +117,11 @@ pub struct FtlCore {
     retry: RetryLadder,
     /// Dense indices of blocks retired after program/erase failures. This is
     /// the bad-block table: durable (a real FTL persists it in flash), so it
-    /// survives power loss.
-    bad_blocks: HashSet<u64>,
+    /// survives power loss. Ordered so free-pool reconstruction and reports
+    /// see a deterministic sequence.
+    bad_blocks: BTreeSet<u64>,
     /// Durable OOB shadow per in-use block (see [`BlockOob`]).
-    oob: HashMap<u64, BlockOob>,
+    oob: BTreeMap<u64, BlockOob>,
     /// Round-robin position of the background scrub scan.
     scrub_cursor: u64,
 }
@@ -126,6 +129,7 @@ pub struct FtlCore {
 impl FtlCore {
     /// Builds the core and formats the SLC region of `dev` into SLC-mode.
     pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
+        // ipu-lint: allow(no-panic) — constructor contract: configs are validated at the experiment boundary, a bad one here is programmer error
         cfg.validate().expect("invalid FTL configuration");
         let geometry = dev.config().geometry.clone();
         let blocks = BlockManager::new(&geometry, &cfg);
@@ -148,14 +152,14 @@ impl FtlCore {
             wear_leveler: WearLeveler::new(),
             wl_check_due: false,
             retry: dev.config().retry.clone(),
-            bad_blocks: HashSet::new(),
-            oob: HashMap::new(),
+            bad_blocks: BTreeSet::new(),
+            oob: BTreeMap::new(),
             scrub_cursor: 0,
         }
     }
 
     /// Dense indices of blocks retired after media failures.
-    pub fn bad_blocks(&self) -> &HashSet<u64> {
+    pub fn bad_blocks(&self) -> &BTreeSet<u64> {
         &self.bad_blocks
     }
 
@@ -199,7 +203,10 @@ impl FtlCore {
             Vec::with_capacity(((span.end - span.start) / spp + 2) as usize);
         for lsn in span {
             match out.last_mut() {
-                Some(group) if group.len() < spp as usize && lsn / spp == group[0] / spp => {
+                Some(group)
+                    if group.len() < spp as usize
+                        && group.first().is_some_and(|&first| lsn / spp == first / spp) =>
+                {
                     group.push(lsn);
                 }
                 _ => {
@@ -312,7 +319,7 @@ impl FtlCore {
             }
             l = l.demoted();
         }
-        if *try_levels.last().unwrap() != BlockLevel::HighDensity {
+        if try_levels.last().copied() != Some(BlockLevel::HighDensity) {
             try_levels.push(BlockLevel::HighDensity);
         }
         for lv in try_levels {
@@ -342,7 +349,9 @@ impl FtlCore {
             .collect();
         let mut reclaimed = 0;
         for v in victims {
-            let meta = self.meta.close_block(v).expect("victim tracked");
+            let Some(meta) = self.meta.close_block(v) else {
+                continue; // victims come from the registry; a vanished entry just skips
+            };
             if meta.level.is_slc() {
                 self.stats.gc_runs_slc += 1;
             } else {
@@ -361,15 +370,18 @@ impl FtlCore {
                     self.blocks.release(meta.addr);
                     reclaimed += 1;
                 }
-                Err(FlashError::EraseFailed { latency_ns, .. }) => {
-                    // The failed pulse still occupied the chip; the block is
-                    // permanently retired instead of re-entering the pool.
-                    batch.push(self.chip_of(meta.addr), FlashOpKind::Erase, latency_ns);
+                Err(e) => {
+                    // A failed pulse (EraseFailed) still occupied the chip;
+                    // any other rejection issued no pulse. Either way the
+                    // block is permanently retired instead of re-entering the
+                    // pool — losing a block is recoverable, a panic is not.
+                    if let FlashError::EraseFailed { latency_ns, .. } = e {
+                        batch.push(self.chip_of(meta.addr), FlashOpKind::Erase, latency_ns);
+                    }
                     self.bad_blocks.insert(v);
                     self.stats.retired_blocks += 1;
                     self.blocks.retire(meta.addr);
                 }
-                Err(e) => panic!("erase of {} rejected: {e}", meta.addr),
             }
         }
         reclaimed
@@ -450,7 +462,7 @@ impl FtlCore {
                     let oob = self.oob.entry(block_idx).or_insert_with(|| BlockOob {
                         level,
                         opened_seq,
-                        tags: HashMap::new(),
+                        tags: BTreeMap::new(),
                     });
                     for (i, &lsn) in lsns.iter().enumerate() {
                         oob.tags.insert(
@@ -470,8 +482,11 @@ impl FtlCore {
                             // this very erase cycle's victim (GC callers remap
                             // before erase, and the old block may be
                             // mid-teardown; invalidate is still safe because
-                            // the subpage is valid until the erase).
-                            dev.invalidate(old).expect("stale mapping must be valid");
+                            // the subpage is valid until the erase). A
+                            // rejection here means map and media already
+                            // disagree — surface it as a failed write rather
+                            // than tearing the process down.
+                            dev.invalidate(old)?;
                             self.owners.clear(self.block_idx(old.ppa.block_addr()), old);
                         }
                         self.owners.set(block_idx, spa, lsn);
@@ -508,7 +523,9 @@ impl FtlCore {
                     ppa = new_ppa;
                     start = 0;
                 }
-                Err(e) => panic!("program at {ppa}+{start} rejected: {e}"),
+                // Rejected outright (mode/NOP violation): the placement logic
+                // and the device disagree. Propagate instead of panicking.
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -760,7 +777,9 @@ impl FtlCore {
     /// Collects the valid data of a victim block, grouped per page.
     pub fn collect_victim_groups(&self, dev: &FlashDevice, block_idx: u64) -> Vec<PageGroup> {
         let block = dev.block_by_index(block_idx);
-        let meta = self.meta.get(block_idx).expect("victim must be tracked");
+        let Some(meta) = self.meta.get(block_idx) else {
+            return Vec::new(); // untracked block has no cache-resident data to move
+        };
         let mut groups = Vec::new();
         for p in 0..block.page_count() {
             let page = block.page(p);
@@ -771,6 +790,7 @@ impl FtlCore {
                     let lsn = self
                         .owners
                         .owner(block_idx, spa)
+                        // ipu-lint: allow(no-panic) — owner/map agreement is the core FTL invariant (cross-checked by check_invariants); a valid subpage without an owner is unrecoverable corruption
                         .expect("valid subpage must have an owner");
                     subs.push((s, lsn));
                 }
@@ -848,10 +868,10 @@ impl FtlCore {
         now: Nanos,
         batch: &mut OpBatch,
     ) {
-        let meta = self
-            .meta
-            .close_block(block_idx)
-            .expect("victim must be tracked");
+        let Some(meta) = self.meta.close_block(block_idx) else {
+            debug_assert!(false, "erase_victim on untracked block {block_idx}");
+            return;
+        };
         let addr = meta.addr;
         let block = dev.block_by_index(block_idx);
         let total = block.total_subpages();
@@ -879,15 +899,18 @@ impl FtlCore {
                     self.wl_check_due = true;
                 }
             }
-            Err(FlashError::EraseFailed { latency_ns, .. }) => {
-                // Failed pulse still occupied the chip; the victim (already
-                // fully relocated) is retired instead of rejoining the pool.
-                batch.push(self.chip_of(addr), FlashOpKind::Erase, latency_ns);
+            Err(e) => {
+                // A failed pulse (EraseFailed) still occupied the chip; any
+                // other rejection issued no pulse. The victim (already fully
+                // relocated) is retired instead of rejoining the pool —
+                // losing a block is recoverable, a panic is not.
+                if let FlashError::EraseFailed { latency_ns, .. } = e {
+                    batch.push(self.chip_of(addr), FlashOpKind::Erase, latency_ns);
+                }
                 self.bad_blocks.insert(block_idx);
                 self.stats.retired_blocks += 1;
                 self.blocks.retire(addr);
             }
-            Err(e) => panic!("erase of {addr} rejected: {e}"),
         }
     }
 
@@ -931,7 +954,9 @@ impl FtlCore {
         if !WearLeveler::gap_exceeded(&self.cfg.wear_leveling, min_pe, max_pe) {
             return;
         }
-        let victim_meta = self.meta.get(victim).expect("tracked victim");
+        let Some(victim_meta) = self.meta.get(victim) else {
+            return; // candidate scan raced with a close; skip this check
+        };
         let victim_addr = victim_meta.addr;
         let level = victim_meta.level;
         for group in self.collect_victim_groups(dev, victim) {
@@ -1038,9 +1063,11 @@ impl FtlCore {
                 select_greedy(cands, GcGranularity::Subpage)
             };
             let Some(victim) = victim else { break };
+            let Some(victim_addr) = self.meta.get(victim).map(|m| m.addr) else {
+                break;
+            };
             let mut aborted = false;
             for group in self.collect_victim_groups(dev, victim) {
-                let victim_addr = self.meta.get(victim).expect("tracked").addr;
                 if self
                     .relocate_group(
                         dev,
@@ -1165,7 +1192,7 @@ impl FtlCore {
             let idx = *idx;
             let addr = self.geometry.block_from_index(idx);
             let block = dev.block_by_index(idx);
-            self.meta.restore_block(
+            let meta = self.meta.restore_block(
                 idx,
                 addr,
                 blk.level,
@@ -1174,13 +1201,9 @@ impl FtlCore {
                 self.geometry.subpages_per_page(),
             );
             max_seq = Some(max_seq.map_or(blk.opened_seq, |m| m.max(blk.opened_seq)));
-            let mut tags: Vec<(&(u32, u8), &SubTag)> = blk.tags.iter().collect();
-            tags.sort_by_key(|&(&k, _)| k);
-            for (&(page, sub), tag) in tags {
-                self.meta
-                    .get_mut(idx)
-                    .expect("just restored")
-                    .restore_program(page, sub, tag.written_ns, tag.follow_up);
+            // BTreeMap already walks tags in (page, subpage) order.
+            for (&(page, sub), tag) in blk.tags.iter() {
+                meta.restore_program(page, sub, tag.written_ns, tag.follow_up);
                 // Only *valid* subpages re-enter the map: the OOB tag of a
                 // superseded subpage is stale by definition.
                 if block.page(page).subpage(sub) == SubpageState::Valid {
@@ -1193,7 +1216,7 @@ impl FtlCore {
         self.meta.set_next_seq(max_seq.map_or(0, |m| m + 1));
         self.oob = entries.into_iter().collect();
 
-        let in_use: HashSet<u64> = self.meta.iter().map(|(i, _)| i).collect();
+        let in_use: BTreeSet<u64> = self.meta.iter().map(|(i, _)| i).collect();
         self.blocks.rebuild_free(&self.bad_blocks, &in_use);
     }
 }

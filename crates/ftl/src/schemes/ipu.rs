@@ -173,9 +173,11 @@ impl IpuFtl {
                 crate::gc::select_greedy(cands, crate::gc::GcGranularity::Subpage)
             };
             let Some(victim) = victim else { break };
-            let victim_meta = self.core.meta.get(victim).expect("tracked victim");
-            let victim_addr = victim_meta.addr;
-            let victim_level = victim_meta.level;
+            let Some((victim_addr, victim_level)) =
+                self.core.meta.get(victim).map(|m| (m.addr, m.level))
+            else {
+                break;
+            };
             let mut aborted = false;
             for group in self.core.collect_victim_groups(dev, victim) {
                 // Degraded movement: updated pages keep their level, cold

@@ -236,9 +236,11 @@ impl IpuPlusFtl {
                 select_isr(cands, now)
             };
             let Some(victim) = victim else { break };
-            let victim_meta = self.core.meta.get(victim).expect("tracked victim");
-            let victim_addr = victim_meta.addr;
-            let victim_level = victim_meta.level;
+            let Some((victim_addr, victim_level)) =
+                self.core.meta.get(victim).map(|m| (m.addr, m.level))
+            else {
+                break;
+            };
             self.cold_open_pages
                 .retain(|p| p.block_addr() != victim_addr);
             let mut aborted = false;

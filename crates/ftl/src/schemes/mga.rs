@@ -141,7 +141,9 @@ impl MgaFtl {
                 select_greedy(cands, GcGranularity::Subpage)
             };
             let Some(victim) = victim else { break };
-            let victim_addr = self.core.meta.get(victim).expect("tracked victim").addr;
+            let Some(victim_addr) = self.core.meta.get(victim).map(|m| m.addr) else {
+                break;
+            };
             // Victim pages can no longer serve as packing targets.
             self.open_pages.retain(|p| p.block_addr() != victim_addr);
             let mut aborted = false;

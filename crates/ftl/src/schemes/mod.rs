@@ -92,8 +92,13 @@ pub trait FtlScheme {
 /// Identifies one of the three schemes; used by configs and reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchemeKind {
+    /// Plain SLC-cache FTL: whole-page cache writes, no update grouping.
     Baseline,
+    /// Modify-Group-Aggregation (the paper's state-of-the-art comparison):
+    /// groups sub-page updates and aggregates them into full-page writes.
     Mga,
+    /// The paper's Intra-page Update scheme: partial programming updates
+    /// subpages in place inside the SLC-mode cache page.
     Ipu,
     /// Extension: IPU plus adaptive cold-data packing — the paper's §5
     /// future work. Not part of the paper's evaluated trio.

@@ -31,6 +31,8 @@
 //! assert_eq!(outcomes.iter().map(|o| o.admit_ns).collect::<Vec<_>>(), vec![0, 100, 200]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arbiter;
 pub mod config;
 pub mod metrics;

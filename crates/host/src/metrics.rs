@@ -321,6 +321,7 @@ pub fn fairness_ratio(tenants: &[TenantMetrics]) -> f64 {
     }
     let tp: Vec<f64> = tenants.iter().map(TenantMetrics::throughput_rps).collect();
     let max = tp.iter().cloned().fold(0.0f64, f64::max);
+    // ipu-lint: allow(float-eq) — the fold starts at literal 0.0, so an exact 0.0 max means every tenant throughput was exactly zero
     if max == 0.0 {
         return 1.0; // no tenant moved at all: vacuously fair
     }

@@ -1,0 +1,554 @@
+//! A minimal hand-rolled Rust lexer: just enough to token-scan source files
+//! without being fooled by comments, strings, char literals, lifetimes or raw
+//! strings. No `syn`, no full grammar — the rule engine works on this flat
+//! token stream plus the comment side channel.
+//!
+//! Fidelity notes (deliberate simplifications, safe for our rules):
+//! * multi-char operators are joined by maximal munch over a fixed table
+//!   (`==`, `!=`, `::`, `..=`, …); everything else is a single-char punct;
+//! * a float literal is a numeric token containing a decimal point, an
+//!   exponent, or an `f32`/`f64` suffix;
+//! * tuple-field chains like `x.0.1` mis-lex the tail as a float — harmless
+//!   for the comparison rule, which anchors on `==`/`!=` neighbours.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`match`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// String, raw string, byte string or char literal.
+    Str,
+    /// Integer literal (incl. hex/octal/binary).
+    Int,
+    /// Float literal (`0.5`, `1e9`, `2f64`).
+    Float,
+    /// Punctuation / operator, possibly multi-char (`::`, `==`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment with its line span. `doc` marks `///`, `//!`, `/**`, `/*!`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+    pub doc: bool,
+}
+
+/// Lexer output: the token stream plus all comments, in source order.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators joined by maximal munch (longest first).
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated constructs
+/// consume to end-of-file (the linter must degrade gracefully on any input).
+pub fn lex(src: &str) -> LexOut {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = LexOut::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances over `count` chars, bumping the line counter on newlines.
+    macro_rules! advance {
+        ($count:expr) => {{
+            for _ in 0..$count {
+                if i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                i += 1;
+            }
+            let doc = text.starts_with("///") || text.starts_with("//!");
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: start_line,
+                text,
+                doc,
+            });
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    advance!(2);
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    text.push_str("*/");
+                    advance!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i]);
+                    advance!(1);
+                }
+            }
+            let doc = text.starts_with("/**") || text.starts_with("/*!");
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text,
+                doc,
+            });
+            continue;
+        }
+
+        // Raw strings and byte/raw-byte strings: r"", r#""#, br#""#, b"".
+        if c == 'r' || c == 'b' || c == 'c' {
+            if let Some((len, lines)) = scan_raw_or_byte_string(&b[i..]) {
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(), // contents never matter to rules
+                    line,
+                });
+                line += lines as u32;
+                i += len;
+                continue;
+            }
+        }
+
+        // Plain string.
+        if c == '"' {
+            let start_line = line;
+            advance!(1);
+            while i < n {
+                if b[i] == '\\' {
+                    advance!(2);
+                } else if b[i] == '"' {
+                    advance!(1);
+                    break;
+                } else {
+                    advance!(1);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let start_line = line;
+            // 'x' / '\n' / '\u{..}' are char literals; 'ident (no closing
+            // quote) is a lifetime.
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal.
+                advance!(2); // ' and backslash
+                while i < n && b[i] != '\'' {
+                    advance!(1);
+                }
+                advance!(1);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    // 'a' style char literal.
+                    let len = j + 1 - i;
+                    advance!(len);
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                } else {
+                    // Lifetime.
+                    let text: String = b[i..j].iter().collect();
+                    advance!(j - i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line: start_line,
+                    });
+                }
+                continue;
+            }
+            // '(' style char literal: quote, one char, quote.
+            advance!(1);
+            if i < n {
+                advance!(1);
+            }
+            if i < n && b[i] == '\'' {
+                advance!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            let mut is_float = false;
+            // Integer part (covers 0x/0o/0b bodies too).
+            while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                text.push(b[j]);
+                j += 1;
+            }
+            // Fraction: a dot followed by a digit (excludes `..` and `1.max()`).
+            if j < n && b[j] == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                is_float = true;
+                text.push('.');
+                j += 1;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    text.push(b[j]);
+                    j += 1;
+                }
+            }
+            // Exponent sign (the digits were consumed as alphanumerics).
+            if (text.contains('e') || text.contains('E'))
+                && j < n
+                && (b[j] == '+' || b[j] == '-')
+                && !text.starts_with("0x")
+                && !text.starts_with("0X")
+            {
+                text.push(b[j]);
+                j += 1;
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    text.push(b[j]);
+                    j += 1;
+                }
+            }
+            let lower = text.to_ascii_lowercase();
+            if !lower.starts_with("0x")
+                && (is_float
+                    || lower.ends_with("f32")
+                    || lower.ends_with("f64")
+                    || (lower.contains('e')
+                        && lower.chars().next().is_some_and(|c| c.is_ascii_digit())
+                        && !lower.ends_with("u8")
+                        && !lower.contains("us")
+                        && !lower.contains("i3")))
+            {
+                is_float = true;
+            }
+            advance!(j - i);
+            out.tokens.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Identifier / keyword (incl. raw identifiers).
+        if is_ident_start(c) {
+            let start_line = line;
+            let mut j = i;
+            // r#ident raw identifier (the r was not a raw string above).
+            if c == 'r' && i + 1 < n && b[i + 1] == '#' && i + 2 < n && is_ident_start(b[i + 2]) {
+                j = i + 2;
+            }
+            let word_start = j;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let text: String = b[word_start..j].iter().collect();
+            advance!(j - i);
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Punctuation: maximal munch over the multi-char table.
+        let start_line = line;
+        let mut matched = None;
+        for &op in MULTI_PUNCT {
+            let len = op.len();
+            if i + len <= n {
+                let slice: String = b[i..i + len].iter().collect();
+                if slice == op {
+                    matched = Some(op.to_string());
+                    break;
+                }
+            }
+        }
+        let text = matched.unwrap_or_else(|| c.to_string());
+        advance!(text.chars().count());
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text,
+            line: start_line,
+        });
+    }
+
+    out
+}
+
+/// Recognizes raw strings, byte strings and c-strings starting at `b[0]`
+/// (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, `c"…"`). Returns
+/// `(chars consumed, newlines inside)` or `None` if this is not one.
+fn scan_raw_or_byte_string(b: &[char]) -> Option<(usize, usize)> {
+    let mut j = 0usize;
+    // Optional b/c prefix, optional r, then hashes + quote.
+    if b[j] == 'b' || b[j] == 'c' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if !raw && hashes > 0 {
+        return None; // e.g. `r#ident` raw identifier, not a string
+    }
+    // b'x' byte char literal.
+    if !raw && hashes == 0 && j == 1 && b[0] == 'b' && j < b.len() && b[j] == '\'' {
+        j += 1;
+        let mut newlines = 0;
+        while j < b.len() {
+            if b[j] == '\\' {
+                j += 2;
+                continue;
+            }
+            if b[j] == '\'' {
+                return Some((j + 1, newlines));
+            }
+            if b[j] == '\n' {
+                newlines += 1;
+            }
+            j += 1;
+        }
+        return Some((j, newlines));
+    }
+    if j >= b.len() || b[j] != '"' {
+        return None;
+    }
+    j += 1;
+    let mut newlines = 0usize;
+    while j < b.len() {
+        if !raw && b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            newlines += 1;
+        }
+        if b[j] == '"' {
+            // Need `hashes` trailing #s to close a raw string.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && k < b.len() && b[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((k, newlines));
+            }
+        }
+        j += 1;
+    }
+    Some((j, newlines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("let x = a::b();"),
+            ["let", "x", "=", "a", "::", "b", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_side_channel_not_tokens() {
+        let out = lex("a // unwrap() in a comment\nb /* panic! */ c");
+        let toks: Vec<_> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(toks, ["a", "b", "c"]);
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("unwrap"));
+        assert!(!out.comments[0].doc);
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let out = lex("/// docs\nfn f() {}\n//! inner\n/** block */");
+        assert!(out.comments.iter().all(|c| c.doc));
+        assert_eq!(out.comments.len(), 3);
+    }
+
+    #[test]
+    fn strings_swallow_everything() {
+        let out = lex(r#"let s = "unwrap() // not a comment"; x"#);
+        assert_eq!(out.comments.len(), 0);
+        assert!(out.tokens.iter().any(|t| t.is_ident("x")));
+        assert!(!out.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let out = lex(r##"let s = r#"has "quotes" and unwrap()"#; y"##);
+        assert!(out.tokens.iter().any(|t| t.is_ident("y")));
+        assert!(!out.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'z'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = out.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let out = lex("a == 0.0; b != 1; c == 1e9; d == 2f64; e == 0xff; f == 1..4");
+        let kinds: Vec<(String, TokKind)> = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                ("0.0".to_string(), TokKind::Float),
+                ("1".to_string(), TokKind::Int),
+                ("1e9".to_string(), TokKind::Float),
+                ("2f64".to_string(), TokKind::Float),
+                ("0xff".to_string(), TokKind::Int),
+                ("1".to_string(), TokKind::Int),
+                ("4".to_string(), TokKind::Int),
+            ]
+        );
+        // `..` must not be glued into the preceding int.
+        assert!(out.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn multi_char_operators_join() {
+        let out = lex("a==b; c!=d; e..=f; g->h; i=>j");
+        for op in ["==", "!=", "..=", "->", "=>"] {
+            assert!(out.tokens.iter().any(|t| t.is_punct(op)), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n\nc /* x\ny */ d");
+        let find = |s: &str| out.tokens.iter().find(|t| t.is_ident(s)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 4);
+        assert_eq!(find("d"), 5);
+        assert_eq!(out.comments[0].end_line, 5);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let out = lex("let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#; z");
+        assert!(out.tokens.iter().any(|t| t.is_ident("z")));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panic() {
+        let out = lex("let s = \"never closed");
+        assert!(out.tokens.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

@@ -1,0 +1,415 @@
+#![forbid(unsafe_code)]
+//! `ipu-lint` — project-specific static analysis for the workspace.
+//!
+//! The crates in this workspace carry invariants that `rustc`/`clippy` cannot
+//! see: the replay cache promises bit-identical re-runs, the perf gate
+//! compares exact counter fingerprints, and the power-loss oracle assumes
+//! host-reachable FTL paths never panic. This crate enforces those invariants
+//! as ~8 lexical rules (see [`rules`]) over a hand-rolled, comment- and
+//! string-aware token stream (see [`lexer`]) — deliberately *not* a full
+//! parser: every rule is scoped so that token-level matching is sound for the
+//! code this workspace actually contains, and fixture tests pin each rule's
+//! fire/stay-silent behaviour.
+//!
+//! Findings are suppressible only with an inline comment carrying a reason:
+//!
+//! ```text
+//! // ipu-lint: allow(no-panic) — validated at construction, cannot fail here
+//! ```
+//!
+//! placed on the offending line or the line directly above it. An allow
+//! without a reason, or naming an unknown rule, is itself a finding and
+//! suppresses nothing.
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{lex, Comment, Token};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One rule violation (or meta-violation) at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-panic` (see [`rules::RULE_IDS`]), or one of
+    /// the meta rules `allow-missing-reason` / `allow-unknown-rule`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes, e.g. `crates/ftl/src/error.rs`.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-file context handed to every rule.
+pub struct FileCtx<'a> {
+    /// Directory name under `crates/`, e.g. `ftl`.
+    pub crate_name: &'a str,
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Final path component, e.g. `main.rs`.
+    pub file_name: &'a str,
+    /// Whether this file is a crate root (`src/lib.rs` or `src/main.rs`).
+    pub is_crate_root: bool,
+    /// The file's token stream (comments and string contents already removed).
+    pub tokens: &'a [Token],
+    /// Comment side channel, in source order.
+    pub comments: &'a [Comment],
+    /// Parallel to `tokens`: `true` where the token sits inside a
+    /// `#[cfg(test)]` item.
+    pub is_test: &'a [bool],
+}
+
+/// Result of linting one file or a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by a valid allow comment.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// A parsed `// ipu-lint: allow(<rule>) — <reason>` comment.
+struct Allow {
+    rule: String,
+    line: u32,
+    valid: bool,
+}
+
+/// Marker that introduces an allow comment.
+const ALLOW_MARKER: &str = "ipu-lint:";
+
+/// Lints a single file's source text. `rel_path` selects which scoped rules
+/// apply (see the scope tables in [`rules`]); fixture tests use this entry
+/// point directly to lint files that live outside any real crate.
+pub fn lint_str(
+    crate_name: &str,
+    rel_path: &str,
+    is_crate_root: bool,
+    src: &str,
+) -> (Vec<Finding>, usize) {
+    let lexed = lex(src);
+    let mask = test_mask(&lexed.tokens);
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let ctx = FileCtx {
+        crate_name,
+        rel_path,
+        file_name,
+        is_crate_root,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        is_test: &mask,
+    };
+
+    let mut raw = Vec::new();
+    rules::run_all(&ctx, &mut raw);
+
+    let mut meta = Vec::new();
+    let allows = parse_allows(&lexed.comments, rel_path, &mut meta);
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let hit = allows
+            .iter()
+            .any(|a| a.valid && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+        if hit {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    findings.extend(meta);
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    (findings, suppressed)
+}
+
+/// Extracts allow comments, emitting `allow-missing-reason` /
+/// `allow-unknown-rule` meta findings (never suppressible) for malformed ones.
+fn parse_allows(comments: &[Comment], rel_path: &str, meta: &mut Vec<Finding>) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments *describe* the allow syntax; only plain comments
+        // can invoke it.
+        if c.doc {
+            continue;
+        }
+        let Some(pos) = c.text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = c.text[pos + ALLOW_MARKER.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            meta.push(Finding {
+                rule: "allow-unknown-rule",
+                file: rel_path.to_string(),
+                line: c.line,
+                message:
+                    "malformed ipu-lint comment — expected `ipu-lint: allow(<rule>) — <reason>`"
+                        .to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            meta.push(Finding {
+                rule: "allow-unknown-rule",
+                file: rel_path.to_string(),
+                line: c.line,
+                message: "unterminated allow(...) in ipu-lint comment".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        let mut valid = true;
+        if !rules::RULE_IDS.contains(&rule.as_str()) {
+            meta.push(Finding {
+                rule: "allow-unknown-rule",
+                file: rel_path.to_string(),
+                line: c.line,
+                message: format!("allow names unknown rule `{rule}`"),
+            });
+            valid = false;
+        }
+        if reason.is_empty() {
+            meta.push(Finding {
+                rule: "allow-missing-reason",
+                file: rel_path.to_string(),
+                line: c.line,
+                message: format!("allow({rule}) has no reason — the reason is mandatory"),
+            });
+            valid = false;
+        }
+        out.push(Allow {
+            rule,
+            line: c.line,
+            valid,
+        });
+    }
+    out
+}
+
+/// Computes the `#[cfg(test)]` mask: `mask[i]` is true when token `i` belongs
+/// to an item annotated `#[cfg(test)]` (typically a `mod tests { ... }`).
+pub fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct("#")
+            && toks[i + 1].is_punct("[")
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct("(")
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(")")
+            && toks[i + 6].is_punct("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // The annotated item runs to its brace-matched body (fn/mod/impl/...)
+        // or to a `;` at depth 0 (e.g. `use` declarations).
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        let end = loop {
+            if j >= toks.len() {
+                break toks.len().saturating_sub(1);
+            }
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => break j,
+                "{" if depth == 0 => {
+                    let mut b = 0i32;
+                    let mut k = j;
+                    break loop {
+                        if k >= toks.len() {
+                            break toks.len() - 1;
+                        }
+                        if toks[k].is_punct("{") {
+                            b += 1;
+                        } else if toks[k].is_punct("}") {
+                            b -= 1;
+                            if b == 0 {
+                                break k;
+                            }
+                        }
+                        k += 1;
+                    };
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        for m in &mut mask[i..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root`, in sorted order.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut report = LintReport::default();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = format!(
+                "crates/{}/src/{}",
+                crate_name,
+                path.strip_prefix(&src_dir)
+                    .map(|p| p.to_string_lossy().replace('\\', "/"))
+                    .unwrap_or_default()
+            );
+            let is_crate_root = rel == format!("crates/{crate_name}/src/lib.rs")
+                || rel == format!("crates/{crate_name}/src/main.rs");
+            let src = fs::read_to_string(&path)?;
+            let (findings, suppressed) = lint_str(&crate_name, &rel, is_crate_root, &src);
+            report.findings.extend(findings);
+            report.suppressed += suppressed;
+            report.files_scanned += 1;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let live = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .unwrap();
+        let unw = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        let after = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .unwrap();
+        assert!(!mask[live]);
+        assert!(mask[unw]);
+        assert!(!mask[after]);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line_and_next_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // ipu-lint: allow(no-panic) — checked by caller\n    x.unwrap()\n}";
+        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+
+        let trailing =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // ipu-lint: allow(no-panic) — checked";
+        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, trailing);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding_and_does_not_suppress() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    // ipu-lint: allow(no-panic)\n    x.unwrap()\n}";
+        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        assert_eq!(suppressed, 0);
+        assert!(findings.iter().any(|f| f.rule == "allow-missing-reason"));
+        assert!(findings.iter().any(|f| f.rule == "no-panic"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_act_as_allows() {
+        let src = "/// Example: `// ipu-lint: allow(no-panic) — reason`\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        assert_eq!(suppressed, 0);
+        assert!(findings.iter().any(|f| f.rule == "no-panic"));
+        assert!(!findings.iter().any(|f| f.rule.starts_with("allow-")));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_finding() {
+        let src = "// ipu-lint: allow(no-such-rule) — whatever\nfn f() {}";
+        let (findings, _) = lint_str("core", "crates/core/src/x.rs", false, src);
+        assert!(findings.iter().any(|f| f.rule == "allow-unknown-rule"));
+    }
+
+    #[test]
+    fn allow_far_from_violation_does_not_suppress() {
+        let src = "// ipu-lint: allow(no-panic) — too far away\n\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        assert_eq!(suppressed, 0);
+        assert!(findings.iter().any(|f| f.rule == "no-panic"));
+    }
+
+    #[test]
+    fn findings_sorted_by_file_line_rule() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); panic!(\"x\"); }\nfn g(y: Option<u32>) { y.unwrap(); }";
+        let (findings, _) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

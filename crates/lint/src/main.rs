@@ -1,0 +1,112 @@
+#![forbid(unsafe_code)]
+//! `ipu-lint` CLI: lints the workspace and exits nonzero on any unsuppressed
+//! finding. `--json` emits machine-readable output for CI; `--root <dir>`
+//! points at a workspace other than the current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "ipu-lint: project-specific static analysis\n\n\
+                     USAGE: ipu-lint [--json] [--root <dir>]\n\n\
+                     Scans crates/*/src/**/*.rs under the workspace root and reports\n\
+                     violations of the project rules (see DESIGN.md §13). Exit code is\n\
+                     0 when clean, 1 on findings, 2 on usage or I/O errors.\n\n\
+                     Suppress a finding inline, reason mandatory:\n\
+                     \x20   // ipu-lint: allow(<rule>) — <reason>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match ipu_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "ipu-lint: {} file(s) scanned, {} finding(s), {} suppressed by allow comments",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed
+        );
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Hand-rolled JSON (the linter is dependency-free by design).
+fn render_json(report: &ipu_lint::LintReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"finding_count\": {}\n}}",
+        report.files_scanned,
+        report.suppressed,
+        report.findings.len()
+    ));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

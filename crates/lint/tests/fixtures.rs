@@ -1,0 +1,281 @@
+//! Fixture-driven rule tests: every rule fires on its violating fixture,
+//! stays silent on the conforming twin and outside its scope, and allow
+//! comments suppress only when well-formed (known rule + reason).
+
+use ipu_lint::{lint_str, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn rule_counts(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn assert_only_rule(findings: &[Finding], rule: &str) {
+    for f in findings {
+        assert_eq!(f.rule, rule, "unexpected finding: {f}");
+    }
+}
+
+// ---------------------------------------------------------------- R1 no-panic
+
+#[test]
+fn no_panic_fires_on_violations() {
+    let src = fixture("no_panic_bad.rs");
+    let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert_only_rule(&findings, "no-panic");
+    // unwrap, expect, panic!, unreachable!, indexing in a match arm — and the
+    // unwrap inside #[cfg(test)] must NOT be counted.
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn no_panic_silent_on_conforming_code() {
+    let src = fixture("no_panic_ok.rs");
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn no_panic_scoped_to_ftl_and_flash() {
+    let src = fixture("no_panic_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------------ R2 no-wall-clock
+
+#[test]
+fn wall_clock_fires_on_violations() {
+    let src = fixture("wall_clock_bad.rs");
+    let (findings, _) = lint_str("sim", "crates/sim/src/fixture.rs", false, &src);
+    assert_only_rule(&findings, "no-wall-clock");
+    // `std::time` path + the `SystemTime` identifier.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn wall_clock_silent_on_conforming_code() {
+    let src = fixture("wall_clock_ok.rs");
+    let (findings, _) = lint_str("sim", "crates/sim/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn wall_clock_scoped_to_deterministic_crates() {
+    let src = fixture("wall_clock_bad.rs");
+    let (findings, _) = lint_str("obs", "crates/obs/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ----------------------------------------------------------- R3 unordered-iter
+
+#[test]
+fn unordered_iter_fires_on_ordered_output_files() {
+    let src = fixture("unordered_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/report.rs", false, &src);
+    assert_only_rule(&findings, "unordered-iter");
+    // `HashMap` in the use and in the signature.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn unordered_iter_silent_on_btree() {
+    let src = fixture("unordered_ok.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/report.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn unordered_iter_scoped_to_listed_files() {
+    let src = fixture("unordered_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/unlisted.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------------ R4 serde-default
+
+#[test]
+fn serde_default_fires_on_undefaulted_field() {
+    let src = fixture("serde_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/config.rs", false, &src);
+    assert_only_rule(&findings, "serde-default");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("FixtureConfig.beta"));
+}
+
+#[test]
+fn serde_default_silent_when_all_fields_defaulted() {
+    let src = fixture("serde_ok.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/config.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn serde_default_respects_struct_filter() {
+    // The flash scope only checks DeviceConfig; FixtureConfig is ignored.
+    let src = fixture("serde_bad.rs");
+    let (findings, _) = lint_str("flash", "crates/flash/src/config.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------------ R5 forbid-unsafe
+
+#[test]
+fn forbid_unsafe_fires_on_bare_crate_root() {
+    let src = fixture("forbid_unsafe_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/lib.rs", true, &src);
+    assert_eq!(rule_counts(&findings, "forbid-unsafe"), 1, "{findings:#?}");
+}
+
+#[test]
+fn forbid_unsafe_silent_when_attribute_present() {
+    let src = fixture("forbid_unsafe_ok.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/lib.rs", true, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn forbid_unsafe_only_checks_crate_roots() {
+    let src = fixture("forbid_unsafe_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/module.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ----------------------------------------------------------------- R6 float-eq
+
+#[test]
+fn float_eq_fires_outside_tests() {
+    let src = fixture("float_eq_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/fixture.rs", false, &src);
+    assert_only_rule(&findings, "float-eq");
+    // `== 0.5` and `!= 1.0`; the comparison inside #[cfg(test)] is exempt.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn float_eq_silent_on_ranges_and_int_eq() {
+    let src = fixture("float_eq_ok.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// -------------------------------------------------------------- R7 missing-doc
+
+#[test]
+fn missing_doc_fires_on_undocumented_items() {
+    let src = fixture("missing_doc_bad.rs");
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/schemes/mod.rs", false, &src);
+    assert_only_rule(&findings, "missing-doc");
+    // Two undocumented trait methods + one undocumented enum variant.
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+}
+
+#[test]
+fn missing_doc_silent_when_documented() {
+    let src = fixture("missing_doc_ok.rs");
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/schemes/mod.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn missing_doc_enum_only_scope_skips_traits() {
+    let src = fixture("missing_doc_bad.rs");
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/error.rs", false, &src);
+    assert_only_rule(&findings, "missing-doc");
+    // Only the enum variant; the trait is out of scope for error enums.
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("FixtureKind::Undocumented"));
+}
+
+// ----------------------------------------------------------- R8 no-debug-print
+
+#[test]
+fn debug_print_fires_in_library_code() {
+    let src = fixture("debug_print_bad.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/fixture.rs", false, &src);
+    assert_only_rule(&findings, "no-debug-print");
+    // println! + dbg!; the println! inside #[cfg(test)] is exempt.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn debug_print_silent_on_conforming_code() {
+    let src = fixture("debug_print_ok.rs");
+    let (findings, _) = lint_str("core", "crates/core/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn debug_print_exempts_cli_and_binaries() {
+    let src = fixture("debug_print_bad.rs");
+    let (findings, _) = lint_str("cli", "crates/cli/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "cli crate: {findings:#?}");
+    let (findings, _) = lint_str("core", "crates/core/src/main.rs", false, &src);
+    assert!(findings.is_empty(), "main.rs: {findings:#?}");
+}
+
+// ------------------------------------------------------------- allow comments
+
+#[test]
+fn valid_allow_with_reason_suppresses() {
+    let src = fixture("allow_ok.rs");
+    let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_finding() {
+    let src = fixture("allow_missing_reason.rs");
+    let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert_eq!(suppressed, 0);
+    assert_eq!(
+        rule_counts(&findings, "allow-missing-reason"),
+        1,
+        "{findings:#?}"
+    );
+    assert_eq!(rule_counts(&findings, "no-panic"), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn allow_naming_unknown_rule_suppresses_nothing() {
+    let src = fixture("allow_unknown_rule.rs");
+    let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert_eq!(suppressed, 0);
+    assert_eq!(
+        rule_counts(&findings, "allow-unknown-rule"),
+        1,
+        "{findings:#?}"
+    );
+    assert_eq!(rule_counts(&findings, "no-panic"), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 2);
+}
+
+// --------------------------------------------------- the workspace lints clean
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two levels up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = ipu_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace findings:\n{}",
+        rendered.join("\n")
+    );
+}

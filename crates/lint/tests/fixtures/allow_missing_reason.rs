@@ -1,0 +1,7 @@
+//! Fixture: an allow comment with no reason — it must not suppress anything
+//! and must itself be reported.
+
+pub fn unsuppressed_unwrap(v: Option<u32>) -> u32 {
+    // ipu-lint: allow(no-panic)
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a violation silenced by a well-formed allow comment with a reason.
+
+pub fn allowed_unwrap(v: Option<u32>) -> u32 {
+    // ipu-lint: allow(no-panic) — fixture: the reason text is present, so this allow is valid
+    v.unwrap()
+}

@@ -1,0 +1,15 @@
+//! Fixture: R8 (no-debug-print) violations in library code.
+
+pub fn bad_prints(x: u32) -> u32 {
+    println!("x = {x}");
+    let y = dbg!(x + 1);
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_in_tests_is_fine() {
+        println!("test output is allowed");
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: R8-conforming library code — returns strings instead of printing.
+
+pub fn ok_format(x: u32) -> String {
+    format!("x = {x}")
+}

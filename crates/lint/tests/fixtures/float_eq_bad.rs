@@ -1,0 +1,18 @@
+//! Fixture: R6 (float-eq) violations in non-test code.
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn bad_ne(x: f64) -> bool {
+    x != 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_eq_in_tests_is_fine() {
+        let y = 2.0;
+        assert!(y == 2.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: R6-conforming comparisons.
+
+pub fn ok_range(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-9
+}
+
+pub fn ok_int_eq(n: u64) -> bool {
+    n == 42
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root carrying `#![forbid(unsafe_code)]` (R5).
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

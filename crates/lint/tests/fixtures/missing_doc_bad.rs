@@ -1,0 +1,18 @@
+//! Fixture: R7 (missing-doc) violations, linted as the scheme trait file.
+
+pub trait FixtureScheme {
+    /// Documented method.
+    fn documented(&self) -> u32;
+
+    fn undocumented(&self) -> u32;
+
+    fn undocumented_with_default_body(&self) -> u32 {
+        0
+    }
+}
+
+pub enum FixtureKind {
+    /// Documented variant.
+    Documented,
+    Undocumented,
+}

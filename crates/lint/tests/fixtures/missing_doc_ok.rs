@@ -1,0 +1,18 @@
+//! Fixture: R7-conforming trait and enum — every pub item documented.
+
+pub trait FixtureScheme {
+    /// Documented method.
+    fn documented(&self) -> u32;
+
+    /// Also documented, with a default body.
+    fn documented_with_default_body(&self) -> u32 {
+        0
+    }
+}
+
+pub enum FixtureKind {
+    /// First variant.
+    First,
+    /// Second variant, with a payload.
+    Second(u32),
+}

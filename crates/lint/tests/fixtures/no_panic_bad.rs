@@ -1,0 +1,31 @@
+//! Fixture: R1 (no-panic) violations, linted as if it lived in `crates/ftl`.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("must exist")
+}
+
+pub fn bad_macros(x: u32) -> u32 {
+    if x > 3 {
+        panic!("boom");
+    }
+    unreachable!()
+}
+
+pub fn bad_index_in_match(v: &[u32], flag: bool) -> u32 {
+    match flag {
+        true => v[0],
+        false => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: R1-conforming code for a panic-free crate.
+
+pub fn ok_fallible(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+pub fn ok_let_else(v: &[u32]) -> u32 {
+    let Some(&first) = v.first() else {
+        return 0;
+    };
+    first
+}
+
+pub fn ok_match_without_indexing(v: &[u32], flag: bool) -> u32 {
+    match flag {
+        true => v.first().copied().unwrap_or(0),
+        false => 0,
+    }
+}

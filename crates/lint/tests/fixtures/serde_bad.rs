@@ -1,0 +1,10 @@
+//! Fixture: R4 (serde-default) violation, linted as `crates/core/src/config.rs`.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FixtureConfig {
+    #[serde(default)]
+    pub alpha: u32,
+    pub beta: u32,
+    #[serde(rename = "g", default)]
+    pub gamma: f64,
+}

@@ -1,0 +1,15 @@
+//! Fixture: R4-conforming config file — every deserialized field defaulted,
+//! and a plain struct that the rule must ignore.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FixtureConfig {
+    #[serde(default)]
+    pub alpha: u32,
+    #[serde(default)]
+    pub beta: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct NotDeserialized {
+    pub plain: u32,
+}

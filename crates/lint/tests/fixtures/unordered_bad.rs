@@ -1,0 +1,12 @@
+//! Fixture: R3 (unordered-iter) violations, linted under an ordered-output
+//! path such as `crates/core/src/report.rs`.
+
+use std::collections::HashMap;
+
+pub fn render(m: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Fixture: R3-conforming code — ordered map on an ordered-output path.
+
+use std::collections::BTreeMap;
+
+pub fn render(m: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! Fixture: R2 (no-wall-clock) violations, linted as if in `crates/sim`.
+
+pub fn bad_wall_clock() -> bool {
+    let begin = std::time::SystemTime::now();
+    begin.elapsed().is_ok()
+}

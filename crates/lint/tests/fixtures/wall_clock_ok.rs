@@ -1,0 +1,5 @@
+//! Fixture: R2-conforming code — time only ever comes from the simulation.
+
+pub fn ok_sim_time(now_ns: u64, dt_ns: u64) -> u64 {
+    now_ns.saturating_add(dt_ns)
+}

@@ -28,6 +28,8 @@
 //! assert_eq!(snap.phase(Phase::Gc).unwrap().count, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod counters;
 pub mod export;
 pub mod span;

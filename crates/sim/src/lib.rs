@@ -17,6 +17,8 @@
 //! assert_eq!(report.requests, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod closed_loop;
 pub mod engine;
 pub mod power_loss;

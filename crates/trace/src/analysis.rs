@@ -7,7 +7,7 @@
 //! the page filled or was collected (upgrade / re-entry), and arrival
 //! burstiness decides how often the SLC pool drains into the MLC bypass.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -101,7 +101,7 @@ impl TraceAnalysis {
     pub fn compute(requests: &[IoRequest]) -> Self {
         let mut update_reuse_distance = Log2Histogram::new();
         let mut interarrival_ns = Log2Histogram::new();
-        let mut last_write_index: HashMap<u64, u64> = HashMap::new();
+        let mut last_write_index: BTreeMap<u64, u64> = BTreeMap::new();
         let mut writes_seen = 0u64;
         let mut rewrites = 0u64;
         let mut working_set_curve = Vec::with_capacity(100);

@@ -16,6 +16,8 @@
 //! calibration is validated (see the `table1_update_sizes` and
 //! `table3_trace_specs` bench targets).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod parser;
 pub mod request;

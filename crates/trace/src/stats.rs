@@ -8,7 +8,7 @@
 //!   subpage was written before), the size distribution over the buckets
 //!   (0, 4 KB], (4 KB, 8 KB] and > 8 KB.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -89,9 +89,9 @@ impl TraceStats {
         // Request-start-address access counts (reads + writes), plus the set
         // of start addresses that have been written, and the set of written
         // subpages (footprint / update detection).
-        let mut start_access_counts: HashMap<u64, u32> = HashMap::new();
-        let mut written_starts: HashMap<u64, u32> = HashMap::new();
-        let mut written_subpages: HashMap<u64, u32> = HashMap::new();
+        let mut start_access_counts: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut written_starts: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut written_subpages: BTreeMap<u64, u32> = BTreeMap::new();
         let mut bucket_counts = [0u64; 3];
         let mut updated_requests = 0u64;
 
