@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fleet-smoke gate: assert the merged fleet reports are self-consistent.
+
+Usage: check_fleet.py <fleet.json>
+
+The input is the ExperimentRecord written by `ipu-sim fleet --save
+fleet.json`, in either mode (capacity search or fixed tenant count). For
+every merged FleetReport the gate checks the aggregation invariants the
+fleet layer promises:
+
+* per-device completed ops sum exactly to the fleet total;
+* the pooled fleet p99 is no better than the median busy-device p99 —
+  merging can only pool tails together, never hide them;
+* hot-shard shares are fractions of the fleet total and the skew is
+  max/mean of the per-device loads.
+
+Capacity-search results are additionally checked for internal consistency:
+every probe's verdict matches its latency against the SLO, `max_tenants`
+is the largest passing probe, and the at-capacity report ran at exactly
+that tenant count.
+"""
+
+import json
+import sys
+
+
+def check_report(r: dict) -> None:
+    name = (r["trace"], r["scheme"], r["policy"])
+    ops = [d["ops"] for d in r["per_device"]]
+    assert len(ops) == r["devices"], name
+    assert sum(ops) == r["total_ops"], (name, sum(ops), r["total_ops"])
+
+    busy_p99 = sorted(d["p99_ns"] for d in r["per_device"] if d["ops"] > 0)
+    if busy_p99:
+        # Lower median: pooling tails can only raise the aggregate past the
+        # typical device, never below it.
+        median = busy_p99[(len(busy_p99) - 1) // 2]
+        assert r["p99_ns"] >= median, (name, r["p99_ns"], median)
+
+    total = sum(ops)
+    for h in r["load"]["hot_shards"]:
+        assert h["ops"] == ops[h["device"]], name
+        assert abs(h["share"] - h["ops"] / total) < 1e-9, name
+    if total > 0:
+        mean = total / len(ops)
+        assert abs(r["load"]["skew"] - max(ops) / mean) < 1e-9, name
+
+
+def check_capacity(c: dict) -> None:
+    name = (c["trace"], c["scheme"])
+    assert c["probes"], name
+    passing = [p["tenants"] for p in c["probes"] if p["met_slo"]]
+    for p in c["probes"]:
+        assert p["met_slo"] == (p["p99_ns"] < c["slo_p99_ns"]), (name, p)
+        assert 1 <= p["tenants"] <= c["tenant_cap"], (name, p)
+    assert c["max_tenants"] == (max(passing) if passing else 0), name
+    if c["max_tenants"] > 0:
+        at = c["at_capacity"]
+        assert at is not None, name
+        assert at["tenants"] == c["max_tenants"], name
+        check_report(at)
+    else:
+        assert c["at_capacity"] is None, name
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        record = json.load(f)
+
+    run = record["result"]
+    caps = run["capacity"]
+    fixed = run["reports"]
+    assert caps or fixed, "fleet run produced no reports"
+    for c in caps:
+        check_capacity(c)
+    for r in fixed:
+        check_report(r)
+    if caps:
+        # A search where no scheme serves a single tenant means the SLO (or
+        # the search itself) degenerated — the smoke would be vacuous.
+        assert any(c["max_tenants"] > 0 for c in caps), (
+            "every capacity search came back zero"
+        )
+    total_probes = sum(len(c["probes"]) for c in caps)
+    print(
+        f"fleet OK: {len(caps)} capacity searches ({total_probes} probes), "
+        f"{len(fixed)} fixed-size reports, {run['devices']} devices, "
+        f"{run['policy']} routing — ops conserved, tails pooled"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

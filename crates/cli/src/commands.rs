@@ -39,6 +39,10 @@ COMMANDS
                         (throughput + per-phase wall time; CI's perf gate input)
   scorecard             Check the paper's claims against a measured matrix
                         (--save writes the JSON the CI scorecard gate diffs)
+  fleet                 Sharded multi-device serving simulation: route tenants
+                        onto N devices and binary-search the max tenant count
+                        meeting a p99 SLO per scheme (or run a fixed fleet
+                        with --tenants); caches by default
   help                  Show this text
 
 COMMON OPTIONS (commands accept only the options they use; anything else
@@ -67,6 +71,19 @@ PROFILE OPTIONS
   --events <file.jsonl> Also dump the structured span/counter/event log as
                         JSON Lines (one object per line, `type`-tagged)
 
+FLEET OPTIONS
+  --devices <n>         Fleet size (default 64)
+  --policy <p>          Shard router: hash | range | lba-stripe (default hash)
+  --queue-depth <n>     Per-tenant queue depth on each device (default 1:
+                        p99 then measures sharing cost, not self-queueing)
+  --arbitration <p>     rr | wrr | prio (default rr)
+  --slo-p99-ms <ms>     Capacity-search SLO on fleet p99 service latency
+                        (default 1.0)
+  --max-tenants <n>     Capacity-search upper bound (default 65536)
+  --tenants <n>         Skip the search; run one fleet at exactly n tenants
+  --out <dir>           Also render the fleet SVG figures into <dir>
+  --from <run.json>     Re-render figures from a --save file, no simulation
+
 SIMULATE OPTIONS
   --queue-depth <a,b>   Queue depths to sweep (default 1,4,16,64)
   --tenants <spec>      Count (`4`) or `name[:weight[:priority]]` list
@@ -85,6 +102,9 @@ EXAMPLES
   ipu-sim reliability --fault-profile heavy --traces ts0 --scale 0.05
   ipu-sim profile --traces ts0 --scale 0.02 --threads 1
   ipu-sim scorecard --traces ts0 --scale 0.02 --save scorecard.json
+  ipu-sim fleet --traces ts0 --scale 0.02 --devices 64 --policy hash \\
+          --slo-p99-ms 1.0 --save fleet.json --out figures
+  ipu-sim fleet --tenants 4096 --devices 64 --policy lba-stripe --scale 0.02
 ";
 
 /// Builds the experiment config from the common flags.
@@ -627,6 +647,142 @@ pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `ipu-sim fleet`: the sharded multi-device serving simulation. Default
+/// mode binary-searches, per trace × scheme, the max tenant count whose
+/// fleet-wide p99 service latency stays under the SLO; `--tenants <n>` pins
+/// the fleet size instead; `--from <run.json>` re-renders the figures of a
+/// saved run without simulating anything.
+pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
+    use ipu_fleet::{
+        render_capacity, render_fleet_report, run_capacity_search, run_fleet_cached,
+        write_fleet_charts, FleetRunResult, FleetSpec, ShardPolicy, SloTarget,
+    };
+
+    // Chart-only mode: replot a saved run.
+    if let Some(path) = args.flag("from") {
+        let out = args.flag("out").unwrap_or("figures");
+        let record: ExperimentRecord<FleetRunResult> = ExperimentRecord::load(path)
+            .map_err(|e| ArgError(format!("cannot load {path}: {e}")))?;
+        let written = write_fleet_charts(std::path::Path::new(out), &record.result)
+            .map_err(|e| ArgError(format!("cannot write charts: {e}")))?;
+        return Ok(written
+            .iter()
+            .map(|p| format!("wrote {}", p.display()))
+            .collect::<Vec<_>>()
+            .join("\n"));
+    }
+
+    let mut cfg = config_from(args)?;
+    // The fleet question is per-scheme capacity, so default to every scheme
+    // (incl. ipu+) but only the headline trace — a 6-trace × 4-scheme
+    // capacity search is an explicit ask, not a default.
+    if args.flag_list("traces").is_none() {
+        cfg.traces = vec![PaperTrace::Ts0];
+    }
+    if args.flag_list("schemes").is_none() {
+        cfg.schemes = SchemeKind::all_extended().to_vec();
+    }
+    let devices: usize = args.flag_parsed("devices", 64usize)?;
+    if devices < 1 {
+        return Err(ArgError("--devices must be ≥ 1".into()));
+    }
+    let policy = ShardPolicy::parse(args.flag("policy").unwrap_or("hash")).map_err(ArgError)?;
+    let queue_depth: usize = args.flag_parsed("queue-depth", 1usize)?;
+    if queue_depth < 1 {
+        return Err(ArgError("--queue-depth must be ≥ 1".into()));
+    }
+    let arbitration =
+        ArbitrationPolicy::parse(args.flag("arbitration").unwrap_or("rr")).map_err(ArgError)?;
+    let slo_ms: f64 = args.flag_parsed("slo-p99-ms", 1.0f64)?;
+    if slo_ms <= 0.0 || slo_ms.is_nan() {
+        return Err(ArgError(format!("--slo-p99-ms {slo_ms} must be > 0")));
+    }
+    let slo_p99_ns = (slo_ms * 1e6) as u64;
+    let tenant_cap: u64 = args.flag_parsed("max-tenants", 65_536u64)?;
+    if tenant_cap < 1 {
+        return Err(ArgError("--max-tenants must be ≥ 1".into()));
+    }
+    let fixed: Option<usize> = match args.flag("tenants") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or_else(|| ArgError(format!("bad tenant count `{s}`")))?,
+        ),
+    };
+
+    // Fleet runs are pure functions of their inputs and a capacity search
+    // re-probes many of the same shapes, so the cache defaults on.
+    let cache = cache_from(args, true)?;
+    let traces = TraceSet::generate(&cfg);
+    let spec_for = |tenants: usize| {
+        FleetSpec::new(devices, tenants, policy)
+            .with_queue_depth(queue_depth)
+            .with_arbitration(arbitration)
+    };
+
+    let mut run = FleetRunResult {
+        devices,
+        policy: policy.label().to_string(),
+        queue_depth,
+        slo_p99_ns,
+        capacity: Vec::new(),
+        reports: Vec::new(),
+    };
+    let mut out = String::new();
+    match fixed {
+        Some(tenants) => {
+            for &trace in &cfg.traces {
+                for &scheme in &cfg.schemes {
+                    let report = run_fleet_cached(
+                        &cfg,
+                        scheme,
+                        trace,
+                        &spec_for(tenants),
+                        &traces,
+                        cache.as_ref(),
+                    );
+                    out.push_str(&render_fleet_report(&report));
+                    out.push('\n');
+                    run.reports.push(report);
+                }
+            }
+        }
+        None => {
+            for &trace in &cfg.traces {
+                for &scheme in &cfg.schemes {
+                    run.capacity.push(run_capacity_search(
+                        &cfg,
+                        trace,
+                        scheme,
+                        &spec_for(1),
+                        SloTarget {
+                            p99_ns: slo_p99_ns,
+                            tenant_cap,
+                        },
+                        &traces,
+                        cache.as_ref(),
+                    ));
+                }
+            }
+            out.push_str(&render_capacity(&run.capacity));
+        }
+    }
+    maybe_save(args, &cfg, "fleet", run.clone())?;
+    if let Some(dir) = args.flag("out") {
+        let written = write_fleet_charts(std::path::Path::new(dir), &run)
+            .map_err(|e| ArgError(format!("cannot write charts: {e}")))?;
+        for p in &written {
+            out.push_str(&format!("wrote {}\n", p.display()));
+        }
+    }
+    if let Some(cache) = &cache {
+        out.push_str(&cache_line(cache));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -891,5 +1047,94 @@ mod tests {
         assert!(cmd_replay(&p).is_err());
         let p = parsed("replay /definitely/missing.csv", COMMON);
         assert!(cmd_replay(&p).is_err());
+    }
+
+    const FLEET: &[&str] = &[
+        "scale",
+        "traces",
+        "schemes",
+        "pe",
+        "threads",
+        "save",
+        "fault-profile",
+        "devices",
+        "policy",
+        "queue-depth",
+        "arbitration",
+        "slo-p99-ms",
+        "max-tenants",
+        "tenants",
+        "out",
+        "from",
+        "cache-dir",
+    ];
+
+    #[test]
+    fn tiny_fixed_fleet_reports_every_scheme() {
+        let p = parsed_with_switches(
+            "fleet --scale 0.002 --traces ts0 --schemes baseline,ipu --tenants 4 \
+             --devices 2 --queue-depth 2 --threads 1 --no-cache",
+            FLEET,
+            &["cache", "no-cache"],
+        );
+        let text = cmd_fleet(&p).unwrap();
+        assert!(text.contains("fleet ts0 / Baseline [hash]"), "{text}");
+        assert!(text.contains("fleet ts0 / IPU [hash]"), "{text}");
+        assert!(text.contains("2 devices, 4 tenants, QD 2"));
+        assert!(text.contains("Hot shard"));
+        assert!(!text.contains("replay cache"));
+    }
+
+    #[test]
+    fn fleet_capacity_search_saves_and_replots() {
+        let dir = std::env::temp_dir().join(format!("ipu_cli_fleet_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let save = dir.join("fleet.json");
+        // A generous SLO so the tiny search saturates at the 4-tenant cap.
+        let p = parsed_with_switches(
+            &format!(
+                "fleet --scale 0.002 --traces ts0 --schemes ipu --devices 2 \
+                 --max-tenants 4 --slo-p99-ms 10000 --threads 1 --no-cache --save {}",
+                save.display()
+            ),
+            FLEET,
+            &["cache", "no-cache"],
+        );
+        let text = cmd_fleet(&p).unwrap();
+        assert!(text.contains("max tenants"), "{text}");
+        assert!(text.contains("4"), "{text}");
+
+        // --from replots the saved run without simulating.
+        let figs = dir.join("figs");
+        let p = parsed_with_switches(
+            &format!("fleet --from {} --out {}", save.display(), figs.display()),
+            FLEET,
+            &["cache", "no-cache"],
+        );
+        let text = cmd_fleet(&p).unwrap();
+        assert!(text.contains("fleet_capacity.svg"), "{text}");
+        assert!(text.contains("fleet_load_ts0.svg"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_rejects_bad_specs() {
+        for bad in [
+            "fleet --scale 0.002 --devices 0",
+            "fleet --scale 0.002 --policy pony",
+            "fleet --scale 0.002 --queue-depth 0",
+            "fleet --scale 0.002 --tenants 0",
+            "fleet --scale 0.002 --tenants pony",
+            "fleet --scale 0.002 --slo-p99-ms 0",
+            "fleet --scale 0.002 --max-tenants 0",
+            "fleet --scale 0.002 --arbitration fifo",
+            "fleet --from /definitely/missing.json",
+        ] {
+            assert!(
+                cmd_fleet(&parsed_with_switches(bad, FLEET, &["cache", "no-cache"])).is_err(),
+                "`{bad}` must fail"
+            );
+        }
     }
 }

@@ -60,6 +60,21 @@ fn command_grammar(command: &str) -> Option<(Vec<&'static str>, Vec<&'static str
             "split",
         ]),
         "replay" => flags = vec!["schemes", "fault-profile"],
+        "fleet" => {
+            flags.extend_from_slice(&[
+                "save",
+                "devices",
+                "policy",
+                "queue-depth",
+                "arbitration",
+                "slo-p99-ms",
+                "max-tenants",
+                "tenants",
+                "out",
+                "from",
+            ]);
+            with_cache(&mut flags, &mut switches);
+        }
         _ => return None,
     }
     Some((flags, switches))
@@ -97,6 +112,7 @@ fn main() {
         "figures" => commands::cmd_figures(&parsed),
         "profile" => commands::cmd_profile(&parsed),
         "scorecard" => commands::cmd_scorecard(&parsed),
+        "fleet" => commands::cmd_fleet(&parsed),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{}", commands::USAGE);
             std::process::exit(2);
@@ -140,6 +156,7 @@ mod tests {
             "figures",
             "profile",
             "scorecard",
+            "fleet",
         ] {
             assert!(command_grammar(cmd).is_some(), "{cmd}");
         }

@@ -56,6 +56,25 @@ struct CacheEntry {
     report: SimReport,
 }
 
+/// Key of a generic (non-replay) cached computation: `kind` namespaces
+/// result families (e.g. `"fleet"`), `key` is the caller's input description
+/// as canonical JSON. The vendored `serde_json` has no dynamic `Value`, so
+/// the nested JSON travels as a string — byte-stable either way.
+#[derive(Serialize)]
+struct GenericKey {
+    schema: u32,
+    kind: String,
+    key: String,
+}
+
+/// On-disk entry of a generic computation; the value is the result's JSON,
+/// nested as a string for the same reason as [`GenericKey::key`].
+#[derive(Serialize, Deserialize)]
+struct GenericEntry {
+    key: String,
+    value: String,
+}
+
 /// Hit/miss counters of one cache over its lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -141,6 +160,86 @@ impl ReplayCache {
         let report = replay(cfg, requests, trace_name);
         self.store(&key, &report);
         report
+    }
+
+    /// Returns the cached value of an arbitrary deterministic computation,
+    /// or runs `compute` and stores its result.
+    ///
+    /// `kind` namespaces result families sharing one cache directory;
+    /// `key` must describe *every* input the computation depends on — the
+    /// cache trusts the caller on completeness exactly as
+    /// [`get_or_replay`](Self::get_or_replay) trusts the `spec`/`requests`
+    /// pairing. All the replay-path safety properties apply: verbatim key
+    /// comparison, corruption → miss + heal, schema versioning.
+    pub fn get_or_compute<K, T, F>(&self, kind: &str, key: &K, compute: F) -> T
+    where
+        K: Serialize,
+        T: Serialize + serde::de::DeserializeOwned,
+        F: FnOnce() -> T,
+    {
+        let key_json = Self::generic_key_json(kind, key);
+        if let Some(value) = self.load_generic(&key_json) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.store_generic(&key_json, &value);
+        value
+    }
+
+    /// Canonical key JSON for a generic computation under the current schema.
+    fn generic_key_json<K: Serialize>(kind: &str, key: &K) -> String {
+        serde_json::to_string(&GenericKey {
+            schema: CACHE_SCHEMA_VERSION,
+            kind: kind.to_string(),
+            key: serde_json::to_string(key).expect("generic cache key serialization cannot fail"),
+        })
+        .expect("generic cache key serialization cannot fail")
+    }
+
+    /// Loads a generic entry for `key_json`, rejecting anything that does not
+    /// verifiably carry that exact key or whose value no longer parses as
+    /// `T` (shape drift counts as corruption).
+    fn load_generic<T: serde::de::DeserializeOwned>(&self, key_json: &str) -> Option<T> {
+        let text = fs::read_to_string(self.entry_path(key_json)).ok()?;
+        let Ok(entry) = serde_json::from_str::<GenericEntry>(&text) else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if entry.key != key_json {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match serde_json::from_str::<T>(&entry.value) {
+            Ok(value) => Some(value),
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Best-effort store of a generic entry (same contract as `store`).
+    fn store_generic<T: Serialize>(&self, key_json: &str, value: &T) {
+        let Ok(value_json) = serde_json::to_string(value) else {
+            return;
+        };
+        let entry = GenericEntry {
+            key: key_json.to_string(),
+            value: value_json,
+        };
+        let Ok(json) = serde_json::to_string(&entry) else {
+            return;
+        };
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let path = self.entry_path(key_json);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
     }
 
     /// Canonical key JSON for `(cfg, spec)` under the current schema.
@@ -332,5 +431,63 @@ mod tests {
         let (cfg, spec, _) = small_inputs();
         let key = ReplayCache::key_json(&cfg, &spec);
         assert!(key.contains(&format!("\"schema\":{CACHE_SCHEMA_VERSION}")));
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Fake {
+        label: String,
+        values: Vec<u64>,
+    }
+
+    #[test]
+    fn generic_entries_round_trip_and_count_hits() {
+        let dir = tmp_dir("generic");
+        let cache = ReplayCache::new(&dir);
+        let make = || Fake {
+            label: "fleet".into(),
+            values: vec![1, 2, 3],
+        };
+
+        let first: Fake = cache.get_or_compute("fleet", &("ts0", 64u64), make);
+        assert_eq!(cache.stats().misses, 1);
+
+        // Warm lookup: compute must NOT run again.
+        let second: Fake = cache.get_or_compute("fleet", &("ts0", 64u64), || {
+            panic!("hit path must not recompute")
+        });
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(first, second);
+
+        // A different key or a different kind is a distinct entry.
+        let _: Fake = cache.get_or_compute("fleet", &("ts0", 65u64), make);
+        let _: Fake = cache.get_or_compute("capacity", &("ts0", 64u64), make);
+        assert_eq!(cache.stats().misses, 3);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generic_entry_with_unparsable_value_is_rejected() {
+        let dir = tmp_dir("generic-drift");
+        let cache = ReplayCache::new(&dir);
+        let make = || Fake {
+            label: "x".into(),
+            values: vec![7],
+        };
+        let _: Fake = cache.get_or_compute("fleet", &1u64, make);
+
+        // Corrupt the nested value JSON: shape drift must read as a miss.
+        let key_json = ReplayCache::generic_key_json("fleet", &1u64);
+        let path = cache.entry_path(&key_json);
+        let mut entry: GenericEntry =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        entry.value = "{\"other\":true}".to_string();
+        fs::write(&path, serde_json::to_string(&entry).unwrap()).unwrap();
+
+        let healed: Fake = cache.get_or_compute("fleet", &1u64, make);
+        assert_eq!(healed, make());
+        assert_eq!(cache.stats().rejected, 1);
+        let _: Fake = cache.get_or_compute("fleet", &1u64, || panic!("healed entry must hit"));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -48,7 +48,7 @@ pub use qd_sweep::{
 };
 pub use results::ExperimentRecord;
 pub use scorecard::{evaluate as evaluate_scorecard, ClaimResult, Outcome};
-pub use svg::{write_figures, GroupedBars, LineChart};
+pub use svg::{write_figures, GroupedBars, HeatStrip, LineChart};
 pub use trace_set::TraceSet;
 
 // Re-export the layer crates so downstream users need only one dependency.

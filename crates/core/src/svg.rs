@@ -290,6 +290,121 @@ impl LineChart {
     }
 }
 
+/// Builds a heat strip: one row per named series, one cell per column, cell
+/// color scaled to the value — the shape of a per-device load map, where a
+/// hot shard stands out as a dark cell in an otherwise even band.
+#[derive(Debug, Clone)]
+pub struct HeatStrip {
+    title: String,
+    cols: usize,
+    rows: Vec<(String, Vec<f64>)>,
+    width: f64,
+}
+
+impl HeatStrip {
+    /// Lightest (zero) and darkest (max) cell colors.
+    const COLD: (u8, u8, u8) = (0xf0, 0xf4, 0xf8);
+    const HOT: (u8, u8, u8) = (0x17, 0x45, 0x6e);
+    const ROW_H: f64 = 26.0;
+
+    pub fn new(title: &str, cols: usize) -> Self {
+        assert!(cols >= 1, "a heat strip needs at least one column");
+        HeatStrip {
+            title: title.to_string(),
+            cols,
+            rows: Vec::new(),
+            width: 720.0,
+        }
+    }
+
+    /// Adds a named row; must have one value per column, all finite and ≥ 0.
+    pub fn row(&mut self, name: &str, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "cell values must be finite and ≥ 0"
+        );
+        self.rows.push((name.to_string(), values.to_vec()));
+        self
+    }
+
+    /// Linear interpolation between the cold and hot colors.
+    fn cell_color(frac: f64) -> String {
+        let lerp = |a: u8, b: u8| -> u8 {
+            (a as f64 + (b as f64 - a as f64) * frac.clamp(0.0, 1.0)).round() as u8
+        };
+        format!(
+            "#{:02x}{:02x}{:02x}",
+            lerp(Self::COLD.0, Self::HOT.0),
+            lerp(Self::COLD.1, Self::HOT.1),
+            lerp(Self::COLD.2, Self::HOT.2)
+        )
+    }
+
+    /// Renders the strip to an SVG document string.
+    pub fn render(&self) -> String {
+        let w = self.width;
+        let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
+        let h = MARGIN_TOP + Self::ROW_H * self.rows.len() as f64 + 34.0;
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max);
+        let cell_w = plot_w / self.cols as f64;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            esc(&self.title)
+        );
+        for (r, (name, values)) in self.rows.iter().enumerate() {
+            let y = MARGIN_TOP + Self::ROW_H * r as f64;
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                y + Self::ROW_H * 0.65,
+                esc(name)
+            );
+            for (c, &v) in values.iter().enumerate() {
+                let frac = if max <= 0.0 { 0.0 } else { v / max };
+                let x = MARGIN_LEFT + cell_w * c as f64;
+                let _ = write!(
+                    svg,
+                    r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="#fff" stroke-width="0.5"/>"##,
+                    cell_w,
+                    Self::ROW_H,
+                    Self::cell_color(frac)
+                );
+            }
+        }
+        // Column index labels: first, last, and roughly every eighth.
+        let step = (self.cols / 8).max(1);
+        let label_y = MARGIN_TOP + Self::ROW_H * self.rows.len() as f64 + 16.0;
+        let mut c = 0;
+        while c < self.cols {
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{label_y:.1}" font-size="10" text-anchor="middle">{c}</text>"#,
+                MARGIN_LEFT + cell_w * (c as f64 + 0.5)
+            );
+            if c == self.cols - 1 {
+                break;
+            }
+            c = (c + step).min(self.cols - 1);
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
 fn format_tick(v: f64) -> String {
     // ipu-lint: allow(float-eq) — axis ticks are generated as exact multiples of the step, so the zero tick is a literal 0.0, not a computed residue
     if v == 0.0 {
@@ -466,6 +581,35 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn line_chart_rejects_ragged_series() {
         LineChart::new("x", "y", &[1.0, 2.0]).series("s", &[1.0]);
+    }
+
+    #[test]
+    fn heat_strip_emits_one_cell_per_value() {
+        let mut s = HeatStrip::new("load <skew>", 4);
+        s.row("ipu", &[1.0, 4.0, 2.0, 0.0]);
+        s.row("base", &[2.0, 2.0, 2.0, 2.0]);
+        let svg = s.render();
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 8, "2 rows × 4 cells");
+        assert!(svg.contains("load &lt;skew&gt;"), "title must be escaped");
+        // The max cell is the darkest color, a zero cell the lightest.
+        assert!(svg.contains("#17456e"), "max cell must be fully hot");
+        assert!(svg.contains("#f0f4f8"), "zero cell must be fully cold");
+    }
+
+    #[test]
+    fn heat_strip_all_zero_row_renders_cold() {
+        let mut s = HeatStrip::new("idle", 3);
+        s.row("r", &[0.0, 0.0, 0.0]);
+        let svg = s.render();
+        assert_eq!(svg.matches("#f0f4f8").count(), 3);
+        assert!(!svg.contains("#17456e"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn heat_strip_rejects_ragged_rows() {
+        HeatStrip::new("x", 3).row("r", &[1.0]);
     }
 
     #[test]

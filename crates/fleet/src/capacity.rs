@@ -1,0 +1,232 @@
+//! SLO capacity search: the largest tenant count a fleet sustains at a
+//! target p99.
+//!
+//! The p99-vs-tenants landscape is not monotonic at the low end: few
+//! tenants concentrate the whole workload on few devices (worst per-device
+//! load), while many tenants multiply the queue pairs competing on each
+//! device. The search therefore probes the full exponential ladder
+//! (1, 2, 4, …, cap) without aborting on a failure, then binary-searches
+//! between the largest passing and the smallest failing count above it.
+//! Every probe is a full fleet run, so probes route through
+//! [`run_fleet_cached`] — a warm search replays nothing.
+
+use crate::report::{CapacityProbe, CapacityResult, FleetReport};
+use crate::run::{run_fleet_cached, FleetSpec};
+use ipu_core::{ExperimentConfig, ReplayCache, TraceSet};
+use ipu_ftl::SchemeKind;
+use ipu_trace::PaperTrace;
+
+/// Outcome of the generic search: the largest passing tenant count, the
+/// probes taken, and the fleet report at capacity.
+struct SearchOutcome {
+    max_tenants: u64,
+    probes: Vec<CapacityProbe>,
+    at_capacity: Option<FleetReport>,
+}
+
+/// Bracket-then-bisect over `probe`, which runs the fleet at a tenant count
+/// and returns its report. Generic over the probe so the search logic is
+/// testable without simulating anything.
+fn search(
+    slo_p99_ns: u64,
+    tenant_cap: u64,
+    mut probe: impl FnMut(u64) -> FleetReport,
+) -> SearchOutcome {
+    assert!(tenant_cap >= 1, "tenant cap must be ≥ 1");
+    let mut probes = Vec::new();
+    let mut best: Option<(u64, FleetReport)> = None;
+    let mut check = |tenants: u64, probes: &mut Vec<CapacityProbe>| -> bool {
+        let report = probe(tenants);
+        let met = report.p99_ns < slo_p99_ns;
+        probes.push(CapacityProbe {
+            tenants,
+            p99_ns: report.p99_ns,
+            met_slo: met,
+        });
+        if met && best.as_ref().is_none_or(|(t, _)| tenants > *t) {
+            best = Some((tenants, report));
+        }
+        met
+    };
+
+    // The full exponential ladder, 1, 2, 4, …, cap. A failure does NOT stop
+    // the climb: few tenants concentrate the workload (hash places one
+    // tenant on one device), so the low end can fail while larger counts
+    // pass. `lo` tracks the largest passing count, `hi` the first failure
+    // above it.
+    let mut lo = 0u64; // largest count known to pass (0 = none yet)
+    let mut hi = None; // smallest failing count above `lo`
+    let mut t = 1u64;
+    loop {
+        if check(t, &mut probes) {
+            lo = t;
+            hi = None; // failures below a passing count are irrelevant
+        } else if hi.is_none() {
+            hi = Some(t);
+        }
+        if t >= tenant_cap {
+            break;
+        }
+        t = (t * 2).min(tenant_cap);
+    }
+
+    // Bisect (lo passes, hi fails) down to adjacent counts. With no passing
+    // ladder point there is no bracket to refine: the fleet serves 0 tenants
+    // at this SLO as far as logarithmic probing can tell.
+    if let Some(mut hi) = hi {
+        while lo > 0 && hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if check(mid, &mut probes) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    let (max_tenants, at_capacity) = match best {
+        Some((t, report)) => (t, Some(report)),
+        None => (0, None),
+    };
+    SearchOutcome {
+        max_tenants,
+        probes,
+        at_capacity,
+    }
+}
+
+/// What a capacity search is looking for: the p99 SLO every probe is held
+/// to and the ceiling on the tenant count.
+#[derive(Clone, Copy, Debug)]
+pub struct SloTarget {
+    /// A probe meets the SLO iff its pooled fleet p99 is strictly below this.
+    pub p99_ns: u64,
+    /// Upper bound on the searched tenant count (the ladder clamps to it).
+    pub tenant_cap: u64,
+}
+
+/// Searches the max tenant count for one trace × scheme under the fleet
+/// shape in `proto` (its `tenants` field is the search variable and is
+/// ignored). Probes go through the cache when one is supplied.
+pub fn run_capacity_search(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    scheme: SchemeKind,
+    proto: &FleetSpec,
+    target: SloTarget,
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> CapacityResult {
+    let SloTarget {
+        p99_ns: slo_p99_ns,
+        tenant_cap,
+    } = target;
+    let outcome = search(slo_p99_ns, tenant_cap, |tenants| {
+        let mut spec = proto.clone();
+        spec.tenants = tenants as usize;
+        run_fleet_cached(cfg, scheme, trace, &spec, traces, cache)
+    });
+    CapacityResult {
+        scheme: scheme.label().to_string(),
+        trace: trace.to_string(),
+        policy: proto.policy.label().to_string(),
+        slo_p99_ns,
+        tenant_cap,
+        max_tenants: outcome.max_tenants,
+        probes: outcome.probes,
+        at_capacity: outcome.at_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShardPolicy;
+    use ipu_sim::ClosedLoopReport;
+
+    /// A fleet report whose p99 is a pure function of the tenant count:
+    /// `p99_ns = tenants × slope`.
+    fn fake_report(tenants: u64, slope: u64) -> FleetReport {
+        let empty: [Option<ClosedLoopReport>; 0] = [];
+        let mut r =
+            FleetReport::merge("ipu", "ts0", ShardPolicy::Hash, tenants as usize, 1, &empty);
+        r.p99_ns = tenants * slope;
+        r
+    }
+
+    #[test]
+    fn search_finds_the_exact_boundary() {
+        // SLO 1000 ns, slope 10: 99 tenants pass (990 < 1000), 100 fails.
+        for cap in [100u64, 128, 1000, 65_536] {
+            let mut calls = 0u64;
+            let out = search(1_000, cap, |t| {
+                calls += 1;
+                fake_report(t, 10)
+            });
+            assert_eq!(out.max_tenants, 99, "cap {cap}");
+            assert_eq!(out.at_capacity.as_ref().unwrap().p99_ns, 990);
+            // Bracket + bisect: logarithmic, never anywhere near the cap.
+            assert!(calls <= 2 * 64, "cap {cap}: {calls} probes");
+            // The failing boundary probe is recorded.
+            assert!(out.probes.iter().any(|p| p.tenants == 100 && !p.met_slo));
+        }
+    }
+
+    #[test]
+    fn search_saturates_at_the_cap_when_everything_passes() {
+        let out = search(u64::MAX, 300, |t| fake_report(t, 1));
+        assert_eq!(out.max_tenants, 300);
+        assert_eq!(out.at_capacity.unwrap().tenants, 300);
+        assert!(out.probes.iter().all(|p| p.met_slo));
+        // Exponential probes clamped to the cap: 1,2,4,…,256,300.
+        assert_eq!(out.probes.last().unwrap().tenants, 300);
+    }
+
+    #[test]
+    fn search_reports_zero_when_every_ladder_point_misses() {
+        let out = search(5, 1_000, |t| fake_report(t, 10));
+        assert_eq!(out.max_tenants, 0);
+        assert!(out.at_capacity.is_none());
+        // The whole ladder was probed (1, 2, …, 512, 1000), all failing.
+        assert_eq!(out.probes.len(), 11);
+        assert!(out.probes.iter().all(|p| !p.met_slo));
+    }
+
+    #[test]
+    fn search_handles_cap_of_one() {
+        let out = search(1_000, 1, |t| fake_report(t, 10));
+        assert_eq!(out.max_tenants, 1);
+        assert_eq!(out.probes.len(), 1);
+    }
+
+    #[test]
+    fn an_interior_dip_does_not_hide_the_larger_passing_counts() {
+        // t = 8 fails but everything else under 100 passes: the ladder keeps
+        // climbing past the dip and finds the cap still passing.
+        let out = search(1_000, 64, |t| {
+            let p99 = if t == 8 { 2_000 } else { t * 10 };
+            let mut r = fake_report(t, 10);
+            r.p99_ns = p99;
+            r
+        });
+        assert_eq!(out.max_tenants, 64);
+        assert!(out.probes.iter().all(|p| p.met_slo == (p.p99_ns < 1_000)));
+    }
+
+    #[test]
+    fn low_end_failures_do_not_zero_the_search() {
+        // Few tenants concentrate load (fails); the mid range passes; the
+        // high end fails again. The search must find the upper boundary,
+        // not report 0 because t = 1 failed.
+        let passes = |t: u64| (4..=50).contains(&t);
+        let out = search(1_000, 1_024, |t| {
+            let mut r = fake_report(t, 1);
+            r.p99_ns = if passes(t) { 500 } else { 5_000 };
+            r
+        });
+        assert_eq!(out.max_tenants, 50);
+        assert_eq!(out.at_capacity.as_ref().unwrap().p99_ns, 500);
+        // Logarithmic probe count even with the non-monotone landscape.
+        assert!(out.probes.len() <= 32, "{} probes", out.probes.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Dependency-free SVG figures for fleet results: the capacity headline as
+//! grouped bars and per-device load as heat strips, rendered from a saved
+//! [`FleetRunResult`] with the same `ipu_core::svg` primitives the paper
+//! figures use.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::{FleetReport, FleetRunResult};
+use ipu_core::{GroupedBars, HeatStrip};
+
+/// First-appearance-order deduplication (the capacity results are already
+/// ordered trace-major, scheme-minor by the runner).
+fn unique(values: impl Iterator<Item = String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Writes the fleet figures under `dir` and returns the written paths:
+///
+/// * `fleet_capacity.svg` — tenants served at the p99 SLO, one group per
+///   trace, one bar per scheme (capacity-search runs only);
+/// * `fleet_load_<trace>.svg` — per-device ops heat strip, one row per
+///   scheme, from the at-capacity reports (or the fixed-size reports).
+pub fn write_fleet_charts(dir: &Path, run: &FleetRunResult) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    if !run.capacity.is_empty() {
+        let groups = unique(run.capacity.iter().map(|c| c.trace.clone()));
+        let series = unique(run.capacity.iter().map(|c| c.scheme.clone()));
+        let slo_ms = run.slo_p99_ns as f64 / 1e6;
+        let mut bars = GroupedBars::new(
+            &format!(
+                "Tenants served at p99 < {slo_ms:.2} ms ({} devices, {} routing)",
+                run.devices, run.policy
+            ),
+            "tenants",
+            &groups,
+            &series,
+        );
+        for c in &run.capacity {
+            let g = groups.iter().position(|t| *t == c.trace).expect("grouped");
+            let s = series.iter().position(|x| *x == c.scheme).expect("grouped");
+            bars.set(g, s, c.max_tenants as f64);
+        }
+        let path = dir.join("fleet_capacity.svg");
+        std::fs::write(&path, bars.render())?;
+        written.push(path);
+    }
+
+    // One heat strip per trace: per-device completed ops, row per scheme.
+    let reports: Vec<&FleetReport> = run
+        .capacity
+        .iter()
+        .filter_map(|c| c.at_capacity.as_ref())
+        .chain(run.reports.iter())
+        .collect();
+    let mut by_trace: Vec<(String, Vec<&FleetReport>)> = Vec::new();
+    for r in reports {
+        match by_trace.iter_mut().find(|(t, _)| *t == r.trace) {
+            Some((_, rs)) => rs.push(r),
+            None => by_trace.push((r.trace.clone(), vec![r])),
+        }
+    }
+    for (trace, reports) in by_trace {
+        let devices = reports[0].devices;
+        let mut strip = HeatStrip::new(
+            &format!("{trace}: per-device load (completed ops)"),
+            devices,
+        );
+        let mut rows = 0;
+        for r in &reports {
+            if r.devices != devices {
+                continue; // mixed fleet sizes cannot share a strip
+            }
+            let ops: Vec<f64> = r.per_device.iter().map(|d| d.ops as f64).collect();
+            strip.row(&r.scheme, &ops);
+            rows += 1;
+        }
+        if rows == 0 {
+            continue;
+        }
+        let path = dir.join(format!("fleet_load_{trace}.svg"));
+        std::fs::write(&path, strip.render())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CapacityProbe, CapacityResult};
+    use crate::router::ShardPolicy;
+
+    /// A zero fleet report with `devices` summaries, load painted on.
+    fn fake_report(scheme: &str, trace: &str, ops: &[u64]) -> FleetReport {
+        let empty: Vec<Option<ipu_sim::ClosedLoopReport>> = (0..ops.len()).map(|_| None).collect();
+        let mut r = FleetReport::merge(scheme, trace, ShardPolicy::Hash, 8, 4, &empty);
+        for (d, &n) in ops.iter().enumerate() {
+            r.per_device[d].ops = n;
+        }
+        r
+    }
+
+    fn fake_capacity(scheme: &str, trace: &str, max_tenants: u64) -> CapacityResult {
+        CapacityResult {
+            scheme: scheme.into(),
+            trace: trace.into(),
+            policy: "hash".into(),
+            slo_p99_ns: 1_000_000,
+            tenant_cap: 1024,
+            max_tenants,
+            probes: vec![CapacityProbe {
+                tenants: max_tenants,
+                p99_ns: 900_000,
+                met_slo: true,
+            }],
+            at_capacity: Some(fake_report(scheme, trace, &[10, 30, 20, 5])),
+        }
+    }
+
+    #[test]
+    fn capacity_run_renders_bars_and_one_strip_per_trace() {
+        let run = FleetRunResult {
+            devices: 4,
+            policy: "hash".into(),
+            queue_depth: 4,
+            slo_p99_ns: 1_000_000,
+            capacity: vec![
+                fake_capacity("base", "ts0", 40),
+                fake_capacity("ipu", "ts0", 60),
+                fake_capacity("base", "usr0", 30),
+                fake_capacity("ipu", "usr0", 45),
+            ],
+            reports: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join(format!("ipu-fleet-charts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_fleet_charts(&dir, &run).unwrap();
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "fleet_capacity.svg",
+                "fleet_load_ts0.svg",
+                "fleet_load_usr0.svg"
+            ]
+        );
+        for p in &written {
+            let body = std::fs::read_to_string(p).unwrap();
+            assert!(body.starts_with("<svg"), "{p:?} is not SVG");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixed_size_run_renders_strips_without_bars() {
+        let run = FleetRunResult {
+            devices: 3,
+            policy: "range".into(),
+            queue_depth: 2,
+            slo_p99_ns: 1_000_000,
+            capacity: Vec::new(),
+            reports: vec![
+                fake_report("base", "ts0", &[5, 5, 5]),
+                fake_report("ipu", "ts0", &[4, 6, 5]),
+            ],
+        };
+        let dir = std::env::temp_dir().join(format!("ipu-fleet-charts-fx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_fleet_charts(&dir, &run).unwrap();
+        assert_eq!(written.len(), 1);
+        assert!(written[0].ends_with("fleet_load_ts0.svg"));
+        let body = std::fs::read_to_string(&written[0]).unwrap();
+        // One row per scheme → both labels present.
+        assert!(body.contains("base") && body.contains("ipu"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

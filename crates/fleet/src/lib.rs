@@ -1,0 +1,42 @@
+//! # ipu-fleet — sharded multi-device serving simulation
+//!
+//! The paper evaluates IPU on one device; this crate asks the production
+//! question: *how many tenants can an N-device IPU fleet serve at a p99
+//! SLO?* A fleet run
+//!
+//! 1. synthesizes tens of thousands of full-rate tenant streams from one
+//!    calibrated trace ([`router::synthesize_tenants`]) — each tenant
+//!    offers the whole workload's demand rate, so aggregate intensity
+//!    grows with the tenant count while the op count stays fixed,
+//! 2. routes them onto devices under a pluggable [`ShardPolicy`]
+//!    (`hash` / `range` / `lba-stripe`),
+//! 3. replays every device as its own closed-loop world — private FTL,
+//!    chip schedule and host queues — in parallel ([`run::run_fleet`]),
+//! 4. merges the per-device reports into one [`FleetReport`] with exact
+//!    pooled percentiles (`LatencyStats::merge` is a bucket sum), fleet-wide
+//!    fairness and hot-shard detection, and
+//! 5. optionally binary-searches the max tenant count meeting the SLO
+//!    ([`capacity::run_capacity_search`]).
+//!
+//! A fleet run is a pure function of its inputs, so results are content-
+//! addressed into the shared `ReplayCache` and a warm re-run replays
+//! nothing. A 1-device, 1-tenant fleet is bit-identical to plain
+//! `ipu_sim::replay_closed_loop` — the equivalence tests pin the layer to
+//! that oracle.
+
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod charts;
+pub mod report;
+pub mod router;
+pub mod run;
+
+pub use capacity::{run_capacity_search, SloTarget};
+pub use charts::write_fleet_charts;
+pub use report::{
+    render_capacity, render_fleet_report, CapacityProbe, CapacityResult, DeviceSummary,
+    FleetReport, FleetRunResult, HotShard, LoadSkew, HOT_SHARD_TOP_K,
+};
+pub use router::{route, synthesize_tenants, DeviceAssignment, ShardPolicy, STRIPE_BYTES};
+pub use run::{run_fleet, run_fleet_cached, run_fleet_detailed, FleetSpec};

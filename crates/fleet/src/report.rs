@@ -1,0 +1,504 @@
+//! Fleet-level report types: per-device summaries merged into one
+//! [`FleetReport`], capacity-search results, and their text renderings.
+//!
+//! Everything serialized from a fleet run lives in this file — it is listed
+//! in `ipu-lint`'s ordered-output surface, so iteration order feeding any of
+//! these structs must be deterministic (no `HashMap`/`HashSet`).
+
+use crate::router::ShardPolicy;
+use ipu_core::report::TextTable;
+use ipu_host::{LatencyStats, ReliabilityStats, TenantMetrics};
+use ipu_sim::ClosedLoopReport;
+use serde::{Deserialize, Serialize};
+
+/// How many of the hottest devices a [`LoadSkew`] keeps.
+pub const HOT_SHARD_TOP_K: usize = 8;
+
+/// One device's contribution to the fleet, in device-id order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSummary {
+    pub device: usize,
+    /// Tenants with a queue pair on this device.
+    pub tenants: usize,
+    /// Requests this device completed.
+    pub ops: u64,
+    /// Mean service latency, ms.
+    pub mean_ms: f64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    /// Last completion on this device, ns.
+    pub horizon_ns: u64,
+}
+
+/// One of the top-K most loaded devices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotShard {
+    pub device: usize,
+    pub ops: u64,
+    /// This device's fraction of all fleet ops.
+    pub share: f64,
+}
+
+/// Load-balance diagnostics across the fleet: how far the hottest shard
+/// sits above the mean, and which shards carry the most traffic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSkew {
+    /// Mean requests per device.
+    pub mean_ops: f64,
+    /// Requests on the hottest device.
+    pub max_ops: u64,
+    /// `max_ops / mean_ops` (1.0 is perfectly balanced; 0 when idle).
+    pub skew: f64,
+    /// Up to [`HOT_SHARD_TOP_K`] busiest devices, descending by ops
+    /// (ties broken by ascending device id).
+    pub hot_shards: Vec<HotShard>,
+}
+
+impl LoadSkew {
+    fn from_ops(ops: &[u64]) -> LoadSkew {
+        let total: u64 = ops.iter().sum();
+        let mean_ops = if ops.is_empty() {
+            0.0
+        } else {
+            total as f64 / ops.len() as f64
+        };
+        let max_ops = ops.iter().copied().max().unwrap_or(0);
+        let skew = if mean_ops <= 0.0 {
+            0.0
+        } else {
+            max_ops as f64 / mean_ops
+        };
+        let mut ranked: Vec<(usize, u64)> = ops
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(HOT_SHARD_TOP_K);
+        let hot_shards = ranked
+            .into_iter()
+            .map(|(device, n)| HotShard {
+                device,
+                ops: n,
+                share: if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                },
+            })
+            .collect();
+        LoadSkew {
+            mean_ops,
+            max_ops,
+            skew,
+            hot_shards,
+        }
+    }
+}
+
+/// Merged view of one fleet run: N devices, each replayed closed-loop,
+/// aggregated with the exact `LatencyStats::merge` semantics (bucket sums),
+/// so fleet percentiles equal the percentiles of the pooled population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    pub scheme: String,
+    pub trace: String,
+    pub policy: String,
+    pub devices: usize,
+    pub tenants: usize,
+    pub queue_depth: usize,
+    /// Requests completed fleet-wide.
+    pub total_ops: u64,
+    /// `total_ops` over the fleet horizon (slowest device), ops/s.
+    pub throughput_ops_per_sec: f64,
+    /// Submission→completion latency pooled over every tenant of every
+    /// device.
+    pub service_latency: LatencyStats,
+    /// Arrival→completion latency (includes admission stall), pooled.
+    pub e2e_latency: LatencyStats,
+    /// `service_latency.percentile_ns(99.0)` — the SLO metric.
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    /// Min/max per-tenant throughput ratio across the whole fleet.
+    pub fairness: f64,
+    pub reliability: ReliabilityStats,
+    /// Fleet horizon: the last completion on the slowest device, ns.
+    pub horizon_ns: u64,
+    /// One row per device, device-id ascending (idle devices included).
+    pub per_device: Vec<DeviceSummary>,
+    pub load: LoadSkew,
+}
+
+impl FleetReport {
+    /// Merges per-device closed-loop reports (indexed by device id; `None`
+    /// for a device that received no tenants) into one fleet report.
+    pub fn merge(
+        scheme: &str,
+        trace: &str,
+        policy: ShardPolicy,
+        tenants: usize,
+        queue_depth: usize,
+        per_device: &[Option<ClosedLoopReport>],
+    ) -> FleetReport {
+        let mut service = LatencyStats::new();
+        let mut e2e = LatencyStats::new();
+        let mut reliability = ReliabilityStats::new();
+        let mut horizon_ns = 0u64;
+        let mut total_ops = 0u64;
+        let mut tenant_count = 0usize;
+        // Fairness without cloning tens of thousands of TenantMetrics:
+        // track the min/max per-tenant throughput inline.
+        let mut tp_min = f64::INFINITY;
+        let mut tp_max = 0.0f64;
+        let mut summaries = Vec::with_capacity(per_device.len());
+        let mut ops = Vec::with_capacity(per_device.len());
+
+        for (device, slot) in per_device.iter().enumerate() {
+            let Some(report) = slot else {
+                summaries.push(DeviceSummary {
+                    device,
+                    tenants: 0,
+                    ops: 0,
+                    mean_ms: 0.0,
+                    p99_ns: 0,
+                    p999_ns: 0,
+                    horizon_ns: 0,
+                });
+                ops.push(0);
+                continue;
+            };
+            let dev_service = report.host.overall_service_latency();
+            let dev_ops = report.host.total_completed();
+            for t in &report.host.tenants {
+                service.merge(&t.service_latency);
+                e2e.merge(&t.e2e_latency);
+                let tp = TenantMetrics::throughput_rps(t);
+                tp_min = tp_min.min(tp);
+                tp_max = tp_max.max(tp);
+            }
+            tenant_count += report.host.tenants.len();
+            reliability.merge(&report.sim.reliability);
+            horizon_ns = horizon_ns.max(report.host.horizon_ns);
+            total_ops += dev_ops;
+            summaries.push(DeviceSummary {
+                device,
+                tenants: report.host.tenants.len(),
+                ops: dev_ops,
+                mean_ms: dev_service.mean_ms(),
+                p99_ns: dev_service.percentile_ns(99.0),
+                p999_ns: dev_service.percentile_ns(99.9),
+                horizon_ns: report.host.horizon_ns,
+            });
+            ops.push(dev_ops);
+        }
+
+        let fairness = if tenant_count < 2 || tp_max <= 0.0 {
+            1.0
+        } else {
+            tp_min / tp_max
+        };
+        let throughput_ops_per_sec = if horizon_ns == 0 {
+            0.0
+        } else {
+            total_ops as f64 * 1e9 / horizon_ns as f64
+        };
+        FleetReport {
+            scheme: scheme.to_string(),
+            trace: trace.to_string(),
+            policy: policy.label().to_string(),
+            devices: per_device.len(),
+            tenants,
+            queue_depth,
+            total_ops,
+            throughput_ops_per_sec,
+            p99_ns: service.percentile_ns(99.0),
+            p999_ns: service.percentile_ns(99.9),
+            service_latency: service,
+            e2e_latency: e2e,
+            fairness,
+            reliability,
+            horizon_ns,
+            per_device: summaries,
+            load: LoadSkew::from_ops(&ops),
+        }
+    }
+}
+
+/// One probe of the capacity search: a fleet run at `tenants` tenants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityProbe {
+    pub tenants: u64,
+    pub p99_ns: u64,
+    pub met_slo: bool,
+}
+
+/// Result of the per-scheme capacity search: the largest tenant count whose
+/// fleet p99 stays under the SLO.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityResult {
+    pub scheme: String,
+    pub trace: String,
+    pub policy: String,
+    /// The SLO threshold probed against, ns.
+    pub slo_p99_ns: u64,
+    /// Upper bound the search was allowed to probe.
+    pub tenant_cap: u64,
+    /// Largest probed tenant count meeting the SLO (0 if even 1 tenant
+    /// misses it).
+    pub max_tenants: u64,
+    /// Every probe, in probe order.
+    pub probes: Vec<CapacityProbe>,
+    /// The full fleet report at `max_tenants` (absent when `max_tenants`
+    /// is 0).
+    pub at_capacity: Option<FleetReport>,
+}
+
+/// Everything one `fleet` CLI invocation produced: capacity-search results
+/// per trace × scheme, or fixed-size fleet reports when a tenant count was
+/// pinned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetRunResult {
+    pub devices: usize,
+    pub policy: String,
+    pub queue_depth: usize,
+    pub slo_p99_ns: u64,
+    /// Capacity-search mode results (empty in fixed-size mode).
+    #[serde(default)]
+    pub capacity: Vec<CapacityResult>,
+    /// Fixed-size mode reports (empty in capacity-search mode).
+    #[serde(default)]
+    pub reports: Vec<FleetReport>,
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Text rendering of one merged fleet report: headline aggregates plus the
+/// hottest shards.
+pub fn render_fleet_report(r: &FleetReport) -> String {
+    let mut out = format!(
+        "fleet {} / {} [{}]: {} devices, {} tenants, QD {}\n\
+         ops {}  throughput {:.0} ops/s  p99 {} ms  p999 {} ms\n\
+         mean {:.3} ms  fairness {:.3}  availability {:.6}  load skew {:.2}\n",
+        r.trace,
+        r.scheme,
+        r.policy,
+        r.devices,
+        r.tenants,
+        r.queue_depth,
+        r.total_ops,
+        r.throughput_ops_per_sec,
+        ms(r.p99_ns),
+        ms(r.p999_ns),
+        r.service_latency.mean_ms(),
+        r.fairness,
+        r.reliability.availability(),
+        r.load.skew,
+    );
+    if !r.load.hot_shards.is_empty() {
+        let mut t = TextTable::new(&["Hot shard", "ops", "share", "p99(ms)"]);
+        for h in &r.load.hot_shards {
+            let p99 = r.per_device[h.device].p99_ns;
+            t.row(vec![
+                format!("dev{}", h.device),
+                h.ops.to_string(),
+                format!("{:.1}%", h.share * 100.0),
+                ms(p99),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Text rendering of the capacity-search headline: max tenants at SLO per
+/// trace × scheme.
+pub fn render_capacity(results: &[CapacityResult]) -> String {
+    let mut t = TextTable::new(&[
+        "Trace",
+        "Scheme",
+        "Policy",
+        "SLO p99(ms)",
+        "max tenants",
+        "p99@cap(ms)",
+        "probes",
+    ]);
+    for r in results {
+        let p99_at_cap = r
+            .at_capacity
+            .as_ref()
+            .map(|f| ms(f.p99_ns))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            r.trace.clone(),
+            r.scheme.clone(),
+            r.policy.clone(),
+            ms(r.slo_p99_ns),
+            r.max_tenants.to_string(),
+            p99_at_cap,
+            r.probes.len().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipu_host::HostConfig;
+    use ipu_sim::{replay_closed_loop, ReplayConfig};
+    use ipu_trace::{IoRequest, OpKind};
+
+    fn workload(n: u64, base: u64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| IoRequest::new(i * 2_000, OpKind::Write, base + (i % 8) * 65_536, 4096))
+            .collect()
+    }
+
+    fn device_report(n: u64, base: u64) -> ClosedLoopReport {
+        let cfg = ReplayConfig::small_for_tests(ipu_ftl::SchemeKind::Ipu);
+        let host = HostConfig::single(2);
+        replay_closed_loop(&cfg, &host, &[workload(n, base)], "t")
+    }
+
+    #[test]
+    fn merge_conserves_ops_and_pools_latency() {
+        let a = device_report(30, 0);
+        let b = device_report(20, 1 << 24);
+        let expect_ops = a.host.total_completed() + b.host.total_completed();
+        let mut pooled = a.host.overall_service_latency();
+        pooled.merge(&b.host.overall_service_latency());
+
+        let fleet = FleetReport::merge("ipu", "ts0", ShardPolicy::Hash, 2, 2, &[Some(a), Some(b)]);
+        assert_eq!(fleet.total_ops, 50);
+        assert_eq!(fleet.total_ops, expect_ops);
+        assert_eq!(fleet.service_latency.count(), pooled.count());
+        assert_eq!(fleet.service_latency.sum_ns(), pooled.sum_ns());
+        // Bucket-sum merge: fleet percentile == pooled-population percentile.
+        assert_eq!(fleet.p99_ns, pooled.percentile_ns(99.0));
+        assert_eq!(fleet.p999_ns, pooled.percentile_ns(99.9));
+        assert_eq!(fleet.per_device.len(), 2);
+        assert_eq!(
+            fleet.per_device.iter().map(|d| d.ops).sum::<u64>(),
+            fleet.total_ops
+        );
+    }
+
+    #[test]
+    fn merge_tolerates_idle_devices() {
+        let a = device_report(10, 0);
+        let fleet = FleetReport::merge(
+            "ipu",
+            "ts0",
+            ShardPolicy::Range,
+            1,
+            2,
+            &[None, Some(a), None],
+        );
+        assert_eq!(fleet.devices, 3);
+        assert_eq!(fleet.per_device.len(), 3);
+        assert_eq!(fleet.per_device[0].ops, 0);
+        assert_eq!(fleet.per_device[2].ops, 0);
+        assert_eq!(fleet.total_ops, 10);
+        // One busy device of three: skew = max / mean = 3.
+        assert!((fleet.load.skew - 3.0).abs() < 1e-9);
+        assert_eq!(fleet.load.hot_shards.len(), 1);
+        assert_eq!(fleet.load.hot_shards[0].device, 1);
+        assert!((fleet.load.hot_shards[0].share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_spans_devices() {
+        // A lone tenant per device is <2 tenants per HostReport, but fleet
+        // fairness must still compare them across devices.
+        let a = device_report(40, 0);
+        let b = device_report(10, 1 << 24);
+        let tp_a = a.host.tenants[0].throughput_rps();
+        let tp_b = b.host.tenants[0].throughput_rps();
+        let fleet = FleetReport::merge("ipu", "ts0", ShardPolicy::Hash, 2, 2, &[Some(a), Some(b)]);
+        let expect = tp_a.min(tp_b) / tp_a.max(tp_b);
+        assert!(
+            (fleet.fairness - expect).abs() < 1e-12,
+            "{}",
+            fleet.fairness
+        );
+        assert!(fleet.fairness < 1.0);
+    }
+
+    #[test]
+    fn hot_shards_rank_descending_with_stable_ties() {
+        let skew = LoadSkew::from_ops(&[5, 9, 9, 0, 7, 1, 2, 3, 4, 6, 8, 9]);
+        let ranked: Vec<(usize, u64)> = skew.hot_shards.iter().map(|h| (h.device, h.ops)).collect();
+        assert_eq!(
+            ranked,
+            vec![
+                (1, 9),
+                (2, 9),
+                (11, 9),
+                (10, 8),
+                (4, 7),
+                (9, 6),
+                (0, 5),
+                (8, 4)
+            ]
+        );
+        assert_eq!(skew.hot_shards.len(), HOT_SHARD_TOP_K);
+        assert_eq!(skew.max_ops, 9);
+    }
+
+    #[test]
+    fn empty_fleet_is_all_zero() {
+        let fleet = FleetReport::merge("ipu", "ts0", ShardPolicy::Hash, 0, 1, &[None, None]);
+        assert_eq!(fleet.total_ops, 0);
+        assert_eq!(fleet.p99_ns, 0);
+        assert_eq!(fleet.horizon_ns, 0);
+        assert!((fleet.throughput_ops_per_sec - 0.0).abs() < f64::EPSILON);
+        assert!((fleet.fairness - 1.0).abs() < f64::EPSILON);
+        assert!(fleet.load.hot_shards.is_empty());
+        assert!((fleet.load.skew - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn reports_render_and_round_trip() {
+        let a = device_report(25, 0);
+        let fleet = FleetReport::merge("ipu", "ts0", ShardPolicy::LbaStripe, 1, 2, &[Some(a)]);
+        let text = render_fleet_report(&fleet);
+        assert!(text.contains("lba-stripe"));
+        assert!(text.contains("Hot shard"));
+
+        let json = serde_json::to_string(&fleet).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+        let cap = CapacityResult {
+            scheme: "ipu".into(),
+            trace: "ts0".into(),
+            policy: "hash".into(),
+            slo_p99_ns: 1_000_000,
+            tenant_cap: 64,
+            max_tenants: 12,
+            probes: vec![CapacityProbe {
+                tenants: 12,
+                p99_ns: 900_000,
+                met_slo: true,
+            }],
+            at_capacity: Some(fleet),
+        };
+        let table = render_capacity(std::slice::from_ref(&cap));
+        assert!(table.contains("max tenants"));
+        assert!(table.contains("12"));
+        let run = FleetRunResult {
+            devices: 1,
+            policy: "hash".into(),
+            queue_depth: 2,
+            slo_p99_ns: 1_000_000,
+            capacity: vec![cap],
+            reports: Vec::new(),
+        };
+        let json = serde_json::to_string_pretty(&run).unwrap();
+        let back: FleetRunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,353 @@
+//! Shard routing: mapping tenants (and their requests) onto fleet devices.
+//!
+//! A fleet run synthesizes per-tenant request streams from one calibrated
+//! trace ([`synthesize_tenants`]) and then a [`ShardPolicy`] decides which
+//! device serves each request. `hash` and `range` are tenant-affine — every
+//! request of a tenant lands on one device — while `lba-stripe` spreads each
+//! tenant's address space across the whole fleet in fixed-size extents, so a
+//! single hot tenant cannot melt a single shard.
+
+use ipu_trace::tenants::split_round_robin;
+use ipu_trace::IoRequest;
+use serde::{Deserialize, Serialize};
+
+/// Stripe width of the `lba-stripe` policy: consecutive [`STRIPE_BYTES`]
+/// extents of the logical address space land on consecutive devices.
+pub const STRIPE_BYTES: u64 = 1 << 20;
+
+/// Cache-slot granularity used when rebasing tenant extents, matching the
+/// 64 KiB slot size the FTL's SLC cache manages.
+const SLOT_BYTES: u64 = 64 * 1024;
+
+/// How the shard router maps tenants onto devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// FNV-1a hash of the tenant id modulo the device count: stateless,
+    /// statistically balanced, but placement-blind (neighbouring tenants
+    /// scatter arbitrarily).
+    Hash,
+    /// Contiguous tenant-id ranges: tenant `t` of `T` goes to device
+    /// `t·D/T`. Perfectly balanced in tenant *count*, but load follows
+    /// whatever skew the tenant population carries.
+    Range,
+    /// Requests route by logical address: extent `offset / STRIPE_BYTES`
+    /// modulo the device count. Each tenant's traffic stripes across every
+    /// device, trading tenant affinity for load spreading.
+    LbaStripe,
+}
+
+impl ShardPolicy {
+    /// Every policy, in report order.
+    pub fn all() -> [ShardPolicy; 3] {
+        [
+            ShardPolicy::Hash,
+            ShardPolicy::Range,
+            ShardPolicy::LbaStripe,
+        ]
+    }
+
+    /// Parses the CLI spelling (`hash`, `range`, `lba-stripe`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hash" => Ok(ShardPolicy::Hash),
+            "range" => Ok(ShardPolicy::Range),
+            "lba-stripe" | "stripe" => Ok(ShardPolicy::LbaStripe),
+            other => Err(format!(
+                "unknown shard policy `{other}` (hash | range | lba-stripe)"
+            )),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::Hash => "hash",
+            ShardPolicy::Range => "range",
+            ShardPolicy::LbaStripe => "lba-stripe",
+        }
+    }
+
+    /// The home device of `tenant` under a tenant-affine policy; `None` for
+    /// [`ShardPolicy::LbaStripe`], where placement is per-request.
+    pub fn device_for_tenant(self, tenant: usize, tenants: usize, devices: usize) -> Option<usize> {
+        assert!(tenant < tenants, "tenant {tenant} out of {tenants}");
+        assert!(devices >= 1, "need at least one device");
+        match self {
+            ShardPolicy::Hash => Some((fnv1a(tenant as u64) % devices as u64) as usize),
+            ShardPolicy::Range => Some(tenant * devices / tenants),
+            ShardPolicy::LbaStripe => None,
+        }
+    }
+
+    /// The device serving one request of `tenant`.
+    pub fn device_for_request(
+        self,
+        tenant: usize,
+        tenants: usize,
+        devices: usize,
+        offset: u64,
+    ) -> usize {
+        match self.device_for_tenant(tenant, tenants, devices) {
+            Some(d) => d,
+            None => ((offset / STRIPE_BYTES) % devices as u64) as usize,
+        }
+    }
+}
+
+/// FNV-1a over the little-endian bytes of a tenant id — the same stateless
+/// hash family the replay cache uses for content addressing.
+fn fnv1a(id: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    id.to_le_bytes()
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(PRIME)
+        })
+}
+
+/// Synthesizes `tenants` independent full-rate streams from one calibrated
+/// trace. Requests are dealt round-robin in arrival order, then each stream
+/// is
+///
+/// * rebased into a private slot-aligned address extent so tenants never
+///   share cache slots, and
+/// * compressed in time by the tenant count, restoring each 1/n-density
+///   slice to the base trace's arrival rate.
+///
+/// Every tenant therefore *offers the demand of the whole calibrated
+/// workload*, and n tenants press n× the aggregate intensity into 1/n of
+/// the horizon while the simulated op count stays `base.len()` — which is
+/// what lets a capacity search sweep tens of thousands of tenants without
+/// tens of thousands of replays' worth of work. With one tenant the
+/// synthesis is the identity — the base stream untouched — which pins the
+/// fleet layer to `replay_closed_loop` exactly (see the equivalence test).
+pub fn synthesize_tenants(base: &[IoRequest], tenants: usize) -> Vec<Vec<IoRequest>> {
+    let mut streams = split_round_robin(base, tenants);
+    if tenants == 1 {
+        return streams;
+    }
+    let span = base
+        .iter()
+        .map(|r| r.offset + r.size as u64)
+        .max()
+        .unwrap_or(0);
+    let stride = span.div_ceil(SLOT_BYTES).max(1) * SLOT_BYTES;
+    for (t, stream) in streams.iter_mut().enumerate() {
+        for req in stream {
+            req.offset += t as u64 * stride;
+            req.timestamp_ns /= tenants as u64;
+        }
+    }
+    streams
+}
+
+/// One device's share of the fleet workload: which tenants it serves
+/// (by global tenant id, ascending) and their routed request streams,
+/// parallel to `tenant_ids`.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceAssignment {
+    pub tenant_ids: Vec<usize>,
+    pub workloads: Vec<Vec<IoRequest>>,
+}
+
+impl DeviceAssignment {
+    fn push(&mut self, tenant: usize, stream: Vec<IoRequest>) {
+        self.tenant_ids.push(tenant);
+        self.workloads.push(stream);
+    }
+
+    /// Requests routed to this device.
+    pub fn ops(&self) -> u64 {
+        self.workloads.iter().map(|w| w.len() as u64).sum()
+    }
+}
+
+/// Routes per-tenant streams onto `devices` shards under `policy`. Tenant
+/// order within a device is ascending global tenant id; request order within
+/// a tenant keeps arrival order. A tenant whose stream routes nowhere (empty
+/// stream under `lba-stripe`) is parked on device `tenant % devices` so
+/// every tenant owns a queue pair somewhere.
+pub fn route(
+    policy: ShardPolicy,
+    streams: Vec<Vec<IoRequest>>,
+    devices: usize,
+) -> Vec<DeviceAssignment> {
+    assert!(devices >= 1, "need at least one device");
+    let tenants = streams.len();
+    let mut out = vec![DeviceAssignment::default(); devices];
+    for (t, stream) in streams.into_iter().enumerate() {
+        match policy.device_for_tenant(t, tenants, devices) {
+            Some(d) => out[d].push(t, stream),
+            None => {
+                let mut buckets = vec![Vec::new(); devices];
+                for req in stream {
+                    let d = policy.device_for_request(t, tenants, devices, req.offset);
+                    buckets[d].push(req);
+                }
+                let mut placed = false;
+                for (d, bucket) in buckets.into_iter().enumerate() {
+                    if !bucket.is_empty() {
+                        out[d].push(t, bucket);
+                        placed = true;
+                    }
+                }
+                if !placed {
+                    out[t % devices].push(t, Vec::new());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipu_trace::OpKind;
+
+    fn trace(n: u64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| IoRequest::new(i * 1_000, OpKind::Write, i * 65_536, 4096))
+            .collect()
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for p in ShardPolicy::all() {
+            assert_eq!(ShardPolicy::parse(p.label()).unwrap(), p);
+        }
+        assert_eq!(
+            ShardPolicy::parse("stripe").unwrap(),
+            ShardPolicy::LbaStripe
+        );
+        assert!(ShardPolicy::parse("rr").is_err());
+    }
+
+    #[test]
+    fn single_tenant_synthesis_is_identity() {
+        let base = trace(7);
+        assert_eq!(synthesize_tenants(&base, 1), vec![base]);
+    }
+
+    #[test]
+    fn synthesized_streams_run_at_the_base_rate() {
+        // 4 tenants: each stream keeps every 4th request but compressed to
+        // 1/4 of the horizon, so per-tenant arrival rate == base rate and
+        // aggregate demand is 4× the base.
+        let base = trace(16);
+        let streams = synthesize_tenants(&base, 4);
+        for (t, stream) in streams.iter().enumerate() {
+            assert_eq!(stream.len(), 4);
+            for (i, req) in stream.iter().enumerate() {
+                let original = &base[i * 4 + t];
+                assert_eq!(req.timestamp_ns, original.timestamp_ns / 4);
+            }
+            // Arrival order survives the compression.
+            assert!(stream
+                .windows(2)
+                .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        }
+        let horizon = base.last().unwrap().timestamp_ns;
+        let compressed = streams
+            .iter()
+            .filter_map(|s| s.last())
+            .map(|r| r.timestamp_ns)
+            .max()
+            .unwrap();
+        assert!(compressed <= horizon / 4);
+    }
+
+    #[test]
+    fn synthesized_tenants_get_disjoint_slot_aligned_extents() {
+        let base = trace(12);
+        let streams = synthesize_tenants(&base, 3);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 12);
+        for pair in streams.windows(2) {
+            let hi_a = pair[0]
+                .iter()
+                .map(|r| r.offset + r.size as u64)
+                .max()
+                .unwrap();
+            let lo_b = pair[1].iter().map(|r| r.offset).min().unwrap();
+            assert!(lo_b >= hi_a, "tenant extents collide: {lo_b} < {hi_a}");
+            assert_eq!(lo_b % SLOT_BYTES, 0, "extent base not slot-aligned");
+        }
+    }
+
+    #[test]
+    fn tenant_affine_policies_keep_each_tenant_on_one_device() {
+        for policy in [ShardPolicy::Hash, ShardPolicy::Range] {
+            let assignments = route(policy, synthesize_tenants(&trace(40), 10), 4);
+            let mut seen = vec![0usize; 10];
+            for a in &assignments {
+                for &t in &a.tenant_ids {
+                    seen[t] += 1;
+                }
+            }
+            assert_eq!(seen, vec![1; 10], "{policy:?} split a tenant");
+        }
+    }
+
+    #[test]
+    fn range_policy_assigns_contiguous_blocks() {
+        let tenants = 8;
+        let devices = 4;
+        let homes: Vec<usize> = (0..tenants)
+            .map(|t| {
+                ShardPolicy::Range
+                    .device_for_tenant(t, tenants, devices)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(homes, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn lba_stripe_spreads_one_tenant_across_devices() {
+        // One tenant whose extent spans many stripes must appear on
+        // every device, with requests partitioned by extent.
+        let base: Vec<IoRequest> = (0..32)
+            .map(|i| IoRequest::new(i * 100, OpKind::Write, i * STRIPE_BYTES, 4096))
+            .collect();
+        let assignments = route(ShardPolicy::LbaStripe, vec![base], 4);
+        assert!(assignments.iter().all(|a| a.tenant_ids == vec![0]));
+        assert_eq!(
+            assignments.iter().map(DeviceAssignment::ops).sum::<u64>(),
+            32
+        );
+        assert!(assignments.iter().all(|a| a.ops() == 8));
+    }
+
+    #[test]
+    fn routing_conserves_every_request() {
+        let base = trace(100);
+        for policy in ShardPolicy::all() {
+            let assignments = route(policy, synthesize_tenants(&base, 9), 5);
+            let total: u64 = assignments.iter().map(DeviceAssignment::ops).sum();
+            assert_eq!(total, 100, "{policy:?} dropped requests");
+        }
+    }
+
+    #[test]
+    fn single_device_routing_is_the_synthesized_split() {
+        let base = trace(20);
+        for policy in ShardPolicy::all() {
+            let streams = synthesize_tenants(&base, 3);
+            let assignments = route(policy, streams.clone(), 1);
+            assert_eq!(assignments.len(), 1);
+            assert_eq!(assignments[0].tenant_ids, vec![0, 1, 2]);
+            assert_eq!(assignments[0].workloads, streams, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn requestless_tenant_still_owns_a_queue_pair() {
+        // 3 tenants but only 2 requests: tenant 2's stream is empty. Under
+        // lba-stripe it must still be parked somewhere.
+        let base = trace(2);
+        for policy in ShardPolicy::all() {
+            let assignments = route(policy, synthesize_tenants(&base, 3), 2);
+            let seen: usize = assignments.iter().map(|a| a.tenant_ids.len()).sum();
+            assert_eq!(seen, 3, "{policy:?} lost a tenant");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Driving a fleet: route tenants, replay every device in parallel, merge.
+//!
+//! Each device is an independent closed-loop world — its own FTL, chip
+//! schedule and host queues — so devices simulate concurrently with
+//! [`parallel_map`] and the per-device [`ClosedLoopReport`]s merge into one
+//! [`FleetReport`]. A fleet run is a pure function of
+//! `(ExperimentConfig, scheme, trace spec, FleetSpec)`, which is exactly the
+//! key [`run_fleet_cached`] stores it under.
+
+use crate::report::FleetReport;
+use crate::router::{route, synthesize_tenants, ShardPolicy};
+use ipu_core::{parallel_map, ExperimentConfig, ReplayCache, TraceSet};
+use ipu_ftl::SchemeKind;
+use ipu_host::{ArbitrationPolicy, HostConfig, TenantSpec};
+use ipu_obs::{span, Phase};
+use ipu_sim::{replay_closed_loop, ClosedLoopReport, ReplayConfig};
+use ipu_trace::{IoRequest, PaperTrace, SyntheticTraceSpec};
+use serde::Serialize;
+
+/// Shape of one fleet: how many devices serve how many tenants, and how.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    pub devices: usize,
+    pub tenants: usize,
+    pub policy: ShardPolicy,
+    /// Per-tenant queue depth on each device.
+    pub queue_depth: usize,
+    pub arbitration: ArbitrationPolicy,
+}
+
+impl FleetSpec {
+    /// Round-robin arbitration at queue depth 1 per tenant. Depth 1 keeps a
+    /// tenant's service latency free of its own self-queueing, so fleet p99
+    /// measures the *sharing* cost — deeper queues are an explicit choice
+    /// via [`FleetSpec::with_queue_depth`].
+    pub fn new(devices: usize, tenants: usize, policy: ShardPolicy) -> Self {
+        assert!(devices >= 1, "need at least one device");
+        assert!(tenants >= 1, "need at least one tenant");
+        FleetSpec {
+            devices,
+            tenants,
+            policy,
+            queue_depth: 1,
+            arbitration: ArbitrationPolicy::RoundRobin,
+        }
+    }
+
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth >= 1, "queue depth must be ≥ 1");
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    pub fn with_arbitration(mut self, arbitration: ArbitrationPolicy) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+}
+
+/// [`run_fleet`] returning the per-device closed-loop reports as well
+/// (indexed by device id; `None` where no tenant was routed).
+pub fn run_fleet_detailed(
+    cfg: &ExperimentConfig,
+    scheme: SchemeKind,
+    trace_name: &str,
+    base: &[IoRequest],
+    spec: &FleetSpec,
+) -> (FleetReport, Vec<Option<ClosedLoopReport>>) {
+    let assignments = {
+        let _span = span(Phase::HostArbitration);
+        route(
+            spec.policy,
+            synthesize_tenants(base, spec.tenants),
+            spec.devices,
+        )
+    };
+
+    let replay_cfg = cfg.replay_config(scheme);
+    let queue_depth = spec.queue_depth;
+    let arbitration = spec.arbitration;
+    let per_device = parallel_map(
+        assignments,
+        cfg.effective_threads(),
+        |assignment| -> Option<ClosedLoopReport> {
+            if assignment.tenant_ids.is_empty() {
+                return None;
+            }
+            let tenants = assignment
+                .tenant_ids
+                .iter()
+                .map(|t| TenantSpec::new(format!("t{t}")))
+                .collect();
+            let host = HostConfig::new(queue_depth, arbitration, tenants);
+            Some(replay_closed_loop(
+                &replay_cfg,
+                &host,
+                &assignment.workloads,
+                trace_name,
+            ))
+        },
+    );
+
+    let report = {
+        let _span = span(Phase::Report);
+        FleetReport::merge(
+            scheme.label(),
+            trace_name,
+            spec.policy,
+            spec.tenants,
+            spec.queue_depth,
+            &per_device,
+        )
+    };
+    (report, per_device)
+}
+
+/// Simulates the whole fleet and merges the per-device outcomes.
+pub fn run_fleet(
+    cfg: &ExperimentConfig,
+    scheme: SchemeKind,
+    trace_name: &str,
+    base: &[IoRequest],
+    spec: &FleetSpec,
+) -> FleetReport {
+    run_fleet_detailed(cfg, scheme, trace_name, base, spec).0
+}
+
+/// Everything a fleet run's outcome depends on, for content addressing.
+/// Policy/arbitration travel as labels: stable spellings, stable key.
+#[derive(Serialize)]
+struct FleetCacheKey {
+    replay: ReplayConfig,
+    trace: SyntheticTraceSpec,
+    devices: usize,
+    tenants: usize,
+    policy: String,
+    queue_depth: usize,
+    arbitration: String,
+}
+
+/// [`run_fleet`] through the replay cache: a warm re-run (same config,
+/// scheme, trace spec and fleet shape) loads the merged report from disk
+/// instead of re-simulating every device.
+pub fn run_fleet_cached(
+    cfg: &ExperimentConfig,
+    scheme: SchemeKind,
+    trace: PaperTrace,
+    spec: &FleetSpec,
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> FleetReport {
+    let trace_name = trace.to_string();
+    let Some(cache) = cache else {
+        return run_fleet(cfg, scheme, &trace_name, &traces.get(trace), spec);
+    };
+    let key = FleetCacheKey {
+        replay: cfg.replay_config(scheme),
+        trace: ipu_core::scaled_spec(cfg, trace),
+        devices: spec.devices,
+        tenants: spec.tenants,
+        policy: spec.policy.label().to_string(),
+        queue_depth: spec.queue_depth,
+        arbitration: spec.arbitration.label().to_string(),
+    };
+    cache.get_or_compute("fleet", &key, || {
+        run_fleet(cfg, scheme, &trace_name, &traces.get(trace), spec)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipu_trace::OpKind;
+
+    fn base_workload(n: u64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| {
+                let op = if i % 4 == 3 {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                };
+                IoRequest::new(i * 2_000, op, (i % 64) * 65_536, 4096)
+            })
+            .collect()
+    }
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::scaled(0.002);
+        cfg.threads = 2;
+        cfg
+    }
+
+    #[test]
+    fn fleet_ops_sum_to_routed_requests() {
+        let cfg = tiny_cfg();
+        let base = base_workload(120);
+        for policy in ShardPolicy::all() {
+            let spec = FleetSpec::new(4, 8, policy).with_queue_depth(4);
+            let (report, per_device) =
+                run_fleet_detailed(&cfg, SchemeKind::Ipu, "ts0", &base, &spec);
+            assert_eq!(report.total_ops, 120, "{policy:?} lost requests");
+            assert_eq!(
+                report.per_device.iter().map(|d| d.ops).sum::<u64>(),
+                report.total_ops
+            );
+            assert_eq!(per_device.len(), 4);
+            assert_eq!(report.devices, 4);
+            assert_eq!(report.tenants, 8);
+            // Per-device summaries mirror the detailed reports.
+            for (summary, detail) in report.per_device.iter().zip(&per_device) {
+                match detail {
+                    Some(d) => assert_eq!(summary.ops, d.host.total_completed()),
+                    None => assert_eq!(summary.ops, 0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_devices_than_tenants_leaves_devices_idle_not_broken() {
+        let cfg = tiny_cfg();
+        let base = base_workload(30);
+        let spec = FleetSpec::new(8, 2, ShardPolicy::Range);
+        let (report, per_device) =
+            run_fleet_detailed(&cfg, SchemeKind::Baseline, "ts0", &base, &spec);
+        assert_eq!(report.total_ops, 30);
+        assert!(per_device.iter().filter(|d| d.is_none()).count() >= 6);
+        assert_eq!(report.per_device.len(), 8);
+    }
+
+    #[test]
+    fn cached_fleet_run_round_trips_bit_identical() {
+        let mut cfg = tiny_cfg();
+        cfg.traces = vec![PaperTrace::Ts0];
+        cfg.scale = 0.002;
+        let traces = TraceSet::generate(&cfg);
+        let spec = FleetSpec::new(3, 5, ShardPolicy::Hash).with_queue_depth(2);
+        let dir = std::env::temp_dir().join(format!("ipu-fleet-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReplayCache::new(&dir);
+
+        let cold = run_fleet_cached(
+            &cfg,
+            SchemeKind::Ipu,
+            PaperTrace::Ts0,
+            &spec,
+            &traces,
+            Some(&cache),
+        );
+        assert_eq!(cache.stats().misses, 1);
+        let warm = run_fleet_cached(
+            &cfg,
+            SchemeKind::Ipu,
+            PaperTrace::Ts0,
+            &spec,
+            &traces,
+            Some(&cache),
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap()
+        );
+
+        // A different fleet shape is a different entry.
+        let other = FleetSpec::new(4, 5, ShardPolicy::Hash).with_queue_depth(2);
+        let _ = run_fleet_cached(
+            &cfg,
+            SchemeKind::Ipu,
+            PaperTrace::Ts0,
+            &other,
+            &traces,
+            Some(&cache),
+        );
+        assert_eq!(cache.stats().misses, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,107 @@
+//! Pins the fleet layer to its oracles.
+//!
+//! * **Equivalence**: a 1-device fleet with 1 tenant at QD=1 is the plain
+//!   closed-loop replay — the per-device report is bit-identical under
+//!   serialization, and the fleet aggregates restate it exactly.
+//! * **Determinism**: two identical fleet runs on 4 worker threads produce
+//!   byte-identical `FleetReport` JSON, for every shard policy.
+
+use ipu_core::{ExperimentConfig, TraceSet};
+use ipu_fleet::{run_fleet, run_fleet_detailed, FleetSpec, ShardPolicy};
+use ipu_ftl::SchemeKind;
+use ipu_host::HostConfig;
+use ipu_sim::replay_closed_loop;
+use ipu_trace::{IoRequest, OpKind, PaperTrace};
+
+fn base_workload(n: u64) -> Vec<IoRequest> {
+    (0..n)
+        .map(|i| {
+            let op = if i % 4 == 3 {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            IoRequest::new(i * 1_500, op, (i % 96) * 65_536, 4096)
+        })
+        .collect()
+}
+
+#[test]
+fn one_device_one_tenant_qd1_is_bit_identical_to_replay_closed_loop() {
+    let mut cfg = ExperimentConfig::scaled(0.002);
+    cfg.threads = 2;
+    let base = base_workload(80);
+
+    for scheme in SchemeKind::all_extended() {
+        let spec = FleetSpec::new(1, 1, ShardPolicy::Hash).with_queue_depth(1);
+        let (fleet, per_device) = run_fleet_detailed(&cfg, scheme, "ts0", &base, &spec);
+
+        let oracle = replay_closed_loop(
+            &cfg.replay_config(scheme),
+            &HostConfig::single(1),
+            std::slice::from_ref(&base),
+            "ts0",
+        );
+
+        // The device report IS the oracle report, byte for byte.
+        let fleet_device = serde_json::to_string(per_device[0].as_ref().unwrap()).unwrap();
+        let oracle_json = serde_json::to_string(&oracle).unwrap();
+        assert_eq!(
+            fleet_device, oracle_json,
+            "{scheme}: device report diverges"
+        );
+
+        // And the merged aggregates restate it exactly.
+        assert_eq!(fleet.total_ops, oracle.host.total_completed());
+        let pooled = oracle.host.overall_service_latency();
+        assert_eq!(fleet.service_latency.count(), pooled.count());
+        assert_eq!(fleet.service_latency.sum_ns(), pooled.sum_ns());
+        assert_eq!(fleet.p99_ns, pooled.percentile_ns(99.0));
+        assert_eq!(fleet.p999_ns, pooled.percentile_ns(99.9));
+        assert_eq!(fleet.horizon_ns, oracle.host.horizon_ns);
+        assert_eq!(
+            serde_json::to_string(&fleet.reliability).unwrap(),
+            serde_json::to_string(&oracle.sim.reliability).unwrap()
+        );
+        assert!((fleet.fairness - 1.0).abs() < f64::EPSILON);
+    }
+}
+
+#[test]
+fn fleet_runs_are_deterministic_across_repeats_on_four_threads() {
+    let mut cfg = ExperimentConfig::scaled(0.002);
+    cfg.threads = 4;
+    cfg.traces = vec![PaperTrace::Ts0];
+    let traces = TraceSet::generate(&cfg);
+    let base = traces.get(PaperTrace::Ts0);
+
+    for policy in ShardPolicy::all() {
+        let spec = FleetSpec::new(4, 16, policy).with_queue_depth(4);
+        let a = run_fleet(&cfg, SchemeKind::Ipu, "ts0", &base, &spec);
+        let b = run_fleet(&cfg, SchemeKind::Ipu, "ts0", &base, &spec);
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap(),
+            "{policy:?}: fleet report not byte-identical across identical runs"
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_report() {
+    // parallel_map is order-preserving and devices are independent worlds,
+    // so the merged report must not depend on worker parallelism.
+    let base = base_workload(100);
+    let spec = FleetSpec::new(5, 10, ShardPolicy::Range).with_queue_depth(2);
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let mut cfg = ExperimentConfig::scaled(0.002);
+        cfg.threads = threads;
+        reports.push(run_fleet(&cfg, SchemeKind::Mga, "ts0", &base, &spec));
+    }
+    assert_eq!(
+        serde_json::to_string(&reports[0]).unwrap(),
+        serde_json::to_string(&reports[1]).unwrap(),
+        "report depends on worker thread count"
+    );
+}

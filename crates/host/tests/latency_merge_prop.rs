@@ -1,0 +1,125 @@
+//! Property-based tests of `LatencyStats::merge` — the invariants fleet
+//! aggregation leans on.
+//!
+//! A fleet report pools per-tenant histograms from many devices with
+//! `merge`. For that pooling to be trustworthy, merging any partition of a
+//! sample population must behave exactly like recording the whole population
+//! into one histogram:
+//!
+//! * `count` and `sum_ns` are exact sums (no precision loss — `sum_ns` is
+//!   u128),
+//! * `min`/`max` are the extrema of the parts,
+//! * every percentile lands inside `[min, max]`, and
+//! * percentiles are *identical* to the single-histogram ones, because merge
+//!   sums the underlying log₂ buckets rather than approximating.
+
+use ipu_host::LatencyStats;
+use proptest::prelude::*;
+
+/// Samples spanning nine orders of magnitude so bucket boundaries get hit.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..1_000,
+        1_000u64..1_000_000,
+        1_000_000u64..1_000_000_000,
+    ]
+}
+
+/// An arbitrary split of a population: 1–8 parts of 0–50 samples each.
+fn parts() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(sample(), 0..50), 1..8)
+}
+
+fn record_all(samples: impl IntoIterator<Item = u64>) -> LatencyStats {
+    let mut s = LatencyStats::new();
+    for ns in samples {
+        s.record(ns);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_exact_over_arbitrary_splits(parts in parts()) {
+        let mut merged = LatencyStats::new();
+        for part in &parts {
+            merged.merge(&record_all(part.iter().copied()));
+        }
+        let flat: Vec<u64> = parts.iter().flatten().copied().collect();
+        let whole = record_all(flat.iter().copied());
+
+        // count / sum are exact sums across the split.
+        prop_assert_eq!(merged.count(), flat.len() as u64);
+        prop_assert_eq!(
+            merged.sum_ns(),
+            flat.iter().map(|&ns| ns as u128).sum::<u128>()
+        );
+
+        // Extrema are the extrema of the parts.
+        prop_assert_eq!(merged.min_ns(), flat.iter().copied().min());
+        prop_assert_eq!(merged.max_ns(), flat.iter().copied().max().unwrap_or(0));
+
+        // Merge sums buckets, so the merged histogram IS the single-pass
+        // histogram: every percentile matches exactly.
+        for p in [0.0, 1.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(
+                merged.percentile_ns(p),
+                whole.percentile_ns(p),
+                "p{} diverges between merged and single-pass", p
+            );
+        }
+    }
+
+    #[test]
+    fn merged_percentiles_stay_within_the_extrema(parts in parts()) {
+        let mut merged = LatencyStats::new();
+        for part in &parts {
+            merged.merge(&record_all(part.iter().copied()));
+        }
+        if merged.count() == 0 {
+            // Empty population: percentiles are 0 by definition.
+            prop_assert_eq!(merged.percentile_ns(50.0), 0);
+            return Ok(());
+        }
+        let min = merged.min_ns().expect("non-empty");
+        let max = merged.max_ns();
+        // "min of mins" / "max of maxes" over the non-empty parts.
+        let min_of_mins = parts.iter().flatten().copied().min().expect("non-empty");
+        let max_of_maxes = parts.iter().flatten().copied().max().expect("non-empty");
+        prop_assert_eq!(min, min_of_mins);
+        prop_assert_eq!(max, max_of_maxes);
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 99.9, 100.0] {
+            let v = merged.percentile_ns(p);
+            prop_assert!(
+                (min..=max).contains(&v),
+                "p{} = {} escapes [{}, {}]", p, v, min, max
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(parts in parts()) {
+        let stats: Vec<LatencyStats> =
+            parts.iter().map(|p| record_all(p.iter().copied())).collect();
+
+        // Left fold.
+        let mut left = LatencyStats::new();
+        for s in &stats {
+            left.merge(s);
+        }
+        // Reverse fold.
+        let mut right = LatencyStats::new();
+        for s in stats.iter().rev() {
+            right.merge(s);
+        }
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum_ns(), right.sum_ns());
+        prop_assert_eq!(left.min_ns(), right.min_ns());
+        prop_assert_eq!(left.max_ns(), right.max_ns());
+        for p in [1.0, 50.0, 99.0] {
+            prop_assert_eq!(left.percentile_ns(p), right.percentile_ns(p));
+        }
+    }
+}

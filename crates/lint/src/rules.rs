@@ -32,7 +32,7 @@ pub const RULE_IDS: &[&str] = &[
 const PANIC_FREE_CRATES: &[&str] = &["ftl", "flash"];
 
 /// Crates whose non-test code must not read wall-clock time (R2).
-const DETERMINISTIC_CRATES: &[&str] = &["sim", "ftl", "flash", "trace"];
+const DETERMINISTIC_CRATES: &[&str] = &["sim", "ftl", "flash", "trace", "fleet"];
 
 /// Files on the deterministic-output surface (R3): anything here feeds report
 /// rendering, JSONL export, or state replayed under the on-disk cache, where
@@ -50,6 +50,7 @@ const ORDERED_OUTPUT_FILES: &[&str] = &[
     "crates/core/src/charts.rs",
     "crates/core/src/svg.rs",
     "crates/obs/src/export.rs",
+    "crates/fleet/src/report.rs",
 ];
 
 /// Config-hygiene scopes (R4): `(file, Some(struct))` checks one struct,
