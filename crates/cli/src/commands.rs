@@ -81,6 +81,12 @@ FLEET OPTIONS
                         (default 1.0)
   --max-tenants <n>     Capacity-search upper bound (default 65536)
   --tenants <n>         Skip the search; run one fleet at exactly n tenants
+  --replication <p>     none | mirror-pair (default none): duplicate writes
+                        onto the mirror device, arm retries + hedged reads
+  --fault-plan <spec>   none | failstop:<k>@<frac> | failslow:<k>x<f>@<frac>
+                        | brownout:<k>@<from>-<until> (default none)
+  --faulty <k>          Also search degraded capacity with k devices
+                        fail-stopped mid-run (pairs with --replication)
   --out <dir>           Also render the fleet SVG figures into <dir>
   --from <run.json>     Re-render figures from a --save file, no simulation
 
@@ -105,6 +111,8 @@ EXAMPLES
   ipu-sim fleet --traces ts0 --scale 0.02 --devices 64 --policy hash \\
           --slo-p99-ms 1.0 --save fleet.json --out figures
   ipu-sim fleet --tenants 4096 --devices 64 --policy lba-stripe --scale 0.02
+  ipu-sim fleet --traces ts0 --scale 0.02 --devices 8 --faulty 1 \\
+          --replication mirror-pair --save fleet_degraded.json
 ";
 
 /// Builds the experiment config from the common flags.
@@ -654,8 +662,9 @@ pub fn cmd_ablate(args: &ParsedArgs) -> Result<String, ArgError> {
 /// saved run without simulating anything.
 pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
     use ipu_fleet::{
-        render_capacity, render_fleet_report, run_capacity_search, run_fleet_cached,
-        write_fleet_charts, FleetRunResult, FleetSpec, ShardPolicy, SloTarget,
+        render_capacity, render_degradation, render_fleet_report, run_capacity_search,
+        run_degraded_capacity_search, run_fleet_cached, write_fleet_charts, FleetFaultPlan,
+        FleetRunResult, FleetSpec, ReplicationPolicy, ShardPolicy, SloTarget,
     };
 
     // Chart-only mode: replot a saved run.
@@ -711,6 +720,27 @@ pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
                 .ok_or_else(|| ArgError(format!("bad tenant count `{s}`")))?,
         ),
     };
+    let replication =
+        ReplicationPolicy::parse(args.flag("replication").unwrap_or("none")).map_err(ArgError)?;
+    // The fault-plan seed is fixed: degraded runs must be reproducible and
+    // comparable across invocations, and per-device fault seeds already
+    // decorrelate below it.
+    let fault_plan = FleetFaultPlan::parse(args.flag("fault-plan").unwrap_or("none"), devices, 7)
+        .map_err(ArgError)?;
+    let faulty: usize = args.flag_parsed("faulty", 0usize)?;
+    if faulty > devices / 2 {
+        return Err(ArgError(format!(
+            "--faulty {faulty} exceeds the {} mirror pairs of {devices} devices",
+            devices / 2
+        )));
+    }
+    if faulty > 0 && fixed.is_some() {
+        return Err(ArgError(
+            "--faulty runs a degraded capacity search; it cannot combine with --tenants \
+             (use --fault-plan to fault a fixed-size fleet)"
+                .into(),
+        ));
+    }
 
     // Fleet runs are pure functions of their inputs and a capacity search
     // re-probes many of the same shapes, so the cache defaults on.
@@ -720,6 +750,8 @@ pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
         FleetSpec::new(devices, tenants, policy)
             .with_queue_depth(queue_depth)
             .with_arbitration(arbitration)
+            .with_replication(replication)
+            .with_fault_plan(fault_plan.clone())
     };
 
     let mut run = FleetRunResult {
@@ -727,8 +759,10 @@ pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
         policy: policy.label().to_string(),
         queue_depth,
         slo_p99_ns,
-        capacity: Vec::new(),
-        reports: Vec::new(),
+        replication: replication.label().to_string(),
+        fault_plan: fault_plan.label(),
+        faulty_devices: faulty,
+        ..FleetRunResult::default()
     };
     let mut out = String::new();
     match fixed {
@@ -750,6 +784,10 @@ pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
             }
         }
         None => {
+            let target = SloTarget {
+                p99_ns: slo_p99_ns,
+                tenant_cap,
+            };
             for &trace in &cfg.traces {
                 for &scheme in &cfg.schemes {
                     run.capacity.push(run_capacity_search(
@@ -757,16 +795,36 @@ pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, ArgError> {
                         trace,
                         scheme,
                         &spec_for(1),
-                        SloTarget {
-                            p99_ns: slo_p99_ns,
-                            tenant_cap,
-                        },
+                        target,
                         &traces,
                         cache.as_ref(),
                     ));
+                    if faulty > 0 {
+                        run.degraded.push(run_degraded_capacity_search(
+                            &cfg,
+                            trace,
+                            scheme,
+                            &spec_for(1),
+                            target,
+                            faulty,
+                            0.5,
+                            replication,
+                            &traces,
+                            cache.as_ref(),
+                        ));
+                    }
                 }
             }
             out.push_str(&render_capacity(&run.capacity));
+            if faulty > 0 {
+                out.push('\n');
+                out.push_str(&render_degradation(
+                    &run.capacity,
+                    &run.degraded,
+                    faulty,
+                    replication.label(),
+                ));
+            }
         }
     }
     maybe_save(args, &cfg, "fleet", run.clone())?;
@@ -1064,6 +1122,9 @@ mod tests {
         "slo-p99-ms",
         "max-tenants",
         "tenants",
+        "replication",
+        "fault-plan",
+        "faulty",
         "out",
         "from",
         "cache-dir",
@@ -1119,6 +1180,41 @@ mod tests {
     }
 
     #[test]
+    fn degraded_fleet_search_pairs_healthy_and_faulted_capacity() {
+        // 2 devices = 1 mirror pair; a generous SLO keeps both searches at
+        // the 2-tenant cap fast.
+        let p = parsed_with_switches(
+            "fleet --scale 0.002 --traces ts0 --schemes ipu --devices 2 \
+             --max-tenants 2 --slo-p99-ms 10000 --threads 1 --no-cache \
+             --faulty 1 --replication mirror-pair",
+            FLEET,
+            &["cache", "no-cache"],
+        );
+        let text = cmd_fleet(&p).unwrap();
+        assert!(text.contains("max tenants"), "{text}");
+        assert!(
+            text.contains("k=1 faulty (mirror-pair)"),
+            "missing degradation table:\n{text}"
+        );
+        assert!(text.contains("retained"), "{text}");
+    }
+
+    #[test]
+    fn faulted_fixed_fleet_reports_the_reliability_ledger() {
+        let p = parsed_with_switches(
+            "fleet --scale 0.002 --traces ts0 --schemes ipu --tenants 4 \
+             --devices 2 --threads 1 --no-cache \
+             --fault-plan failstop:1@0.5 --replication mirror-pair",
+            FLEET,
+            &["cache", "no-cache"],
+        );
+        let text = cmd_fleet(&p).unwrap();
+        assert!(text.contains("faults failstop:1@0.50"), "{text}");
+        assert!(text.contains("replication mirror-pair"), "{text}");
+        assert!(text.contains("health:"), "{text}");
+    }
+
+    #[test]
     fn fleet_rejects_bad_specs() {
         for bad in [
             "fleet --scale 0.002 --devices 0",
@@ -1129,6 +1225,10 @@ mod tests {
             "fleet --scale 0.002 --slo-p99-ms 0",
             "fleet --scale 0.002 --max-tenants 0",
             "fleet --scale 0.002 --arbitration fifo",
+            "fleet --scale 0.002 --replication raid6",
+            "fleet --scale 0.002 --fault-plan explode:1@0.5",
+            "fleet --scale 0.002 --devices 4 --faulty 3",
+            "fleet --scale 0.002 --tenants 4 --faulty 1",
             "fleet --from /definitely/missing.json",
         ] {
             assert!(

@@ -70,6 +70,9 @@ fn command_grammar(command: &str) -> Option<(Vec<&'static str>, Vec<&'static str
                 "slo-p99-ms",
                 "max-tenants",
                 "tenants",
+                "replication",
+                "fault-plan",
+                "faulty",
                 "out",
                 "from",
             ]);

@@ -138,6 +138,34 @@ pub fn run_capacity_search(
     }
 }
 
+/// Degraded-mode capacity: [`run_capacity_search`] with `k` devices
+/// fail-stopped at `at_frac` of the run (never both halves of a mirror
+/// pair) under `replication` — the second number of the graceful-
+/// degradation pair. The fault plan derives deterministically from the
+/// proto's fault-plan seed, so healthy and degraded searches share every
+/// other knob and their difference is attributable to the faults alone.
+#[allow(clippy::too_many_arguments)]
+pub fn run_degraded_capacity_search(
+    cfg: &ExperimentConfig,
+    trace: PaperTrace,
+    scheme: SchemeKind,
+    proto: &FleetSpec,
+    target: SloTarget,
+    k: usize,
+    at_frac: f64,
+    replication: crate::router::ReplicationPolicy,
+    traces: &TraceSet,
+    cache: Option<&ReplayCache>,
+) -> CapacityResult {
+    let plan =
+        crate::fault::FleetFaultPlan::fail_stop(proto.devices, k, at_frac, proto.fault_plan.seed);
+    let degraded = proto
+        .clone()
+        .with_fault_plan(plan)
+        .with_replication(replication);
+    run_capacity_search(cfg, trace, scheme, &degraded, target, traces, cache)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

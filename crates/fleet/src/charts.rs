@@ -25,6 +25,8 @@ fn unique(values: impl Iterator<Item = String>) -> Vec<String> {
 ///
 /// * `fleet_capacity.svg` — tenants served at the p99 SLO, one group per
 ///   trace, one bar per scheme (capacity-search runs only);
+/// * `fleet_degradation.svg` — healthy vs degraded capacity per scheme
+///   (only when a degraded-mode search ran);
 /// * `fleet_load_<trace>.svg` — per-device ops heat strip, one row per
 ///   scheme, from the at-capacity reports (or the fixed-size reports).
 pub fn write_fleet_charts(dir: &Path, run: &FleetRunResult) -> io::Result<Vec<PathBuf>> {
@@ -50,6 +52,41 @@ pub fn write_fleet_charts(dir: &Path, run: &FleetRunResult) -> io::Result<Vec<Pa
             bars.set(g, s, c.max_tenants as f64);
         }
         let path = dir.join("fleet_capacity.svg");
+        std::fs::write(&path, bars.render())?;
+        written.push(path);
+    }
+
+    // Graceful-degradation pairs: healthy and k-faulty capacity side by
+    // side, two bars per scheme per trace group.
+    if !run.degraded.is_empty() && !run.capacity.is_empty() {
+        let groups = unique(run.capacity.iter().map(|c| c.trace.clone()));
+        let schemes = unique(run.capacity.iter().map(|c| c.scheme.clone()));
+        let mut series: Vec<String> = Vec::new();
+        for s in &schemes {
+            series.push(format!("{s} healthy"));
+            series.push(format!("{s} k={}", run.faulty_devices));
+        }
+        let mut bars = GroupedBars::new(
+            &format!(
+                "Graceful degradation: tenants at SLO, healthy vs {} faulty ({})",
+                run.faulty_devices, run.replication
+            ),
+            "tenants",
+            &groups,
+            &series,
+        );
+        for (offset, results) in [(0usize, &run.capacity), (1usize, &run.degraded)] {
+            for c in results.iter() {
+                let Some(g) = groups.iter().position(|t| *t == c.trace) else {
+                    continue;
+                };
+                let Some(s) = schemes.iter().position(|x| *x == c.scheme) else {
+                    continue;
+                };
+                bars.set(g, 2 * s + offset, c.max_tenants as f64);
+            }
+        }
+        let path = dir.join("fleet_degradation.svg");
         std::fs::write(&path, bars.render())?;
         written.push(path);
     }
@@ -139,7 +176,7 @@ mod tests {
                 fake_capacity("base", "usr0", 30),
                 fake_capacity("ipu", "usr0", 45),
             ],
-            reports: Vec::new(),
+            ..FleetRunResult::default()
         };
         let dir = std::env::temp_dir().join(format!("ipu-fleet-charts-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -164,17 +201,61 @@ mod tests {
     }
 
     #[test]
+    fn degraded_run_adds_the_degradation_chart() {
+        let mut degraded = vec![
+            fake_capacity("base", "ts0", 20),
+            fake_capacity("ipu", "ts0", 45),
+        ];
+        for d in &mut degraded {
+            d.at_capacity = None; // degraded strips ride on the healthy ones
+        }
+        let run = FleetRunResult {
+            devices: 4,
+            policy: "hash".into(),
+            queue_depth: 4,
+            slo_p99_ns: 1_000_000,
+            capacity: vec![
+                fake_capacity("base", "ts0", 40),
+                fake_capacity("ipu", "ts0", 60),
+            ],
+            replication: "mirror-pair".into(),
+            fault_plan: "failstop:1@0.50".into(),
+            faulty_devices: 1,
+            degraded,
+            ..FleetRunResult::default()
+        };
+        let dir = std::env::temp_dir().join(format!("ipu-fleet-charts-dg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_fleet_charts(&dir, &run).unwrap();
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "fleet_capacity.svg",
+                "fleet_degradation.svg",
+                "fleet_load_ts0.svg"
+            ]
+        );
+        let body = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(body.contains("healthy") && body.contains("k=1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn fixed_size_run_renders_strips_without_bars() {
         let run = FleetRunResult {
             devices: 3,
             policy: "range".into(),
             queue_depth: 2,
             slo_p99_ns: 1_000_000,
-            capacity: Vec::new(),
             reports: vec![
                 fake_report("base", "ts0", &[5, 5, 5]),
                 fake_report("ipu", "ts0", &[4, 6, 5]),
             ],
+            ..FleetRunResult::default()
         };
         let dir = std::env::temp_dir().join(format!("ipu-fleet-charts-fx-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

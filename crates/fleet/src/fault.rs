@@ -1,0 +1,585 @@
+//! Fleet-level fault plans: which devices are disrupted, how, and when.
+//!
+//! A [`FleetFaultPlan`] assigns at most one [`DeviceFault`] per device over
+//! simulated time. Fault *times* are fractions of the fleet horizon (the
+//! last completion on the slowest device), so one plan is meaningful at any
+//! trace scale and tenant count; [`FleetFaultPlan::resolve`] turns the
+//! fractions into absolute nanosecond windows for the tolerance pass.
+//!
+//! Three disruption shapes cover the production failure taxonomy:
+//!
+//! * **fail-stop** — the device dies at `at_frac` and never comes back;
+//! * **fail-slow** — from `from_frac` on, device time dilates by
+//!   `latency_factor`, and the whole run's media fault rates scale by
+//!   `fault_scale` (wear-driven RBER growth pushing reads down the retry
+//!   ladder — the per-device [`FaultProfile`] + [`RetryLadder`] reuse);
+//! * **brownout** — unavailable in `[from_frac, until_frac)`, then healthy.
+//!
+//! The plan is deterministic and seedable: per-device fault seeds derive
+//! from the fleet seed as `fleet_seed ⊕ FNV-1a(device_id)`
+//! ([`derive_device_seed`]), so devices under one profile never draw faults
+//! in lockstep. [`FleetFaultPlan::none`] is exactly PR 6 behaviour.
+
+use ipu_flash::{DeviceConfig, FaultProfile, RetryLadder};
+use serde::{Deserialize, Serialize};
+
+/// One device's disruption over the run. Times are fractions of the fleet
+/// horizon in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceFault {
+    /// The device dies at `at_frac` of the horizon and never recovers.
+    FailStop {
+        /// When the device stops, as a fraction of the fleet horizon.
+        at_frac: f64,
+    },
+    /// The device keeps serving but degrades: observed device time dilates
+    /// by `latency_factor` from `from_frac` on, and the device's media
+    /// fault rates are scaled by `fault_scale` for the whole run (modelling
+    /// wear-driven RBER growth that predates the visible slowdown).
+    FailSlow {
+        /// When the latency dilation starts, as a fraction of the horizon.
+        from_frac: f64,
+        /// Multiplier on device service time from `from_frac` on (≥ 1).
+        latency_factor: f64,
+        /// Multiplier on the device's `FaultProfile` rates (≥ 1).
+        fault_scale: f64,
+    },
+    /// The device is unavailable in `[from_frac, until_frac)`, then serves
+    /// again — a transient brownout the health machine can recover from.
+    Brownout {
+        /// Window start, as a fraction of the fleet horizon.
+        from_frac: f64,
+        /// Window end (exclusive), as a fraction of the fleet horizon.
+        until_frac: f64,
+    },
+}
+
+/// FNV-1a over the little-endian bytes of a device id — same hash family
+/// the shard router and replay cache use.
+fn fnv1a(id: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    id.to_le_bytes()
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(PRIME)
+        })
+}
+
+/// SplitMix64 — the same counter-hash family the flash fault profile draws
+/// with, reimplemented here so the fleet crate stays off flash internals.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-device fault seed: `fleet_seed ⊕ FNV-1a(device_id)`. Every device
+/// under the same [`FaultProfile`] draws an independent fault stream, so a
+/// shared profile never faults the fleet in lockstep.
+pub fn derive_device_seed(fleet_seed: u64, device: usize) -> u64 {
+    fleet_seed ^ fnv1a(device as u64)
+}
+
+/// Deterministic, seedable per-device disruptions over simulated time.
+/// The default ([`FleetFaultPlan::none`]) is inert: no device is disrupted
+/// and the tolerance machinery never runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetFaultPlan {
+    /// Fleet seed: folded into every per-device fault seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Disrupted devices as `(device_id, fault)` pairs, device-id ascending
+    /// (kept sorted for deterministic serialization — this struct is part
+    /// of the replay-cache key).
+    #[serde(default)]
+    pub faults: Vec<(usize, DeviceFault)>,
+}
+
+/// One device's fault windows in absolute simulated time, resolved against
+/// the fleet horizon by [`FleetFaultPlan::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResolvedFault {
+    /// Device dies at this time and never recovers (`None` = never).
+    pub dead_from_ns: Option<u64>,
+    /// Unavailable window `[start, end)` (`None` = no brownout).
+    pub brownout_ns: Option<(u64, u64)>,
+    /// Service-time dilation from this time on (`None` = never slow).
+    pub slow_from_ns: Option<u64>,
+    /// Multiplier on device time once slow (≥ 1).
+    pub latency_factor: f64,
+}
+
+impl ResolvedFault {
+    /// Whether the device cannot serve a request in flight over
+    /// `[dispatch, completion]`: it is past its fail-stop point, dies
+    /// mid-flight, or the interval touches the brownout window.
+    pub fn unavailable(&self, dispatch_ns: u64, completion_ns: u64) -> bool {
+        if let Some(dead) = self.dead_from_ns {
+            if completion_ns >= dead {
+                return true;
+            }
+        }
+        if let Some((from, until)) = self.brownout_ns {
+            if dispatch_ns < until && completion_ns >= from {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Service-time multiplier at dispatch time `t` (1.0 when healthy).
+    pub fn latency_factor_at(&self, t: u64) -> f64 {
+        match self.slow_from_ns {
+            Some(from) if t >= from => self.latency_factor,
+            _ => 1.0,
+        }
+    }
+}
+
+impl FleetFaultPlan {
+    /// The inert plan: no disruptions, PR 6 behaviour bit for bit.
+    pub fn none() -> Self {
+        FleetFaultPlan::default()
+    }
+
+    /// Whether this plan disrupts nothing.
+    pub fn is_inert(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of disrupted devices.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan has no disruptions (mirrors [`Self::is_inert`]).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Assigns `fault` to `device`, replacing any previous assignment and
+    /// keeping the pair list device-id ascending.
+    pub fn set(&mut self, device: usize, fault: DeviceFault) {
+        match self.faults.binary_search_by_key(&device, |&(d, _)| d) {
+            Ok(i) => self.faults[i].1 = fault,
+            Err(i) => self.faults.insert(i, (device, fault)),
+        }
+    }
+
+    /// The fault assigned to `device`, if any.
+    pub fn fault_for(&self, device: usize) -> Option<&DeviceFault> {
+        self.faults
+            .binary_search_by_key(&device, |&(d, _)| d)
+            .ok()
+            .map(|i| &self.faults[i].1)
+    }
+
+    /// Fail-stops `k` devices at `at_frac`, never both halves of a mirror
+    /// pair (`d` and `d ^ 1`), so mirrored fleets keep a live replica for
+    /// every disrupted device. Device choice is a deterministic function of
+    /// `seed`. `k` is clamped to the number of mirror pairs.
+    pub fn fail_stop(devices: usize, k: usize, at_frac: f64, seed: u64) -> Self {
+        assert!(devices >= 1, "need at least one device");
+        assert!((0.0..=1.0).contains(&at_frac), "at_frac out of [0,1]");
+        let pairs = devices.div_ceil(2);
+        let k = k.min(pairs);
+        // Draw k distinct mirror pairs, then one member of each.
+        let mut remaining: Vec<usize> = (0..pairs).collect();
+        let mut plan = FleetFaultPlan {
+            seed,
+            faults: Vec::with_capacity(k),
+        };
+        for i in 0..k {
+            let r = splitmix64(seed.wrapping_add(i as u64));
+            let pair = remaining.remove((r % remaining.len() as u64) as usize);
+            let member = (2 * pair + (splitmix64(r) & 1) as usize).min(devices - 1);
+            plan.set(member, DeviceFault::FailStop { at_frac });
+        }
+        plan
+    }
+
+    /// Human-readable summary, stable across runs (`none`, or e.g.
+    /// `failstop:3@0.50` / `mixed:4`).
+    pub fn label(&self) -> String {
+        if self.is_inert() {
+            return "none".to_string();
+        }
+        let mut stops = 0usize;
+        let mut slows = 0usize;
+        let mut brownouts = 0usize;
+        let mut first_frac = None;
+        for (_, fault) in &self.faults {
+            match fault {
+                DeviceFault::FailStop { at_frac } => {
+                    stops += 1;
+                    first_frac.get_or_insert(*at_frac);
+                }
+                DeviceFault::FailSlow { from_frac, .. } => {
+                    slows += 1;
+                    first_frac.get_or_insert(*from_frac);
+                }
+                DeviceFault::Brownout { from_frac, .. } => {
+                    brownouts += 1;
+                    first_frac.get_or_insert(*from_frac);
+                }
+            }
+        }
+        let frac = first_frac.unwrap_or(0.0);
+        match (stops, slows, brownouts) {
+            (n, 0, 0) => format!("failstop:{n}@{frac:.2}"),
+            (0, n, 0) => format!("failslow:{n}@{frac:.2}"),
+            (0, 0, n) => format!("brownout:{n}@{frac:.2}"),
+            _ => format!("mixed:{}", self.faults.len()),
+        }
+    }
+
+    /// Parses a CLI plan spec against a fleet of `devices`:
+    ///
+    /// * `none`
+    /// * `failstop:<k>@<frac>` — k fail-stop devices at `frac` of the run
+    /// * `failslow:<k>x<factor>@<frac>` — k devices dilate by `factor`
+    /// * `brownout:<k>@<from>-<until>` — k devices out for the window
+    ///
+    /// Device choice uses the same pair-spread draw as
+    /// [`FleetFaultPlan::fail_stop`], seeded by `seed`.
+    pub fn parse(spec: &str, devices: usize, seed: u64) -> Result<Self, String> {
+        if spec == "none" {
+            return Ok(FleetFaultPlan::none());
+        }
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault plan `{spec}` (try failstop:1@0.5)"))?;
+        let parse_frac = |s: &str| -> Result<f64, String> {
+            s.parse::<f64>()
+                .ok()
+                .filter(|f| (0.0..=1.0).contains(f))
+                .ok_or_else(|| format!("bad fraction `{s}` in `{spec}` (want 0..1)"))
+        };
+        let parse_k = |s: &str| -> Result<usize, String> {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| format!("bad device count `{s}` in `{spec}`"))
+        };
+        match kind {
+            "failstop" => {
+                let (k, frac) = rest
+                    .split_once('@')
+                    .ok_or_else(|| format!("bad fault plan `{spec}` (failstop:<k>@<frac>)"))?;
+                Ok(FleetFaultPlan::fail_stop(
+                    devices,
+                    parse_k(k)?,
+                    parse_frac(frac)?,
+                    seed,
+                ))
+            }
+            "failslow" => {
+                let (head, frac) = rest.split_once('@').ok_or_else(|| {
+                    format!("bad fault plan `{spec}` (failslow:<k>x<factor>@<frac>)")
+                })?;
+                let (k, factor) = head.split_once('x').ok_or_else(|| {
+                    format!("bad fault plan `{spec}` (failslow:<k>x<factor>@<frac>)")
+                })?;
+                let factor = factor
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&f| f >= 1.0)
+                    .ok_or_else(|| {
+                        format!("bad latency factor `{factor}` in `{spec}` (want >= 1)")
+                    })?;
+                let from_frac = parse_frac(frac)?;
+                let mut plan = FleetFaultPlan::fail_stop(devices, parse_k(k)?, from_frac, seed);
+                for (_, fault) in plan.faults.iter_mut() {
+                    *fault = DeviceFault::FailSlow {
+                        from_frac,
+                        latency_factor: factor,
+                        fault_scale: factor,
+                    };
+                }
+                Ok(plan)
+            }
+            "brownout" => {
+                let (k, window) = rest.split_once('@').ok_or_else(|| {
+                    format!("bad fault plan `{spec}` (brownout:<k>@<from>-<until>)")
+                })?;
+                let (from, until) = window.split_once('-').ok_or_else(|| {
+                    format!("bad window `{window}` in `{spec}` (want <from>-<until>)")
+                })?;
+                let (from_frac, until_frac) = (parse_frac(from)?, parse_frac(until)?);
+                if until_frac <= from_frac {
+                    return Err(format!("empty brownout window in `{spec}`"));
+                }
+                let mut plan = FleetFaultPlan::fail_stop(devices, parse_k(k)?, from_frac, seed);
+                for (_, fault) in plan.faults.iter_mut() {
+                    *fault = DeviceFault::Brownout {
+                        from_frac,
+                        until_frac,
+                    };
+                }
+                Ok(plan)
+            }
+            other => Err(format!(
+                "unknown fault plan kind `{other}` (none | failstop | failslow | brownout)"
+            )),
+        }
+    }
+
+    /// The device's replay configuration under this plan: the fault seed is
+    /// re-derived per device (independent draw streams even with no
+    /// disruption assigned), and a fail-slow device gets its media fault
+    /// rates scaled plus a retry ladder to walk — the wear-driven RBER ramp.
+    pub fn device_config(&self, base: &DeviceConfig, device: usize) -> DeviceConfig {
+        let mut cfg = base.clone();
+        cfg.fault.seed = derive_device_seed(self.seed ^ base.fault.seed, device);
+        if let Some(&DeviceFault::FailSlow { fault_scale, .. }) = self.fault_for(device) {
+            if cfg.fault.is_inert() {
+                // A fail-slow device with a pristine base profile still
+                // degrades: seed a light media profile to scale up.
+                let (light, _) = FaultProfile::named("light").expect("named profile");
+                cfg.fault.read_fail = light.read_fail;
+                cfg.fault.rber_spike = light.rber_spike;
+                cfg.fault.rber_spike_factor = light.rber_spike_factor;
+            }
+            let clamp = |r: f64| (r * fault_scale).min(1.0);
+            cfg.fault.read_fail = clamp(cfg.fault.read_fail);
+            cfg.fault.rber_spike = clamp(cfg.fault.rber_spike);
+            if cfg.retry.is_empty() {
+                cfg.retry = RetryLadder::standard();
+            }
+        }
+        cfg
+    }
+
+    /// Resolves every device's fault fractions against the fleet horizon.
+    /// Returns one entry per device (healthy devices get the default).
+    pub fn resolve(&self, devices: usize, horizon_ns: u64) -> Vec<ResolvedFault> {
+        let at = |frac: f64| (frac * horizon_ns as f64) as u64;
+        let mut out = vec![ResolvedFault::default(); devices];
+        for &(device, fault) in &self.faults {
+            if device >= devices {
+                continue; // plan written for a larger fleet: ignore overflow
+            }
+            let slot = &mut out[device];
+            match fault {
+                DeviceFault::FailStop { at_frac } => slot.dead_from_ns = Some(at(at_frac)),
+                DeviceFault::FailSlow {
+                    from_frac,
+                    latency_factor,
+                    ..
+                } => {
+                    slot.slow_from_ns = Some(at(from_frac));
+                    slot.latency_factor = latency_factor;
+                }
+                DeviceFault::Brownout {
+                    from_frac,
+                    until_frac,
+                } => slot.brownout_ns = Some((at(from_frac), at(until_frac))),
+            }
+        }
+        out
+    }
+
+    /// Validates fractions, factors and pair-list ordering.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.faults.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("fault plan devices must be unique and ascending".into());
+        }
+        let frac_ok = |f: f64| (0.0..=1.0).contains(&f);
+        for &(device, fault) in &self.faults {
+            match fault {
+                DeviceFault::FailStop { at_frac } if !frac_ok(at_frac) => {
+                    return Err(format!("device {device}: at_frac {at_frac} out of [0,1]"));
+                }
+                DeviceFault::FailSlow {
+                    from_frac,
+                    latency_factor,
+                    fault_scale,
+                } if !frac_ok(from_frac) || latency_factor < 1.0 || fault_scale < 1.0 => {
+                    return Err(format!(
+                        "device {device}: bad fail-slow ({from_frac}, {latency_factor}, {fault_scale})"
+                    ));
+                }
+                DeviceFault::Brownout {
+                    from_frac,
+                    until_frac,
+                } if !frac_ok(from_frac) || !frac_ok(until_frac) || until_frac <= from_frac => {
+                    return Err(format!(
+                        "device {device}: bad brownout window [{from_frac}, {until_frac})"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert_and_resolves_to_nothing() {
+        let plan = FleetFaultPlan::none();
+        assert!(plan.is_inert());
+        assert_eq!(plan.label(), "none");
+        plan.validate().unwrap();
+        let resolved = plan.resolve(4, 1_000_000);
+        assert!(resolved.iter().all(|r| !r.unavailable(0, u64::MAX)));
+        // ipu-lint: allow(float-eq) — 1.0 is the exact "no dilation" constant
+        assert!(resolved.iter().all(|r| r.latency_factor_at(0) == 1.0));
+    }
+
+    #[test]
+    fn per_device_seeds_decorrelate_fault_draws() {
+        // Satellite fix: two devices under the same (non-inert) profile must
+        // draw different fault sites. Pin it at the draw-stream level.
+        let (base_profile, _) = FaultProfile::named("heavy").unwrap();
+        let base = DeviceConfig {
+            fault: base_profile,
+            ..DeviceConfig::small_for_tests()
+        };
+        let plan = FleetFaultPlan::none();
+        let a = plan.device_config(&base, 0);
+        let b = plan.device_config(&base, 1);
+        assert_ne!(a.fault.seed, b.fault.seed, "devices share a fault seed");
+        let draws = |cfg: &DeviceConfig| -> Vec<bool> {
+            (0..512)
+                .map(|i| cfg.fault.program_fails(i, 0, 0, i))
+                .collect()
+        };
+        assert_ne!(draws(&a), draws(&b), "fault sites are in lockstep");
+        // And the derivation is the documented fleet_seed ⊕ FNV-1a(device).
+        assert_eq!(a.fault.seed, derive_device_seed(base.fault.seed, 0));
+    }
+
+    #[test]
+    fn fail_stop_spreads_across_mirror_pairs() {
+        for seed in 0..32u64 {
+            let plan = FleetFaultPlan::fail_stop(8, 3, 0.5, seed);
+            assert_eq!(plan.len(), 3);
+            plan.validate().unwrap();
+            let devices: Vec<usize> = plan.faults.iter().map(|&(d, _)| d).collect();
+            for w in devices.windows(2) {
+                assert_ne!(w[0] ^ 1, w[1], "both halves of a pair died: {devices:?}");
+            }
+            // Deterministic: same seed, same plan.
+            assert_eq!(plan, FleetFaultPlan::fail_stop(8, 3, 0.5, seed));
+        }
+        // k clamps to the pair count.
+        assert_eq!(FleetFaultPlan::fail_stop(4, 99, 0.5, 1).len(), 2);
+    }
+
+    #[test]
+    fn parse_round_trips_the_three_shapes() {
+        let stop = FleetFaultPlan::parse("failstop:2@0.5", 8, 7).unwrap();
+        assert_eq!(stop.len(), 2);
+        assert!(stop.label().starts_with("failstop:2@0.50"));
+
+        let slow = FleetFaultPlan::parse("failslow:1x4@0.25", 8, 7).unwrap();
+        assert!(matches!(
+            slow.faults.first(),
+            Some((_, DeviceFault::FailSlow {
+                latency_factor,
+                ..
+            // ipu-lint: allow(float-eq) — parsed verbatim from the spec string
+            })) if *latency_factor == 4.0
+        ));
+
+        let brown = FleetFaultPlan::parse("brownout:1@0.3-0.6", 8, 7).unwrap();
+        assert!(matches!(
+            brown.faults.first(),
+            Some((_, DeviceFault::Brownout { .. }))
+        ));
+
+        assert_eq!(
+            FleetFaultPlan::parse("none", 8, 7).unwrap(),
+            FleetFaultPlan::none()
+        );
+        assert!(FleetFaultPlan::parse("failstop:0@0.5", 8, 7).is_err());
+        assert!(FleetFaultPlan::parse("failstop:1@1.5", 8, 7).is_err());
+        assert!(FleetFaultPlan::parse("brownout:1@0.6-0.3", 8, 7).is_err());
+        assert!(FleetFaultPlan::parse("gremlins:1@0.5", 8, 7).is_err());
+    }
+
+    #[test]
+    fn resolved_windows_gate_availability() {
+        let mut plan = FleetFaultPlan::none();
+        plan.set(0, DeviceFault::FailStop { at_frac: 0.5 });
+        plan.set(
+            1,
+            DeviceFault::Brownout {
+                from_frac: 0.2,
+                until_frac: 0.4,
+            },
+        );
+        plan.set(
+            2,
+            DeviceFault::FailSlow {
+                from_frac: 0.5,
+                latency_factor: 3.0,
+                fault_scale: 2.0,
+            },
+        );
+        plan.validate().unwrap();
+        let r = plan.resolve(4, 1_000);
+
+        // Fail-stop: dead once the request would complete past t=500.
+        assert!(!r[0].unavailable(100, 200));
+        assert!(r[0].unavailable(400, 600), "dies mid-flight");
+        assert!(r[0].unavailable(700, 800));
+
+        // Brownout [200, 400): only requests overlapping the window fail.
+        assert!(!r[1].unavailable(0, 150));
+        assert!(r[1].unavailable(250, 300));
+        assert!(r[1].unavailable(100, 250), "browns out mid-flight");
+        assert!(!r[1].unavailable(400, 500), "recovered after the window");
+
+        // Fail-slow: never unavailable, dilates after t=500.
+        assert!(!r[2].unavailable(900, 950));
+        // ipu-lint: allow(float-eq) — factors pass through resolve verbatim
+        assert!(r[2].latency_factor_at(499) == 1.0);
+        // ipu-lint: allow(float-eq) — factors pass through resolve verbatim
+        assert!(r[2].latency_factor_at(500) == 3.0);
+
+        // Healthy device untouched.
+        assert!(!r[3].unavailable(0, u64::MAX));
+    }
+
+    #[test]
+    fn fail_slow_device_config_scales_faults_and_installs_ladder() {
+        let base = DeviceConfig::small_for_tests();
+        assert!(base.fault.is_inert());
+        let mut plan = FleetFaultPlan::none();
+        plan.set(
+            1,
+            DeviceFault::FailSlow {
+                from_frac: 0.0,
+                latency_factor: 2.0,
+                fault_scale: 4.0,
+            },
+        );
+        let slow = plan.device_config(&base, 1);
+        assert!(!slow.fault.is_inert(), "fail-slow device must draw faults");
+        assert!(!slow.retry.is_empty(), "fail-slow device needs a ladder");
+        slow.fault.validate().unwrap();
+        // Other devices keep the inert base (reseeded only).
+        let healthy = plan.device_config(&base, 0);
+        assert!(healthy.fault.is_inert());
+        assert!(healthy.retry.is_empty());
+    }
+
+    #[test]
+    fn plans_serialize_deterministically() {
+        let plan = FleetFaultPlan::fail_stop(8, 3, 0.5, 42);
+        let a = serde_json::to_string(&plan).unwrap();
+        let b = serde_json::to_string(&plan.clone()).unwrap();
+        assert_eq!(a, b);
+        let back: FleetFaultPlan = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, plan);
+        // Legacy/absent fields deserialize to the inert plan.
+        let empty: FleetFaultPlan = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_inert());
+    }
+}

@@ -1,0 +1,476 @@
+//! Router health model: per-device EWMA latency and consecutive-failure
+//! counters driving a three-state machine, Healthy → Suspect → Dead.
+//!
+//! The tracker observes every logical request's outcome in dispatch-time
+//! order. Failures (device unavailable, timeout) bump a consecutive-failure
+//! counter: one failure makes the device *Suspect* (hedging gets more
+//! aggressive), [`HealthPolicy::dead_after_failures`] in a row make it
+//! *Dead* (requests fail over immediately instead of paying the timeout).
+//! A Dead device earns a canary probe after
+//! [`HealthPolicy::probe_cooldown_ns`]; a success on the canary revives it
+//! through Suspect, and [`HealthPolicy::revive_successes`] consecutive
+//! successes restore Healthy — which is how the fleet recovers from a
+//! transient brownout without operator action.
+//!
+//! Every transition is stamped with the dispatch time that caused it, so
+//! the report carries a per-device health *timeline* — the forensic record
+//! of when the router noticed the fault and when it recovered.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the health machine and the retry/hedge paths. The
+/// defaults suit the simulator's ~0.1–1 ms device latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// EWMA smoothing factor for per-device latency (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// A success slower than `factor × EWMA` marks the device Suspect.
+    pub suspect_latency_factor: f64,
+    /// Consecutive failures before Healthy → Suspect.
+    pub suspect_after_failures: u32,
+    /// Consecutive failures before → Dead (fast-fail from then on).
+    pub dead_after_failures: u32,
+    /// Consecutive successes to climb Suspect → Healthy.
+    pub revive_successes: u32,
+    /// How long a Dead device waits before earning a canary probe, ns.
+    pub probe_cooldown_ns: u64,
+    /// Per-request end-to-end budget; blowing it is a failure, ns.
+    pub timeout_ns: u64,
+    /// First retry backoff; doubles per attempt, ns.
+    pub backoff_base_ns: u64,
+    /// Backoff ceiling, ns.
+    pub backoff_cap_ns: u64,
+    /// Retry attempts before a request is declared lost.
+    pub max_retries: u32,
+    /// Fixed cost of failing over to a replica (detect + re-route), ns.
+    pub failover_penalty_ns: u64,
+    /// Reads slower than this percentile of the healthy latency
+    /// distribution fire a hedged duplicate (e.g. 99.0).
+    pub hedge_percentile: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            ewma_alpha: 0.2,
+            suspect_latency_factor: 3.0,
+            suspect_after_failures: 1,
+            dead_after_failures: 3,
+            revive_successes: 4,
+            probe_cooldown_ns: 10_000_000, // 10 ms
+            timeout_ns: 10_000_000,        // 10 ms
+            backoff_base_ns: 50_000,       // 50 µs
+            backoff_cap_ns: 1_000_000,     // 1 ms
+            max_retries: 3,
+            failover_penalty_ns: 20_000, // 20 µs
+            hedge_percentile: 99.0,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Capped exponential backoff before retry `attempt` (0-based).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .backoff_base_ns
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        shifted.min(self.backoff_cap_ns)
+    }
+
+    /// Validates factors and counters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(format!("ewma_alpha {} out of (0,1]", self.ewma_alpha));
+        }
+        if self.suspect_latency_factor < 1.0 {
+            return Err("suspect_latency_factor must be ≥ 1".into());
+        }
+        if self.dead_after_failures < self.suspect_after_failures {
+            return Err("dead_after_failures must be ≥ suspect_after_failures".into());
+        }
+        if self.suspect_after_failures == 0 || self.revive_successes == 0 {
+            return Err("failure/revive thresholds must be ≥ 1".into());
+        }
+        if !(0.0..=100.0).contains(&self.hedge_percentile) {
+            return Err(format!(
+                "hedge_percentile {} out of [0,100]",
+                self.hedge_percentile
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The three-state health machine's states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Serving normally.
+    Healthy,
+    /// Recent failure or latency excursion: hedge earlier, watch closely.
+    Suspect,
+    /// Consecutive failures exhausted patience: fast-fail to the replica.
+    Dead,
+}
+
+impl HealthState {
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Dead => "dead",
+        }
+    }
+}
+
+/// One health transition, stamped with the dispatch time that caused it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// Dispatch time of the observation that triggered the transition, ns.
+    pub at_ns: u64,
+    /// State entered.
+    pub to: HealthState,
+}
+
+/// Per-device health over one run: final state plus the full transition
+/// timeline (starts implicitly Healthy at t = 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHealthTimeline {
+    pub device: usize,
+    /// State at end of run.
+    pub final_state: HealthState,
+    /// EWMA service latency at end of run, ns (0 if no success observed).
+    pub ewma_latency_ns: u64,
+    /// Successes/failures observed by the tracker.
+    pub successes: u64,
+    pub failures: u64,
+    /// Every state change, time-ascending.
+    pub transitions: Vec<HealthTransition>,
+}
+
+/// Live tracking state for one device.
+#[derive(Debug, Clone)]
+struct DeviceHealth {
+    state: HealthState,
+    ewma_ns: f64,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// When the device entered Dead (for the canary probe cooldown).
+    dead_since_ns: u64,
+    successes: u64,
+    failures: u64,
+    transitions: Vec<HealthTransition>,
+}
+
+impl DeviceHealth {
+    fn new() -> Self {
+        DeviceHealth {
+            state: HealthState::Healthy,
+            ewma_ns: 0.0,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            dead_since_ns: 0,
+            successes: 0,
+            failures: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, at_ns: u64, to: HealthState) {
+        if self.state != to {
+            self.state = to;
+            if to == HealthState::Dead {
+                self.dead_since_ns = at_ns;
+            }
+            self.transitions.push(HealthTransition { at_ns, to });
+        }
+    }
+}
+
+/// Tracks every device's health from the stream of request outcomes,
+/// processed in dispatch-time order.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    policy: HealthPolicy,
+    devices: Vec<DeviceHealth>,
+}
+
+impl HealthTracker {
+    pub fn new(devices: usize, policy: HealthPolicy) -> Self {
+        HealthTracker {
+            policy,
+            devices: (0..devices).map(|_| DeviceHealth::new()).collect(),
+        }
+    }
+
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    pub fn state(&self, device: usize) -> HealthState {
+        self.devices[device].state
+    }
+
+    /// EWMA service latency of `device`, ns (`None` before any success).
+    pub fn ewma_ns(&self, device: usize) -> Option<u64> {
+        let d = &self.devices[device];
+        (d.successes > 0).then_some(d.ewma_ns as u64)
+    }
+
+    /// Whether the router should even try `device` for a request dispatched
+    /// at `now_ns`: Dead devices fast-fail, except a canary probe once
+    /// every [`HealthPolicy::probe_cooldown_ns`].
+    pub fn should_attempt(&mut self, device: usize, now_ns: u64) -> bool {
+        let cooldown = self.policy.probe_cooldown_ns;
+        let d = &mut self.devices[device];
+        match d.state {
+            HealthState::Dead => {
+                if now_ns.saturating_sub(d.dead_since_ns) >= cooldown {
+                    // Canary probe: one request through; push the next
+                    // cooldown window out from now.
+                    d.dead_since_ns = now_ns;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Observes a successful request on `device` dispatched at `at_ns` with
+    /// service latency `latency_ns`.
+    pub fn observe_success(&mut self, device: usize, at_ns: u64, latency_ns: u64) {
+        let policy = self.policy.clone();
+        let d = &mut self.devices[device];
+        d.successes += 1;
+        d.consecutive_failures = 0;
+        d.consecutive_successes += 1;
+        let slow = d.successes > 1
+            && d.ewma_ns > 0.0
+            && latency_ns as f64 > policy.suspect_latency_factor * d.ewma_ns;
+        d.ewma_ns = if d.successes == 1 {
+            latency_ns as f64
+        } else {
+            policy.ewma_alpha * latency_ns as f64 + (1.0 - policy.ewma_alpha) * d.ewma_ns
+        };
+        match d.state {
+            HealthState::Dead => {
+                // Canary came back: the device serves again, but stays on
+                // probation until it proves itself.
+                d.consecutive_successes = 1;
+                d.transition(at_ns, HealthState::Suspect);
+            }
+            HealthState::Suspect => {
+                if slow {
+                    d.consecutive_successes = 0; // still degraded
+                } else if d.consecutive_successes >= policy.revive_successes {
+                    d.transition(at_ns, HealthState::Healthy);
+                }
+            }
+            HealthState::Healthy => {
+                if slow {
+                    d.consecutive_successes = 0;
+                    d.transition(at_ns, HealthState::Suspect);
+                }
+            }
+        }
+    }
+
+    /// Observes a failed request (unavailable or timed out) on `device`
+    /// dispatched at `at_ns`.
+    pub fn observe_failure(&mut self, device: usize, at_ns: u64) {
+        let policy = self.policy.clone();
+        let d = &mut self.devices[device];
+        d.failures += 1;
+        d.consecutive_successes = 0;
+        d.consecutive_failures += 1;
+        if d.consecutive_failures >= policy.dead_after_failures {
+            d.transition(at_ns, HealthState::Dead);
+        } else if d.consecutive_failures >= policy.suspect_after_failures {
+            d.transition(at_ns, HealthState::Suspect);
+        }
+    }
+
+    /// Hedge threshold for `device` given the fleet-wide healthy p99: a
+    /// Suspect device hedges at half the threshold (it has already shown a
+    /// reason to distrust it).
+    pub fn hedge_threshold_ns(&self, device: usize, healthy_pxx_ns: u64) -> u64 {
+        match self.devices[device].state {
+            HealthState::Suspect => (healthy_pxx_ns / 2).max(1),
+            _ => healthy_pxx_ns.max(1),
+        }
+    }
+
+    /// Freezes the tracker into per-device serializable timelines.
+    pub fn timelines(&self) -> Vec<DeviceHealthTimeline> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(device, d)| DeviceHealthTimeline {
+                device,
+                final_state: d.state,
+                ewma_latency_ns: d.ewma_ns as u64,
+                successes: d.successes,
+                failures: d.failures,
+                transitions: d.transitions.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_policy() -> HealthPolicy {
+        HealthPolicy {
+            dead_after_failures: 3,
+            revive_successes: 2,
+            probe_cooldown_ns: 1_000,
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn default_policy_validates_and_backs_off_capped() {
+        let p = HealthPolicy::default();
+        p.validate().unwrap();
+        assert_eq!(p.backoff_ns(0), 50_000);
+        assert_eq!(p.backoff_ns(1), 100_000);
+        assert_eq!(p.backoff_ns(2), 200_000);
+        // Cap: 50 µs << n clamps at 1 ms.
+        assert_eq!(p.backoff_ns(10), 1_000_000);
+        assert_eq!(p.backoff_ns(63), 1_000_000);
+        assert_eq!(p.backoff_ns(200), 1_000_000);
+    }
+
+    #[test]
+    fn policy_validation_rejects_nonsense() {
+        let p = HealthPolicy {
+            ewma_alpha: 0.0,
+            ..HealthPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = HealthPolicy {
+            dead_after_failures: 0,
+            ..HealthPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = HealthPolicy {
+            hedge_percentile: 150.0,
+            ..HealthPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn consecutive_failures_walk_healthy_suspect_dead() {
+        let mut t = HealthTracker::new(2, quick_policy());
+        assert_eq!(t.state(0), HealthState::Healthy);
+        t.observe_failure(0, 100);
+        assert_eq!(t.state(0), HealthState::Suspect);
+        t.observe_failure(0, 200);
+        assert_eq!(t.state(0), HealthState::Suspect);
+        t.observe_failure(0, 300);
+        assert_eq!(t.state(0), HealthState::Dead);
+        // Device 1 is untouched.
+        assert_eq!(t.state(1), HealthState::Healthy);
+        // Timeline recorded both transitions with their trigger times.
+        let tl = &t.timelines()[0];
+        assert_eq!(
+            tl.transitions,
+            vec![
+                HealthTransition {
+                    at_ns: 100,
+                    to: HealthState::Suspect
+                },
+                HealthTransition {
+                    at_ns: 300,
+                    to: HealthState::Dead
+                },
+            ]
+        );
+        assert_eq!(tl.failures, 3);
+    }
+
+    #[test]
+    fn a_success_resets_the_failure_streak() {
+        let mut t = HealthTracker::new(1, quick_policy());
+        t.observe_failure(0, 100);
+        t.observe_failure(0, 200);
+        t.observe_success(0, 300, 1_000);
+        t.observe_failure(0, 400);
+        t.observe_failure(0, 500);
+        // Streak broken at 2: never reached dead_after_failures = 3.
+        assert_ne!(t.state(0), HealthState::Dead);
+    }
+
+    #[test]
+    fn dead_device_fast_fails_until_the_canary_cooldown() {
+        let mut t = HealthTracker::new(1, quick_policy());
+        for i in 0..3 {
+            t.observe_failure(0, i * 10);
+        }
+        assert_eq!(t.state(0), HealthState::Dead);
+        // Inside the cooldown: no attempts.
+        assert!(!t.should_attempt(0, 500));
+        // Past the cooldown (dead since t=20, cooldown 1000): one canary.
+        assert!(t.should_attempt(0, 1_500));
+        // The canary consumed the window; the next probe waits again.
+        assert!(!t.should_attempt(0, 1_600));
+        assert!(t.should_attempt(0, 2_600));
+    }
+
+    #[test]
+    fn canary_success_revives_through_suspect_to_healthy() {
+        let mut t = HealthTracker::new(1, quick_policy());
+        for i in 0..3 {
+            t.observe_failure(0, i * 10);
+        }
+        assert_eq!(t.state(0), HealthState::Dead);
+        t.observe_success(0, 2_000, 1_000);
+        assert_eq!(t.state(0), HealthState::Suspect);
+        t.observe_success(0, 2_100, 1_000);
+        // revive_successes = 2: the second clean success restores Healthy.
+        assert_eq!(t.state(0), HealthState::Healthy);
+        let tl = &t.timelines()[0];
+        assert_eq!(tl.final_state, HealthState::Healthy);
+        assert_eq!(tl.transitions.last().unwrap().to, HealthState::Healthy);
+    }
+
+    #[test]
+    fn latency_excursion_marks_suspect_without_failures() {
+        let mut t = HealthTracker::new(1, quick_policy());
+        for i in 0..10 {
+            t.observe_success(0, i * 100, 1_000);
+        }
+        assert_eq!(t.state(0), HealthState::Healthy);
+        // 10× the EWMA (factor is 3): Suspect despite being a success.
+        t.observe_success(0, 1_100, 10_000);
+        assert_eq!(t.state(0), HealthState::Suspect);
+        // EWMA keeps tracking.
+        assert!(t.ewma_ns(0).unwrap() > 1_000);
+    }
+
+    #[test]
+    fn suspect_devices_hedge_at_half_threshold() {
+        let mut t = HealthTracker::new(2, quick_policy());
+        t.observe_failure(0, 100);
+        assert_eq!(t.state(0), HealthState::Suspect);
+        assert_eq!(t.hedge_threshold_ns(0, 10_000), 5_000);
+        assert_eq!(t.hedge_threshold_ns(1, 10_000), 10_000);
+        // Degenerate threshold still fires.
+        assert_eq!(t.hedge_threshold_ns(1, 0), 1);
+    }
+
+    #[test]
+    fn timelines_serialize_round_trip() {
+        let mut t = HealthTracker::new(2, quick_policy());
+        t.observe_failure(0, 5);
+        t.observe_success(1, 10, 500);
+        let tl = t.timelines();
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: Vec<DeviceHealthTimeline> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tl);
+    }
+}

@@ -23,20 +23,46 @@
 //! nothing. A 1-device, 1-tenant fleet is bit-identical to plain
 //! `ipu_sim::replay_closed_loop` — the equivalence tests pin the layer to
 //! that oracle.
+//!
+//! ## Fault tolerance
+//!
+//! Production fleets are never healthy. A seedable [`FleetFaultPlan`]
+//! injects per-device disruptions (fail-stop, fail-slow, brownout) with
+//! per-device fault seeds derived from the fleet seed; the router answers
+//! with a three-state health machine ([`health`]), replica retries with
+//! capped exponential backoff, hedged reads, and a [`ReplicationPolicy`]
+//! (none / mirror-pair). The tolerance pass ([`tolerance`]) overlays all
+//! of this on the per-device replays and attaches a [`FleetReliability`]
+//! ledger plus per-device health timelines to the report, and
+//! [`capacity::run_capacity_search`] can re-run under the faulted spec to
+//! quote *degraded-mode* capacity next to the healthy headline.
 
 #![forbid(unsafe_code)]
 
 pub mod capacity;
 pub mod charts;
+pub mod fault;
+pub mod health;
 pub mod report;
 pub mod router;
 pub mod run;
+pub mod tolerance;
 
-pub use capacity::{run_capacity_search, SloTarget};
+pub use capacity::{run_capacity_search, run_degraded_capacity_search, SloTarget};
 pub use charts::write_fleet_charts;
-pub use report::{
-    render_capacity, render_fleet_report, CapacityProbe, CapacityResult, DeviceSummary,
-    FleetReport, FleetRunResult, HotShard, LoadSkew, HOT_SHARD_TOP_K,
+pub use fault::{derive_device_seed, DeviceFault, FleetFaultPlan, ResolvedFault};
+pub use health::{
+    DeviceHealthTimeline, HealthPolicy, HealthState, HealthTracker, HealthTransition,
 };
-pub use router::{route, synthesize_tenants, DeviceAssignment, ShardPolicy, STRIPE_BYTES};
+pub use report::{
+    render_capacity, render_degradation, render_fleet_report, CapacityProbe, CapacityResult,
+    DeviceSummary, FleetReport, FleetRunResult, HotShard, LoadSkew, MergeContext, HOT_SHARD_TOP_K,
+};
+pub use router::{
+    route, route_replicated, synthesize_tenants, DeviceAssignment, ReplicationPolicy, ShardPolicy,
+    STRIPE_BYTES,
+};
 pub use run::{run_fleet, run_fleet_cached, run_fleet_detailed, FleetSpec};
+pub use tolerance::{
+    run_tolerance, DeviceProfile, FleetReliability, LogicalRequest, ToleranceOutcome,
+};

@@ -5,7 +5,9 @@
 //! in `ipu-lint`'s ordered-output surface, so iteration order feeding any of
 //! these structs must be deterministic (no `HashMap`/`HashSet`).
 
+use crate::health::DeviceHealthTimeline;
 use crate::router::ShardPolicy;
+use crate::tolerance::{FleetReliability, ToleranceOutcome};
 use ipu_core::report::TextTable;
 use ipu_host::{LatencyStats, ReliabilityStats, TenantMetrics};
 use ipu_sim::ClosedLoopReport;
@@ -28,6 +30,10 @@ pub struct DeviceSummary {
     pub p999_ns: u64,
     /// Last completion on this device, ns.
     pub horizon_ns: u64,
+    /// Of `ops`, how many were replica writes hosted for the mirror pair
+    /// partner (0 without replication). Primary ops ≡ `ops - mirror_ops`.
+    #[serde(default)]
+    pub mirror_ops: u64,
 }
 
 /// One of the top-K most loaded devices.
@@ -128,11 +134,44 @@ pub struct FleetReport {
     /// One row per device, device-id ascending (idle devices included).
     pub per_device: Vec<DeviceSummary>,
     pub load: LoadSkew,
+    /// Replication policy label (`none` / `mirror-pair`; empty in reports
+    /// saved before the fault-tolerance subsystem).
+    #[serde(default)]
+    pub replication: String,
+    /// Fault plan label (`none` when healthy).
+    #[serde(default)]
+    pub fault_plan: String,
+    /// Fleet-level reliability ledger; present only when the tolerance
+    /// pass ran (a non-inert fault plan or active replication).
+    #[serde(default)]
+    pub fleet_reliability: Option<FleetReliability>,
+    /// Per-device health timelines from the tolerance pass (empty when it
+    /// did not run).
+    #[serde(default)]
+    pub health: Vec<DeviceHealthTimeline>,
+}
+
+/// Fleet-level context for [`FleetReport::merge_with`]: how the run was
+/// replicated/faulted, and which of each device's tenant streams are
+/// primary (the rest are mirror write streams and must not pollute the
+/// pooled latency or fairness numbers).
+#[derive(Debug, Clone, Default)]
+pub struct MergeContext {
+    /// Replication policy label (empty → `none`).
+    pub replication: String,
+    /// Fault plan label (empty → `none`).
+    pub fault_plan: String,
+    /// Per-device count of primary tenant streams; streams beyond this
+    /// index are mirror write streams. `None` means every stream is
+    /// primary (no replication).
+    pub primary_streams: Option<Vec<usize>>,
 }
 
 impl FleetReport {
     /// Merges per-device closed-loop reports (indexed by device id; `None`
     /// for a device that received no tenants) into one fleet report.
+    /// Equivalent to [`FleetReport::merge_with`] with a default context
+    /// (no replication, no fault plan).
     pub fn merge(
         scheme: &str,
         trace: &str,
@@ -140,6 +179,31 @@ impl FleetReport {
         tenants: usize,
         queue_depth: usize,
         per_device: &[Option<ClosedLoopReport>],
+    ) -> FleetReport {
+        Self::merge_with(
+            scheme,
+            trace,
+            policy,
+            tenants,
+            queue_depth,
+            per_device,
+            &MergeContext::default(),
+        )
+    }
+
+    /// [`FleetReport::merge`] with fleet-level context: mirror write
+    /// streams (per-device stream index ≥ `ctx.primary_streams[d]`) are
+    /// charged to the device's load as `mirror_ops` but excluded from the
+    /// pooled latency distributions, fairness and `total_ops`, which stay
+    /// *logical* — so `Σ (ops − mirror_ops) == total_ops`.
+    pub fn merge_with(
+        scheme: &str,
+        trace: &str,
+        policy: ShardPolicy,
+        tenants: usize,
+        queue_depth: usize,
+        per_device: &[Option<ClosedLoopReport>],
+        ctx: &MergeContext,
     ) -> FleetReport {
         let mut service = LatencyStats::new();
         let mut e2e = LatencyStats::new();
@@ -164,31 +228,45 @@ impl FleetReport {
                     p99_ns: 0,
                     p999_ns: 0,
                     horizon_ns: 0,
+                    mirror_ops: 0,
                 });
                 ops.push(0);
                 continue;
             };
+            let primary_n = ctx
+                .primary_streams
+                .as_ref()
+                .map(|v| v.get(device).copied().unwrap_or(usize::MAX))
+                .unwrap_or(usize::MAX);
             let dev_service = report.host.overall_service_latency();
             let dev_ops = report.host.total_completed();
-            for t in &report.host.tenants {
+            let mut mirror_ops = 0u64;
+            for (idx, t) in report.host.tenants.iter().enumerate() {
+                if idx >= primary_n {
+                    // Mirror write stream: device load, not fleet QoS.
+                    mirror_ops += t.completed;
+                    continue;
+                }
                 service.merge(&t.service_latency);
                 e2e.merge(&t.e2e_latency);
                 let tp = TenantMetrics::throughput_rps(t);
                 tp_min = tp_min.min(tp);
                 tp_max = tp_max.max(tp);
             }
-            tenant_count += report.host.tenants.len();
+            let primary_tenants = report.host.tenants.len().min(primary_n);
+            tenant_count += primary_tenants;
             reliability.merge(&report.sim.reliability);
             horizon_ns = horizon_ns.max(report.host.horizon_ns);
-            total_ops += dev_ops;
+            total_ops += dev_ops - mirror_ops;
             summaries.push(DeviceSummary {
                 device,
-                tenants: report.host.tenants.len(),
+                tenants: primary_tenants,
                 ops: dev_ops,
                 mean_ms: dev_service.mean_ms(),
                 p99_ns: dev_service.percentile_ns(99.0),
                 p999_ns: dev_service.percentile_ns(99.9),
                 horizon_ns: report.host.horizon_ns,
+                mirror_ops,
             });
             ops.push(dev_ops);
         }
@@ -221,7 +299,37 @@ impl FleetReport {
             horizon_ns,
             per_device: summaries,
             load: LoadSkew::from_ops(&ops),
+            replication: if ctx.replication.is_empty() {
+                "none".to_string()
+            } else {
+                ctx.replication.clone()
+            },
+            fault_plan: if ctx.fault_plan.is_empty() {
+                "none".to_string()
+            } else {
+                ctx.fault_plan.clone()
+            },
+            fleet_reliability: None,
+            health: Vec::new(),
         }
+    }
+
+    /// Overlays the tolerance pass onto this report: the pooled latency
+    /// distributions become the *post-router* ones (retries, hedges and
+    /// fast-fails included; lost requests excluded — they never completed),
+    /// the reliability ledger and health timelines are attached, and lost
+    /// requests flow into [`ReliabilityStats`] so `availability()` reflects
+    /// them. Device-level rows keep their raw replay numbers: the delta
+    /// between a device row and the fleet headline *is* the router's work.
+    pub fn apply_tolerance(&mut self, out: &ToleranceOutcome) {
+        self.p99_ns = out.service_latency.percentile_ns(99.0);
+        self.p999_ns = out.service_latency.percentile_ns(99.9);
+        self.service_latency = out.service_latency.clone();
+        self.e2e_latency = out.e2e_latency.clone();
+        self.reliability.lost += out.reliability.lost;
+        self.reliability.timeouts += out.reliability.timeouts;
+        self.fleet_reliability = Some(out.reliability);
+        self.health = out.health.clone();
     }
 }
 
@@ -257,7 +365,7 @@ pub struct CapacityResult {
 /// Everything one `fleet` CLI invocation produced: capacity-search results
 /// per trace × scheme, or fixed-size fleet reports when a tenant count was
 /// pinned.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FleetRunResult {
     pub devices: usize,
     pub policy: String,
@@ -269,6 +377,21 @@ pub struct FleetRunResult {
     /// Fixed-size mode reports (empty in capacity-search mode).
     #[serde(default)]
     pub reports: Vec<FleetReport>,
+    /// Replication policy label of the degraded-mode runs (empty when no
+    /// degraded mode was requested).
+    #[serde(default)]
+    pub replication: String,
+    /// Fault plan label of the degraded-mode runs.
+    #[serde(default)]
+    pub fault_plan: String,
+    /// How many devices the degraded-mode fault plan disrupts.
+    #[serde(default)]
+    pub faulty_devices: usize,
+    /// Degraded-mode capacity results, parallel in (trace, scheme) order to
+    /// `capacity`: same SLO, but `faulty_devices` devices are fail-stopped
+    /// under `replication`.
+    #[serde(default)]
+    pub degraded: Vec<CapacityResult>,
 }
 
 fn ms(ns: u64) -> String {
@@ -297,6 +420,42 @@ pub fn render_fleet_report(r: &FleetReport) -> String {
         r.reliability.availability(),
         r.load.skew,
     );
+    if let Some(fr) = &r.fleet_reliability {
+        out.push_str(&format!(
+            "faults {} replication {}: acked {} (clean {} / recovered {})  \
+             lost {}  retries {}  timeouts {}  hedges {}/{} fired/won  \
+             hedge waste {:.3} ms  mirror writes {}\n",
+            r.fault_plan,
+            r.replication,
+            fr.acked,
+            fr.clean,
+            fr.recovered,
+            fr.lost,
+            fr.retries,
+            fr.timeouts,
+            fr.hedges_fired,
+            fr.hedges_won,
+            fr.hedge_wasted_ns as f64 / 1e6,
+            fr.replica_write_ops,
+        ));
+        let noteworthy: Vec<String> = r
+            .health
+            .iter()
+            .filter(|h| !h.transitions.is_empty())
+            .map(|h| {
+                format!(
+                    "dev{} {} ({} transitions, {} failures)",
+                    h.device,
+                    h.final_state.label(),
+                    h.transitions.len(),
+                    h.failures
+                )
+            })
+            .collect();
+        if !noteworthy.is_empty() {
+            out.push_str(&format!("health: {}\n", noteworthy.join(", ")));
+        }
+    }
     if !r.load.hot_shards.is_empty() {
         let mut t = TextTable::new(&["Hot shard", "ops", "share", "p99(ms)"]);
         for h in &r.load.hot_shards {
@@ -311,6 +470,47 @@ pub fn render_fleet_report(r: &FleetReport) -> String {
         out.push_str(&t.render());
     }
     out
+}
+
+/// Text rendering of the graceful-degradation headline: healthy vs degraded
+/// capacity per trace × scheme, with the retained fraction.
+pub fn render_degradation(
+    healthy: &[CapacityResult],
+    degraded: &[CapacityResult],
+    faulty_devices: usize,
+    replication: &str,
+) -> String {
+    let mut t = TextTable::new(&[
+        "Trace",
+        "Scheme",
+        "healthy tenants",
+        &format!("k={faulty_devices} faulty ({replication})"),
+        "retained",
+    ]);
+    for h in healthy {
+        let d = degraded
+            .iter()
+            .find(|d| d.trace == h.trace && d.scheme == h.scheme);
+        let (deg, retained) = match d {
+            Some(d) if h.max_tenants > 0 => (
+                d.max_tenants.to_string(),
+                format!(
+                    "{:.1}%",
+                    d.max_tenants as f64 * 100.0 / h.max_tenants as f64
+                ),
+            ),
+            Some(d) => (d.max_tenants.to_string(), "-".into()),
+            None => ("-".into(), "-".into()),
+        };
+        t.row(vec![
+            h.trace.clone(),
+            h.scheme.clone(),
+            h.max_tenants.to_string(),
+            deg,
+            retained,
+        ]);
+    }
+    t.render()
 }
 
 /// Text rendering of the capacity-search headline: max tenants at SLO per
@@ -495,10 +695,150 @@ mod tests {
             queue_depth: 2,
             slo_p99_ns: 1_000_000,
             capacity: vec![cap],
-            reports: Vec::new(),
+            ..FleetRunResult::default()
         };
         let json = serde_json::to_string_pretty(&run).unwrap();
         let back: FleetRunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn merge_with_excludes_mirror_streams_from_fleet_qos() {
+        // Device 0: one primary stream; device 1: one primary + one mirror
+        // stream (two streams in one report, the second declared mirror).
+        let cfg = ReplayConfig::small_for_tests(ipu_ftl::SchemeKind::Ipu);
+        let host = ipu_host::HostConfig::new(
+            2,
+            ipu_host::ArbitrationPolicy::RoundRobin,
+            vec![
+                ipu_host::TenantSpec::new("t0"),
+                ipu_host::TenantSpec::new("m0"),
+            ],
+        );
+        let a = device_report(30, 0);
+        let b = replay_closed_loop(
+            &cfg,
+            &host,
+            &[workload(20, 1 << 24), workload(30, 1 << 25)],
+            "t",
+        );
+        let primary_only = FleetReport::merge(
+            "ipu",
+            "ts0",
+            ShardPolicy::Hash,
+            2,
+            2,
+            &[Some(a.clone()), None],
+        );
+        let ctx = MergeContext {
+            replication: "mirror-pair".into(),
+            fault_plan: "none".into(),
+            primary_streams: Some(vec![1, 1]),
+        };
+        let fleet = FleetReport::merge_with(
+            "ipu",
+            "ts0",
+            ShardPolicy::Hash,
+            2,
+            2,
+            &[Some(a), Some(b.clone())],
+            &ctx,
+        );
+        // Logical ops: 30 + 20 primaries; the 30 mirror writes are charged
+        // to device 1's load but not the fleet total.
+        assert_eq!(fleet.total_ops, 50);
+        assert_eq!(fleet.per_device[1].mirror_ops, 30);
+        assert_eq!(fleet.per_device[1].ops, b.host.total_completed());
+        assert_eq!(
+            fleet
+                .per_device
+                .iter()
+                .map(|d| d.ops - d.mirror_ops)
+                .sum::<u64>(),
+            fleet.total_ops
+        );
+        // Pooled latency counts only the primary streams.
+        let device0_primary = primary_only.service_latency.count();
+        assert_eq!(
+            fleet.service_latency.count(),
+            device0_primary + b.host.tenants[0].completed
+        );
+        assert_eq!(fleet.replication, "mirror-pair");
+        assert_eq!(fleet.fault_plan, "none");
+        // The default context is labelled `none` and changes nothing else.
+        assert_eq!(primary_only.replication, "none");
+    }
+
+    #[test]
+    fn apply_tolerance_overlays_the_router_view() {
+        let a = device_report(25, 0);
+        let mut fleet = FleetReport::merge("ipu", "ts0", ShardPolicy::Hash, 1, 2, &[Some(a)]);
+        let mut service = LatencyStats::new();
+        let mut e2e = LatencyStats::new();
+        for ns in [10_000u64, 20_000, 4_000_000] {
+            service.record(ns);
+            e2e.record(ns + 1_000);
+        }
+        let out = ToleranceOutcome {
+            service_latency: service,
+            e2e_latency: e2e,
+            reliability: FleetReliability {
+                logical_ops: 5,
+                acked: 3,
+                clean: 2,
+                recovered: 1,
+                lost: 2,
+                retries: 4,
+                failovers: 1,
+                timeouts: 3,
+                ..FleetReliability::default()
+            },
+            health: Vec::new(),
+        };
+        let before = fleet.reliability.clone();
+        fleet.apply_tolerance(&out);
+        assert_eq!(fleet.p99_ns, fleet.service_latency.percentile_ns(99.0));
+        assert!(fleet.p99_ns >= 2_000_000, "outlier must drive the new p99");
+        assert_eq!(fleet.reliability.lost, before.lost + 2);
+        assert_eq!(fleet.reliability.timeouts, before.timeouts + 3);
+        assert!(fleet.reliability.availability() < 1.0);
+        let fr = fleet.fleet_reliability.unwrap();
+        assert_eq!(fr.logical_ops, fr.acked + fr.lost, "conservation");
+        let text = render_fleet_report(&fleet);
+        assert!(text.contains("acked 3 (clean 2 / recovered 1)"));
+        assert!(text.contains("lost 2"));
+    }
+
+    #[test]
+    fn degradation_table_pairs_healthy_and_degraded() {
+        let healthy = vec![
+            CapacityResult {
+                scheme: "ipu".into(),
+                trace: "ts0".into(),
+                policy: "hash".into(),
+                slo_p99_ns: 1_000_000,
+                tenant_cap: 64,
+                max_tenants: 40,
+                probes: Vec::new(),
+                at_capacity: None,
+            },
+            CapacityResult {
+                scheme: "base".into(),
+                trace: "ts0".into(),
+                policy: "hash".into(),
+                slo_p99_ns: 1_000_000,
+                tenant_cap: 64,
+                max_tenants: 20,
+                probes: Vec::new(),
+                at_capacity: None,
+            },
+        ];
+        let mut degraded = healthy.clone();
+        degraded[0].max_tenants = 30;
+        degraded[1].max_tenants = 10;
+        let table = render_degradation(&healthy, &degraded, 1, "mirror-pair");
+        assert!(table.contains("k=1 faulty (mirror-pair)"));
+        assert!(table.contains("75.0%"));
+        assert!(table.contains("50.0%"));
     }
 }

@@ -8,7 +8,7 @@
 //! single hot tenant cannot melt a single shard.
 
 use ipu_trace::tenants::split_round_robin;
-use ipu_trace::IoRequest;
+use ipu_trace::{IoRequest, OpKind};
 use serde::{Deserialize, Serialize};
 
 /// Stripe width of the `lba-stripe` policy: consecutive [`STRIPE_BYTES`]
@@ -93,6 +93,52 @@ impl ShardPolicy {
     }
 }
 
+/// Where retries, hedges and replica writes land when a device cannot (or
+/// should not) serve a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplicationPolicy {
+    /// No replicas: a request whose device is down is lost after the retry
+    /// budget — PR 6 behaviour, and the honest baseline the mirror numbers
+    /// are judged against.
+    #[default]
+    None,
+    /// Device `d` mirrors with `d ^ 1`: writes are duplicated onto the
+    /// mirror (capacity cost paid in the replay), reads fail over and hedge
+    /// there. The last device of an odd fleet has no partner.
+    MirrorPair,
+}
+
+impl ReplicationPolicy {
+    /// Parses the CLI spelling (`none`, `mirror-pair`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(ReplicationPolicy::None),
+            "mirror-pair" | "mirror" => Ok(ReplicationPolicy::MirrorPair),
+            other => Err(format!(
+                "unknown replication policy `{other}` (none | mirror-pair)"
+            )),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicationPolicy::None => "none",
+            ReplicationPolicy::MirrorPair => "mirror-pair",
+        }
+    }
+
+    /// The replica of `device`, if this policy gives it one.
+    pub fn mirror_of(self, device: usize, devices: usize) -> Option<usize> {
+        match self {
+            ReplicationPolicy::None => None,
+            ReplicationPolicy::MirrorPair => {
+                let partner = device ^ 1;
+                (partner < devices).then_some(partner)
+            }
+        }
+    }
+}
+
 /// FNV-1a over the little-endian bytes of a tenant id — the same stateless
 /// hash family the replay cache uses for content addressing.
 fn fnv1a(id: u64) -> u64 {
@@ -147,6 +193,12 @@ pub fn synthesize_tenants(base: &[IoRequest], tenants: usize) -> Vec<Vec<IoReque
 pub struct DeviceAssignment {
     pub tenant_ids: Vec<usize>,
     pub workloads: Vec<Vec<IoRequest>>,
+    /// Mirror write streams hosted here for tenants whose primary lives on
+    /// the pair partner (global tenant ids, parallel to
+    /// `mirror_workloads`). Replayed after the primary streams; excluded
+    /// from fleet latency pooling but charged to this device's load.
+    pub mirror_ids: Vec<usize>,
+    pub mirror_workloads: Vec<Vec<IoRequest>>,
 }
 
 impl DeviceAssignment {
@@ -155,9 +207,14 @@ impl DeviceAssignment {
         self.workloads.push(stream);
     }
 
-    /// Requests routed to this device.
+    /// Primary (logical) requests routed to this device.
     pub fn ops(&self) -> u64 {
         self.workloads.iter().map(|w| w.len() as u64).sum()
+    }
+
+    /// Replica write requests hosted for the pair partner.
+    pub fn mirror_ops(&self) -> u64 {
+        self.mirror_workloads.iter().map(|w| w.len() as u64).sum()
     }
 }
 
@@ -194,6 +251,45 @@ pub fn route(
                     out[t % devices].push(t, Vec::new());
                 }
             }
+        }
+    }
+    out
+}
+
+/// [`route`], then duplicates every primary stream's *writes* onto the
+/// device's mirror under [`ReplicationPolicy::MirrorPair`] — the capacity
+/// cost of keeping a second copy, paid inside the mirror's own replay.
+/// Reads are not duplicated (they fail over or hedge at request time).
+pub fn route_replicated(
+    policy: ShardPolicy,
+    streams: Vec<Vec<IoRequest>>,
+    devices: usize,
+    replication: ReplicationPolicy,
+) -> Vec<DeviceAssignment> {
+    let mut out = route(policy, streams, devices);
+    if replication == ReplicationPolicy::None {
+        return out;
+    }
+    let mut mirrored: Vec<Vec<(usize, Vec<IoRequest>)>> = vec![Vec::new(); devices];
+    for (d, a) in out.iter().enumerate() {
+        let Some(m) = replication.mirror_of(d, devices) else {
+            continue;
+        };
+        for (&tenant, stream) in a.tenant_ids.iter().zip(&a.workloads) {
+            let writes: Vec<IoRequest> = stream
+                .iter()
+                .filter(|r| matches!(r.op, OpKind::Write))
+                .copied()
+                .collect();
+            if !writes.is_empty() {
+                mirrored[m].push((tenant, writes));
+            }
+        }
+    }
+    for (d, streams) in mirrored.into_iter().enumerate() {
+        for (tenant, stream) in streams {
+            out[d].mirror_ids.push(tenant);
+            out[d].mirror_workloads.push(stream);
         }
     }
     out
@@ -337,6 +433,74 @@ mod tests {
             assert_eq!(assignments[0].tenant_ids, vec![0, 1, 2]);
             assert_eq!(assignments[0].workloads, streams, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn mirror_pair_replicates_writes_onto_the_partner() {
+        let base = trace(40); // all writes
+        let assignments = route_replicated(
+            ShardPolicy::Range,
+            synthesize_tenants(&base, 8),
+            4,
+            ReplicationPolicy::MirrorPair,
+        );
+        // Primary routing is untouched.
+        let primary: u64 = assignments.iter().map(DeviceAssignment::ops).sum();
+        assert_eq!(primary, 40);
+        // Every write shows up exactly once more, on the pair partner.
+        let mirrored: u64 = assignments.iter().map(DeviceAssignment::mirror_ops).sum();
+        assert_eq!(mirrored, 40);
+        for (d, a) in assignments.iter().enumerate() {
+            let partner = &assignments[d ^ 1];
+            assert_eq!(a.mirror_ops(), partner.ops(), "device {d}");
+            assert_eq!(a.mirror_ids, partner.tenant_ids, "device {d}");
+        }
+    }
+
+    #[test]
+    fn replication_none_and_odd_tail_add_no_mirrors() {
+        let base = trace(30);
+        let none = route_replicated(
+            ShardPolicy::Hash,
+            synthesize_tenants(&base, 6),
+            4,
+            ReplicationPolicy::None,
+        );
+        assert!(none.iter().all(|a| a.mirror_ids.is_empty()));
+        // Odd fleet: device 2 has no partner, so nothing mirrors anywhere
+        // from it and nothing lands on it.
+        let odd = route_replicated(
+            ShardPolicy::Range,
+            synthesize_tenants(&base, 6),
+            3,
+            ReplicationPolicy::MirrorPair,
+        );
+        assert!(odd[2].mirror_ids.is_empty());
+        assert_eq!(ReplicationPolicy::MirrorPair.mirror_of(2, 3), None);
+        assert_eq!(ReplicationPolicy::MirrorPair.mirror_of(1, 3), Some(0));
+        // Reads never replicate: a read-only stream mirrors nothing.
+        let reads: Vec<IoRequest> = (0..8)
+            .map(|i| IoRequest::new(i * 100, OpKind::Read, i * 65_536, 4096))
+            .collect();
+        let ro = route_replicated(
+            ShardPolicy::Range,
+            vec![reads],
+            2,
+            ReplicationPolicy::MirrorPair,
+        );
+        assert!(ro.iter().all(|a| a.mirror_ops() == 0));
+    }
+
+    #[test]
+    fn replication_policy_parses_and_labels() {
+        for p in [ReplicationPolicy::None, ReplicationPolicy::MirrorPair] {
+            assert_eq!(ReplicationPolicy::parse(p.label()).unwrap(), p);
+        }
+        assert_eq!(
+            ReplicationPolicy::parse("mirror").unwrap(),
+            ReplicationPolicy::MirrorPair
+        );
+        assert!(ReplicationPolicy::parse("raid6").is_err());
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! The tolerance pass: replays the fleet's logical request stream against a
+//! resolved [`FleetFaultPlan`] and decides, in
+//! global dispatch-time order, what the router would have done about each
+//! request — serve it, dilate it (fail-slow), time out and retry it on the
+//! replica with capped exponential backoff, hedge it, or lose it.
+//!
+//! The pass is deliberately *post hoc*: every device is first replayed at
+//! full fidelity (with its per-device fault seed and any fail-slow media
+//! scaling), producing exact per-request timings; the fleet layer then
+//! overlays availability windows and router policy on those timings. That
+//! keeps the device simulation bit-identical whether or not a fault plan is
+//! active — the zero-fault inertness guarantee — while the fleet-level
+//! consequences (retries, hedges, losses, health transitions) stay fully
+//! deterministic: no randomness enters the pass at all.
+//!
+//! Replica costs are a first-order estimate (the replica's observed mean
+//! service time, dilated by its own fault window at retry time) rather than
+//! a re-simulation: the replica's queue is not re-entered. This
+//! underestimates contention on the survivor of a mirror pair, which is
+//! why replica *writes* are charged inside the mirror's own replay instead
+//! (see [`route_replicated`](crate::router::route_replicated)).
+
+use ipu_host::LatencyStats;
+use serde::{Deserialize, Serialize};
+
+use crate::fault::FleetFaultPlan;
+use crate::health::{DeviceHealthTimeline, HealthPolicy, HealthTracker};
+use crate::router::ReplicationPolicy;
+
+/// One logical (primary) request as the router saw it: which device served
+/// it and the exact timings from that device's replay.
+#[derive(Debug, Clone, Copy)]
+pub struct LogicalRequest {
+    /// Device the primary copy was routed to.
+    pub device: usize,
+    /// Arrival at the fleet, ns.
+    pub arrival_ns: u64,
+    /// Admission into the device queue, ns.
+    pub admit_ns: u64,
+    /// Dispatch to the device, ns.
+    pub dispatch_ns: u64,
+    /// Completion on the device, ns.
+    pub completion_ns: u64,
+    /// Reads are eligible for hedging; writes are not.
+    pub is_read: bool,
+}
+
+/// Per-device inputs to the replica-cost estimate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceProfile {
+    /// Mean service latency observed in the device's own replay, ns
+    /// (0 when the device served nothing — the fleet mean is used).
+    pub mean_service_ns: u64,
+}
+
+/// Fleet-level reliability ledger: what happened to every logical request
+/// once the fault plan and router policy are applied. Conservation holds by
+/// construction and is asserted in CI:
+/// `logical_ops == acked + lost` and `acked == clean + recovered`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetReliability {
+    /// Logical (primary) requests processed.
+    pub logical_ops: u64,
+    /// Requests that completed (clean + recovered).
+    pub acked: u64,
+    /// Acked on the primary without a failover.
+    pub clean: u64,
+    /// Acked only after failing over to the replica.
+    pub recovered: u64,
+    /// Requests whose data was unreachable: primary unavailable and every
+    /// replica retry exhausted (or no replica existed). A merely-slow
+    /// primary is never lost — its late response is acked past the budget.
+    pub lost: u64,
+    /// Retry attempts made (including the successful ones).
+    pub retries: u64,
+    /// Requests ultimately served by the replica.
+    pub failovers: u64,
+    /// Attempts that burned the full per-request timeout budget.
+    pub timeouts: u64,
+    /// Hedged duplicates fired for slow reads.
+    pub hedges_fired: u64,
+    /// Hedges whose duplicate beat the primary.
+    pub hedges_won: u64,
+    /// Total cost of the losing copy of every hedge, ns — the price of the
+    /// tail insurance, accounted even when the hedge loses.
+    pub hedge_wasted_ns: u64,
+    /// Replica write ops charged to mirrors inside their own replays.
+    pub replica_write_ops: u64,
+}
+
+impl FleetReliability {
+    /// `lost / logical_ops` (0 when nothing ran).
+    pub fn loss_rate(&self) -> f64 {
+        if self.logical_ops == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.logical_ops as f64
+        }
+    }
+}
+
+/// What the tolerance pass decided: adjusted fleet-level latency
+/// distributions, the reliability ledger, and per-device health timelines.
+#[derive(Debug, Clone)]
+pub struct ToleranceOutcome {
+    /// Service latency (admit → final completion) over acked requests.
+    pub service_latency: LatencyStats,
+    /// End-to-end latency (arrival → final completion) over acked requests.
+    pub e2e_latency: LatencyStats,
+    pub reliability: FleetReliability,
+    pub health: Vec<DeviceHealthTimeline>,
+}
+
+/// Runs the tolerance pass over every logical request, in global
+/// dispatch-time order. `requests` is sorted in place (stably, so the
+/// caller's deterministic construction order breaks ties).
+pub fn run_tolerance(
+    plan: &FleetFaultPlan,
+    replication: ReplicationPolicy,
+    policy: &HealthPolicy,
+    devices: usize,
+    requests: &mut [LogicalRequest],
+    profiles: &[DeviceProfile],
+) -> ToleranceOutcome {
+    assert_eq!(profiles.len(), devices, "one profile per device");
+    let horizon_ns = requests.iter().map(|r| r.completion_ns).max().unwrap_or(0);
+    let resolved = plan.resolve(devices, horizon_ns);
+    requests.sort_by_key(|r| r.dispatch_ns);
+
+    // Healthy baseline: the pooled distribution the hedge threshold is
+    // quoted against, before any fault window is applied.
+    let mut baseline = LatencyStats::new();
+    for r in requests.iter() {
+        baseline.record(r.completion_ns - r.admit_ns);
+    }
+    let healthy_pxx = baseline.percentile_ns(policy.hedge_percentile);
+    let fleet_mean_ns = (baseline.mean_ns() as u64).max(1);
+    // Replica service estimate: the replica's own mean, dilated by its
+    // fault window at the retry instant.
+    let estimate = |device: usize, at_ns: u64| -> u64 {
+        let base = match profiles[device].mean_service_ns {
+            0 => fleet_mean_ns,
+            m => m,
+        };
+        (base as f64 * resolved[device].latency_factor_at(at_ns)) as u64
+    };
+
+    let mut tracker = HealthTracker::new(devices, policy.clone());
+    let mut rel = FleetReliability::default();
+    let mut service = LatencyStats::new();
+    let mut e2e = LatencyStats::new();
+
+    for r in requests.iter() {
+        rel.logical_ops += 1;
+        let d = r.device;
+        let fault = &resolved[d];
+        // Fail-slow dilation applies to the on-device portion only; queue
+        // wait (admit → dispatch) is the host's, not the device's.
+        let device_ns = r.completion_ns - r.dispatch_ns;
+        let dilation = ((fault.latency_factor_at(r.dispatch_ns) - 1.0) * device_ns as f64) as u64;
+        let primary_ns = (r.completion_ns - r.admit_ns) + dilation;
+        let primary_up = !fault.unavailable(r.dispatch_ns, r.completion_ns);
+        let replica = replication.mirror_of(d, devices);
+
+        let mut elapsed_ns: u64 = 0; // cost accumulated since admit
+        let mut served: Option<u64> = None; // final service latency
+        let mut failed_over = false;
+
+        if tracker.should_attempt(d, r.dispatch_ns) {
+            if primary_up && primary_ns <= policy.timeout_ns {
+                tracker.observe_success(d, r.dispatch_ns, primary_ns);
+                served = Some(primary_ns);
+            } else {
+                // Unavailable or too slow: the caller burns the full
+                // per-request budget discovering it.
+                rel.timeouts += 1;
+                tracker.observe_failure(d, r.dispatch_ns);
+                elapsed_ns = policy.timeout_ns;
+            }
+        } else {
+            // Known-Dead device inside the canary cooldown: fast-fail
+            // straight to the replica for the price of the re-route.
+            elapsed_ns = policy.failover_penalty_ns;
+        }
+
+        // Hedging: a read that completed but crossed the pXX threshold
+        // fires a duplicate to the replica; first response wins, and the
+        // loser's cost is accounted either way.
+        if let (Some(primary), true, Some(rep)) = (served, r.is_read, replica) {
+            let threshold_ns = tracker.hedge_threshold_ns(d, healthy_pxx);
+            if primary > threshold_ns {
+                let fired_at = r.admit_ns + threshold_ns;
+                let est = estimate(rep, fired_at);
+                let rep_up = !resolved[rep].unavailable(fired_at, fired_at + est);
+                if rep_up {
+                    rel.hedges_fired += 1;
+                    let hedged_ns = threshold_ns + policy.failover_penalty_ns + est;
+                    let winner = primary.min(hedged_ns);
+                    rel.hedge_wasted_ns += (primary + hedged_ns) - winner;
+                    if hedged_ns < primary {
+                        rel.hedges_won += 1;
+                        served = Some(hedged_ns);
+                    }
+                }
+            }
+        }
+
+        // Retry path: capped exponential backoff onto the replica until it
+        // answers or the budget is spent.
+        if served.is_none() {
+            if let Some(rep) = replica {
+                for attempt in 0..policy.max_retries {
+                    rel.retries += 1;
+                    elapsed_ns += policy.backoff_ns(attempt);
+                    let at_ns = r.admit_ns + elapsed_ns;
+                    let est = estimate(rep, at_ns);
+                    let rep_up = !resolved[rep].unavailable(at_ns, at_ns + est);
+                    if rep_up && tracker.should_attempt(rep, at_ns) {
+                        tracker.observe_success(rep, at_ns, est);
+                        elapsed_ns += policy.failover_penalty_ns + est;
+                        served = Some(elapsed_ns);
+                        failed_over = true;
+                        break;
+                    }
+                    if rep_up {
+                        // Tracker vetoed (replica Dead, cooling down):
+                        // only the backoff was spent.
+                        continue;
+                    }
+                    rel.timeouts += 1;
+                    tracker.observe_failure(rep, at_ns);
+                    elapsed_ns += policy.timeout_ns;
+                }
+            }
+        }
+
+        // Last resort: the primary is alive, merely slower than the budget
+        // (or its replica never answered) — the router accepts the late
+        // primary response when it finally lands. A request is *lost* only
+        // when its data is unreachable: primary down and no replica served.
+        if served.is_none() && primary_up {
+            served = Some(primary_ns.max(elapsed_ns));
+        }
+
+        match served {
+            Some(final_ns) => {
+                rel.acked += 1;
+                if failed_over {
+                    rel.recovered += 1;
+                    rel.failovers += 1;
+                } else {
+                    rel.clean += 1;
+                }
+                service.record(final_ns);
+                e2e.record(final_ns + (r.admit_ns - r.arrival_ns));
+            }
+            None => rel.lost += 1,
+        }
+    }
+
+    ToleranceOutcome {
+        service_latency: service,
+        e2e_latency: e2e,
+        reliability: rel,
+        health: tracker.timelines(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DeviceFault;
+    use crate::health::HealthState;
+
+    /// `n` requests per device, dispatched `gap` apart, each taking
+    /// `svc` ns of pure device time.
+    fn uniform_requests(devices: usize, n: u64, gap: u64, svc: u64) -> Vec<LogicalRequest> {
+        let mut out = Vec::new();
+        for d in 0..devices {
+            for i in 0..n {
+                let t = i * gap;
+                out.push(LogicalRequest {
+                    device: d,
+                    arrival_ns: t,
+                    admit_ns: t,
+                    dispatch_ns: t,
+                    completion_ns: t + svc,
+                    is_read: i % 2 == 0,
+                });
+            }
+        }
+        out
+    }
+
+    fn quick_policy() -> HealthPolicy {
+        HealthPolicy {
+            timeout_ns: 50_000,
+            probe_cooldown_ns: 100_000,
+            backoff_base_ns: 1_000,
+            backoff_cap_ns: 8_000,
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_acks_everything_cleanly() {
+        let mut reqs = uniform_requests(4, 50, 10_000, 5_000);
+        let profiles = vec![DeviceProfile::default(); 4];
+        let out = run_tolerance(
+            &FleetFaultPlan::none(),
+            ReplicationPolicy::None,
+            &quick_policy(),
+            4,
+            &mut reqs,
+            &profiles,
+        );
+        let r = out.reliability;
+        assert_eq!(r.logical_ops, 200);
+        assert_eq!(r.acked, 200);
+        assert_eq!(r.clean, 200);
+        assert_eq!(r.lost + r.recovered + r.retries + r.timeouts, 0);
+        assert_eq!(out.service_latency.count(), 200);
+        // Uniform latencies: no hedge can fire (nothing beats the p99).
+        assert_eq!(r.hedges_won, 0);
+        assert!(out
+            .health
+            .iter()
+            .all(|h| h.final_state == HealthState::Healthy && h.failures == 0));
+    }
+
+    #[test]
+    fn fail_stop_without_replica_loses_the_tail() {
+        let mut plan = FleetFaultPlan::none();
+        plan.set(1, DeviceFault::FailStop { at_frac: 0.5 });
+        let mut reqs = uniform_requests(2, 100, 10_000, 5_000);
+        let profiles = vec![
+            DeviceProfile {
+                mean_service_ns: 5_000
+            };
+            2
+        ];
+        let out = run_tolerance(
+            &plan,
+            ReplicationPolicy::None,
+            &quick_policy(),
+            2,
+            &mut reqs,
+            &profiles,
+        );
+        let r = out.reliability;
+        assert_eq!(r.logical_ops, 200);
+        assert!(r.lost > 0, "no replica: the dead device's tail is lost");
+        assert_eq!(r.logical_ops, r.acked + r.lost, "conservation");
+        assert_eq!(r.recovered, 0);
+        // The router noticed: device 1 ends Dead, device 0 stays Healthy.
+        assert_eq!(out.health[1].final_state, HealthState::Dead);
+        assert_eq!(out.health[0].final_state, HealthState::Healthy);
+        // Fast-fail kicked in: only the first few failures paid the
+        // timeout before the device was declared Dead.
+        assert!(r.timeouts < r.lost, "fast-fail never engaged");
+    }
+
+    #[test]
+    fn fail_stop_with_mirror_recovers_everything() {
+        let mut plan = FleetFaultPlan::none();
+        plan.set(1, DeviceFault::FailStop { at_frac: 0.5 });
+        let mut reqs = uniform_requests(2, 100, 10_000, 5_000);
+        let profiles = vec![
+            DeviceProfile {
+                mean_service_ns: 5_000
+            };
+            2
+        ];
+        let out = run_tolerance(
+            &plan,
+            ReplicationPolicy::MirrorPair,
+            &quick_policy(),
+            2,
+            &mut reqs,
+            &profiles,
+        );
+        let r = out.reliability;
+        assert_eq!(r.logical_ops, 200);
+        assert_eq!(r.lost, 0, "mirror pair must recover every request");
+        assert_eq!(r.acked, 200);
+        assert!(r.recovered > 0);
+        assert_eq!(r.clean + r.recovered, r.acked, "conservation");
+        assert_eq!(r.failovers, r.recovered);
+        assert!(r.retries >= r.recovered);
+        // Recovered requests pay the failover path: slower than a clean
+        // 5 µs service, bounded by backoff + timeout + replica estimate.
+        assert!(out.service_latency.percentile_ns(100.0) > 5_000);
+    }
+
+    #[test]
+    fn brownout_recovers_through_the_canary() {
+        let mut plan = FleetFaultPlan::none();
+        plan.set(
+            0,
+            DeviceFault::Brownout {
+                from_frac: 0.2,
+                until_frac: 0.4,
+            },
+        );
+        let mut reqs = uniform_requests(2, 200, 10_000, 5_000);
+        let profiles = vec![
+            DeviceProfile {
+                mean_service_ns: 5_000
+            };
+            2
+        ];
+        let out = run_tolerance(
+            &plan,
+            ReplicationPolicy::MirrorPair,
+            &quick_policy(),
+            2,
+            &mut reqs,
+            &profiles,
+        );
+        // The device died during the window and a canary revived it.
+        let tl = &out.health[0];
+        assert!(tl.transitions.iter().any(|t| t.to == HealthState::Dead));
+        assert_eq!(
+            tl.final_state,
+            HealthState::Healthy,
+            "brownout must heal: {:?}",
+            tl.transitions
+        );
+        assert_eq!(out.reliability.lost, 0);
+        assert!(out.reliability.recovered > 0);
+    }
+
+    #[test]
+    fn fail_slow_dilation_inflates_only_the_slow_device() {
+        let mut plan = FleetFaultPlan::none();
+        plan.set(
+            0,
+            DeviceFault::FailSlow {
+                from_frac: 0.0,
+                latency_factor: 4.0,
+                fault_scale: 1.0,
+            },
+        );
+        let mut reqs = uniform_requests(2, 50, 10_000, 5_000);
+        let profiles = vec![
+            DeviceProfile {
+                mean_service_ns: 5_000
+            };
+            2
+        ];
+        let out = run_tolerance(
+            &plan,
+            ReplicationPolicy::None,
+            &quick_policy(),
+            2,
+            &mut reqs,
+            &profiles,
+        );
+        // Everything still acks (20 µs < the 50 µs timeout) but the pooled
+        // max is the dilated 4 × 5 µs.
+        assert_eq!(out.reliability.acked, 100);
+        assert_eq!(out.reliability.lost, 0);
+        assert_eq!(out.service_latency.percentile_ns(100.0), 20_000);
+        // The slow device's EWMA carries the dilation.
+        assert!(out.health[0].ewma_latency_ns >= 4 * out.health[1].ewma_latency_ns);
+    }
+
+    #[test]
+    fn slow_reads_hedge_to_the_mirror_and_the_loser_is_charged() {
+        // One read far beyond the p99 of an otherwise-uniform population.
+        let mut reqs = uniform_requests(2, 100, 10_000, 5_000);
+        reqs.push(LogicalRequest {
+            device: 0,
+            arrival_ns: 2_000_000,
+            admit_ns: 2_000_000,
+            dispatch_ns: 2_000_000,
+            completion_ns: 2_000_000 + 40_000, // 8× the fleet mean
+            is_read: true,
+        });
+        let profiles = vec![
+            DeviceProfile {
+                mean_service_ns: 5_000
+            };
+            2
+        ];
+        let out = run_tolerance(
+            &FleetFaultPlan::none(),
+            ReplicationPolicy::MirrorPair,
+            &quick_policy(),
+            2,
+            &mut reqs,
+            &profiles,
+        );
+        let r = out.reliability;
+        assert!(r.hedges_fired >= 1, "outlier read must hedge");
+        assert!(r.hedges_won >= 1, "replica estimate beats the 40 µs read");
+        assert!(r.hedge_wasted_ns > 0, "loser's cost must be accounted");
+        assert_eq!(r.lost, 0);
+        // The hedge capped the tail below the raw 40 µs outlier.
+        assert!(out.service_latency.percentile_ns(100.0) < 40_000);
+    }
+
+    #[test]
+    fn tolerance_pass_is_deterministic() {
+        let plan = FleetFaultPlan::fail_stop(4, 2, 0.3, 9);
+        let profiles = vec![
+            DeviceProfile {
+                mean_service_ns: 5_000
+            };
+            4
+        ];
+        let run = || {
+            let mut reqs = uniform_requests(4, 80, 7_000, 5_000);
+            run_tolerance(
+                &plan,
+                ReplicationPolicy::MirrorPair,
+                &quick_policy(),
+                4,
+                &mut reqs,
+                &profiles,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.reliability, b.reliability);
+        assert_eq!(a.health, b.health);
+        assert_eq!(
+            a.service_latency.percentile_ns(99.0),
+            b.service_latency.percentile_ns(99.0)
+        );
+    }
+}

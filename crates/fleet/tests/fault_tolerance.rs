@@ -1,0 +1,123 @@
+//! Fleet fault-tolerance end-to-end properties.
+//!
+//! * **Zero-fault inertness**: a fleet run whose spec carries the explicit
+//!   `FleetFaultPlan::none()` (and any health policy) serializes
+//!   byte-identically to the default spec's run — the fault machinery is
+//!   free when disabled. Together with the oracle tests in
+//!   `fleet_oracle.rs` this pins the faulted runner to the pre-fault fleet.
+//! * **No acked loss under mirroring**: for random fail-stop plans on a
+//!   mirrored fleet, every logical request is either acked (clean or
+//!   recovered via the partner) or counted lost — and with mirror pairs
+//!   nothing is ever lost. Op conservation holds across the merge.
+
+use ipu_core::ExperimentConfig;
+use ipu_fleet::{
+    run_fleet, run_fleet_detailed, FleetFaultPlan, FleetSpec, HealthPolicy, ReplicationPolicy,
+    ShardPolicy,
+};
+use ipu_ftl::SchemeKind;
+use ipu_trace::{IoRequest, OpKind};
+use proptest::prelude::*;
+
+fn base_workload(n: u64) -> Vec<IoRequest> {
+    (0..n)
+        .map(|i| {
+            let op = if i % 3 == 2 {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            IoRequest::new(i * 1_800, op, (i % 80) * 65_536, 4096)
+        })
+        .collect()
+}
+
+fn tiny_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::scaled(0.002);
+    cfg.threads = 2;
+    cfg
+}
+
+#[test]
+fn zero_fault_plan_is_byte_identical_to_the_default_run() {
+    let cfg = tiny_cfg();
+    let base = base_workload(90);
+    for policy in ShardPolicy::all() {
+        let plain = FleetSpec::new(4, 6, policy).with_queue_depth(2);
+        // Explicit none-plan plus a deliberately non-default health policy:
+        // neither may leave a trace when the tolerance pass is inert.
+        let spruced = FleetSpec::new(4, 6, policy)
+            .with_queue_depth(2)
+            .with_fault_plan(FleetFaultPlan::none())
+            .with_health(HealthPolicy {
+                max_retries: 7,
+                timeout_ns: 123_456,
+                ..HealthPolicy::default()
+            });
+        assert!(!spruced.tolerance_active());
+        let a = run_fleet(&cfg, SchemeKind::Ipu, "ts0", &base, &plain);
+        let b = run_fleet(&cfg, SchemeKind::Ipu, "ts0", &base, &spruced);
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap(),
+            "{policy:?}: inert fault plan changed the report"
+        );
+        assert!(a.fleet_reliability.is_none(), "tolerance ran on inert spec");
+    }
+}
+
+/// One mirrored fleet run under a random fail-stop plan; checks the ledger.
+fn check_mirrored_fail_stop(
+    k: usize,
+    at_frac: f64,
+    seed: u64,
+    n_ops: u64,
+) -> Result<(), TestCaseError> {
+    let cfg = tiny_cfg();
+    let base = base_workload(n_ops);
+    let plan = FleetFaultPlan::fail_stop(4, k, at_frac, seed);
+    let spec = FleetSpec::new(4, 8, ShardPolicy::Range)
+        .with_queue_depth(2)
+        .with_fault_plan(plan)
+        .with_replication(ReplicationPolicy::MirrorPair);
+    let (report, _) = run_fleet_detailed(&cfg, SchemeKind::Ipu, "ts0", &base, &spec);
+    let fr = report
+        .fleet_reliability
+        .ok_or_else(|| TestCaseError::fail("tolerance pass did not run"))?;
+
+    // Conservation: every logical request is acked or lost, every ack is
+    // clean or recovered, and the device ops net of mirror traffic restate
+    // the logical total.
+    prop_assert_eq!(fr.logical_ops, n_ops);
+    prop_assert_eq!(fr.logical_ops, fr.acked + fr.lost);
+    prop_assert_eq!(fr.acked, fr.clean + fr.recovered);
+    prop_assert_eq!(
+        report
+            .per_device
+            .iter()
+            .map(|d| d.ops - d.mirror_ops)
+            .sum::<u64>(),
+        report.total_ops
+    );
+    prop_assert_eq!(fr.hedges_won <= fr.hedges_fired, true);
+
+    // The property: mirror pairs never lose an acked request — fail-stop
+    // plans never kill both halves of a pair, so a replica always exists.
+    prop_assert_eq!(fr.lost, 0);
+    prop_assert_eq!(report.reliability.lost, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_fail_stop_with_mirroring_never_loses_an_acked_request(
+        k in 1usize..=2,
+        at_frac in 0.1f64..0.9,
+        seed in 0u64..1_000,
+        n_ops in 40u64..120,
+    ) {
+        check_mirrored_fail_stop(k, at_frac, seed, n_ops)?;
+    }
+}

@@ -260,10 +260,13 @@ impl TenantMetrics {
 /// Per-request completion reliability over one run: how many requests
 /// completed cleanly, how many needed recovery (read-retry), and how many
 /// ultimately failed (data loss or write failure). Populated by the replay
-/// engines from each request's FTL completion status.
+/// engines from each request's FTL completion status; the fleet tolerance
+/// layer additionally accounts requests *lost* (never completed anywhere —
+/// outside `total`) and requests that blew their timeout budget.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReliabilityStats {
-    /// Requests completed (any status).
+    /// Requests completed (any status). Lost requests are NOT in here:
+    /// requests offered ≡ `total + lost`.
     pub total: u64,
     /// Requests that completed without any fault-path involvement.
     pub success: u64,
@@ -271,6 +274,17 @@ pub struct ReliabilityStats {
     pub recovered: u64,
     /// Requests that failed: data irrecoverable or write not persisted.
     pub failed: u64,
+    /// Requests that never completed anywhere (device dead, no replica or
+    /// retries exhausted). Zero outside fleet fault runs.
+    #[serde(default)]
+    pub lost: u64,
+    /// Attempts that exceeded the per-request timeout budget. At device
+    /// level these also count in `failed` (see
+    /// [`ReliabilityStats::record_timeout`]); the fleet tolerance layer
+    /// counts attempt-level timeouts here even when the request was later
+    /// recovered on a replica.
+    #[serde(default)]
+    pub timeouts: u64,
 }
 
 impl ReliabilityStats {
@@ -293,20 +307,44 @@ impl ReliabilityStats {
         self.failed += 1;
     }
 
+    /// Accounts a request that never completed. Lost requests are outside
+    /// `total`: offered load is `total + lost`.
+    pub fn record_lost(&mut self) {
+        self.lost += 1;
+    }
+
+    /// Accounts a completed request that exceeded its timeout budget —
+    /// it failed from the caller's point of view.
+    pub fn record_timeout(&mut self) {
+        self.total += 1;
+        self.failed += 1;
+        self.timeouts += 1;
+    }
+
     /// Merges another reliability tally into this one.
     pub fn merge(&mut self, other: &ReliabilityStats) {
         self.total += other.total;
         self.success += other.success;
         self.recovered += other.recovered;
         self.failed += other.failed;
+        self.lost += other.lost;
+        self.timeouts += other.timeouts;
     }
 
-    /// Fraction of requests that did not fail (1.0 when empty).
+    /// Requests offered to the system: completed plus lost.
+    pub fn offered(&self) -> u64 {
+        self.total + self.lost
+    }
+
+    /// Fraction of offered requests that neither failed nor were lost
+    /// (1.0 when empty). Identical to the pre-fleet definition when
+    /// `lost == 0`.
     pub fn availability(&self) -> f64 {
-        if self.total == 0 {
+        let offered = self.offered();
+        if offered == 0 {
             1.0
         } else {
-            (self.total - self.failed) as f64 / self.total as f64
+            (self.total - self.failed) as f64 / offered as f64
         }
     }
 }
@@ -461,6 +499,36 @@ mod tests {
         assert_eq!(r.recovered, 1);
         assert_eq!(r.failed, 1);
         assert!((r.availability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_and_timeout_requests_are_conserved() {
+        let mut r = ReliabilityStats::new();
+        r.record_success();
+        r.record_lost();
+        r.record_timeout();
+        // Lost stays outside `total`; timeouts land in total + failed.
+        assert_eq!(r.total, 2);
+        assert_eq!(r.lost, 1);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.offered(), 3);
+        // Availability counts both the timeout and the loss against us:
+        // 1 clean of 3 offered.
+        assert!((r.availability() - 1.0 / 3.0).abs() < 1e-12);
+
+        let mut other = ReliabilityStats::new();
+        other.record_lost();
+        other.record_success();
+        r.merge(&other);
+        assert_eq!(r.offered(), 5);
+        assert_eq!(r.lost, 2);
+
+        // With no losses or timeouts the definition is unchanged.
+        let mut clean = ReliabilityStats::new();
+        clean.record_success();
+        clean.record_failed();
+        assert!((clean.availability() - 0.5).abs() < 1e-12);
     }
 
     #[test]

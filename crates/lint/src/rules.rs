@@ -51,6 +51,9 @@ const ORDERED_OUTPUT_FILES: &[&str] = &[
     "crates/core/src/svg.rs",
     "crates/obs/src/export.rs",
     "crates/fleet/src/report.rs",
+    "crates/fleet/src/fault.rs",
+    "crates/fleet/src/health.rs",
+    "crates/fleet/src/tolerance.rs",
 ];
 
 /// Config-hygiene scopes (R4): `(file, Some(struct))` checks one struct,
