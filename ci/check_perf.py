@@ -4,24 +4,29 @@ the committed baseline.
 
 Usage: check_perf.py <BENCH_profile.json> <ci/bench_baseline.json>
 
-Both files are `BenchProfile` JSON written by `ipu-sim profile`. The gate:
+Both files are `BenchProfile` JSON written by `ipu-sim profile` (schema v2).
+The gate:
 
-1. refuses to compare across schema versions or different workloads — the
-   monotonic counter fingerprint (requests, GC runs, device programs, ...)
-   must match the baseline exactly, otherwise the two runs did not simulate
-   the same work and the throughput numbers are meaningless;
-2. fails when aggregate throughput (simulated ops per wall second) drops
-   more than THRESHOLD (default 25%) below the baseline;
-3. prints the per-phase wall-time comparison either way, so a regression's
+1. refuses to compare across schema versions, and refuses candidate profiles
+   built without optimizations (`release: false`) — debug numbers are
+   meaningless;
+2. refuses to compare different workloads — the monotonic counter fingerprint
+   (requests, GC runs, device programs, ...) must match the baseline exactly,
+   otherwise the two runs did not simulate the same work;
+3. fails when aggregate throughput (simulated ops per wall second) drops more
+   than THRESHOLD (default 25%) below the baseline;
+4. fails when any per-(trace, scheme) cell drops more than THRESHOLD below
+   its committed floor — every scheme holds its own win, so a regression in
+   one scheme can't hide behind a speedup in another;
+5. prints the per-phase wall-time comparison either way, so a regression's
    guilty phase is visible straight from the CI log.
 
 Refreshing the baseline
 -----------------------
-After an intentional perf change (or a runner-hardware change), regenerate
-with the same fixed workload the gate runs and commit the result:
+Use ci/ratchet_baseline.py — it re-runs the gate workload, refuses to lower
+any committed floor unless told why, and writes the new baseline:
 
-    cargo run --release -p ipu-cli -- profile \
-        --traces ts0 --scale 0.02 --threads 1 --out ci/bench_baseline.json
+    python3 ci/ratchet_baseline.py
 
 Tuning: set PERF_GATE_THRESHOLD (a fraction, e.g. 0.25) to override the
 allowed regression; CI runners with noisy neighbours may need headroom.
@@ -43,6 +48,11 @@ def counters_map(profile):
     return {name: value for name, value in profile["counters"]["counters"]}
 
 
+def cells_map(profile):
+    """(trace, scheme) → ops_per_sec for every run cell."""
+    return {(r["trace"], r["scheme"]): r["ops_per_sec"] for r in profile["runs"]}
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -55,7 +65,15 @@ def main() -> int:
         print(
             f"FAIL: schema version {candidate['schema_version']} != baseline "
             f"{baseline['schema_version']}; refresh ci/bench_baseline.json "
-            f"(see this script's docstring)",
+            f"with ci/ratchet_baseline.py",
+            file=sys.stderr,
+        )
+        return 1
+
+    if not candidate.get("release", False):
+        print(
+            "FAIL: candidate profile was built without optimizations "
+            "(release: false); run `cargo run --release -p ipu-cli -- profile ...`",
             file=sys.stderr,
         )
         return 1
@@ -73,7 +91,7 @@ def main() -> int:
                 print(f"  {name}: baseline {b} != candidate {c}", file=sys.stderr)
         print(
             "If the simulation intentionally changed, refresh the baseline "
-            "(see this script's docstring).",
+            "with ci/ratchet_baseline.py.",
             file=sys.stderr,
         )
         return 1
@@ -84,6 +102,27 @@ def main() -> int:
 
     print(f"throughput: baseline {base_tp:,.0f} ops/s, candidate "
           f"{cand_tp:,.0f} ops/s ({ratio:.2%} of baseline)")
+
+    # Per-cell floors: every (trace, scheme) holds its own committed win.
+    base_cells = cells_map(baseline)
+    cand_cells = cells_map(candidate)
+    missing = sorted(set(base_cells) - set(cand_cells))
+    if missing:
+        print(f"FAIL: candidate is missing baseline cells: {missing}",
+              file=sys.stderr)
+        return 1
+    failed_cells = []
+    print(f"{'trace':<8} {'scheme':<10} {'floor(ops/s)':>13} "
+          f"{'candidate':>12} {'ratio':>8}")
+    for (trace, scheme), floor in sorted(base_cells.items()):
+        got = cand_cells[(trace, scheme)]
+        r = got / floor if floor > 0 else float("inf")
+        flag = "" if r >= 1.0 - threshold else "  << FAIL"
+        print(f"{trace:<8} {scheme:<10} {floor:>13,.0f} {got:>12,.0f} "
+              f"{r:>7.0%}{flag}")
+        if r < 1.0 - threshold:
+            failed_cells.append((trace, scheme, floor, got))
+
     print(f"{'phase':<18} {'baseline(s)':>12} {'candidate(s)':>13} {'ratio':>7}")
     base_phases = {p["phase"]: p for p in baseline["phases"]}
     for p in candidate["phases"]:
@@ -92,11 +131,27 @@ def main() -> int:
         r = f"{c / b:.2f}x" if b > 0 else "new"
         print(f"{p['phase']:<18} {b:>12.3f} {c:>13.3f} {r:>7}")
 
+    ok = True
+    if failed_cells:
+        for trace, scheme, floor, got in failed_cells:
+            print(
+                f"FAIL: ({trace}, {scheme}) regressed to {got:,.0f} ops/s, "
+                f"{1.0 - got / floor:.1%} below its committed floor "
+                f"{floor:,.0f} (allowed {threshold:.0%}).",
+                file=sys.stderr,
+            )
+        ok = False
     if ratio < 1.0 - threshold:
         print(
-            f"FAIL: throughput regressed {1.0 - ratio:.1%} "
-            f"(allowed {threshold:.0%}). If intentional, refresh "
-            f"ci/bench_baseline.json (see this script's docstring).",
+            f"FAIL: aggregate throughput regressed {1.0 - ratio:.1%} "
+            f"(allowed {threshold:.0%}).",
+            file=sys.stderr,
+        )
+        ok = False
+    if not ok:
+        print(
+            "If intentional, refresh ci/bench_baseline.json with "
+            "ci/ratchet_baseline.py --allow-regression <reason>.",
             file=sys.stderr,
         )
         return 1

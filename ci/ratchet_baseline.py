@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Ratchet the perf-gate baseline: re-measure the gate workload and commit
+the result as the new `ci/bench_baseline.json` — refusing to lower any
+already-committed floor unless told why.
+
+Usage:
+    python3 ci/ratchet_baseline.py [--profile BENCH_profile.json]
+                                   [--allow-regression "<reason>"]
+                                   [--baseline ci/bench_baseline.json]
+
+Without `--profile`, the script builds and runs the gate workload itself:
+
+    cargo run --release -p ipu-cli -- profile \
+        --traces ts0 --scale 0.02 --threads 1 --out <tmp>
+
+The ratchet only ever *raises* committed numbers:
+
+* every per-(trace, scheme) `ops_per_sec` cell of the new baseline must be
+  >= its committed value, and so must the aggregate `sim_ops_per_sec`;
+* a lower number is refused unless `--allow-regression <reason>` is given —
+  the reason is recorded in the baseline under `ratchet_note`, so the commit
+  that lowered a floor carries its own justification;
+* the counter fingerprint may change freely (that is the point of a
+  refresh — the simulated workload itself changed), but when it changes the
+  script says so, because a fingerprint change plus a throughput drop is the
+  signature of accidentally measuring a different workload.
+
+After each optimization lane lands, run this script and commit the result:
+the gate then holds that lane's win for every later change.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE_CMD = [
+    "cargo", "run", "--release", "-p", "ipu-cli", "--", "profile",
+    "--traces", "ts0", "--scale", "0.02", "--threads", "1",
+]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def cells_map(profile):
+    return {(r["trace"], r["scheme"]): r["ops_per_sec"] for r in profile["runs"]}
+
+
+def counters_map(profile):
+    return {name: value for name, value in profile["counters"]["counters"]}
+
+
+def measure(out_path):
+    cmd = GATE_CMD + ["--out", out_path]
+    print("running:", " ".join(cmd))
+    subprocess.run(cmd, check=True)
+    return load(out_path)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--profile", help="use this BENCH_profile.json instead of re-running")
+    ap.add_argument("--baseline", default="ci/bench_baseline.json")
+    ap.add_argument(
+        "--allow-regression",
+        metavar="REASON",
+        help="permit lowering committed floors; REASON is recorded in the baseline",
+    )
+    args = ap.parse_args()
+
+    if args.profile:
+        fresh = load(args.profile)
+    else:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            fresh = measure(tmp_path)
+        finally:
+            os.unlink(tmp_path)
+
+    if not fresh.get("release", False):
+        print("FAIL: refusing a debug-build profile as the baseline", file=sys.stderr)
+        return 1
+
+    regressions = []
+    committed = None
+    if os.path.exists(args.baseline):
+        committed = load(args.baseline)
+        old_cells = cells_map(committed)
+        new_cells = cells_map(fresh)
+        for cell, floor in sorted(old_cells.items()):
+            got = new_cells.get(cell)
+            if got is None:
+                regressions.append(f"cell {cell} vanished (floor {floor:,.0f})")
+            elif got < floor:
+                regressions.append(
+                    f"cell {cell}: {got:,.0f} < committed floor {floor:,.0f}"
+                )
+        if fresh["sim_ops_per_sec"] < committed["sim_ops_per_sec"]:
+            regressions.append(
+                f"aggregate: {fresh['sim_ops_per_sec']:,.0f} < committed "
+                f"{committed['sim_ops_per_sec']:,.0f}"
+            )
+        if counters_map(fresh) != counters_map(committed):
+            print(
+                "note: counter fingerprint changed — the simulated workload "
+                "itself differs from the committed baseline (expected after "
+                "behavioural changes; suspicious otherwise)."
+            )
+
+    if regressions:
+        for r in regressions:
+            print(f"regression: {r}", file=sys.stderr)
+        if not args.allow_regression:
+            print(
+                "\nFAIL: refusing to lower committed floors. Re-run with\n"
+                "  --allow-regression \"<why this slowdown is acceptable>\"\n"
+                "if the regression is intentional.",
+                file=sys.stderr,
+            )
+            return 1
+        fresh["ratchet_note"] = args.allow_regression
+        print(f"lowering floors, recorded reason: {args.allow_regression}")
+    elif committed is not None:
+        delta = fresh["sim_ops_per_sec"] - committed["sim_ops_per_sec"]
+        print(
+            f"ratchet raised: aggregate {committed['sim_ops_per_sec']:,.0f} → "
+            f"{fresh['sim_ops_per_sec']:,.0f} ops/s ({delta:+,.0f})"
+        )
+
+    with open(args.baseline, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -307,7 +307,12 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, ArgError> {
 /// `BENCH_profile.json` (the perf gate's input) and prints the human-readable
 /// throughput and phase breakdown.
 pub fn cmd_profile(args: &ParsedArgs) -> Result<String, ArgError> {
-    let cfg = config_from(args)?;
+    let mut cfg = config_from(args)?;
+    if args.flag_list("schemes").is_none() {
+        // The perf gate watches the extension scheme too: profile defaults to
+        // the full set, unlike the paper-trio default of other commands.
+        cfg.schemes = SchemeKind::all_extended().to_vec();
+    }
     let profile = run_profile(&cfg);
 
     let out_path = args.flag("out").unwrap_or("BENCH_profile.json");

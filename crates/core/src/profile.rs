@@ -24,7 +24,11 @@ use crate::trace_set::TraceSet;
 
 /// Schema version of [`BenchProfile`]; bump on breaking shape changes so the
 /// perf gate refuses to compare incompatible baselines.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: per-(trace, scheme) run cells are gated individually (not just the
+/// aggregate), the default scheme set includes IPU+, and the profile records
+/// whether it was built in release mode so the gate can refuse debug runs.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Exclusive wall time spent in one instrumented phase over the whole
 /// profile run.
@@ -64,6 +68,10 @@ pub struct BenchProfile {
     pub wall_seconds: f64,
     /// Aggregate throughput: `requests / wall_seconds`.
     pub sim_ops_per_sec: f64,
+    /// Whether the binary was compiled with optimizations; the perf gate
+    /// refuses debug-build profiles, whose numbers are meaningless.
+    #[serde(default)]
+    pub release: bool,
     pub phases: Vec<PhaseWall>,
     pub runs: Vec<RunProfile>,
     /// Monotonic counters summed over all runs: identical workloads produce
@@ -177,6 +185,7 @@ pub fn run_profile(cfg: &ExperimentConfig) -> BenchProfile {
         requests: total_requests,
         wall_seconds,
         sim_ops_per_sec: total_requests as f64 / wall_seconds.max(1e-9),
+        release: !cfg!(debug_assertions),
         phases: phase_breakdown(&snapshot, wall_seconds),
         runs,
         counters,

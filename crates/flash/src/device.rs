@@ -277,8 +277,7 @@ impl FlashDevice {
         }
 
         let in_page_disturbed = self.blocks[idx]
-            .page_mut(spa.ppa.page)
-            .apply_program(spa.subpage, count)
+            .apply_program_at(spa.ppa.page, spa.subpage, count)
             .map_err(|_| FlashError::SubpageNotFree(spa))?;
         self.blocks[idx].note_program();
 
@@ -452,11 +451,9 @@ impl FlashDevice {
     /// charge, but kept on the device so GC accounting can't drift from the
     /// physical state.
     pub fn invalidate(&mut self, spa: Spa) -> Result<(), FlashError> {
-        let g = self.cfg.geometry.clone();
-        let idx = g.block_index(spa.ppa.block_addr()) as usize;
+        let idx = self.cfg.geometry.block_index(spa.ppa.block_addr()) as usize;
         self.blocks[idx]
-            .page_mut(spa.ppa.page)
-            .invalidate(spa.subpage)
+            .invalidate_at(spa.ppa.page, spa.subpage)
             .map_err(|_| FlashError::NotValid(spa))
     }
 

@@ -67,6 +67,6 @@ pub use error::sampling::ErrorMode;
 pub use fault::{FaultProfile, FaultScope, RetryLadder, RetryStep};
 pub use geometry::{BlockAddr, FlashGeometry, Ppa, Spa};
 pub use mode::CellMode;
-pub use state::{BlockState, PageState, SubpageState};
+pub use state::{BlockState, PageState, SubpageState, MAX_SUBPAGES_PER_PAGE};
 pub use time::{ms_to_ns, ns_to_ms, Nanos};
 pub use wear::WearTracker;

@@ -215,6 +215,14 @@ impl std::fmt::Display for ProgramStateError {
 impl std::error::Error for ProgramStateError {}
 
 /// State of one block: its mode, page states and erase count.
+///
+/// Validity totals (`valid_subpages`, `invalid_subpages`,
+/// `fully_invalid_pages`) are cached and maintained by the block-level
+/// transition methods so GC victim scoring reads them in O(1) instead of
+/// rescanning every page. All state transitions must therefore go through
+/// the crate-internal `apply_program_at` / `invalidate_at` / `erase`
+/// methods; `page_mut` exists only for transitions that do not
+/// change subpage validity (disturb accounting).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockState {
     mode: CellMode,
@@ -225,6 +233,13 @@ pub struct BlockState {
     /// Read operations served by this block since the last erase (feeds the
     /// optional read-disturb model).
     reads_since_erase: u64,
+    /// Cached count of `Valid` subpages across all pages.
+    valid_subpages: u32,
+    /// Cached count of `Invalid` subpages across all pages.
+    invalid_subpages: u32,
+    /// Cached count of pages that are programmed but hold no valid subpage
+    /// (the page-granularity greedy GC score).
+    fully_invalid_pages: u32,
 }
 
 impl BlockState {
@@ -236,6 +251,9 @@ impl BlockState {
             erase_count: 0,
             programs_since_erase: 0,
             reads_since_erase: 0,
+            valid_subpages: 0,
+            invalid_subpages: 0,
+            fully_invalid_pages: 0,
         }
     }
 
@@ -269,8 +287,41 @@ impl BlockState {
         &self.pages[page as usize]
     }
 
+    /// Mutable page access for validity-neutral transitions (disturb
+    /// accounting). Validity transitions must use `apply_program_at` /
+    /// `invalidate_at` so the cached block totals stay correct.
     pub(crate) fn page_mut(&mut self, page: u32) -> &mut PageState {
         &mut self.pages[page as usize]
+    }
+
+    /// Programs `[start, start+count)` of `page`, maintaining the cached
+    /// validity totals. Returns the in-page disturb count.
+    pub(crate) fn apply_program_at(
+        &mut self,
+        page: u32,
+        start: u8,
+        count: u8,
+    ) -> Result<u16, ProgramStateError> {
+        let p = &mut self.pages[page as usize];
+        let was_dead = p.is_programmed() && p.count(SubpageState::Valid) == 0;
+        let disturbed = p.apply_program(start, count)?;
+        self.valid_subpages += count as u32;
+        if was_dead {
+            self.fully_invalid_pages -= 1;
+        }
+        Ok(disturbed)
+    }
+
+    /// Invalidates subpage `s` of `page`, maintaining the cached totals.
+    pub(crate) fn invalidate_at(&mut self, page: u32, s: u8) -> Result<(), ProgramStateError> {
+        let p = &mut self.pages[page as usize];
+        p.invalidate(s)?;
+        self.valid_subpages -= 1;
+        self.invalid_subpages += 1;
+        if p.count(SubpageState::Valid) == 0 {
+            self.fully_invalid_pages += 1;
+        }
+        Ok(())
     }
 
     pub(crate) fn note_program(&mut self) {
@@ -296,21 +347,65 @@ impl BlockState {
         self.erase_count += 1;
         self.programs_since_erase = 0;
         self.reads_since_erase = 0;
+        self.valid_subpages = 0;
+        self.invalid_subpages = 0;
+        self.fully_invalid_pages = 0;
     }
 
-    /// Total subpages across all pages.
+    /// Total subpages across all pages. O(1): all pages share one geometry.
     pub fn total_subpages(&self) -> u32 {
-        self.pages.iter().map(|p| p.subpage_count() as u32).sum()
+        self.pages.len() as u32
+            * self
+                .pages
+                .first()
+                .map(|p| p.subpage_count() as u32)
+                .unwrap_or(0)
     }
 
-    /// Subpages currently in `state` across all pages.
+    /// Subpages currently in `state` across all pages. O(1) from the cached
+    /// block totals.
     pub fn count_subpages(&self, state: SubpageState) -> u32 {
-        self.pages.iter().map(|p| p.count(state) as u32).sum()
+        match state {
+            SubpageState::Valid => self.valid_subpages,
+            SubpageState::Invalid => self.invalid_subpages,
+            SubpageState::Free => {
+                self.total_subpages() - self.valid_subpages - self.invalid_subpages
+            }
+        }
+    }
+
+    /// Pages that are programmed but hold no valid data (O(1), cached).
+    #[inline]
+    pub fn fully_invalid_pages(&self) -> u32 {
+        self.fully_invalid_pages
     }
 
     /// Whether every page is fully free (freshly erased, never programmed).
     pub fn is_pristine(&self) -> bool {
-        self.pages.iter().all(|p| !p.is_programmed())
+        self.valid_subpages == 0 && self.invalid_subpages == 0
+    }
+
+    /// Recomputes the cached validity totals from page state and compares;
+    /// used by the FTL's invariant checker (tests / debug sweeps only).
+    pub fn counters_consistent(&self) -> bool {
+        let valid: u32 = self
+            .pages
+            .iter()
+            .map(|p| p.count(SubpageState::Valid) as u32)
+            .sum();
+        let invalid: u32 = self
+            .pages
+            .iter()
+            .map(|p| p.count(SubpageState::Invalid) as u32)
+            .sum();
+        let dead = self
+            .pages
+            .iter()
+            .filter(|p| p.is_programmed() && p.count(SubpageState::Valid) == 0)
+            .count() as u32;
+        valid == self.valid_subpages
+            && invalid == self.invalid_subpages
+            && dead == self.fully_invalid_pages
     }
 }
 
@@ -401,10 +496,11 @@ mod tests {
     #[test]
     fn block_erase_switches_mode_and_resets() {
         let mut b = BlockState::erased(CellMode::Slc, 4, 4);
-        b.page_mut(0).apply_program(0, 4).unwrap();
+        b.apply_program_at(0, 0, 4).unwrap();
         b.note_program();
         assert_eq!(b.count_subpages(SubpageState::Valid), 4);
         assert!(!b.is_pristine());
+        assert!(b.counters_consistent());
 
         b.erase(CellMode::Mlc, 8, 4);
         assert_eq!(b.mode(), CellMode::Mlc);
@@ -418,10 +514,10 @@ mod tests {
     #[test]
     fn subpage_accounting_is_conserved() {
         let mut b = BlockState::erased(CellMode::Slc, 2, 4);
-        b.page_mut(0).apply_program(0, 2).unwrap();
-        b.page_mut(0).apply_program(2, 1).unwrap();
-        b.page_mut(0).invalidate(1).unwrap();
-        b.page_mut(1).apply_program(0, 4).unwrap();
+        b.apply_program_at(0, 0, 2).unwrap();
+        b.apply_program_at(0, 2, 1).unwrap();
+        b.invalidate_at(0, 1).unwrap();
+        b.apply_program_at(1, 0, 4).unwrap();
         let total = b.total_subpages();
         let sum = b.count_subpages(SubpageState::Free)
             + b.count_subpages(SubpageState::Valid)
@@ -429,5 +525,23 @@ mod tests {
         assert_eq!(total, sum);
         assert_eq!(b.count_subpages(SubpageState::Invalid), 1);
         assert_eq!(b.count_subpages(SubpageState::Valid), 6);
+        assert!(b.counters_consistent());
+    }
+
+    #[test]
+    fn fully_invalid_pages_tracks_dead_pages() {
+        let mut b = BlockState::erased(CellMode::Slc, 2, 4);
+        b.apply_program_at(0, 0, 2).unwrap();
+        assert_eq!(b.fully_invalid_pages(), 0);
+        b.invalidate_at(0, 0).unwrap();
+        b.invalidate_at(0, 1).unwrap();
+        assert_eq!(b.fully_invalid_pages(), 1);
+        // Re-programming remaining free space revives the page.
+        b.apply_program_at(0, 2, 1).unwrap();
+        assert_eq!(b.fully_invalid_pages(), 0);
+        assert!(b.counters_consistent());
+        b.erase(CellMode::Slc, 2, 4);
+        assert_eq!(b.fully_invalid_pages(), 0);
+        assert!(b.is_pristine());
     }
 }

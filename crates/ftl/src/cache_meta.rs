@@ -27,6 +27,23 @@ pub struct BlockMeta {
     /// Whether each page received an intra-page update while in this block.
     page_updated: Vec<bool>,
     subpages_per_page: u32,
+    /// Bit per subpage slot (page-major): set while the subpage holds valid
+    /// data. Maintained by `note_program` / `note_invalidate` so ISR scoring
+    /// never has to consult physical page state.
+    valid_mask: Vec<u64>,
+    /// Cached number of set bits in `valid_mask`.
+    valid_count: u32,
+    /// Sum of `sub_written_ns` over valid subpages (feeds the O(1) mean-age
+    /// term of the ISR score).
+    sum_written_valid: u128,
+    /// Valid subpages sitting in never-updated pages (the ISR J-term's
+    /// population, and the numerator of its upper bound).
+    j_count: u32,
+    /// Bit per subpage slot (page-major): set iff the subpage is valid AND
+    /// its page was never updated — exactly the J-term population, so the ISR
+    /// scorer walks set bits instead of scanning every slot. `j_count` is its
+    /// popcount.
+    cold_mask: Vec<u64>,
 }
 
 impl BlockMeta {
@@ -37,13 +54,43 @@ impl BlockMeta {
         pages: u32,
         subpages_per_page: u32,
     ) -> Self {
+        let slots = (pages * subpages_per_page) as usize;
         BlockMeta {
             addr,
             level,
             opened_seq,
-            sub_written_ns: vec![0; (pages * subpages_per_page) as usize],
+            sub_written_ns: vec![0; slots],
             page_updated: vec![false; pages as usize],
             subpages_per_page,
+            valid_mask: vec![0; slots.div_ceil(64)],
+            valid_count: 0,
+            sum_written_valid: 0,
+            j_count: 0,
+            cold_mask: vec![0; slots.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, page: u32, subpage: u8) -> usize {
+        (page * self.subpages_per_page + subpage as u32) as usize
+    }
+
+    #[inline]
+    fn mask_bit(&self, slot: usize) -> bool {
+        self.valid_mask[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    /// Marks `page` updated, migrating its valid subpages out of the J-term
+    /// population. No-op if already updated.
+    fn mark_page_updated(&mut self, page: u32) {
+        if !self.page_updated[page as usize] {
+            self.page_updated[page as usize] = true;
+            self.j_count -= self.page_valid_count(page);
+            // A page's slots never straddle a mask word (64 is a multiple of
+            // every supported subpages-per-page), so one word edit suffices.
+            let start = (page * self.subpages_per_page) as usize;
+            let span = (1u64 << self.subpages_per_page) - 1;
+            self.cold_mask[start / 64] &= !(span << (start % 64));
         }
     }
 
@@ -58,11 +105,38 @@ impl BlockMeta {
     /// update under IPU (the page holds versions of one chunk's data), so the
     /// caller tells us whether this program was a follow-up.
     pub fn note_program(&mut self, page: u32, start: u8, count: u8, now: Nanos, follow_up: bool) {
-        for s in start..start + count {
-            self.sub_written_ns[(page * self.subpages_per_page + s as u32) as usize] = now.max(1);
-        }
         if follow_up {
-            self.page_updated[page as usize] = true;
+            self.mark_page_updated(page);
+        }
+        let t = now.max(1);
+        let in_j = !self.page_updated[page as usize];
+        for s in start..start + count {
+            let slot = self.slot(page, s);
+            self.sub_written_ns[slot] = t;
+            debug_assert!(!self.mask_bit(slot), "subpage programmed while valid");
+            self.valid_mask[slot / 64] |= 1u64 << (slot % 64);
+            self.valid_count += 1;
+            self.sum_written_valid += t as u128;
+            if in_j {
+                self.j_count += 1;
+                self.cold_mask[slot / 64] |= 1u64 << (slot % 64);
+            }
+        }
+    }
+
+    /// Records that the subpage's data was superseded (invalidated on the
+    /// device). Keeps the cached validity aggregates exact; a no-op for
+    /// subpages not currently marked valid.
+    pub fn note_invalidate(&mut self, page: u32, subpage: u8) {
+        let slot = self.slot(page, subpage);
+        if self.mask_bit(slot) {
+            self.valid_mask[slot / 64] &= !(1u64 << (slot % 64));
+            self.valid_count -= 1;
+            self.sum_written_valid -= self.sub_written_ns[slot] as u128;
+            if !self.page_updated[page as usize] {
+                self.j_count -= 1;
+                self.cold_mask[slot / 64] &= !(1u64 << (slot % 64));
+            }
         }
     }
 
@@ -80,15 +154,110 @@ impl BlockMeta {
     /// power-loss reconstruction. `written_ns` is the timestamp as persisted
     /// (already clamped non-zero at program time).
     pub fn restore_program(&mut self, page: u32, subpage: u8, written_ns: Nanos, follow_up: bool) {
-        self.sub_written_ns[(page * self.subpages_per_page + subpage as u32) as usize] = written_ns;
         if follow_up {
-            self.page_updated[page as usize] = true;
+            self.mark_page_updated(page);
+        }
+        let slot = self.slot(page, subpage);
+        self.sub_written_ns[slot] = written_ns;
+        if !self.mask_bit(slot) {
+            self.valid_mask[slot / 64] |= 1u64 << (slot % 64);
+            self.valid_count += 1;
+            self.sum_written_valid += written_ns as u128;
+            if !self.page_updated[page as usize] {
+                self.j_count += 1;
+                self.cold_mask[slot / 64] |= 1u64 << (slot % 64);
+            }
         }
     }
 
     /// Number of pages tracked.
     pub fn page_count(&self) -> u32 {
         self.page_updated.len() as u32
+    }
+
+    /// Subpages per page tracked by this block.
+    #[inline]
+    pub fn subpages_per_page(&self) -> u32 {
+        self.subpages_per_page
+    }
+
+    /// Whether the subpage is currently marked valid.
+    #[inline]
+    pub fn valid_at(&self, page: u32, subpage: u8) -> bool {
+        self.mask_bit(self.slot(page, subpage))
+    }
+
+    /// Number of valid subpages across the block (cached).
+    #[inline]
+    pub fn valid_count(&self) -> u32 {
+        self.valid_count
+    }
+
+    /// Sum of write timestamps over the valid subpages (cached).
+    #[inline]
+    pub fn sum_written_valid(&self) -> u128 {
+        self.sum_written_valid
+    }
+
+    /// Valid subpages in never-updated pages (cached; bounds the ISR J-term).
+    #[inline]
+    pub fn j_count(&self) -> u32 {
+        self.j_count
+    }
+
+    /// The J-term population as a page-major bitset (one bit per subpage
+    /// slot); the ISR scorer iterates its set bits in ascending slot order,
+    /// which is exactly the oracle's (page, subpage) visit order.
+    #[inline]
+    pub fn cold_mask_words(&self) -> &[u64] {
+        &self.cold_mask
+    }
+
+    /// Write timestamps indexed by page-major slot (companion to
+    /// [`Self::cold_mask_words`]).
+    #[inline]
+    pub fn written_slots(&self) -> &[Nanos] {
+        &self.sub_written_ns
+    }
+
+    /// Valid subpages within one page (popcount over the page's mask bits).
+    pub fn page_valid_count(&self, page: u32) -> u32 {
+        let mut n = 0;
+        for s in 0..self.subpages_per_page {
+            if self.mask_bit(self.slot(page, s as u8)) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Recomputes the cached aggregates from the mask and flags and compares;
+    /// used by the FTL invariant checker (tests / debug sweeps only).
+    pub fn aggregates_consistent(&self) -> bool {
+        let mut valid = 0u32;
+        let mut sum = 0u128;
+        let mut j = 0u32;
+        for page in 0..self.page_count() {
+            for s in 0..self.subpages_per_page {
+                let slot = self.slot(page, s as u8);
+                let cold_bit = self.cold_mask[slot / 64] & (1u64 << (slot % 64)) != 0;
+                if self.mask_bit(slot) {
+                    valid += 1;
+                    sum += self.sub_written_ns[slot] as u128;
+                    if !self.page_updated[page as usize] {
+                        j += 1;
+                        if !cold_bit {
+                            return false;
+                        }
+                    } else if cold_bit {
+                        return false;
+                    }
+                } else if cold_bit {
+                    return false;
+                }
+            }
+        }
+        valid == self.valid_count && sum == self.sum_written_valid && j == self.j_count
     }
 }
 
@@ -261,6 +430,50 @@ mod tests {
         // The next freshly-opened block continues the sequence.
         c.open_block(8, BlockAddr::new(0, 0, 0, 0, 8), BlockLevel::Work, 4, 4);
         assert_eq!(c.get(8).unwrap().opened_seq(), 42);
+    }
+
+    #[test]
+    fn validity_aggregates_track_programs_updates_and_invalidates() {
+        let mut c = CacheMeta::new();
+        c.open_block(7, addr(), BlockLevel::Work, 4, 4);
+        let m = c.get_mut(7).unwrap();
+        m.note_program(0, 0, 2, 1000, false);
+        m.note_program(1, 0, 1, 3000, false);
+        assert_eq!(m.valid_count(), 3);
+        assert_eq!(m.sum_written_valid(), 2 * 1000 + 3000);
+        assert_eq!(m.j_count(), 3);
+        assert!(m.valid_at(0, 0) && m.valid_at(0, 1) && m.valid_at(1, 0));
+        assert!(!m.valid_at(0, 2));
+
+        // An intra-page update pulls the whole page out of the J population.
+        m.note_invalidate(0, 0);
+        m.note_program(0, 2, 1, 5000, true);
+        assert_eq!(m.valid_count(), 3); // (0,1), (0,2), (1,0)
+        assert_eq!(m.sum_written_valid(), 1000 + 5000 + 3000);
+        assert_eq!(m.j_count(), 1); // only (1,0): page 0 is updated
+        assert_eq!(m.page_valid_count(0), 2);
+
+        m.note_invalidate(0, 1);
+        m.note_invalidate(0, 1); // double-invalidate is a no-op
+        assert_eq!(m.valid_count(), 2);
+        assert_eq!(m.sum_written_valid(), 5000 + 3000);
+        assert!(m.aggregates_consistent());
+    }
+
+    #[test]
+    fn restore_rebuilds_aggregates_like_live_programs() {
+        let mut c = CacheMeta::new();
+        c.restore_block(7, addr(), BlockLevel::Monitor, 3, 2, 4);
+        let m = c.get_mut(7).unwrap();
+        m.restore_program(0, 0, 100, false);
+        m.restore_program(0, 1, 900, true); // follow-up → page updated
+        m.restore_program(1, 2, 400, false);
+        assert_eq!(m.valid_count(), 3);
+        assert_eq!(m.sum_written_valid(), 100 + 900 + 400);
+        assert_eq!(m.j_count(), 1);
+        m.note_invalidate(1, 2);
+        assert_eq!(m.j_count(), 0);
+        assert!(m.aggregates_consistent());
     }
 
     #[test]

@@ -20,16 +20,12 @@ pub enum GcGranularity {
     Subpage,
 }
 
-/// Greedy score: number of reclaimable units in the block.
+/// Greedy score: number of reclaimable units in the block. O(1) — both
+/// granularities read counters cached at block level by `ipu-flash`.
 pub fn greedy_score(block: &BlockState, granularity: GcGranularity) -> u64 {
     match granularity {
         GcGranularity::Subpage => block.count_subpages(SubpageState::Invalid) as u64,
-        GcGranularity::Page => (0..block.page_count())
-            .filter(|&p| {
-                let page = block.page(p);
-                page.is_programmed() && page.count(SubpageState::Valid) == 0
-            })
-            .count() as u64,
+        GcGranularity::Page => block.fully_invalid_pages() as u64,
     }
 }
 
@@ -122,6 +118,73 @@ pub fn isr_score(block: &BlockState, meta: &BlockMeta, now: Nanos) -> f64 {
     }
     let invalid = block.count_subpages(SubpageState::Invalid) as f64;
     (invalid + cold_valid_weight(block, meta, now)) / total as f64
+}
+
+/// Incremental (cached-aggregate) variant of [`cold_valid_weight`].
+///
+/// Produces the same value as the oracle *provided* the metadata's validity
+/// mask mirrors the device state — which `FtlCore` maintains by notifying the
+/// metadata on every program and invalidate. The mean-age pass is replaced by
+/// the closed form `Σ(now − t_i) = n·now − Σt_i` over the cached sums (exact
+/// while per-block age sums stay below 2^53 ns, i.e. at all simulation
+/// timescales), and the J-term walks only the metadata arrays in the oracle's
+/// (page, subpage) order, reusing the previous `exp` whenever consecutive
+/// subpages share a write timestamp (subpages programmed by one operation
+/// always do).
+pub fn cold_valid_weight_fast(meta: &BlockMeta, now: Nanos) -> f64 {
+    let valid_count = meta.valid_count();
+    if valid_count == 0 {
+        return 0.0;
+    }
+    let ages_sum =
+        (valid_count as u128 * now as u128).saturating_sub(meta.sum_written_valid()) as f64;
+    let t_mean = (ages_sum / valid_count as f64).max(1.0);
+
+    let mut weight = 0.0;
+    let mut last_t = Nanos::MAX;
+    let mut last_w = 0.0;
+    let written = meta.written_slots();
+    // Walk only the J-population (valid subpages of never-updated pages) via
+    // the cold bitset; ascending set-bit order is the oracle's (page, subpage)
+    // order, so the f64 summation is term-for-term identical.
+    for (w, &word) in meta.cold_mask_words().iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let slot = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let t = written.get(slot).copied().unwrap_or(0);
+            if t != last_t {
+                let age = now.saturating_sub(t) as f64;
+                last_w = 1.0 - (-age / t_mean).exp();
+                last_t = t;
+            }
+            weight += last_w;
+        }
+    }
+    weight
+}
+
+/// Incremental variant of [`isr_score`]; same mask-mirrors-device precondition
+/// as [`cold_valid_weight_fast`].
+pub fn isr_score_fast(block: &BlockState, meta: &BlockMeta, now: Nanos) -> f64 {
+    let total = block.total_subpages();
+    if total == 0 {
+        return 0.0;
+    }
+    let invalid = block.count_subpages(SubpageState::Invalid) as f64;
+    (invalid + cold_valid_weight_fast(meta, now)) / total as f64
+}
+
+/// Cheap upper bound on [`isr_score`]: every J-term is ≤ 1, so the score can
+/// never exceed `(invalid + j_count) / total`. Used to prune candidates whose
+/// bound already loses to the best exact score seen.
+pub fn isr_upper_bound(block: &BlockState, meta: &BlockMeta) -> f64 {
+    let total = block.total_subpages();
+    if total == 0 {
+        return 0.0;
+    }
+    let invalid = block.count_subpages(SubpageState::Invalid) as f64;
+    (invalid + meta.j_count() as f64) / total as f64
 }
 
 /// Selects the candidate with the highest ISR score; ties break toward the

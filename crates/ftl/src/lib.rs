@@ -27,17 +27,22 @@ pub mod ops;
 pub mod schemes;
 pub mod stats;
 pub mod types;
+pub mod victim_index;
 pub mod wear_leveling;
 
 pub use block_mgr::BlockManager;
 pub use cache_meta::{BlockMeta, CacheMeta};
 pub use config::{FtlConfig, ScrubConfig};
 pub use error::FtlError;
-pub use gc::{greedy_score, isr_score, select_greedy, select_isr, GcGranularity};
-pub use mapping::{ChunkSummary, MappingTable, OwnerTable};
+pub use gc::{
+    cold_valid_weight_fast, greedy_score, isr_score, isr_score_fast, isr_upper_bound,
+    select_greedy, select_isr, GcGranularity,
+};
+pub use mapping::{ChunkSummary, FxBuildHasher, FxHasher, MappingTable, OwnerTable};
 pub use memory::MappingMemory;
 pub use ops::{FlashOpKind, OpBatch, OpRecord, ReqStatus};
 pub use schemes::{common::FtlCore, FtlScheme, SchemeKind};
 pub use stats::FtlStats;
 pub use types::{BlockLevel, Lcn, Lsn};
+pub use victim_index::VictimIndex;
 pub use wear_leveling::{WearLeveler, WearLevelingConfig};

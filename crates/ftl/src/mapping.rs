@@ -6,11 +6,65 @@
 //! each scheme would actually have to keep in controller DRAM.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-use ipu_flash::{FlashGeometry, Spa};
+use ipu_flash::{FlashGeometry, Ppa, Spa};
 use serde::{Deserialize, Serialize};
 
 use crate::types::{Lcn, Lsn};
+
+/// Multiply-xor hasher for the dense integer keys both tables use (bucket and
+/// block indices). The default SipHash is DoS-resistant, which simulation
+/// state does not need; this hasher is a single rotate/xor/multiply per key
+/// and measurably shortens every map probe on the write hot path. Iteration
+/// order is only consumed by order-independent aggregates (and becomes
+/// deterministic, since there is no per-process random seed).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth-style odd multiplicative constant (same one rustc's FxHash uses).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Forward map: logical subpage number → physical subpage address.
 ///
@@ -29,7 +83,33 @@ use crate::types::{Lcn, Lsn};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MappingTable {
-    map: HashMap<Lsn, Spa>,
+    /// LSN-space bucket (`lsn / 8`) → the 8 consecutive subpage locations,
+    /// occupancy tracked by `mask`. Host requests translate contiguous LSN
+    /// runs, so bucketing amortizes the hash probe across a whole chunk
+    /// (see [`MappingTable::lookup_span`]) instead of paying one per subpage.
+    buckets: HashMap<u64, MapBucket, FxBuildHasher>,
+    len: usize,
+}
+
+/// Locations of 8 consecutive LSNs; `mask` bit *i* says slot *i* is mapped.
+#[derive(Debug, Clone, Copy)]
+struct MapBucket {
+    mask: u8,
+    spas: [Spa; BUCKET_LSNS as usize],
+}
+
+/// LSNs per bucket. 8 keeps a bucket at one cache line of `Spa`s and is a
+/// multiple of every supported `subpages_per_page`, so a page-aligned chunk
+/// never straddles more than one bucket boundary.
+const BUCKET_LSNS: u64 = 8;
+
+impl MapBucket {
+    fn empty() -> Self {
+        MapBucket {
+            mask: 0,
+            spas: [Spa::new(Ppa::new(0, 0, 0, 0, 0, 0), 0); BUCKET_LSNS as usize],
+        }
+    }
 }
 
 impl MappingTable {
@@ -40,33 +120,89 @@ impl MappingTable {
     /// Current physical location of `lsn`, if mapped.
     #[inline]
     pub fn lookup(&self, lsn: Lsn) -> Option<Spa> {
-        self.map.get(&lsn).copied()
+        let slot = (lsn % BUCKET_LSNS) as usize;
+        self.buckets
+            .get(&(lsn / BUCKET_LSNS))
+            .filter(|b| b.mask & (1 << slot) != 0)
+            .map(|b| b.spas[slot])
     }
 
     /// Maps `lsn` to `spa`, returning the previous location if any.
     #[inline]
     pub fn insert(&mut self, lsn: Lsn, spa: Spa) -> Option<Spa> {
-        self.map.insert(lsn, spa)
+        let slot = (lsn % BUCKET_LSNS) as usize;
+        let bucket = self
+            .buckets
+            .entry(lsn / BUCKET_LSNS)
+            .or_insert_with(MapBucket::empty);
+        let old = (bucket.mask & (1 << slot) != 0).then(|| bucket.spas[slot]);
+        bucket.mask |= 1 << slot;
+        bucket.spas[slot] = spa;
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
     }
 
     /// Unmaps `lsn`, returning its previous location.
     #[inline]
     pub fn remove(&mut self, lsn: Lsn) -> Option<Spa> {
-        self.map.remove(&lsn)
+        let slot = (lsn % BUCKET_LSNS) as usize;
+        let bucket = self.buckets.get_mut(&(lsn / BUCKET_LSNS))?;
+        if bucket.mask & (1 << slot) == 0 {
+            return None;
+        }
+        let old = bucket.spas[slot];
+        bucket.mask &= !(1 << slot);
+        if bucket.mask == 0 {
+            self.buckets.remove(&(lsn / BUCKET_LSNS));
+        }
+        self.len -= 1;
+        Some(old)
+    }
+
+    /// Calls `visit(lsn, location)` for every LSN in `[start, end)`, in
+    /// ascending order, probing the table once per 8-LSN bucket instead of
+    /// once per subpage. This is the batch path the write and read request
+    /// handlers use: a request's subpage span is contiguous in LSN space, so
+    /// the per-subpage hash probes of a naive loop collapse to one per bucket.
+    #[inline]
+    pub fn lookup_span(&self, start: Lsn, end: Lsn, mut visit: impl FnMut(Lsn, Option<Spa>)) {
+        let mut lsn = start;
+        while lsn < end {
+            let bucket_idx = lsn / BUCKET_LSNS;
+            let bucket_end = ((bucket_idx + 1) * BUCKET_LSNS).min(end);
+            if let Some(b) = self.buckets.get(&bucket_idx) {
+                for l in lsn..bucket_end {
+                    let slot = (l % BUCKET_LSNS) as usize;
+                    let loc = (b.mask & (1 << slot) != 0).then(|| b.spas[slot]);
+                    visit(l, loc);
+                }
+            } else {
+                for l in lsn..bucket_end {
+                    visit(l, None);
+                }
+            }
+            lsn = bucket_end;
+        }
     }
 
     /// Number of mapped logical subpages.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Iterates `(lsn, spa)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (Lsn, Spa)> + '_ {
-        self.map.iter().map(|(&l, &s)| (l, s))
+        self.buckets.iter().flat_map(|(&bi, b)| {
+            (0..BUCKET_LSNS)
+                .filter(move |slot| b.mask & (1 << slot) != 0)
+                .map(move |slot| (bi * BUCKET_LSNS + slot, b.spas[slot as usize]))
+        })
     }
 
     /// Summary used by the Figure 11 memory model: how many distinct logical
@@ -77,8 +213,8 @@ impl MappingTable {
     pub fn chunk_summary(&self, subpages_per_page: u32) -> ChunkSummary {
         let spp = subpages_per_page as u64;
         // lcn → (first physical page seen, all-aligned-so-far)
-        let mut chunks: HashMap<Lcn, (Spa, bool)> = HashMap::new();
-        for (&lsn, &spa) in &self.map {
+        let mut chunks: HashMap<Lcn, (Spa, bool), FxBuildHasher> = HashMap::default();
+        for (lsn, spa) in self.iter() {
             let lcn = lsn / spp;
             let aligned = spa.subpage as u64 == lsn % spp;
             match chunks.entry(lcn) {
@@ -97,7 +233,7 @@ impl MappingTable {
         ChunkSummary {
             mapped_chunks,
             scattered_chunks,
-            mapped_subpages: self.map.len() as u64,
+            mapped_subpages: self.len as u64,
         }
     }
 }
@@ -120,7 +256,7 @@ pub struct ChunkSummary {
 #[derive(Debug, Clone)]
 pub struct OwnerTable {
     /// block index → owner LSN per (page × subpage) slot; `NONE` if unowned.
-    blocks: HashMap<u64, Vec<Lsn>>,
+    blocks: HashMap<u64, Vec<Lsn>, FxBuildHasher>,
     slots_per_block: usize,
     subpages_per_page: u32,
 }
@@ -130,7 +266,7 @@ const NONE_OWNER: Lsn = Lsn::MAX;
 impl OwnerTable {
     pub fn new(geometry: &FlashGeometry) -> Self {
         OwnerTable {
-            blocks: HashMap::new(),
+            blocks: HashMap::default(),
             // Sized for the larger (MLC) page count so mode switches never
             // reallocate.
             slots_per_block: (geometry.pages_per_block_mlc * geometry.subpages_per_page()) as usize,
@@ -241,6 +377,38 @@ mod tests {
         assert_eq!(m.chunk_summary(4).scattered_chunks, 0);
         m.insert(13, spa(0, 6, 0)); // lsn 13 = chunk 3 offset 1 at subpage 0 → scattered
         assert_eq!(m.chunk_summary(4).scattered_chunks, 1);
+    }
+
+    #[test]
+    fn lookup_span_agrees_with_per_lsn_lookups() {
+        let mut m = MappingTable::new();
+        // Mapped run straddling a bucket boundary (lsns 5..11), plus a hole.
+        for l in 5..11u64 {
+            if l != 8 {
+                m.insert(l, spa(0, l as u32, (l % 4) as u8));
+            }
+        }
+        let mut seen = Vec::new();
+        m.lookup_span(3, 13, |l, loc| seen.push((l, loc)));
+        assert_eq!(seen.len(), 10);
+        for (l, loc) in seen {
+            assert_eq!(loc, m.lookup(l), "span disagrees with lookup at {l}");
+        }
+        // Empty range visits nothing.
+        m.lookup_span(20, 20, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn len_tracks_inserts_overwrites_and_removes() {
+        let mut m = MappingTable::new();
+        m.insert(0, spa(0, 0, 0));
+        m.insert(1, spa(0, 0, 1));
+        m.insert(0, spa(0, 1, 0)); // overwrite: len unchanged
+        assert_eq!(m.len(), 2);
+        assert!(m.remove(5).is_none());
+        assert_eq!(m.remove(0), Some(spa(0, 1, 0)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.iter().count(), 1);
     }
 
     #[test]

@@ -8,12 +8,11 @@
 //! granularity, and all valid data found in a victim is evicted to the MLC
 //! region, as a plain SLC write cache does.
 
-use ipu_flash::{FlashDevice, Nanos};
+use ipu_flash::{FlashDevice, Nanos, MAX_SUBPAGES_PER_PAGE};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
-use crate::gc::{select_greedy, GcGranularity};
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
 use crate::stats::FtlStats;
@@ -57,38 +56,31 @@ impl BaselineFtl {
             let _span = ipu_obs::span(ipu_obs::Phase::Gc);
             rounds += 1;
             let cost_before = batch.total_latency_sum();
-            let victim = {
-                let cands = self
-                    .core
-                    .meta
-                    .slc_blocks()
-                    .filter(|(_, m)| !self.core.is_active(m.addr))
-                    .map(|(i, m)| (i, dev.block_by_index(i), m.opened_seq()));
-                select_greedy(cands, GcGranularity::Subpage)
-            };
+            let victim = self.core.select_slc_victim_greedy();
             let Some(victim) = victim else { break };
             let Some(victim_addr) = self.core.meta.get(victim).map(|m| m.addr) else {
                 break;
             };
+            let mut groups = std::mem::take(&mut self.core.gc_groups);
+            let groups_cap = groups.capacity();
+            self.core
+                .collect_victim_groups_into(dev, victim, &mut groups);
             let mut aborted = false;
-            for group in self.core.collect_victim_groups(dev, victim) {
+            for group in &groups {
                 // Plain cache eviction: all valid data leaves the SLC region.
                 if self
                     .core
-                    .relocate_group(
-                        dev,
-                        victim_addr,
-                        &group,
-                        BlockLevel::HighDensity,
-                        now,
-                        batch,
-                    )
+                    .relocate_group(dev, victim_addr, group, BlockLevel::HighDensity, now, batch)
                     .is_err()
                 {
                     aborted = true;
                     break;
                 }
             }
+            if groups.capacity() != groups_cap {
+                self.core.stats.scratch_grows += 1;
+            }
+            self.core.gc_groups = groups;
             if aborted {
                 // Never erase a partially-relocated victim.
                 break;
@@ -117,8 +109,14 @@ impl FtlScheme for BaselineFtl {
     ) {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
-        for chunk in self.core.chunks(req) {
-            if let Err(e) = self.write_chunk(&chunk, now, dev, out) {
+        for (start, len) in self.core.chunk_spans(req) {
+            // A chunk is a contiguous LSN run of at most one page: stage it in
+            // a stack buffer so the write path performs no heap allocation.
+            let mut chunk = [0 as Lsn; MAX_SUBPAGES_PER_PAGE];
+            for (i, slot) in chunk[..len as usize].iter_mut().enumerate() {
+                *slot = start + i as u64;
+            }
+            if let Err(e) = self.write_chunk(&chunk[..len as usize], now, dev, out) {
                 self.core.note_write_failure(&e, out);
             }
             self.run_gc(now, dev, out);
@@ -152,6 +150,10 @@ impl FtlScheme for BaselineFtl {
 
     fn core(&self) -> &FtlCore {
         &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut FtlCore {
+        &mut self.core
     }
 }
 

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ipu_flash::{
     BlockAddr, CellMode, FlashDevice, FlashError, FlashGeometry, Nanos, Ppa, RetryLadder, Spa,
-    SubpageState,
+    SubpageState, MAX_SUBPAGES_PER_PAGE,
 };
 use ipu_trace::IoRequest;
 
@@ -15,11 +15,14 @@ use crate::block_mgr::BlockManager;
 use crate::cache_meta::CacheMeta;
 use crate::config::FtlConfig;
 use crate::error::FtlError;
-use crate::gc::{select_greedy, GcGranularity};
+use crate::gc::{
+    greedy_score, isr_score_fast, isr_upper_bound, select_greedy, select_isr, GcGranularity,
+};
 use crate::mapping::{MappingTable, OwnerTable};
 use crate::ops::{FlashOpKind, OpBatch, ReqStatus};
 use crate::stats::FtlStats;
 use crate::types::{BlockLevel, Lsn};
+use crate::victim_index::VictimIndex;
 use crate::wear_leveling::WearLeveler;
 
 /// Maximum placements tried for one program group before the write fails
@@ -51,13 +54,23 @@ impl ActiveBlock {
 }
 
 /// Valid data of one page of a GC victim, grouped for relocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct PageGroup {
     pub page: u32,
-    /// `(subpage offset, owning LSN)` of each valid subpage, ascending offset.
-    pub subs: Vec<(u8, Lsn)>,
     /// Whether the page received an intra-page update while in this block.
     pub updated: bool,
+    subs_len: u8,
+    /// Inline so a GC round recycles one flat group buffer with no per-page
+    /// heap traffic (see [`FtlCore::collect_victim_groups_into`]).
+    subs: [(u8, Lsn); MAX_SUBPAGES_PER_PAGE],
+}
+
+impl PageGroup {
+    /// `(subpage offset, owning LSN)` of each valid subpage, ascending offset.
+    #[inline]
+    pub fn subs(&self) -> &[(u8, Lsn)] {
+        &self.subs[..self.subs_len as usize]
+    }
 }
 
 /// Durable per-subpage record, modelling what a real FTL writes into the
@@ -79,9 +92,22 @@ struct SubTag {
 struct BlockOob {
     level: BlockLevel,
     opened_seq: u64,
-    /// Ordered so power-loss replay walks tags in (page, subpage) order
-    /// without an explicit sort.
-    tags: BTreeMap<(u32, u8), SubTag>,
+    /// Tag per page-major subpage slot (`None` = never programmed this erase
+    /// cycle). Ascending slot order is (page, subpage) order, so power-loss
+    /// replay walks tags in program-layout order without an explicit sort,
+    /// and the write path records a tag with one indexed store instead of a
+    /// tree insert. Sized for the larger (MLC) page count at creation.
+    tags: Vec<Option<SubTag>>,
+}
+
+impl BlockOob {
+    /// Tags present, in ascending (page, subpage) order.
+    fn iter_tags(&self, spp: u32) -> impl Iterator<Item = (u32, u8, &SubTag)> {
+        self.tags.iter().enumerate().filter_map(move |(slot, t)| {
+            t.as_ref()
+                .map(|tag| ((slot as u32) / spp, (slot % spp as usize) as u8, tag))
+        })
+    }
 }
 
 /// Shared FTL state and mechanics.
@@ -124,6 +150,19 @@ pub struct FtlCore {
     oob: BTreeMap<u64, BlockOob>,
     /// Round-robin position of the background scrub scan.
     scrub_cursor: u64,
+    /// Reusable read-run merge buffer: `host_read` takes it, fills it, and
+    /// puts it back, so steady-state reads allocate nothing.
+    read_runs: Vec<(Spa, u8)>,
+    /// Reusable GC page-group buffer, shared by the schemes' SLC GC loops and
+    /// the core's MLC GC / wear-leveling paths via take/put-back.
+    pub(crate) gc_groups: Vec<PageGroup>,
+    /// Reusable (upper bound, opened_seq, idx) candidate list for ISR victim
+    /// selection; kept sorted scratch so steady-state GC allocates nothing.
+    isr_scratch: Vec<(f64, u64, u64)>,
+    /// Bucketed priority index over in-use SLC blocks, maintained on block
+    /// open/close and subpage invalidation so GC victim selection never
+    /// rescans the whole cache (see [`VictimIndex`]).
+    victim_index: VictimIndex,
 }
 
 impl FtlCore {
@@ -155,6 +194,10 @@ impl FtlCore {
             bad_blocks: BTreeSet::new(),
             oob: BTreeMap::new(),
             scrub_cursor: 0,
+            read_runs: Vec::new(),
+            gc_groups: Vec::new(),
+            isr_scratch: Vec::new(),
+            victim_index: VictimIndex::new(),
         }
     }
 
@@ -191,32 +234,35 @@ impl FtlCore {
         self.geometry.chip_index(addr)
     }
 
-    /// Splits a request's logical subpages into page-aligned chunk groups.
+    /// Splits a request's logical subpages into page-aligned
+    /// `(first LSN, subpage count)` spans without allocating — the span is
+    /// contiguous, so each chunk is fully described by its start and length.
     ///
-    /// Each group targets one flash page (the paper's "an SLC-mode page only
+    /// Each span targets one flash page (the paper's "an SLC-mode page only
     /// holds the valid data from a single request").
-    pub fn chunks(&self, req: &IoRequest) -> Vec<Vec<Lsn>> {
+    pub fn chunk_spans(&self, req: &IoRequest) -> impl Iterator<Item = (Lsn, u8)> {
         let spp = self.spp() as u64;
         let span = req.subpage_span();
-        // At most one group per page touched (+1 for a misaligned head).
-        let mut out: Vec<Vec<Lsn>> =
-            Vec::with_capacity(((span.end - span.start) / spp + 2) as usize);
-        for lsn in span {
-            match out.last_mut() {
-                Some(group)
-                    if group.len() < spp as usize
-                        && group.first().is_some_and(|&first| lsn / spp == first / spp) =>
-                {
-                    group.push(lsn);
-                }
-                _ => {
-                    let mut group = Vec::with_capacity(spp as usize);
-                    group.push(lsn);
-                    out.push(group);
-                }
+        let end = span.end;
+        let mut lsn = span.start;
+        std::iter::from_fn(move || {
+            if lsn >= end {
+                return None;
             }
-        }
-        out
+            let page_end = (lsn / spp + 1) * spp;
+            let len = page_end.min(end) - lsn;
+            let start = lsn;
+            lsn += len;
+            Some((start, len as u8))
+        })
+    }
+
+    /// Materialized form of [`Self::chunk_spans`] (test and tooling
+    /// convenience; the request hot paths iterate the spans directly).
+    pub fn chunks(&self, req: &IoRequest) -> Vec<Vec<Lsn>> {
+        self.chunk_spans(req)
+            .map(|(start, len)| (start..start + len as u64).collect())
+            .collect()
     }
 
     /// Addresses of the active blocks at `level`.
@@ -238,18 +284,117 @@ impl FtlCore {
         } else {
             self.geometry.pages_per_block_mlc
         };
-        self.meta.open_block(
-            self.block_idx(addr),
-            addr,
-            level,
-            pages,
-            self.geometry.subpages_per_page(),
-        );
+        let idx = self.block_idx(addr);
+        self.meta
+            .open_block(idx, addr, level, pages, self.geometry.subpages_per_page());
+        if level.is_slc() {
+            // A freshly-allocated block is erased: its greedy score is 0.
+            let seq = self.meta.get(idx).map_or(0, |m| m.opened_seq());
+            self.victim_index.insert(idx, seq, 0);
+        }
         self.actives[level as usize].push(ActiveBlock {
             addr,
             next_page: 0,
             pages,
         });
+    }
+
+    /// Records a subpage invalidation in the cache metadata (incremental ISR
+    /// aggregates) and the victim index (cached greedy score). Must be called
+    /// after every successful `dev.invalidate` so both stay mirrors of the
+    /// device's validity state.
+    fn note_invalidated(&mut self, block_idx: u64, spa: Spa) {
+        if let Some(m) = self.meta.get_mut(block_idx) {
+            m.note_invalidate(spa.ppa.page, spa.subpage);
+        }
+        self.victim_index.note_invalidated(block_idx);
+    }
+
+    /// Greedy SLC GC victim via the priority index: highest cached
+    /// invalid-subpage score, ties toward the oldest `opened_seq`, active
+    /// write targets skipped. Selects exactly the block the retired linear
+    /// scan ([`Self::oracle_slc_victim_greedy`]) would — property tests pin
+    /// the equivalence.
+    pub fn select_slc_victim_greedy(&self) -> Option<u64> {
+        self.victim_index
+            .select_greedy(|i| self.meta.get(i).is_none_or(|m| self.is_active(m.addr)))
+    }
+
+    /// ISR SLC GC victim (paper Equations 1–2) over the index's membership
+    /// set, scored with the incremental evaluator and pruned by
+    /// [`isr_upper_bound`]: candidates are visited in descending bound order,
+    /// so as soon as one bound cannot beat the best exact score seen, every
+    /// remaining candidate is pruned too and the scan stops without
+    /// evaluating any exponential. Selects exactly the block the full linear
+    /// scan ([`Self::oracle_slc_victim_isr`]) would: the bound
+    /// over-approximates the score (every age term is ≤ 1), so no pruned
+    /// candidate could have won or tied, and the replacement rule computes
+    /// `select_isr`'s (max score, min seq) ordering, which is a maximum over
+    /// a total order and therefore independent of visit order.
+    pub fn select_slc_victim_isr(&mut self, dev: &FlashDevice, now: Nanos) -> Option<u64> {
+        let mut cands = std::mem::take(&mut self.isr_scratch);
+        let cap_before = cands.capacity();
+        cands.clear();
+        for (idx, _, seq) in self.victim_index.members() {
+            let Some(m) = self.meta.get(idx) else {
+                continue;
+            };
+            if self.is_active(m.addr) {
+                continue;
+            }
+            let block = dev.block_by_index(idx);
+            cands.push((isr_upper_bound(block, m), seq, idx));
+        }
+        cands.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.2.cmp(&b.2)));
+        let mut best: Option<(f64, u64, u64)> = None; // (score, opened_seq, idx)
+        for &(ub, seq, idx) in &cands {
+            if let Some((bs, bseq, _)) = best {
+                if ub + 1e-9 < bs {
+                    break; // sorted descending: all remaining bounds lose too
+                }
+                let Some(m) = self.meta.get(idx) else {
+                    continue;
+                };
+                let s = isr_score_fast(dev.block_by_index(idx), m, now);
+                if s > bs || (s == bs && seq < bseq) {
+                    best = Some((s, seq, idx));
+                }
+            } else {
+                let Some(m) = self.meta.get(idx) else {
+                    continue;
+                };
+                best = Some((isr_score_fast(dev.block_by_index(idx), m, now), seq, idx));
+            }
+        }
+        if cands.capacity() != cap_before {
+            self.stats.scratch_grows += 1;
+        }
+        self.isr_scratch = cands;
+        best.map(|(_, _, idx)| idx)
+    }
+
+    /// Reference greedy victim selection: the linear scan the schemes used
+    /// before the index existed. Kept as the oracle for equivalence tests.
+    pub fn oracle_slc_victim_greedy(&self, dev: &FlashDevice) -> Option<u64> {
+        let cands = self
+            .meta
+            .slc_blocks()
+            .filter(|(_, m)| !self.is_active(m.addr))
+            .map(|(i, m)| (i, dev.block_by_index(i), m.opened_seq()));
+        select_greedy(cands, GcGranularity::Subpage)
+    }
+
+    /// Reference ISR victim selection (full recomputation linear scan). Kept
+    /// as the oracle for equivalence tests.
+    pub fn oracle_slc_victim_isr(&self, dev: &FlashDevice, now: Nanos) -> Option<u64> {
+        let cands = self.meta.slc_blocks().filter_map(|(i, m)| {
+            if self.is_active(m.addr) {
+                None
+            } else {
+                Some((i, dev.block_by_index(i), m))
+            }
+        });
+        select_isr(cands, now)
     }
 
     fn free_blocks_for(&self, level: BlockLevel) -> u64 {
@@ -352,6 +497,7 @@ impl FtlCore {
             let Some(meta) = self.meta.close_block(v) else {
                 continue; // victims come from the registry; a vanished entry just skips
             };
+            self.victim_index.remove(v);
             if meta.level.is_slc() {
                 self.stats.gc_runs_slc += 1;
             } else {
@@ -459,20 +605,24 @@ impl FtlCore {
                         .get(block_idx)
                         .map(|m| (m.level, m.opened_seq()))
                         .unwrap_or((BlockLevel::HighDensity, 0));
+                    let oob_slots = (self.geometry.pages_per_block_mlc
+                        * self.geometry.subpages_per_page())
+                        as usize;
+                    let spp = self.geometry.subpages_per_page();
                     let oob = self.oob.entry(block_idx).or_insert_with(|| BlockOob {
                         level,
                         opened_seq,
-                        tags: BTreeMap::new(),
+                        tags: vec![None; oob_slots],
                     });
+                    let base = (ppa.page * spp + start as u32) as usize;
                     for (i, &lsn) in lsns.iter().enumerate() {
-                        oob.tags.insert(
-                            (ppa.page, start + i as u8),
-                            SubTag {
+                        if let Some(slot) = oob.tags.get_mut(base + i) {
+                            *slot = Some(SubTag {
                                 lsn,
                                 written_ns: now.max(1),
                                 follow_up,
-                            },
-                        );
+                            });
+                        }
                     }
 
                     for (i, &lsn) in lsns.iter().enumerate() {
@@ -487,7 +637,9 @@ impl FtlCore {
                             // disagree — surface it as a failed write rather
                             // than tearing the process down.
                             dev.invalidate(old)?;
-                            self.owners.clear(self.block_idx(old.ppa.block_addr()), old);
+                            let old_idx = self.block_idx(old.ppa.block_addr());
+                            self.owners.clear(old_idx, old);
+                            self.note_invalidated(old_idx, old);
                         }
                         self.owners.set(block_idx, spa, lsn);
                     }
@@ -557,16 +709,19 @@ impl FtlCore {
                 .relocate_group(dev, addr, &group, level, now, batch)
                 .is_err()
             {
-                for &(s, lsn) in &group.subs {
+                for &(s, lsn) in group.subs() {
                     let spa = Spa::new(addr.page(group.page), s);
                     self.map.remove(lsn);
                     self.owners.clear(block_idx, spa);
-                    let _ = dev.invalidate(spa);
+                    if dev.invalidate(spa).is_ok() {
+                        self.note_invalidated(block_idx, spa);
+                    }
                     self.stats.data_loss_events += 1;
                 }
             }
         }
         self.meta.close_block(block_idx);
+        self.victim_index.remove(block_idx);
         self.oob.remove(&block_idx);
         self.owners.clear_block(block_idx);
         self.blocks.retire(addr);
@@ -590,28 +745,41 @@ impl FtlCore {
         let spp = self.spp();
 
         // Build physical runs: (start spa, length) over consecutive LSNs.
-        // Worst case one run per subpage touched — pre-size to avoid regrowth.
-        let mut runs: Vec<(Spa, u8)> = Vec::with_capacity(req.subpage_count() as usize);
+        // The merge buffer is core-owned and reused across requests; the span
+        // walk probes the mapping table once per LSN bucket, not per subpage.
+        let mut runs = std::mem::take(&mut self.read_runs);
+        let cap_before = runs.capacity();
+        runs.clear();
         let mut unmapped: u32 = 0;
-        for lsn in req.subpage_span() {
-            match self.map.lookup(lsn) {
+        let span = req.subpage_span();
+        self.map
+            .lookup_span(span.start, span.end, |_, loc| match loc {
                 Some(spa) => {
                     if let Some((start, len)) = runs.last_mut() {
                         if start.ppa == spa.ppa && start.subpage + *len == spa.subpage && *len < spp
                         {
                             *len += 1;
-                            continue;
+                            return;
                         }
                     }
                     runs.push((spa, 1));
                 }
                 None => unmapped += 1,
-            }
+            });
+        if runs.capacity() != cap_before {
+            self.stats.scratch_grows += 1;
         }
 
-        for (spa, len) in runs {
+        let mut outcome: Result<(), FtlError> = Ok(());
+        for &(spa, len) in runs.iter() {
             let chip = self.chip_of(spa.ppa.block_addr());
-            let res = dev.read(spa, len)?;
+            let res = match dev.read(spa, len) {
+                Ok(r) => r,
+                Err(e) => {
+                    outcome = Err(e.into());
+                    break;
+                }
+            };
             batch.push(chip, FlashOpKind::HostRead, res.latency_ns);
             self.stats.host_read_rber_sum += res.rber * len as f64;
             self.stats.host_subpages_read += len as u64;
@@ -620,6 +788,8 @@ impl FtlCore {
                 self.walk_retry_ladder(dev, spa, len, chip, batch);
             }
         }
+        self.read_runs = runs;
+        outcome?;
 
         if unmapped > 0 && self.cfg.serve_unmapped_reads_from_mlc {
             self.charge_unmapped_read(dev, req, unmapped, batch);
@@ -774,16 +944,25 @@ impl FtlCore {
             < self.cfg.gc_threshold_blocks(self.blocks.mlc_total())
     }
 
-    /// Collects the valid data of a victim block, grouped per page.
-    pub fn collect_victim_groups(&self, dev: &FlashDevice, block_idx: u64) -> Vec<PageGroup> {
+    /// Collects the valid data of a victim block into `out` (cleared first),
+    /// grouped per page. Reusing a caller-owned buffer keeps GC rounds free
+    /// of per-round heap allocation — schemes take/put-back the core's
+    /// `gc_groups` scratch around their victim loops.
+    pub fn collect_victim_groups_into(
+        &self,
+        dev: &FlashDevice,
+        block_idx: u64,
+        out: &mut Vec<PageGroup>,
+    ) {
+        out.clear();
         let block = dev.block_by_index(block_idx);
         let Some(meta) = self.meta.get(block_idx) else {
-            return Vec::new(); // untracked block has no cache-resident data to move
+            return; // untracked block has no cache-resident data to move
         };
-        let mut groups = Vec::new();
         for p in 0..block.page_count() {
             let page = block.page(p);
-            let mut subs = Vec::new();
+            let mut subs = [(0u8, 0 as Lsn); MAX_SUBPAGES_PER_PAGE];
+            let mut subs_len = 0u8;
             for s in 0..page.subpage_count() {
                 if page.subpage(s) == SubpageState::Valid {
                     let spa = Spa::new(meta.addr.page(p), s);
@@ -792,17 +971,26 @@ impl FtlCore {
                         .owner(block_idx, spa)
                         // ipu-lint: allow(no-panic) — owner/map agreement is the core FTL invariant (cross-checked by check_invariants); a valid subpage without an owner is unrecoverable corruption
                         .expect("valid subpage must have an owner");
-                    subs.push((s, lsn));
+                    subs[subs_len as usize] = (s, lsn);
+                    subs_len += 1;
                 }
             }
-            if !subs.is_empty() {
-                groups.push(PageGroup {
+            if subs_len > 0 {
+                out.push(PageGroup {
                     page: p,
-                    subs,
                     updated: meta.page_updated(p),
+                    subs_len,
+                    subs,
                 });
             }
         }
+    }
+
+    /// Allocating form of [`Self::collect_victim_groups_into`] (rare paths:
+    /// block retirement, scrub).
+    pub fn collect_victim_groups(&self, dev: &FlashDevice, block_idx: u64) -> Vec<PageGroup> {
+        let mut groups = Vec::new();
+        self.collect_victim_groups_into(dev, block_idx, &mut groups);
         groups
     }
 
@@ -824,13 +1012,12 @@ impl FtlCore {
         // Read contiguous runs of the valid subpages.
         let page_ppa = victim_addr.page(group.page);
         let chip = self.chip_of(victim_addr);
+        let subs = group.subs();
         let mut i = 0;
-        while i < group.subs.len() {
-            let run_start = group.subs[i].0;
+        while i < subs.len() {
+            let run_start = subs[i].0;
             let mut len = 1u8;
-            while i + (len as usize) < group.subs.len()
-                && group.subs[i + len as usize].0 == run_start + len
-            {
+            while i + (len as usize) < subs.len() && subs[i + len as usize].0 == run_start + len {
                 len += 1;
             }
             let res = dev.read(Spa::new(page_ppa, run_start), len)?;
@@ -847,9 +1034,13 @@ impl FtlCore {
         } else {
             dest_level
         };
-        let lsns: Vec<Lsn> = group.subs.iter().map(|&(_, l)| l).collect();
+        let mut lsns = [0 as Lsn; MAX_SUBPAGES_PER_PAGE];
+        for (i, &(_, l)) in subs.iter().enumerate() {
+            lsns[i] = l;
+        }
+        let lsns = &lsns[..subs.len()];
         let (dest_ppa, actual_level) = self.take_page(dev, dest_level, batch)?;
-        self.program_group(dev, dest_ppa, 0, &lsns, FlashOpKind::GcProgram, now, batch)?;
+        self.program_group(dev, dest_ppa, 0, lsns, FlashOpKind::GcProgram, now, batch)?;
 
         self.stats.gc_moved_subpages += lsns.len() as u64;
         if !actual_level.is_slc() {
@@ -872,6 +1063,7 @@ impl FtlCore {
             debug_assert!(false, "erase_victim on untracked block {block_idx}");
             return;
         };
+        self.victim_index.remove(block_idx);
         let addr = meta.addr;
         let block = dev.block_by_index(block_idx);
         let total = block.total_subpages();
@@ -959,15 +1151,27 @@ impl FtlCore {
         };
         let victim_addr = victim_meta.addr;
         let level = victim_meta.level;
-        for group in self.collect_victim_groups(dev, victim) {
+        let mut groups = std::mem::take(&mut self.gc_groups);
+        let groups_cap = groups.capacity();
+        self.collect_victim_groups_into(dev, victim, &mut groups);
+        let mut stalled = false;
+        for group in &groups {
             if self
-                .relocate_group(dev, victim_addr, &group, level, now, batch)
+                .relocate_group(dev, victim_addr, group, level, now, batch)
                 .is_err()
             {
                 // Movement stalled (space or media): abandon this migration
                 // without erasing — the un-moved data is still valid in place.
-                return;
+                stalled = true;
+                break;
             }
+        }
+        if groups.capacity() != groups_cap {
+            self.stats.scratch_grows += 1;
+        }
+        self.gc_groups = groups;
+        if stalled {
+            return;
         }
         self.erase_victim(dev, victim, now, batch);
         self.stats.wear_leveling_migrations += 1;
@@ -1042,6 +1246,55 @@ impl FtlCore {
                 self.map.len()
             ));
         }
+        // 5: cached per-block counters agree with a recount.
+        for i in 0..self.geometry.total_blocks() {
+            if !dev.block_by_index(i).counters_consistent() {
+                return Err(format!("block {i}: cached subpage counters diverged"));
+            }
+        }
+        // 6: metadata validity mirrors the device, aggregates are consistent,
+        // and the victim index tracks exactly the in-use SLC blocks with the
+        // device's invalid-subpage count as its cached score.
+        let mut indexed = 0usize;
+        for (i, m) in self.meta.iter() {
+            if !m.aggregates_consistent() {
+                return Err(format!("block {i}: meta validity aggregates diverged"));
+            }
+            let block = dev.block_by_index(i);
+            for p in 0..block.page_count() {
+                let page = block.page(p);
+                for s in 0..page.subpage_count() {
+                    let on_device = page.subpage(s) == SubpageState::Valid;
+                    if m.valid_at(p, s) != on_device {
+                        return Err(format!(
+                            "block {i} page {p} sub {s}: meta valid={} device valid={on_device}",
+                            m.valid_at(p, s)
+                        ));
+                    }
+                }
+            }
+            if m.level.is_slc() {
+                indexed += 1;
+                let expect = greedy_score(block, GcGranularity::Subpage);
+                match self.victim_index.score_of(i) {
+                    Some(score) if score as u64 == expect => {}
+                    other => {
+                        return Err(format!(
+                            "block {i}: victim index score {other:?}, device says {expect}"
+                        ))
+                    }
+                }
+            } else if self.victim_index.contains(i) {
+                return Err(format!("MLC block {i} is in the SLC victim index"));
+            }
+        }
+        if self.victim_index.len() != indexed {
+            return Err(format!(
+                "victim index tracks {} blocks, {} SLC blocks in use",
+                self.victim_index.len(),
+                indexed
+            ));
+        }
         Ok(())
     }
 
@@ -1066,23 +1319,23 @@ impl FtlCore {
             let Some(victim_addr) = self.meta.get(victim).map(|m| m.addr) else {
                 break;
             };
+            let mut groups = std::mem::take(&mut self.gc_groups);
+            let groups_cap = groups.capacity();
+            self.collect_victim_groups_into(dev, victim, &mut groups);
             let mut aborted = false;
-            for group in self.collect_victim_groups(dev, victim) {
+            for group in &groups {
                 if self
-                    .relocate_group(
-                        dev,
-                        victim_addr,
-                        &group,
-                        BlockLevel::HighDensity,
-                        now,
-                        batch,
-                    )
+                    .relocate_group(dev, victim_addr, group, BlockLevel::HighDensity, now, batch)
                     .is_err()
                 {
                     aborted = true;
                     break;
                 }
             }
+            if groups.capacity() != groups_cap {
+                self.stats.scratch_grows += 1;
+            }
+            self.gc_groups = groups;
             if aborted {
                 // Un-moved data is still valid in place; never erase a
                 // partially-relocated victim.
@@ -1201,8 +1454,8 @@ impl FtlCore {
                 self.geometry.subpages_per_page(),
             );
             max_seq = Some(max_seq.map_or(blk.opened_seq, |m| m.max(blk.opened_seq)));
-            // BTreeMap already walks tags in (page, subpage) order.
-            for (&(page, sub), tag) in blk.tags.iter() {
+            // Ascending slot order is (page, subpage) order.
+            for (page, sub, tag) in blk.iter_tags(self.geometry.subpages_per_page()) {
                 meta.restore_program(page, sub, tag.written_ns, tag.follow_up);
                 // Only *valid* subpages re-enter the map: the OOB tag of a
                 // superseded subpage is stale by definition.
@@ -1216,7 +1469,30 @@ impl FtlCore {
         self.meta.set_next_seq(max_seq.map_or(0, |m| m + 1));
         self.oob = entries.into_iter().collect();
 
+        // Replay restored every OOB tag as a program, including superseded
+        // subpages: reconcile the metadata's validity aggregates with the
+        // device (which knows which subpages are actually invalid), then
+        // rebuild the victim index from the device's invalid counts.
+        self.victim_index.clear();
         let in_use: BTreeSet<u64> = self.meta.iter().map(|(i, _)| i).collect();
+        for &idx in &in_use {
+            let block = dev.block_by_index(idx);
+            for p in 0..block.page_count() {
+                let page = block.page(p);
+                for s in 0..page.subpage_count() {
+                    if page.subpage(s) == SubpageState::Invalid {
+                        if let Some(m) = self.meta.get_mut(idx) {
+                            m.note_invalidate(p, s);
+                        }
+                    }
+                }
+            }
+            if self.meta.level(idx).is_some_and(|l| l.is_slc()) {
+                let seq = self.meta.get(idx).map_or(0, |m| m.opened_seq());
+                let score = greedy_score(block, GcGranularity::Subpage) as u32;
+                self.victim_index.insert(idx, seq, score);
+            }
+        }
         self.blocks.rebuild_free(&self.bad_blocks, &in_use);
     }
 }
@@ -1455,7 +1731,7 @@ mod tests {
         let victim_idx = core.block_idx(p0.block_addr());
         let groups = core.collect_victim_groups(&dev, victim_idx);
         assert_eq!(groups.len(), 3); // pages 0,1,2 all hold valid data
-        let total_valid: usize = groups.iter().map(|g| g.subs.len()).sum();
+        let total_valid: usize = groups.iter().map(|g| g.subs().len()).sum();
         assert_eq!(total_valid, 4 + 1 + 1);
 
         // Relocate everything to MLC and erase.

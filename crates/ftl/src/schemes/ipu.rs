@@ -18,12 +18,11 @@
 //! at their level; never-updated (cold) pages demote one level, falling out of
 //! the cache into MLC from the Work level (Figure 4).
 
-use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa};
+use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa, MAX_SUBPAGES_PER_PAGE};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
-use crate::gc::select_isr;
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
 use crate::stats::FtlStats;
@@ -54,26 +53,47 @@ impl IpuFtl {
         batch: &mut OpBatch,
     ) -> Result<(), FtlError> {
         // Partition the chunk's subpages by where their current version lives.
-        let mut new_lsns: Vec<Lsn> = Vec::new();
-        let mut groups: Vec<(Ppa, Vec<Lsn>)> = Vec::new();
-        for &lsn in lsns {
-            match self.core.map.lookup(lsn) {
-                None => new_lsns.push(lsn),
-                Some(spa) => match groups.iter_mut().find(|(p, _)| *p == spa.ppa) {
-                    Some((_, g)) => g.push(lsn),
-                    None => groups.push((spa.ppa, vec![lsn])),
-                },
-            }
-        }
+        // A chunk is a contiguous run of at most one page's subpages, so the
+        // partition fits in stack buffers and the mapping table is probed once
+        // per bucket span instead of once per subpage.
+        debug_assert!(lsns.len() <= MAX_SUBPAGES_PER_PAGE);
+        debug_assert!(lsns.windows(2).all(|w| w[1] == w[0] + 1));
+        let Some(&first) = lsns.first() else {
+            return Ok(());
+        };
+        let mut new_lsns = [0 as Lsn; MAX_SUBPAGES_PER_PAGE];
+        let mut new_n = 0usize;
+        let mut group_ppas = [Ppa::new(0, 0, 0, 0, 0, 0); MAX_SUBPAGES_PER_PAGE];
+        let mut group_lsns = [[0 as Lsn; MAX_SUBPAGES_PER_PAGE]; MAX_SUBPAGES_PER_PAGE];
+        let mut group_lens = [0u8; MAX_SUBPAGES_PER_PAGE];
+        let mut ng = 0usize;
+        self.core
+            .map
+            .lookup_span(first, first + lsns.len() as u64, |lsn, loc| {
+                let Some(spa) = loc else {
+                    new_lsns[new_n] = lsn;
+                    new_n += 1;
+                    return;
+                };
+                if let Some(g) = group_ppas[..ng].iter().position(|p| *p == spa.ppa) {
+                    group_lsns[g][group_lens[g] as usize] = lsn;
+                    group_lens[g] += 1;
+                } else {
+                    group_ppas[ng] = spa.ppa;
+                    group_lsns[ng][0] = lsn;
+                    group_lens[ng] = 1;
+                    ng += 1;
+                }
+            });
 
         // New data goes straight to a Work block (Algorithm 1 line 5).
-        if !new_lsns.is_empty() {
+        if new_n > 0 {
             let (ppa, _) = self.core.take_host_page(dev, BlockLevel::Work, batch)?;
             self.core.program_group(
                 dev,
                 ppa,
                 0,
-                &new_lsns,
+                &new_lsns[..new_n],
                 FlashOpKind::HostProgram,
                 now,
                 batch,
@@ -81,7 +101,9 @@ impl IpuFtl {
         }
 
         // Updates: intra-page if the old page can absorb them, else upgrade.
-        for (old_ppa, group) in groups {
+        for g in 0..ng {
+            let old_ppa = group_ppas[g];
+            let group = &group_lsns[g][..group_lens[g] as usize];
             let addr = old_ppa.block_addr();
             let block = dev.block(addr);
             let intra_offset = if block.mode() == CellMode::Slc {
@@ -104,7 +126,7 @@ impl IpuFtl {
                         dev,
                         old_ppa,
                         off,
-                        &group,
+                        group,
                         FlashOpKind::HostProgram,
                         now,
                         batch,
@@ -131,7 +153,7 @@ impl IpuFtl {
                         dev,
                         ppa,
                         0,
-                        &group,
+                        group,
                         FlashOpKind::HostProgram,
                         now,
                         batch,
@@ -154,23 +176,10 @@ impl IpuFtl {
             rounds += 1;
             let cost_before = batch.total_latency_sum();
             let victim = if self.core.cfg.ipu_use_isr_gc {
-                let cands = self.core.meta.slc_blocks().filter_map(|(i, m)| {
-                    if self.core.is_active(m.addr) {
-                        None
-                    } else {
-                        Some((i, dev.block_by_index(i), m))
-                    }
-                });
-                select_isr(cands, now)
+                self.core.select_slc_victim_isr(dev, now)
             } else {
                 // Ablation: plain greedy victim selection.
-                let cands = self
-                    .core
-                    .meta
-                    .slc_blocks()
-                    .filter(|(_, m)| !self.core.is_active(m.addr))
-                    .map(|(i, m)| (i, dev.block_by_index(i), m.opened_seq()));
-                crate::gc::select_greedy(cands, crate::gc::GcGranularity::Subpage)
+                self.core.select_slc_victim_greedy()
             };
             let Some(victim) = victim else { break };
             let Some((victim_addr, victim_level)) =
@@ -179,7 +188,11 @@ impl IpuFtl {
                 break;
             };
             let mut aborted = false;
-            for group in self.core.collect_victim_groups(dev, victim) {
+            let mut groups = std::mem::take(&mut self.core.gc_groups);
+            let groups_cap = groups.capacity();
+            self.core
+                .collect_victim_groups_into(dev, victim, &mut groups);
+            for group in &groups {
                 // Degraded movement: updated pages keep their level, cold
                 // pages sink one level (Work-level cold data leaves the cache).
                 let dest = if group.updated {
@@ -189,13 +202,17 @@ impl IpuFtl {
                 };
                 if self
                     .core
-                    .relocate_group(dev, victim_addr, &group, dest, now, batch)
+                    .relocate_group(dev, victim_addr, group, dest, now, batch)
                     .is_err()
                 {
                     aborted = true;
                     break;
                 }
             }
+            if groups.capacity() != groups_cap {
+                self.core.stats.scratch_grows += 1;
+            }
+            self.core.gc_groups = groups;
             if aborted {
                 // Never erase a partially-relocated victim.
                 break;
@@ -224,8 +241,14 @@ impl FtlScheme for IpuFtl {
     ) {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
-        for chunk in self.core.chunks(req) {
-            if let Err(e) = self.write_chunk(&chunk, now, dev, out) {
+        for (start, len) in self.core.chunk_spans(req) {
+            // A chunk is a contiguous LSN run of at most one page: stage it in
+            // a stack buffer so the write path performs no heap allocation.
+            let mut chunk = [0 as Lsn; MAX_SUBPAGES_PER_PAGE];
+            for (i, slot) in chunk[..len as usize].iter_mut().enumerate() {
+                *slot = start + i as u64;
+            }
+            if let Err(e) = self.write_chunk(&chunk[..len as usize], now, dev, out) {
                 self.core.note_write_failure(&e, out);
             }
             self.run_gc(now, dev, out);
@@ -262,6 +285,10 @@ impl FtlScheme for IpuFtl {
 
     fn core(&self) -> &FtlCore {
         &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut FtlCore {
+        &mut self.core
     }
 }
 

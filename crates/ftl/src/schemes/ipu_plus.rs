@@ -19,12 +19,11 @@
 
 use std::collections::VecDeque;
 
-use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa};
+use ipu_flash::{CellMode, FlashDevice, Nanos, Ppa, MAX_SUBPAGES_PER_PAGE};
 use ipu_trace::IoRequest;
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
-use crate::gc::select_isr;
 use crate::memory::MappingMemory;
 use crate::ops::{FlashOpKind, OpBatch};
 use crate::stats::FtlStats;
@@ -195,22 +194,44 @@ impl IpuPlusFtl {
         dev: &mut FlashDevice,
         batch: &mut OpBatch,
     ) -> Result<(), FtlError> {
-        let mut new_lsns: Vec<Lsn> = Vec::new();
-        let mut groups: Vec<(Ppa, Vec<Lsn>)> = Vec::new();
-        for &lsn in lsns {
-            match self.core.map.lookup(lsn) {
-                None => new_lsns.push(lsn),
-                Some(spa) => match groups.iter_mut().find(|(p, _)| *p == spa.ppa) {
-                    Some((_, g)) => g.push(lsn),
-                    None => groups.push((spa.ppa, vec![lsn])),
-                },
-            }
+        // A chunk is a contiguous run of at most one page's subpages, so the
+        // partition fits in stack buffers and the mapping table is probed once
+        // per bucket span instead of once per subpage.
+        debug_assert!(lsns.len() <= MAX_SUBPAGES_PER_PAGE);
+        debug_assert!(lsns.windows(2).all(|w| w[1] == w[0] + 1));
+        let Some(&first) = lsns.first() else {
+            return Ok(());
+        };
+        let mut new_lsns = [0 as Lsn; MAX_SUBPAGES_PER_PAGE];
+        let mut new_n = 0usize;
+        let mut group_ppas = [Ppa::new(0, 0, 0, 0, 0, 0); MAX_SUBPAGES_PER_PAGE];
+        let mut group_lsns = [[0 as Lsn; MAX_SUBPAGES_PER_PAGE]; MAX_SUBPAGES_PER_PAGE];
+        let mut group_lens = [0u8; MAX_SUBPAGES_PER_PAGE];
+        let mut ng = 0usize;
+        self.core
+            .map
+            .lookup_span(first, first + lsns.len() as u64, |lsn, loc| {
+                let Some(spa) = loc else {
+                    new_lsns[new_n] = lsn;
+                    new_n += 1;
+                    return;
+                };
+                if let Some(g) = group_ppas[..ng].iter().position(|p| *p == spa.ppa) {
+                    group_lsns[g][group_lens[g] as usize] = lsn;
+                    group_lens[g] += 1;
+                } else {
+                    group_ppas[ng] = spa.ppa;
+                    group_lsns[ng][0] = lsn;
+                    group_lens[ng] = 1;
+                    ng += 1;
+                }
+            });
+        if new_n > 0 {
+            self.write_new(&new_lsns[..new_n], now, dev, batch)?;
         }
-        if !new_lsns.is_empty() {
-            self.write_new(&new_lsns, now, dev, batch)?;
-        }
-        for (old_ppa, group) in groups {
-            self.write_update(old_ppa, &group, now, dev, batch)?;
+        for g in 0..ng {
+            let group = &group_lsns[g][..group_lens[g] as usize];
+            self.write_update(group_ppas[g], group, now, dev, batch)?;
         }
         Ok(())
     }
@@ -225,16 +246,7 @@ impl IpuPlusFtl {
             let _span = ipu_obs::span(ipu_obs::Phase::Gc);
             rounds += 1;
             let cost_before = batch.total_latency_sum();
-            let victim = {
-                let cands = self.core.meta.slc_blocks().filter_map(|(i, m)| {
-                    if self.core.is_active(m.addr) {
-                        None
-                    } else {
-                        Some((i, dev.block_by_index(i), m))
-                    }
-                });
-                select_isr(cands, now)
-            };
+            let victim = self.core.select_slc_victim_isr(dev, now);
             let Some(victim) = victim else { break };
             let Some((victim_addr, victim_level)) =
                 self.core.meta.get(victim).map(|m| (m.addr, m.level))
@@ -244,7 +256,11 @@ impl IpuPlusFtl {
             self.cold_open_pages
                 .retain(|p| p.block_addr() != victim_addr);
             let mut aborted = false;
-            for group in self.core.collect_victim_groups(dev, victim) {
+            let mut groups = std::mem::take(&mut self.core.gc_groups);
+            let groups_cap = groups.capacity();
+            self.core
+                .collect_victim_groups_into(dev, victim, &mut groups);
+            for group in &groups {
                 let dest = if group.updated {
                     victim_level
                 } else {
@@ -252,13 +268,17 @@ impl IpuPlusFtl {
                 };
                 if self
                     .core
-                    .relocate_group(dev, victim_addr, &group, dest, now, batch)
+                    .relocate_group(dev, victim_addr, group, dest, now, batch)
                     .is_err()
                 {
                     aborted = true;
                     break;
                 }
             }
+            if groups.capacity() != groups_cap {
+                self.core.stats.scratch_grows += 1;
+            }
+            self.core.gc_groups = groups;
             if aborted {
                 // Never erase a partially-relocated victim.
                 break;
@@ -287,8 +307,14 @@ impl FtlScheme for IpuPlusFtl {
     ) {
         self.core.begin_request(now);
         self.core.stats.host_write_requests += 1;
-        for chunk in self.core.chunks(req) {
-            if let Err(e) = self.write_chunk(&chunk, now, dev, out) {
+        for (start, len) in self.core.chunk_spans(req) {
+            // A chunk is a contiguous LSN run of at most one page: stage it in
+            // a stack buffer so the write path performs no heap allocation.
+            let mut chunk = [0 as Lsn; MAX_SUBPAGES_PER_PAGE];
+            for (i, slot) in chunk[..len as usize].iter_mut().enumerate() {
+                *slot = start + i as u64;
+            }
+            if let Err(e) = self.write_chunk(&chunk[..len as usize], now, dev, out) {
                 self.core.note_write_failure(&e, out);
             }
             self.run_gc(now, dev, out);
@@ -338,6 +364,10 @@ impl FtlScheme for IpuPlusFtl {
 
     fn core(&self) -> &FtlCore {
         &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut FtlCore {
+        &mut self.core
     }
 }
 

@@ -87,6 +87,9 @@ pub trait FtlScheme {
 
     /// Access to the shared core (tests, metrics, invariant checks).
     fn core(&self) -> &FtlCore;
+
+    /// Mutable access to the shared core (victim-selection probes in tests).
+    fn core_mut(&mut self) -> &mut FtlCore;
 }
 
 /// Identifies one of the three schemes; used by configs and reports.

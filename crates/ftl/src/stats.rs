@@ -76,6 +76,11 @@ pub struct FtlStats {
     /// Pages rewritten by the background scrub/refresh pass.
     #[serde(default)]
     pub scrub_rewrites: u64,
+    /// Times a reusable scratch buffer (read-run merge list, GC page-group
+    /// list) had to grow its capacity. Flat after warm-up ⇔ the steady-state
+    /// request path performs no scratch heap allocation; tests pin this.
+    #[serde(default)]
+    pub scratch_grows: u64,
 }
 
 impl FtlStats {
