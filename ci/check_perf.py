@@ -4,12 +4,13 @@ the committed baseline.
 
 Usage: check_perf.py <BENCH_profile.json> <ci/bench_baseline.json>
 
-Both files are `BenchProfile` JSON written by `ipu-sim profile` (schema v2).
+Both files are `BenchProfile` JSON written by `ipu-sim profile` (schema v3).
 The gate:
 
-1. refuses to compare across schema versions, and refuses candidate profiles
+1. refuses to compare across schema versions, refuses candidate profiles
    built without optimizations (`release: false`) — debug numbers are
-   meaningless;
+   meaningless — and refuses candidates whose run cells lack the schema-v3
+   tail-latency fields (`p99_ns`, `p999_ns`);
 2. refuses to compare different workloads — the monotonic counter fingerprint
    (requests, GC runs, device programs, ...) must match the baseline exactly,
    otherwise the two runs did not simulate the same work;
@@ -77,6 +78,19 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+
+    # Schema v3: every run cell must report simulated tail latency. A zero
+    # p99 on a non-empty run means the field was defaulted, not measured.
+    for run in candidate["runs"]:
+        missing = [k for k in ("p99_ns", "p999_ns") if not run.get(k)]
+        if missing:
+            print(
+                f"FAIL: run ({run['trace']}, {run['scheme']}) lacks "
+                f"tail-latency fields {missing}; profiles predating schema "
+                f"v3 are not gateable — re-run `ipu-sim profile`",
+                file=sys.stderr,
+            )
+            return 1
 
     # Workload identity: the counter fingerprints must agree exactly.
     cand_counters = counters_map(candidate)

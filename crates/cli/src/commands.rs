@@ -97,6 +97,8 @@ SIMULATE OPTIONS
   --arbitration <p>     rr | wrr | prio (default rr)
   --dispatch-overhead <ns>  Serial command-fetch cost per dispatch (default 0)
   --split <s>           Trace → tenant streams: rr | lba | clone (default rr)
+  --out <dir>           Also render a qd_sweep_<trace>.svg tail-latency chart
+                        (per-tenant p99/p999 vs queue depth) into <dir>
 
 EXAMPLES
   ipu-sim figure 5 --scale 0.25
@@ -532,12 +534,23 @@ pub fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     // Closed-loop reports are not cached (the cache keys open-loop replays),
     // but the streams are still generated once and shared across all sweeps.
     let traces = TraceSet::generate(&cfg);
+    let fig_dir = args.flag("out").map(std::path::PathBuf::from);
+    if let Some(dir) = &fig_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
+    }
     let mut out = String::new();
     let mut results: Vec<QdSweepResult> = Vec::new();
     for &trace in &cfg.traces {
         let sweep = run_qd_sweep_with(&cfg, trace, &host, &qd_points, &traces);
         out.push_str(&report::render_qd_sweep(&sweep));
         out.push('\n');
+        if let Some(dir) = &fig_dir {
+            let path = dir.join(format!("qd_sweep_{}.svg", trace.name()));
+            std::fs::write(&path, ipu_core::svg::qd_sweep_chart(&sweep))
+                .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+            out.push_str(&format!("wrote {}\n", path.display()));
+        }
         results.push(sweep);
     }
     maybe_save(args, &cfg, "qd_sweep", results)?;
@@ -948,6 +961,7 @@ mod tests {
         "dispatch-overhead",
         "split",
         "fault-profile",
+        "out",
     ];
 
     #[test]
@@ -962,6 +976,28 @@ mod tests {
         assert!(text.contains("alpha"));
         assert!(text.contains("beta"));
         assert!(text.contains("fairness"));
+        assert!(text.contains("svc p999(ms)"), "tail column missing");
+    }
+
+    #[test]
+    fn simulate_out_writes_tail_latency_svg() {
+        let dir = std::env::temp_dir().join("ipu_cli_qd_svg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = parsed(
+            &format!(
+                "simulate --scale 0.001 --traces lun2 --schemes ipu \
+                 --queue-depth 1,4 --threads 1 --out {}",
+                dir.display()
+            ),
+            SIMULATE,
+        );
+        let text = cmd_simulate(&p).unwrap();
+        let svg_path = dir.join("qd_sweep_lun2.svg");
+        assert!(text.contains("qd_sweep_lun2.svg"));
+        let body = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(body.starts_with("<svg"), "not an SVG document");
+        assert!(body.contains("p999"), "chart must plot the p999 series");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn command_grammar(command: &str) -> Option<(Vec<&'static str>, Vec<&'static str
             "arbitration",
             "dispatch-overhead",
             "split",
+            "out",
         ]),
         "replay" => flags = vec!["schemes", "fault-profile"],
         "fleet" => {

@@ -36,7 +36,10 @@ use serde::{Deserialize, Serialize};
 
 /// Bump when engine semantics or the report shape change: old entries stop
 /// matching and are re-simulated on first use.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: replay runs on the discrete-event core and `ReplayConfig` carries the
+/// event-core timing model, so pre-event-core entries are stale.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Everything a replay's outcome depends on, in canonical (serde_json) form.
 /// Owned because the vendored `serde_derive` does not support lifetime

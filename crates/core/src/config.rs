@@ -32,6 +32,10 @@ pub struct ExperimentConfig {
     /// Worker threads for trace×scheme sweeps (0 = auto).
     #[serde(default)]
     pub threads: usize,
+    /// Event-core timing model (GC preemption, read suspension). The default
+    /// reproduces the legacy inline-engine timeline bit-for-bit.
+    #[serde(default)]
+    pub timing: ipu_sim::TimingConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -43,6 +47,7 @@ impl Default for ExperimentConfig {
             traces: PaperTrace::all().to_vec(),
             schemes: SchemeKind::all().to_vec(),
             threads: 0,
+            timing: ipu_sim::TimingConfig::default(),
         }
     }
 }
@@ -95,13 +100,14 @@ impl ExperimentConfig {
     }
 
     /// The replay-engine configuration this experiment uses for `scheme` —
-    /// the replay-relevant subset (device, FTL, scheme) that also keys the
-    /// on-disk replay cache.
+    /// the replay-relevant subset (device, FTL, scheme, timing model) that
+    /// also keys the on-disk replay cache.
     pub fn replay_config(&self, scheme: SchemeKind) -> ipu_sim::ReplayConfig {
         ipu_sim::ReplayConfig {
             device: self.device.clone(),
             ftl: self.ftl.clone(),
             scheme,
+            timing: self.timing,
         }
     }
 

@@ -28,7 +28,10 @@ use crate::trace_set::TraceSet;
 /// v2: per-(trace, scheme) run cells are gated individually (not just the
 /// aggregate), the default scheme set includes IPU+, and the profile records
 /// whether it was built in release mode so the gate can refuse debug runs.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: every run cell records simulated tail latency (`p99_ns`, `p999_ns`)
+/// from the event-core replay; the gate refuses candidates missing them.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Exclusive wall time spent in one instrumented phase over the whole
 /// profile run.
@@ -52,6 +55,12 @@ pub struct RunProfile {
     pub wall_seconds: f64,
     /// Simulated host requests replayed per wall second.
     pub ops_per_sec: f64,
+    /// Simulated overall p99 latency of the run, ns (schema v3).
+    #[serde(default)]
+    pub p99_ns: u64,
+    /// Simulated overall p99.9 latency of the run, ns (schema v3).
+    #[serde(default)]
+    pub p999_ns: u64,
 }
 
 /// The full benchmark profile: workload identity, throughput, per-phase
@@ -169,6 +178,8 @@ pub fn run_profile(cfg: &ExperimentConfig) -> BenchProfile {
                 requests: report.requests,
                 wall_seconds,
                 ops_per_sec: report.requests as f64 / wall_seconds.max(1e-9),
+                p99_ns: report.overall_latency.percentile_ns(99.0),
+                p999_ns: report.overall_latency.percentile_ns(99.9),
             });
         }
     }
@@ -229,6 +240,11 @@ mod tests {
         // Counter fingerprint captured the simulated work.
         assert_eq!(p.counters.get("requests"), Some(p.requests));
         assert!(p.counters.get("device_programs").unwrap_or(0) > 0);
+        // Schema v3: every run carries simulated tail latency.
+        for run in &p.runs {
+            assert!(run.p99_ns > 0, "{}/{}: missing p99", run.trace, run.scheme);
+            assert!(run.p999_ns >= run.p99_ns, "tail must be ordered");
+        }
         // Instrumentation is disarmed again afterwards.
         assert!(!ipu_obs::enabled());
     }

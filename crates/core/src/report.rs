@@ -431,6 +431,7 @@ pub fn render_qd_sweep(s: &QdSweepResult) -> String {
         "Tenant",
         "svc mean(ms)",
         "svc p99(ms)",
+        "svc p999(ms)",
         "stall(ms/req)",
         "occ mean",
         "thr(req/s)",
@@ -445,6 +446,7 @@ pub fn render_qd_sweep(s: &QdSweepResult) -> String {
                     tenant.name.clone(),
                     ms(tenant.service_latency.mean_ms()),
                     ms(tenant.service_latency.percentile_ns(99.0) as f64 / 1e6),
+                    ms(tenant.service_latency.percentile_ns(99.9) as f64 / 1e6),
                     ms(tenant.mean_stall_ns() / 1e6),
                     format!("{:.2}", tenant.occupancy.mean()),
                     format!("{:.0}", tenant.throughput_rps()),

@@ -517,6 +517,40 @@ pub fn write_figures(
     Ok(written)
 }
 
+/// Renders a queue-depth sweep as a tail-latency line chart: per
+/// scheme×tenant, the service p99 and p999 (ms) over the swept queue depths —
+/// the figure companion to `report::render_qd_sweep`'s table columns.
+pub fn qd_sweep_chart(sweep: &crate::qd_sweep::QdSweepResult) -> String {
+    let xs: Vec<f64> = sweep.qd_points.iter().map(|&q| q as f64).collect();
+    let mut chart = LineChart::new(
+        &format!("QD sweep — per-tenant tail latency on {}", sweep.trace),
+        "service latency (ms)",
+        &xs,
+    );
+    for (si, scheme) in sweep.schemes.iter().enumerate() {
+        for (ti, tenant) in sweep.host.tenants.iter().enumerate() {
+            let tail = |p: f64| -> Vec<f64> {
+                sweep
+                    .reports
+                    .iter()
+                    .map(|row| {
+                        row[si].host.tenants[ti].service_latency.percentile_ns(p) as f64 / 1e6
+                    })
+                    .collect()
+            };
+            chart.series(
+                &format!("{}/{} p99", scheme.label(), tenant.name),
+                &tail(99.0),
+            );
+            chart.series(
+                &format!("{}/{} p999", scheme.label(), tenant.name),
+                &tail(99.9),
+            );
+        }
+    }
+    chart.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,6 +644,21 @@ mod tests {
     #[should_panic(expected = "row length mismatch")]
     fn heat_strip_rejects_ragged_rows() {
         HeatStrip::new("x", 3).row("r", &[1.0]);
+    }
+
+    #[test]
+    fn qd_sweep_chart_plots_p99_and_p999_per_scheme_tenant() {
+        let mut cfg = crate::ExperimentConfig::scaled(0.002);
+        cfg.traces = vec![ipu_trace::PaperTrace::Ts0];
+        cfg.schemes = vec![ipu_ftl::SchemeKind::Baseline, ipu_ftl::SchemeKind::Ipu];
+        cfg.threads = 1;
+        let host = crate::qd_sweep::QdSweepHostSpec::default();
+        let sweep = crate::qd_sweep::run_qd_sweep(&cfg, ipu_trace::PaperTrace::Ts0, &host, &[1, 8]);
+        let svg = qd_sweep_chart(&sweep);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        // One p99 + one p999 polyline per scheme×tenant (1 tenant here).
+        assert_eq!(svg.matches("<polyline").count(), 4);
+        assert!(svg.contains("p999"), "legend must name the p999 series");
     }
 
     #[test]

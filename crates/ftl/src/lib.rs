@@ -40,7 +40,7 @@ pub use gc::{
 };
 pub use mapping::{ChunkSummary, FxBuildHasher, FxHasher, MappingTable, OwnerTable};
 pub use memory::MappingMemory;
-pub use ops::{FlashOpKind, OpBatch, OpRecord, ReqStatus};
+pub use ops::{FlashOpKind, OpBatch, OpRecord, ReqStatus, RoundOrigin};
 pub use schemes::{common::FtlCore, FtlScheme, SchemeKind};
 pub use stats::FtlStats;
 pub use types::{BlockLevel, Lcn, Lsn};

@@ -36,6 +36,18 @@ impl FlashOpKind {
     }
 }
 
+/// Why a background round of operations was started. The replay engines use
+/// the origin to classify the round's pulses as GC-step or scrub-step events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoundOrigin {
+    /// Garbage collection (SLC or MLC victim reclaim, emergency reclaim).
+    Gc,
+    /// Background scrub/refresh rewrites.
+    Scrub,
+    /// Static wear-leveling migration.
+    WearLevel,
+}
+
 /// One flash operation with its service latency and chip placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpRecord {
@@ -44,6 +56,14 @@ pub struct OpRecord {
     pub kind: FlashOpKind,
     /// Service latency of the operation itself.
     pub latency_ns: Nanos,
+    /// Background round this operation belongs to, within its batch: `0` for
+    /// host operations (and stray background work emitted outside any round),
+    /// otherwise a 1-based index into the batch's
+    /// [`round origins`](OpBatch::round_origin). The event-driven replay core
+    /// uses round boundaries to model run-to-completion GC; batches recorded
+    /// before round tagging deserialize as untagged (`0`).
+    #[serde(default)]
+    pub round: u32,
 }
 
 /// Completion status of one host request, in ascending severity.
@@ -76,6 +96,10 @@ pub struct OpBatch {
     /// Outcome of the request these operations served.
     #[serde(default)]
     pub status: ReqStatus,
+    /// Origin of each background round begun in this batch, in round order:
+    /// an op with `round == r` (r ≥ 1) was emitted by round `round_origins[r-1]`.
+    #[serde(default)]
+    pub round_origins: Vec<RoundOrigin>,
 }
 
 impl OpBatch {
@@ -91,13 +115,41 @@ impl OpBatch {
     pub fn clear(&mut self) {
         self.ops.clear();
         self.status = ReqStatus::Success;
+        self.round_origins.clear();
+    }
+
+    /// Opens a new background round of `origin`: background operations pushed
+    /// from here on (until the next round begins) are tagged as its steps.
+    /// Host operations are never tagged — they always carry round `0`.
+    pub fn begin_background_round(&mut self, origin: RoundOrigin) {
+        self.round_origins.push(origin);
+    }
+
+    /// Number of background rounds begun in this batch.
+    pub fn rounds_used(&self) -> u32 {
+        self.round_origins.len() as u32
+    }
+
+    /// Origin of round `round` (1-based); `None` for round `0` (host ops and
+    /// stray background work) or an out-of-range index.
+    pub fn round_origin(&self, round: u32) -> Option<RoundOrigin> {
+        if round == 0 {
+            return None;
+        }
+        self.round_origins.get(round as usize - 1).copied()
     }
 
     pub fn push(&mut self, chip: u32, kind: FlashOpKind, latency_ns: Nanos) {
+        let round = if kind.is_host() {
+            0
+        } else {
+            self.round_origins.len() as u32
+        };
         self.ops.push(OpRecord {
             chip,
             kind,
             latency_ns,
+            round,
         });
     }
 
@@ -160,6 +212,36 @@ mod tests {
         // Pre-fault-model batches deserialize with the default status.
         let legacy: OpBatch = serde_json::from_str(r#"{"ops":[]}"#).unwrap();
         assert_eq!(legacy.status, ReqStatus::Success);
+        // Pre-round-tagging op records deserialize as untagged (round 0).
+        let op: OpRecord =
+            serde_json::from_str(r#"{"chip":3,"kind":"GcRead","latency_ns":9}"#).unwrap();
+        assert_eq!(op.round, 0);
+    }
+
+    #[test]
+    fn rounds_tag_background_ops_only() {
+        let mut b = OpBatch::new();
+        b.push(0, FlashOpKind::HostProgram, 100);
+        b.push(0, FlashOpKind::GcRead, 10); // stray: before any round
+        b.begin_background_round(RoundOrigin::Gc);
+        b.push(0, FlashOpKind::GcRead, 50);
+        b.push(1, FlashOpKind::GcProgram, 60);
+        b.push(0, FlashOpKind::HostProgram, 100); // host never tagged
+        b.begin_background_round(RoundOrigin::Scrub);
+        b.push(0, FlashOpKind::GcProgram, 70);
+        b.push(0, FlashOpKind::Erase, 1000);
+        assert_eq!(
+            b.ops.iter().map(|o| o.round).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 0, 2, 2]
+        );
+        assert_eq!(b.rounds_used(), 2);
+        assert_eq!(b.round_origin(0), None);
+        assert_eq!(b.round_origin(1), Some(RoundOrigin::Gc));
+        assert_eq!(b.round_origin(2), Some(RoundOrigin::Scrub));
+        assert_eq!(b.round_origin(3), None);
+        b.clear();
+        assert_eq!(b.rounds_used(), 0);
+        assert!(b.ops.is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::gc::{
     greedy_score, isr_score_fast, isr_upper_bound, select_greedy, select_isr, GcGranularity,
 };
 use crate::mapping::{MappingTable, OwnerTable};
-use crate::ops::{FlashOpKind, OpBatch, ReqStatus};
+use crate::ops::{FlashOpKind, OpBatch, ReqStatus, RoundOrigin};
 use crate::stats::FtlStats;
 use crate::types::{BlockLevel, Lsn};
 use crate::victim_index::VictimIndex;
@@ -481,6 +481,9 @@ impl FtlCore {
     /// blocked on the device, so the usual GC pacing gate does not apply and
     /// the blocks re-enter the pool at once.
     fn emergency_reclaim(&mut self, dev: &mut FlashDevice, batch: &mut OpBatch) -> u32 {
+        // The host is blocked on this reclaim, but the erase pulses still run
+        // on the background channel: give them their own round tag.
+        batch.begin_background_round(RoundOrigin::Gc);
         let victims: Vec<u64> = self
             .meta
             .iter()
@@ -1149,6 +1152,7 @@ impl FtlCore {
         let Some(victim_meta) = self.meta.get(victim) else {
             return; // candidate scan raced with a close; skip this check
         };
+        batch.begin_background_round(RoundOrigin::WearLevel);
         let victim_addr = victim_meta.addr;
         let level = victim_meta.level;
         let mut groups = std::mem::take(&mut self.gc_groups);
@@ -1305,6 +1309,7 @@ impl FtlCore {
         let mut rounds = 0;
         while self.mlc_gc_needed() && self.mlc_gc_gate_open(now) && rounds < 8 {
             let _span = ipu_obs::span(ipu_obs::Phase::Gc);
+            batch.begin_background_round(RoundOrigin::Gc);
             rounds += 1;
             let cost_before = batch.total_latency_sum();
             let victim = {
@@ -1357,6 +1362,7 @@ impl FtlCore {
             return;
         }
         let _span = ipu_obs::span(ipu_obs::Phase::Migration);
+        batch.begin_background_round(RoundOrigin::Scrub);
         let subpage_size = self.geometry.subpage_size;
         let watermark =
             self.cfg.scrub.rber_watermark * dev.config().ecc.correctable_bits(subpage_size) as f64;

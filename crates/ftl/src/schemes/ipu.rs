@@ -24,7 +24,7 @@ use ipu_trace::IoRequest;
 use crate::config::FtlConfig;
 use crate::error::FtlError;
 use crate::memory::MappingMemory;
-use crate::ops::{FlashOpKind, OpBatch};
+use crate::ops::{FlashOpKind, OpBatch, RoundOrigin};
 use crate::stats::FtlStats;
 use crate::types::{BlockLevel, Lsn};
 
@@ -173,6 +173,7 @@ impl IpuFtl {
             && rounds < self.core.cfg.gc_rounds_per_write
         {
             let _span = ipu_obs::span(ipu_obs::Phase::Gc);
+            batch.begin_background_round(RoundOrigin::Gc);
             rounds += 1;
             let cost_before = batch.total_latency_sum();
             let victim = if self.core.cfg.ipu_use_isr_gc {

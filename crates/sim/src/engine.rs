@@ -9,6 +9,7 @@ use ipu_ftl::{FtlConfig, FtlStats, MappingMemory, OpBatch, SchemeKind};
 use ipu_trace::{IoRequest, OpKind};
 use serde::{Deserialize, Serialize};
 
+use crate::event_core::{EventCore, TimingConfig};
 use crate::resources::ChipSchedule;
 use ipu_host::metrics::{LatencyStats, ReliabilityStats};
 
@@ -18,6 +19,10 @@ pub struct ReplayConfig {
     pub device: DeviceConfig,
     pub ftl: FtlConfig,
     pub scheme: SchemeKind,
+    /// Event-core timing model (GC preemption, read suspension). The default
+    /// reproduces the inline oracle engine bit-for-bit.
+    #[serde(default)]
+    pub timing: TimingConfig,
 }
 
 impl ReplayConfig {
@@ -27,6 +32,7 @@ impl ReplayConfig {
             device: DeviceConfig::paper_scale(),
             ftl: FtlConfig::default(),
             scheme,
+            timing: TimingConfig::default(),
         }
     }
 
@@ -36,6 +42,7 @@ impl ReplayConfig {
             device: DeviceConfig::small_for_tests(),
             ftl: FtlConfig::default(),
             scheme,
+            timing: TimingConfig::default(),
         }
     }
 }
@@ -137,6 +144,13 @@ pub fn replay(cfg: &ReplayConfig, requests: &[IoRequest], trace_name: &str) -> S
 /// Callback contract: `done` is strictly increasing — one call per 64 Ki
 /// completed requests, plus exactly one final call at `(total, total)` (also
 /// for empty traces).
+///
+/// The replay runs on the discrete-event core
+/// ([`EventCore`](crate::event_core::EventCore)): op-issue events come from
+/// the already-sorted request stream, and op-complete / GC-step / scrub-step
+/// events interleave on the heap. With the default [`TimingConfig`] the
+/// timeline is bit-identical to [`replay_oracle`] (pinned by the
+/// `event_core_equivalence` property test).
 pub fn replay_with_progress(
     cfg: &ReplayConfig,
     requests: &[IoRequest],
@@ -145,11 +159,8 @@ pub fn replay_with_progress(
 ) -> SimReport {
     let mut dev = FlashDevice::new(cfg.device.clone());
     let mut ftl = cfg.scheme.build(&mut dev, cfg.ftl.clone());
-    let mut chips = ChipSchedule::new(cfg.device.geometry.total_chips());
+    let mut core = EventCore::new(cfg.device.geometry.total_chips(), cfg.timing);
 
-    let mut read_latency = LatencyStats::new();
-    let mut write_latency = LatencyStats::new();
-    let mut overall_latency = LatencyStats::new();
     let mut reliability = ReliabilityStats::new();
 
     let total = requests.len() as u64;
@@ -168,6 +179,76 @@ pub fn replay_with_progress(
                 let _span = ipu_obs::span(ipu_obs::Phase::FtlRead);
                 ftl.on_read_into(req, now, &mut dev, &mut batch);
             }
+        };
+        match batch.status {
+            ipu_ftl::ReqStatus::Success => reliability.record_success(),
+            ipu_ftl::ReqStatus::Recovered => reliability.record_recovered(),
+            ipu_ftl::ReqStatus::Failed => reliability.record_failed(),
+        }
+
+        // Run every event that precedes this issue, then dispatch: host reads
+        // get read priority, host writes are serviced FIFO per chip, and each
+        // background round becomes a resumable step sequence.
+        core.advance_to(now);
+        core.dispatch(now, &batch, req.op);
+
+        let done = i as u64 + 1;
+        if done.is_multiple_of(65_536) && done < total {
+            progress(done, total);
+        }
+    }
+    progress(total, total);
+
+    // Drain the heap: pending completions record their latencies and deferred
+    // background GC runs to completion, so the report's accounting is not cut
+    // off by a read-only or idle trace tail.
+    core.finish();
+
+    let mapping = ftl.mapping_memory(&dev);
+    SimReport {
+        scheme: cfg.scheme,
+        trace: trace_name.to_string(),
+        read_latency: core.read_latency().clone(),
+        write_latency: core.write_latency().clone(),
+        overall_latency: core.overall_latency().clone(),
+        ftl: ftl.stats().clone(),
+        device: dev.counters(),
+        wear: dev.wear().totals(),
+        mapping,
+        simulated_horizon_ns: core.horizon(),
+        requests: total,
+        busy: BusyBreakdown {
+            host_write_ns: core.host_busy(),
+            host_read_ns: core.read_busy(),
+            background_ns: core.background_done(),
+        },
+        reliability,
+    }
+}
+
+/// The retained inline oracle engine: dispatches each request against a
+/// [`ChipSchedule`] whose background queue drains lazily as a side effect of
+/// host scheduling. Kept as the correctness oracle for the event core — the
+/// `event_core_equivalence` property test pins `replay` bit-identical to this
+/// function (via `SimReport` JSON) under the default timing model.
+pub fn replay_oracle(cfg: &ReplayConfig, requests: &[IoRequest], trace_name: &str) -> SimReport {
+    let mut dev = FlashDevice::new(cfg.device.clone());
+    let mut ftl = cfg.scheme.build(&mut dev, cfg.ftl.clone());
+    let mut chips = ChipSchedule::new(cfg.device.geometry.total_chips());
+
+    let mut read_latency = LatencyStats::new();
+    let mut write_latency = LatencyStats::new();
+    let mut overall_latency = LatencyStats::new();
+    let mut reliability = ReliabilityStats::new();
+
+    let total = requests.len() as u64;
+    let mut batch = OpBatch::new();
+    for req in requests.iter() {
+        let now = req.timestamp_ns;
+        batch.clear();
+        match req.op {
+            OpKind::Write => ftl.on_write_into(req, now, &mut dev, &mut batch),
+            OpKind::Read => ftl.on_read_into(req, now, &mut dev, &mut batch),
         };
         match batch.status {
             ipu_ftl::ReqStatus::Success => reliability.record_success(),
@@ -201,16 +282,8 @@ pub fn replay_with_progress(
             OpKind::Read => read_latency.record(latency),
             OpKind::Write => write_latency.record(latency),
         }
-
-        let done = i as u64 + 1;
-        if done.is_multiple_of(65_536) && done < total {
-            progress(done, total);
-        }
     }
-    progress(total, total);
 
-    // Run deferred background GC to completion so the report's accounting is
-    // not cut off by a read-only or idle trace tail.
     chips.finish();
 
     let mapping = ftl.mapping_memory(&dev);

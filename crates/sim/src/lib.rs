@@ -21,11 +21,13 @@
 
 pub mod closed_loop;
 pub mod engine;
+pub mod event_core;
 pub mod power_loss;
 pub mod resources;
 
 pub use closed_loop::{replay_closed_loop, replay_closed_loop_detailed, ClosedLoopReport};
-pub use engine::{replay, replay_with_progress, ReplayConfig, SimReport};
+pub use engine::{replay, replay_oracle, replay_with_progress, ReplayConfig, SimReport};
+pub use event_core::{EventCore, GcMode, TimingConfig};
 // The latency/reliability histogram implementations live in `ipu-host` (the
 // host interface aggregates per-tenant latency with the same types).
 pub use ipu_host::metrics::{LatencyStats, ReliabilityStats};

@@ -11,10 +11,11 @@
 use std::collections::BTreeMap;
 
 use ipu_flash::{FlashDevice, Nanos, Spa};
-use ipu_ftl::{BlockLevel, FtlCore, Lsn};
+use ipu_ftl::{BlockLevel, FtlCore, Lsn, OpBatch};
 use ipu_trace::{IoRequest, OpKind};
 
 use crate::engine::ReplayConfig;
+use crate::event_core::EventCore;
 
 /// Durable view of one in-use block: what OOB-based recovery must restore.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,6 +179,10 @@ pub struct PowerLossReport {
     pub mapped_subpages: u64,
     /// In-use blocks the rebuild restored.
     pub restored_blocks: u64,
+    /// Background (GC/scrub) nanoseconds still queued on the event core when
+    /// power was cut — in-flight rounds the loss interrupted. Recovery must
+    /// hold regardless of how much background work was outstanding.
+    pub interrupted_background_ns: Nanos,
 }
 
 /// Replays `requests` under `cfg`, cutting power after the first `cut`
@@ -197,17 +202,31 @@ pub fn replay_with_power_loss(
     let mut dev = FlashDevice::new(cfg.device.clone());
     let mut ftl = cfg.scheme.build(&mut dev, cfg.ftl.clone());
 
-    let run = |ftl: &mut Box<dyn ipu_ftl::FtlScheme>, dev: &mut FlashDevice, reqs: &[IoRequest]| {
+    // Each power segment runs on its own event core: the cut drops the
+    // in-flight background rounds along with the volatile FTL state (their
+    // flash-side effects are already durable — the FTL applies state
+    // immediately, timing is the core's job).
+    let run = |ftl: &mut Box<dyn ipu_ftl::FtlScheme>,
+               dev: &mut FlashDevice,
+               core: &mut EventCore,
+               reqs: &[IoRequest]| {
+        let mut batch = OpBatch::new();
         for req in reqs {
             let now = req.timestamp_ns;
+            batch.clear();
             match req.op {
-                OpKind::Write => ftl.on_write(req, now, dev),
-                OpKind::Read => ftl.on_read(req, now, dev),
+                OpKind::Write => ftl.on_write_into(req, now, dev, &mut batch),
+                OpKind::Read => ftl.on_read_into(req, now, dev, &mut batch),
             };
+            core.advance_to(now);
+            core.dispatch(now, &batch, req.op);
         }
     };
 
-    run(&mut ftl, &mut dev, &requests[..cut]);
+    let chips = cfg.device.geometry.total_chips();
+    let mut core = EventCore::new(chips, cfg.timing);
+    run(&mut ftl, &mut dev, &mut core, &requests[..cut]);
+    let interrupted_background_ns = core.background_backlog();
 
     let golden = durable_snapshot(ftl.core(), &dev);
     ftl.power_cycle(&dev);
@@ -226,7 +245,10 @@ pub fn replay_with_power_loss(
         )
     })?;
 
-    run(&mut ftl, &mut dev, &requests[cut..]);
+    // Power is back: a fresh event core models the restarted device.
+    let mut core = EventCore::new(chips, cfg.timing);
+    run(&mut ftl, &mut dev, &mut core, &requests[cut..]);
+    core.finish();
     ftl.core().check_invariants(&dev).map_err(|e| {
         format!(
             "{trace_name}/{}: invariants broken after resume: {e}",
@@ -239,6 +261,7 @@ pub fn replay_with_power_loss(
         requests_after: (requests.len() - cut) as u64,
         mapped_subpages: golden.map.len() as u64,
         restored_blocks: rebuilt.blocks.len() as u64,
+        interrupted_background_ns,
     })
 }
 
@@ -284,12 +307,20 @@ mod tests {
         // Sweep cut positions so the loss lands mid-GC, mid-update, on open
         // blocks, etc.
         let reqs = workload(90);
+        let mut interrupted_any = false;
         for cut in (0..=90).step_by(9) {
             for scheme in SchemeKind::all() {
                 let cfg = ReplayConfig::small_for_tests(scheme);
-                replay_with_power_loss(&cfg, &reqs, cut, "sweep").unwrap();
+                let report = replay_with_power_loss(&cfg, &reqs, cut, "sweep").unwrap();
+                interrupted_any |= report.interrupted_background_ns > 0;
             }
         }
+        // The sweep must actually exercise a loss that interrupts queued
+        // background work — otherwise the mid-GC cut path is untested.
+        assert!(
+            interrupted_any,
+            "no cut in the sweep interrupted background work"
+        );
     }
 
     #[test]

@@ -160,11 +160,23 @@ impl ChipSchedule {
     }
 
     /// The latest horizon across all chips and both channels: host write/erase
-    /// work (counting outstanding background work as if it ran serially after
-    /// the host horizon) and the read channel.
+    /// work, outstanding background work run serially after it, and the read
+    /// channel.
+    ///
+    /// The background fold is *enqueue-aware*: a queued operation cannot start
+    /// before its enqueue time, so an op enqueued far in the future bounds the
+    /// horizon by `enq + duration`, not by `busy_until + backlog`. (Before
+    /// this fix a future-enqueued op could report a horizon below its real
+    /// finish time to any caller that samples before [`ChipSchedule::finish`].)
     pub fn horizon(&self) -> Nanos {
-        (0..self.chips())
-            .map(|c| (self.busy_until(c) + self.background_backlog(c)).max(self.read_until(c)))
+        (0..self.busy_until.len())
+            .map(|c| {
+                let mut h = self.busy_until[c];
+                for &(enq, dur) in &self.background[c] {
+                    h = h.max(enq) + dur;
+                }
+                h.max(self.read_until[c])
+            })
             .max()
             .unwrap_or(0)
     }
@@ -267,6 +279,31 @@ mod tests {
         let (_, end) = s.schedule_read(1, 5_000, 250);
         assert_eq!(end, 5_250);
         assert_eq!(s.horizon(), 5_250, "read channel must bound the horizon");
+    }
+
+    #[test]
+    fn horizon_is_enqueue_aware() {
+        // Regression: a queued background op with `enq` far in the future
+        // used to yield horizon = busy_until + backlog (110 here), below the
+        // op's real finish time of 5_010.
+        let mut s = ChipSchedule::new(1);
+        s.schedule(0, 0, 100); // host busy [0, 100)
+        s.schedule_background(0, 5_000, 10); // cannot start before t=5000
+        assert_eq!(s.horizon(), 5_010);
+        // The bound matches what finish() actually executes.
+        s.finish();
+        assert_eq!(s.busy_until(0), 5_010);
+        assert_eq!(s.horizon(), 5_010);
+
+        // Mixed queue: an already-startable op runs first, then the future
+        // one waits for its enqueue time.
+        let mut s = ChipSchedule::new(1);
+        s.schedule(0, 0, 1_000);
+        s.schedule_background(0, 0, 200); // runs [1000, 1200)
+        s.schedule_background(0, 9_000, 50); // runs [9000, 9050)
+        assert_eq!(s.horizon(), 9_050);
+        s.finish();
+        assert_eq!(s.busy_until(0), 9_050);
     }
 
     #[test]
