@@ -71,6 +71,7 @@ impl TraceSet {
             .find(|&&(t, _)| t == trace)
             .map(|(_, reqs)| Arc::clone(reqs))
             .unwrap_or_else(|| {
+                // ipu-lint: allow(panic-reachability) — documented fail-fast for misgenerated experiments; reached only via the method-name fallback (no FTL path holds a TraceSet)
                 panic!(
                     "TraceSet generated without {trace}; regenerate it from a \
                      config containing every trace the experiment runs"

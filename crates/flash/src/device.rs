@@ -151,7 +151,7 @@ pub struct FlashDevice {
 impl FlashDevice {
     /// Creates a device with every block erased into `cfg.initial_mode`.
     pub fn new(cfg: DeviceConfig) -> Self {
-        // ipu-lint: allow(no-panic) — constructor contract: configs are validated at the experiment boundary, a bad one here is programmer error
+        // ipu-lint: allow(panic-reachability) — constructor contract: configs are validated at the experiment boundary, a bad one here is programmer error
         cfg.validate().expect("invalid device configuration");
         let g = &cfg.geometry;
         let subpages = g.subpages_per_page() as u8;

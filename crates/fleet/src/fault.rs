@@ -162,6 +162,7 @@ impl FleetFaultPlan {
     /// keeping the pair list device-id ascending.
     pub fn set(&mut self, device: usize, fault: DeviceFault) {
         match self.faults.binary_search_by_key(&device, |&(d, _)| d) {
+            // ipu-lint: allow(panic-reachability) — index is the Ok value of binary_search on this same vec, in bounds by contract
             Ok(i) => self.faults[i].1 = fault,
             Err(i) => self.faults.insert(i, (device, fault)),
         }

@@ -89,6 +89,24 @@ pub struct FleetReliability {
 }
 
 impl FleetReliability {
+    /// Folds `other` into `self`: every ledger counter sums, so merging
+    /// per-shard ledgers preserves the conservation laws documented on the
+    /// struct (the `merge-complete` lint pins every field to appear here).
+    pub fn merge(&mut self, other: &FleetReliability) {
+        self.logical_ops += other.logical_ops;
+        self.acked += other.acked;
+        self.clean += other.clean;
+        self.recovered += other.recovered;
+        self.lost += other.lost;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.timeouts += other.timeouts;
+        self.hedges_fired += other.hedges_fired;
+        self.hedges_won += other.hedges_won;
+        self.hedge_wasted_ns += other.hedge_wasted_ns;
+        self.replica_write_ops += other.replica_write_ops;
+    }
+
     /// `lost / logical_ops` (0 when nothing ran).
     pub fn loss_rate(&self) -> f64 {
         if self.logical_ops == 0 {
@@ -271,6 +289,59 @@ mod tests {
     use super::*;
     use crate::fault::DeviceFault;
     use crate::health::HealthState;
+
+    #[test]
+    fn reliability_merge_sums_every_counter() {
+        let a = FleetReliability {
+            logical_ops: 100,
+            acked: 99,
+            clean: 90,
+            recovered: 9,
+            lost: 1,
+            retries: 12,
+            failovers: 9,
+            timeouts: 3,
+            hedges_fired: 5,
+            hedges_won: 2,
+            hedge_wasted_ns: 1_000,
+            replica_write_ops: 40,
+        };
+        let b = FleetReliability {
+            logical_ops: 10,
+            acked: 10,
+            clean: 10,
+            recovered: 0,
+            lost: 0,
+            retries: 1,
+            failovers: 0,
+            timeouts: 0,
+            hedges_fired: 1,
+            hedges_won: 1,
+            hedge_wasted_ns: 250,
+            replica_write_ops: 4,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.logical_ops, 110);
+        assert_eq!(merged.acked, 109);
+        assert_eq!(merged.clean, 100);
+        assert_eq!(merged.recovered, 9);
+        assert_eq!(merged.lost, 1);
+        assert_eq!(merged.retries, 13);
+        assert_eq!(merged.failovers, 9);
+        assert_eq!(merged.timeouts, 3);
+        assert_eq!(merged.hedges_fired, 6);
+        assert_eq!(merged.hedges_won, 3);
+        assert_eq!(merged.hedge_wasted_ns, 1_250);
+        assert_eq!(merged.replica_write_ops, 44);
+        // Conservation laws survive the merge.
+        assert_eq!(merged.logical_ops, merged.acked + merged.lost);
+        assert_eq!(merged.acked, merged.clean + merged.recovered);
+        // Merging the default is the identity.
+        let mut same = b;
+        same.merge(&FleetReliability::default());
+        assert_eq!(same, b);
+    }
 
     /// `n` requests per device, dispatched `gap` apart, each taking
     /// `svc` ns of pure device time.

@@ -168,7 +168,7 @@ pub struct FtlCore {
 impl FtlCore {
     /// Builds the core and formats the SLC region of `dev` into SLC-mode.
     pub fn new(dev: &mut FlashDevice, cfg: FtlConfig) -> Self {
-        // ipu-lint: allow(no-panic) — constructor contract: configs are validated at the experiment boundary, a bad one here is programmer error
+        // ipu-lint: allow(panic-reachability) — constructor contract: configs are validated at the experiment boundary, a bad one here is programmer error
         cfg.validate().expect("invalid FTL configuration");
         let geometry = dev.config().geometry.clone();
         let blocks = BlockManager::new(&geometry, &cfg);
@@ -972,7 +972,7 @@ impl FtlCore {
                     let lsn = self
                         .owners
                         .owner(block_idx, spa)
-                        // ipu-lint: allow(no-panic) — owner/map agreement is the core FTL invariant (cross-checked by check_invariants); a valid subpage without an owner is unrecoverable corruption
+                        // ipu-lint: allow(panic-reachability) — owner/map agreement is the core FTL invariant (cross-checked by check_invariants); a valid subpage without an owner is unrecoverable corruption
                         .expect("valid subpage must have an owner");
                     subs[subs_len as usize] = (s, lsn);
                     subs_len += 1;

@@ -84,6 +84,45 @@ pub struct FtlStats {
 }
 
 impl FtlStats {
+    /// Folds `other` into `self`: every counter sums, so merging the
+    /// per-shard stats of a partitioned run reproduces the whole-run totals
+    /// (the `merge-complete` lint pins every field to appear here).
+    pub fn merge(&mut self, other: &FtlStats) {
+        self.host_write_requests += other.host_write_requests;
+        self.host_read_requests += other.host_read_requests;
+        self.host_subpages_to_slc += other.host_subpages_to_slc;
+        self.host_subpages_to_mlc += other.host_subpages_to_mlc;
+        for (mine, theirs) in self
+            .host_programs_per_level
+            .iter_mut()
+            .zip(other.host_programs_per_level)
+        {
+            *mine += theirs;
+        }
+        self.intra_page_updates += other.intra_page_updates;
+        self.upgraded_writes += other.upgraded_writes;
+        self.gc_runs_slc += other.gc_runs_slc;
+        self.gc_runs_mlc += other.gc_runs_mlc;
+        self.gc_moved_subpages += other.gc_moved_subpages;
+        self.gc_evicted_subpages += other.gc_evicted_subpages;
+        self.gc_victim_used_subpages += other.gc_victim_used_subpages;
+        self.gc_victim_total_subpages += other.gc_victim_total_subpages;
+        self.unmapped_reads += other.unmapped_reads;
+        self.host_read_rber_sum += other.host_read_rber_sum;
+        self.host_subpages_read += other.host_subpages_read;
+        self.host_uncorrectable_reads += other.host_uncorrectable_reads;
+        self.wear_leveling_migrations += other.wear_leveling_migrations;
+        self.recovered_reads += other.recovered_reads;
+        self.read_retries += other.read_retries;
+        self.retry_latency_ns += other.retry_latency_ns;
+        self.retired_blocks += other.retired_blocks;
+        self.program_retries += other.program_retries;
+        self.host_write_failures += other.host_write_failures;
+        self.data_loss_events += other.data_loss_events;
+        self.scrub_rewrites += other.scrub_rewrites;
+        self.scratch_grows += other.scratch_grows;
+    }
+
     /// Records a host page program of `subpages` subpages at `level`.
     pub fn note_host_program(&mut self, level: BlockLevel, subpages: u32) {
         self.host_programs_per_level[level as usize] += 1;
@@ -148,6 +187,33 @@ mod tests {
         assert_eq!(s.avg_read_error_rate(), 0.0);
         assert_eq!(s.gc_page_utilization(), 0.0);
         assert_eq!(s.level_distribution(), [0.0; 4]);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = FtlStats::default();
+        a.host_write_requests = 10;
+        a.host_programs_per_level = [1, 2, 3, 4];
+        a.host_read_rber_sum = 0.25;
+        a.scratch_grows = 7;
+        let mut b = FtlStats::default();
+        b.host_write_requests = 5;
+        b.host_read_requests = 9;
+        b.host_programs_per_level = [10, 20, 30, 40];
+        b.host_read_rber_sum = 0.5;
+        b.data_loss_events = 2;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.host_write_requests, 15);
+        assert_eq!(merged.host_read_requests, 9);
+        assert_eq!(merged.host_programs_per_level, [11, 22, 33, 44]);
+        assert!((merged.host_read_rber_sum - 0.75).abs() < 1e-12);
+        assert_eq!(merged.data_loss_events, 2);
+        assert_eq!(merged.scratch_grows, 7);
+        // Merging the default is the identity.
+        let mut same = b.clone();
+        same.merge(&FtlStats::default());
+        assert_eq!(same, b);
     }
 
     #[test]

@@ -5,36 +5,54 @@
 //! see: the replay cache promises bit-identical re-runs, the perf gate
 //! compares exact counter fingerprints, and the power-loss oracle assumes
 //! host-reachable FTL paths never panic. This crate enforces those invariants
-//! as ~8 lexical rules (see [`rules`]) over a hand-rolled, comment- and
-//! string-aware token stream (see [`lexer`]) — deliberately *not* a full
-//! parser: every rule is scoped so that token-level matching is sound for the
-//! code this workspace actually contains, and fixture tests pin each rule's
-//! fire/stay-silent behaviour.
+//! with two layers of analysis over a hand-rolled, comment- and string-aware
+//! token stream (see [`lexer`]):
+//!
+//! * **lexical rules** ([`rules`]) — per-file token-pattern checks;
+//! * **semantic rules** — built on the token-tree layer ([`ttree`]): wildcard
+//!   arms on growth enums ([`exhaustive_match`]), merge/serialization
+//!   completeness of conservation ledgers ([`merge_complete`]),
+//!   order-sensitive reductions over unordered containers ([`nondet_reduce`]),
+//!   and — the one rule that spans files — transitive panic reachability from
+//!   host-driven seeds over the workspace call graph ([`callgraph`]).
+//!
+//! The engine runs in two phases: phase A lexes, tree-indexes and rule-checks
+//! every file independently (parallelized with `ipu_core::parallel_map`,
+//! which preserves input order, so finding order is identical at any thread
+//! count); phase B assembles the call graph from phase A's per-fn facts and
+//! runs `panic-reachability`. Findings are globally sorted by
+//! `(file, line, rule)`.
 //!
 //! Findings are suppressible only with an inline comment carrying a reason:
 //!
 //! ```text
-//! // ipu-lint: allow(no-panic) — validated at construction, cannot fail here
+//! // ipu-lint: allow(float-eq) — sentinel compared exactly, never computed
 //! ```
 //!
 //! placed on the offending line or the line directly above it. An allow
 //! without a reason, or naming an unknown rule, is itself a finding and
 //! suppresses nothing.
 
+pub mod callgraph;
+pub mod exhaustive_match;
 pub mod lexer;
+pub mod merge_complete;
+pub mod nondet_reduce;
 pub mod rules;
+pub mod ttree;
 
 use lexer::{lex, Comment, Token};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+use ttree::{Item, TokenTreeIndex};
 
 /// One rule violation (or meta-violation) at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier, e.g. `no-panic` (see [`rules::RULE_IDS`]), or one of
-    /// the meta rules `allow-missing-reason` / `allow-unknown-rule`.
+    /// Rule identifier, e.g. `panic-reachability` (see [`rules::RULE_IDS`]),
+    /// or one of the meta rules `allow-missing-reason` / `allow-unknown-rule`.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes, e.g. `crates/ftl/src/error.rs`.
     pub file: String,
@@ -71,6 +89,24 @@ pub struct FileCtx<'a> {
     /// Parallel to `tokens`: `true` where the token sits inside a
     /// `#[cfg(test)]` item.
     pub is_test: &'a [bool],
+    /// Matching-delimiter index over `tokens`.
+    pub tree: &'a TokenTreeIndex,
+    /// Extracted items (fns with owners, structs, enums, impls, …).
+    pub items: &'a [Item],
+}
+
+/// One source file queued for analysis. Fixture tests construct these
+/// directly; [`lint_workspace`] builds them by walking `crates/*/src`.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Directory name under `crates/`, e.g. `ftl`.
+    pub crate_name: String,
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Whether this file is a crate root (`src/lib.rs` or `src/main.rs`).
+    pub is_crate_root: bool,
+    /// Full source text.
+    pub src: String,
 }
 
 /// Result of linting one file or a whole workspace.
@@ -85,59 +121,147 @@ pub struct LintReport {
 }
 
 /// A parsed `// ipu-lint: allow(<rule>) — <reason>` comment.
+#[derive(Debug, Clone)]
 struct Allow {
     rule: String,
     line: u32,
     valid: bool,
 }
 
+/// Phase-A output for one file: raw findings (pre-suppression), meta
+/// findings (never suppressible), parsed allows, and per-fn call-graph facts.
+struct FileAnalysis {
+    rel_path: String,
+    findings: Vec<Finding>,
+    meta: Vec<Finding>,
+    allows: Vec<Allow>,
+    facts: Vec<callgraph::FnFacts>,
+}
+
 /// Marker that introduces an allow comment.
 const ALLOW_MARKER: &str = "ipu-lint:";
 
+/// Phase A: lex, tree-index, run the per-file rules, parse allows, and
+/// extract call-graph facts for one file.
+fn analyze_file(file: &SourceFile) -> FileAnalysis {
+    let lexed = lex(&file.src);
+    let tree = TokenTreeIndex::build(&lexed.tokens);
+    let items = ttree::collect_items(&lexed.tokens, &tree);
+    let mask = test_mask(&lexed.tokens);
+    let file_name = file.rel_path.rsplit('/').next().unwrap_or(&file.rel_path);
+    let ctx = FileCtx {
+        crate_name: &file.crate_name,
+        rel_path: &file.rel_path,
+        file_name,
+        is_crate_root: file.is_crate_root,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        is_test: &mask,
+        tree: &tree,
+        items: &items,
+    };
+
+    let mut findings = Vec::new();
+    rules::run_all(&ctx, &mut findings);
+
+    let mut meta = Vec::new();
+    let allows = parse_allows(&lexed.comments, &file.rel_path, &mut meta);
+
+    let match_spans = exhaustive_match::match_bodies(&lexed.tokens, &tree);
+    let mut facts = Vec::new();
+    for def in ttree::collect_fns(&lexed.tokens, &tree) {
+        if def.is_test {
+            continue;
+        }
+        let (calls, panics) = callgraph::scan_body(&lexed.tokens, def.body, &match_spans);
+        facts.push(callgraph::FnFacts {
+            def,
+            file: file.rel_path.clone(),
+            crate_name: file.crate_name.clone(),
+            calls,
+            panics,
+        });
+    }
+
+    FileAnalysis {
+        rel_path: file.rel_path.clone(),
+        findings,
+        meta,
+        allows,
+        facts,
+    }
+}
+
+/// Lints a set of source files: phase A per-file (parallel, order-preserving),
+/// phase B workspace call graph, then allow-suppression and the global sort.
+/// Output is byte-identical at any `threads` value.
+pub fn lint_sources(files: Vec<SourceFile>, threads: usize) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    let analyses = ipu_core::parallel_map(files, threads.max(1), |f| analyze_file(&f));
+
+    // Phase B: the cross-file rule. Node order follows file order, which
+    // callers keep sorted, so BFS tie-breaks are deterministic.
+    let facts: Vec<callgraph::FnFacts> = analyses
+        .iter()
+        .flat_map(|a| a.facts.iter().cloned())
+        .collect();
+    let graph = callgraph::CallGraph::build(facts);
+
+    let mut raw: Vec<Finding> = analyses
+        .iter()
+        .flat_map(|a| a.findings.iter().cloned())
+        .collect();
+    raw.extend(graph.panic_reachability());
+
+    for f in raw {
+        let hit = analyses
+            .iter()
+            .find(|a| a.rel_path == f.file)
+            .map(|a| &a.allows)
+            .is_some_and(|allows| {
+                allows.iter().any(|a| {
+                    a.valid && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line)
+                })
+            });
+        if hit {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    for a in &analyses {
+        report.findings.extend(a.meta.iter().cloned());
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    report
+}
+
 /// Lints a single file's source text. `rel_path` selects which scoped rules
 /// apply (see the scope tables in [`rules`]); fixture tests use this entry
-/// point directly to lint files that live outside any real crate.
+/// point directly to lint files that live outside any real crate. Note that
+/// `panic-reachability` runs with only this file's fns as the call graph —
+/// cross-file reachability needs [`lint_sources`].
 pub fn lint_str(
     crate_name: &str,
     rel_path: &str,
     is_crate_root: bool,
     src: &str,
 ) -> (Vec<Finding>, usize) {
-    let lexed = lex(src);
-    let mask = test_mask(&lexed.tokens);
-    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
-    let ctx = FileCtx {
-        crate_name,
-        rel_path,
-        file_name,
-        is_crate_root,
-        tokens: &lexed.tokens,
-        comments: &lexed.comments,
-        is_test: &mask,
-    };
-
-    let mut raw = Vec::new();
-    rules::run_all(&ctx, &mut raw);
-
-    let mut meta = Vec::new();
-    let allows = parse_allows(&lexed.comments, rel_path, &mut meta);
-
-    let mut findings = Vec::new();
-    let mut suppressed = 0usize;
-    for f in raw {
-        let hit = allows
-            .iter()
-            .any(|a| a.valid && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
-        if hit {
-            suppressed += 1;
-        } else {
-            findings.push(f);
-        }
-    }
-    findings.extend(meta);
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    (findings, suppressed)
+    let report = lint_sources(
+        vec![SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            is_crate_root,
+            src: src.to_string(),
+        }],
+        1,
+    );
+    (report.findings, report.suppressed)
 }
 
 /// Extracts allow comments, emitting `allow-missing-reason` /
@@ -266,8 +390,10 @@ pub fn test_mask(toks: &[Token]) -> Vec<bool> {
     mask
 }
 
-/// Lints every `crates/*/src/**/*.rs` file under `root`, in sorted order.
-pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+/// Collects the workspace's `crates/*/src/**/*.rs` files under `root`, in
+/// sorted order (crate dir, then path) so node ids and finding order are
+/// stable.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -276,7 +402,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         .collect();
     crate_dirs.sort();
 
-    let mut report = LintReport::default();
+    let mut sources = Vec::new();
     for dir in crate_dirs {
         let crate_name = dir
             .file_name()
@@ -300,17 +426,20 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             );
             let is_crate_root = rel == format!("crates/{crate_name}/src/lib.rs")
                 || rel == format!("crates/{crate_name}/src/main.rs");
-            let src = fs::read_to_string(&path)?;
-            let (findings, suppressed) = lint_str(&crate_name, &rel, is_crate_root, &src);
-            report.findings.extend(findings);
-            report.suppressed += suppressed;
-            report.files_scanned += 1;
+            sources.push(SourceFile {
+                crate_name: crate_name.clone(),
+                rel_path: rel,
+                is_crate_root,
+                src: fs::read_to_string(&path)?,
+            });
         }
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(report)
+    Ok(sources)
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root`.
+pub fn lint_workspace(root: &Path, threads: usize) -> io::Result<LintReport> {
+    Ok(lint_sources(collect_sources(root)?, threads))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
@@ -323,6 +452,106 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Rendering. Lives in the library (not the CLI) so the byte-identity fixture
+// tests can assert on exactly what each --format emits.
+// ---------------------------------------------------------------------------
+
+/// Human-readable rendering: one `file:line: [rule] message` line per finding
+/// plus a summary line.
+pub fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "ipu-lint: {} file(s) scanned, {} finding(s), {} suppressed by allow comments\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// Hand-rolled JSON (the linter is externally dependency-free by design).
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"finding_count\": {}\n}}",
+        report.files_scanned,
+        report.suppressed,
+        report.findings.len()
+    ));
+    out
+}
+
+/// GitHub Actions workflow-command rendering: one `::error` annotation per
+/// finding (rendered inline on the PR diff), plus the human summary line as
+/// plain text.
+pub fn render_github(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "::error file={},line={},title=ipu-lint {}::{}\n",
+            gh_escape_prop(&f.file),
+            f.line,
+            gh_escape_prop(f.rule),
+            gh_escape_data(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "ipu-lint: {} file(s) scanned, {} finding(s), {} suppressed by allow comments\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escaping for workflow-command *data* (the message after `::`).
+fn gh_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escaping for workflow-command *properties* (file=..., title=...).
+fn gh_escape_prop(s: &str) -> String {
+    gh_escape_data(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 #[cfg(test)]
@@ -357,34 +586,33 @@ mod tests {
 
     #[test]
     fn allow_with_reason_suppresses_same_line_and_next_line() {
-        let src = "fn f(x: Option<u32>) -> u32 {\n    // ipu-lint: allow(no-panic) — checked by caller\n    x.unwrap()\n}";
-        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        let src = "fn f(x: f64) -> bool {\n    // ipu-lint: allow(float-eq) — sentinel compared exactly\n    x == 1.0\n}";
+        let (findings, suppressed) = lint_str("core", "crates/core/src/x.rs", false, src);
         assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(suppressed, 1);
 
         let trailing =
-            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // ipu-lint: allow(no-panic) — checked";
-        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, trailing);
+            "fn f(x: f64) -> bool { x == 1.0 } // ipu-lint: allow(float-eq) — sentinel value";
+        let (findings, suppressed) = lint_str("core", "crates/core/src/x.rs", false, trailing);
         assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(suppressed, 1);
     }
 
     #[test]
     fn allow_without_reason_is_a_finding_and_does_not_suppress() {
-        let src =
-            "fn f(x: Option<u32>) -> u32 {\n    // ipu-lint: allow(no-panic)\n    x.unwrap()\n}";
-        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        let src = "fn f(x: f64) -> bool {\n    // ipu-lint: allow(float-eq)\n    x == 1.0\n}";
+        let (findings, suppressed) = lint_str("core", "crates/core/src/x.rs", false, src);
         assert_eq!(suppressed, 0);
         assert!(findings.iter().any(|f| f.rule == "allow-missing-reason"));
-        assert!(findings.iter().any(|f| f.rule == "no-panic"));
+        assert!(findings.iter().any(|f| f.rule == "float-eq"));
     }
 
     #[test]
     fn doc_comments_do_not_act_as_allows() {
-        let src = "/// Example: `// ipu-lint: allow(no-panic) — reason`\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
-        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        let src = "/// Example: `// ipu-lint: allow(float-eq) — reason`\nfn f(x: f64) -> bool { x == 1.0 }";
+        let (findings, suppressed) = lint_str("core", "crates/core/src/x.rs", false, src);
         assert_eq!(suppressed, 0);
-        assert!(findings.iter().any(|f| f.rule == "no-panic"));
+        assert!(findings.iter().any(|f| f.rule == "float-eq"));
         assert!(!findings.iter().any(|f| f.rule.starts_with("allow-")));
     }
 
@@ -396,20 +624,57 @@ mod tests {
     }
 
     #[test]
+    fn retired_no_panic_rule_is_rejected_as_unknown() {
+        // `no-panic` was replaced by `panic-reachability`; stale allows must
+        // surface as findings, not rot silently.
+        let src = "// ipu-lint: allow(no-panic) — stale\nfn f() {}";
+        let (findings, _) = lint_str("core", "crates/core/src/x.rs", false, src);
+        assert!(findings.iter().any(|f| f.rule == "allow-unknown-rule"));
+    }
+
+    #[test]
     fn allow_far_from_violation_does_not_suppress() {
-        let src = "// ipu-lint: allow(no-panic) — too far away\n\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
-        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        let src =
+            "// ipu-lint: allow(float-eq) — too far away\n\n\nfn f(x: f64) -> bool { x == 1.0 }";
+        let (findings, suppressed) = lint_str("core", "crates/core/src/x.rs", false, src);
         assert_eq!(suppressed, 0);
-        assert!(findings.iter().any(|f| f.rule == "no-panic"));
+        assert!(findings.iter().any(|f| f.rule == "float-eq"));
     }
 
     #[test]
     fn findings_sorted_by_file_line_rule() {
-        let src = "fn f(x: Option<u32>) { x.unwrap(); panic!(\"x\"); }\nfn g(y: Option<u32>) { y.unwrap(); }";
-        let (findings, _) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        let src = "fn f(x: f64, y: f64) -> bool { x == 1.0 && y != 2.0 }\nfn g(z: f64) -> bool { z == 3.0 }";
+        let (findings, _) = lint_str("core", "crates/core/src/x.rs", false, src);
+        assert_eq!(findings.len(), 3);
         let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
         let mut sorted = lines.clone();
         sorted.sort_unstable();
         assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn panic_reachability_allow_suppresses_at_the_panic_site() {
+        let src = "impl FtlScheme for Ipu {\n    fn on_write(&mut self) {\n        // ipu-lint: allow(panic-reachability) — slot checked two lines up\n        self.slots.pop().unwrap();\n    }\n}";
+        let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/x.rs", false, src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn github_rendering_escapes_workflow_metachars() {
+        let report = LintReport {
+            findings: vec![Finding {
+                rule: "float-eq",
+                file: "crates/core/src/x.rs".to_string(),
+                line: 3,
+                message: "100% bad: a,b\nnewline".to_string(),
+            }],
+            suppressed: 0,
+            files_scanned: 1,
+        };
+        let out = render_github(&report);
+        // Properties escape `:`/`,`; data (the message) only `%`/CR/LF.
+        assert!(out.contains("::error file=crates/core/src/x.rs,line=3,title=ipu-lint float-eq::100%25 bad: a,b%0Anewline"),
+            "{out}");
     }
 }

@@ -1,18 +1,47 @@
 #![forbid(unsafe_code)]
 //! `ipu-lint` CLI: lints the workspace and exits nonzero on any unsuppressed
-//! finding. `--json` emits machine-readable output for CI; `--root <dir>`
-//! points at a workspace other than the current directory.
+//! finding. `--format json` emits machine-readable output, `--format github`
+//! emits GitHub Actions `::error` annotations for CI; `--root <dir>` points
+//! at a workspace other than the current directory; `--threads <n>` sets the
+//! per-file analysis parallelism (output is identical at any thread count).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root = PathBuf::from(".");
+    let mut threads = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json = true,
+            // Back-compat alias for `--format json`.
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!(
+                        "error: --format expects human|json|github, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("error: --threads requires a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -23,10 +52,12 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "ipu-lint: project-specific static analysis\n\n\
-                     USAGE: ipu-lint [--json] [--root <dir>]\n\n\
+                     USAGE: ipu-lint [--format human|json|github] [--threads <n>] [--root <dir>]\n\n\
                      Scans crates/*/src/**/*.rs under the workspace root and reports\n\
-                     violations of the project rules (see DESIGN.md §13). Exit code is\n\
-                     0 when clean, 1 on findings, 2 on usage or I/O errors.\n\n\
+                     violations of the project rules (see DESIGN.md §13): lexical rules\n\
+                     plus the semantic rules panic-reachability, exhaustive-match,\n\
+                     merge-complete and nondet-reduce. Exit code is 0 when clean, 1 on\n\
+                     findings, 2 on usage or I/O errors.\n\n\
                      Suppress a finding inline, reason mandatory:\n\
                      \x20   // ipu-lint: allow(<rule>) — <reason>"
                 );
@@ -39,7 +70,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match ipu_lint::lint_workspace(&root) {
+    let report = match ipu_lint::lint_workspace(&root, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to scan workspace at {}: {e}", root.display());
@@ -47,18 +78,14 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", render_json(&report));
-    } else {
-        for f in &report.findings {
-            println!("{f}");
-        }
-        println!(
-            "ipu-lint: {} file(s) scanned, {} finding(s), {} suppressed by allow comments",
-            report.files_scanned,
-            report.findings.len(),
-            report.suppressed
-        );
+    let rendered = match format {
+        Format::Human => ipu_lint::render_human(&report),
+        Format::Json => ipu_lint::render_json(&report),
+        Format::Github => ipu_lint::render_github(&report),
+    };
+    print!("{rendered}");
+    if matches!(format, Format::Json) {
+        println!();
     }
 
     if report.findings.is_empty() {
@@ -66,47 +93,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
-}
-
-/// Hand-rolled JSON (the linter is dependency-free by design).
-fn render_json(report: &ipu_lint::LintReport) -> String {
-    let mut out = String::from("{\n  \"findings\": [");
-    for (i, f) in report.findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
-            escape(f.rule),
-            escape(&f.file),
-            f.line,
-            escape(&f.message)
-        ));
-    }
-    if !report.findings.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str(&format!(
-        "],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"finding_count\": {}\n}}",
-        report.files_scanned,
-        report.suppressed,
-        report.findings.len()
-    ));
-    out
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }

@@ -1,0 +1,275 @@
+//! `merge-complete` — conservation-ledger structs must merge and serialize
+//! every field.
+//!
+//! The fleet layer sums per-device stats into fleet totals, CI asserts
+//! conservation identities over the merged numbers (`offered ≡ total +
+//! lost`, `Σ(ops − mirror_ops) ≡ total_ops`), and the replay cache
+//! round-trips every one of these structs through JSON. A field added in a
+//! later PR that never makes it into `merge` silently under-counts the
+//! fleet ledger; one missing from serialization vanishes across the cache.
+//! This rule pins both:
+//!
+//! * the struct must have a `fn merge` in an inherent `impl` **in the same
+//!   file**, and every field name must appear somewhere in that body;
+//! * the struct must derive `Serialize` and `Deserialize` (or, if it
+//!   implements `Serialize` by hand in the same file, every field must
+//!   appear in that impl body).
+//!
+//! Name-presence is deliberately approximate (a comment can't satisfy it —
+//! comments aren't tokens — but `other.field` does): it is exactly strong
+//! enough to catch the "grew the struct, forgot the merge" drift this
+//! workspace has actually had, and fixture tests pin both directions.
+
+use crate::lexer::TokKind;
+use crate::ttree::{Item, ItemKind};
+use crate::{FileCtx, Finding};
+use std::collections::BTreeSet;
+
+/// `(file, struct)` pairs under the merge-completeness contract.
+pub const MERGE_SCOPES: &[(&str, &str)] = &[
+    ("crates/ftl/src/stats.rs", "FtlStats"),
+    ("crates/host/src/metrics.rs", "LatencyStats"),
+    ("crates/host/src/metrics.rs", "ReliabilityStats"),
+    ("crates/fleet/src/tolerance.rs", "FleetReliability"),
+];
+
+/// Runs the rule over one file.
+pub fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let scoped: Vec<&str> = MERGE_SCOPES
+        .iter()
+        .filter(|(f, _)| *f == ctx.rel_path)
+        .map(|&(_, s)| s)
+        .collect();
+    if scoped.is_empty() {
+        return;
+    }
+    for name in scoped {
+        check_struct(ctx, name, out);
+    }
+}
+
+fn check_struct(ctx: &FileCtx<'_>, name: &str, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    let Some(def) = ctx
+        .items
+        .iter()
+        .find(|i| i.kind == ItemKind::Struct && i.name == name && !i.is_test)
+    else {
+        return; // struct moved away; the scope table is workspace-curated
+    };
+    let Some((body_open, body_close)) = def.body else {
+        return; // tuple/unit struct: nothing to check field-wise
+    };
+    let fields = field_names(ctx, body_open, body_close);
+
+    // --- serialization ---------------------------------------------------
+    let derives = derive_idents(ctx, def);
+    let manual_serialize = ctx.items.iter().find(|i| {
+        i.kind == ItemKind::Impl && i.name == name && i.trait_name.as_deref() == Some("Serialize")
+    });
+    if let Some(imp) = manual_serialize {
+        if let Some(body) = imp.body {
+            let present = idents_in(ctx, body);
+            for (f, line) in &fields {
+                if !present.contains(f.as_str()) {
+                    out.push(finding(
+                        ctx,
+                        *line,
+                        format!(
+                            "field `{name}.{f}` missing from the manual `Serialize` impl — \
+                             it would vanish across the replay cache"
+                        ),
+                    ));
+                }
+            }
+        }
+    } else if !derives.contains("Serialize") || !derives.contains("Deserialize") {
+        out.push(finding(
+            ctx,
+            def.line,
+            format!(
+                "`{name}` must derive Serialize and Deserialize (or implement Serialize \
+                 manually) — conservation ledgers round-trip through the replay cache"
+            ),
+        ));
+    }
+
+    // --- merge -----------------------------------------------------------
+    let merge_body = ctx
+        .items
+        .iter()
+        .filter(|i| {
+            i.kind == ItemKind::Fn
+                && i.name == "merge"
+                && i.owner.as_deref() == Some(name)
+                && !i.is_test
+        })
+        .filter_map(|i| i.body)
+        .next();
+    match merge_body {
+        None => out.push(finding(
+            ctx,
+            def.line,
+            format!(
+                "`{name}` has no `fn merge` in this file — fleet aggregation cannot sum \
+                 its counters; add one (and a regression test for the summed fields)"
+            ),
+        )),
+        Some(body) => {
+            let present = idents_in(ctx, body);
+            for (f, line) in &fields {
+                if !present.contains(f.as_str()) {
+                    out.push(finding(
+                        ctx,
+                        *line,
+                        format!(
+                            "field `{name}.{f}` never appears in `{name}::merge` — merged \
+                             ledgers would silently drop it"
+                        ),
+                    ));
+                }
+            }
+            let _ = toks;
+        }
+    }
+}
+
+fn finding(ctx: &FileCtx<'_>, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "merge-complete",
+        file: ctx.rel_path.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Field names (with lines) of a struct body: idents directly followed by
+/// `:` at group depth 0, skipping attributes and visibility.
+fn field_names(ctx: &FileCtx<'_>, open: usize, close: usize) -> Vec<(String, u32)> {
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // Attributes.
+        while i < close && toks[i].is_punct("#") {
+            match ctx.tree.close_of(i + 1) {
+                Some(c) => i = c + 1,
+                None => return out,
+            }
+        }
+        // Visibility.
+        while i < close && (toks[i].is_ident("pub") || toks[i].is_punct("(")) {
+            if toks[i].is_punct("(") {
+                match ctx.tree.close_of(i) {
+                    Some(c) => i = c + 1,
+                    None => return out,
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if i >= close {
+            break;
+        }
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+            out.push((toks[i].text.clone(), toks[i].line));
+        }
+        // Skip the type to the depth-0 `,`.
+        while i < close {
+            let t = &toks[i];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                match ctx.tree.close_of(i) {
+                    Some(c) => {
+                        i = c + 1;
+                        continue;
+                    }
+                    None => return out,
+                }
+            }
+            if t.is_punct(",") {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// All identifiers inside a token span.
+fn idents_in<'a>(ctx: &FileCtx<'a>, (open, close): (usize, usize)) -> BTreeSet<&'a str> {
+    ctx.tokens[open..=close.min(ctx.tokens.len() - 1)]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+/// Identifiers named in `#[derive(...)]` attributes directly above an item.
+fn derive_idents<'a>(ctx: &'a FileCtx<'_>, item: &Item) -> BTreeSet<&'a str> {
+    let toks = ctx.tokens;
+    let mut out = BTreeSet::new();
+    let mut i = item.start;
+    while i < toks.len() && toks[i].is_punct("#") {
+        let Some(close) = ctx.tree.close_of(i + 1) else {
+            break;
+        };
+        if toks.get(i + 2).is_some_and(|t| t.is_ident("derive")) {
+            for t in &toks[i + 3..close] {
+                if t.kind == TokKind::Ident {
+                    out.insert(t.text.as_str());
+                }
+            }
+        }
+        i = close + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_str;
+
+    const FILE: &str = "crates/host/src/metrics.rs";
+
+    #[test]
+    fn complete_merge_and_derives_are_silent() {
+        let src = "#[derive(Serialize, Deserialize)]\npub struct ReliabilityStats { pub total: u64, pub lost: u64 }\nimpl ReliabilityStats { pub fn merge(&mut self, o: &Self) { self.total += o.total; self.lost += o.lost; } }";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn field_missing_from_merge_fires() {
+        let src = "#[derive(Serialize, Deserialize)]\npub struct ReliabilityStats { pub total: u64, pub lost: u64 }\nimpl ReliabilityStats { pub fn merge(&mut self, o: &Self) { self.total += o.total; } }";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("ReliabilityStats.lost"));
+    }
+
+    #[test]
+    fn missing_merge_impl_fires_once() {
+        let src =
+            "#[derive(Serialize, Deserialize)]\npub struct ReliabilityStats { pub total: u64 }";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("no `fn merge`"));
+    }
+
+    #[test]
+    fn missing_serialize_derive_fires() {
+        let src = "#[derive(Clone)]\npub struct ReliabilityStats { pub total: u64 }\nimpl ReliabilityStats { pub fn merge(&mut self, o: &Self) { self.total += o.total; } }";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("derive Serialize"));
+    }
+
+    #[test]
+    fn unscoped_structs_ignored() {
+        let src = "pub struct Whatever { pub x: u64 }";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert!(findings.is_empty(), "{findings:#?}");
+        let (findings, _) = lint_str("host", "crates/host/src/other.rs", false, src);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

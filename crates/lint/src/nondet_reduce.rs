@@ -1,0 +1,415 @@
+//! `nondet-reduce` — order-sensitive reductions over unordered containers.
+//!
+//! This is the type-flow generalization of `unordered-iter`. That rule
+//! flags `HashMap`/`HashSet` *mentions* in files on the deterministic
+//! output surface; this one tracks which **locals** hold unordered
+//! containers (let-binding type annotations, `HashMap::`/`HashSet::`
+//! constructor calls, `collect::<HashMap<..>>` turbofish, typed fn
+//! parameters) and flags the *reductions* whose result depends on hash
+//! iteration order:
+//!
+//! * iterating an unordered local inside a `parallel_map` call — the
+//!   per-item closures feed an order-preserving map, so nondeterministic
+//!   iteration inside them re-introduces exactly the nondeterminism
+//!   `parallel_map` exists to avoid;
+//! * iterating an unordered local in a file on the deterministic-output
+//!   surface ([`crate::rules::ORDERED_OUTPUT_FILES`]);
+//! * accumulating into an `f64` local inside a `for` loop over an
+//!   unordered local, anywhere in library code — float addition is not
+//!   associative, so the sum differs run-to-run with hash order.
+//!
+//! Integer accumulation over unordered iteration is *not* flagged: `u64`
+//! addition commutes exactly, and the workspace counts events that way on
+//! purpose.
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::ORDERED_OUTPUT_FILES;
+use crate::ttree::TokenTreeIndex;
+use crate::{FileCtx, Finding};
+use std::collections::BTreeSet;
+
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Runs the rule over one file.
+pub fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let on_output_surface = ORDERED_OUTPUT_FILES.contains(&ctx.rel_path);
+    for f in ctx
+        .items
+        .iter()
+        .filter(|i| i.kind == crate::ttree::ItemKind::Fn && !i.is_test)
+    {
+        let Some(body) = f.body else { continue };
+        if ctx.is_test.get(body.0).copied().unwrap_or(false) {
+            continue;
+        }
+        check_fn(ctx, f.start, body, on_output_surface, out);
+    }
+}
+
+fn check_fn(
+    ctx: &FileCtx<'_>,
+    sig_start: usize,
+    (open, close): (usize, usize),
+    on_output_surface: bool,
+    out: &mut Vec<Finding>,
+) {
+    let toks = ctx.tokens;
+    let unordered = unordered_locals(toks, ctx.tree, sig_start, open, close);
+    if unordered.is_empty() {
+        return;
+    }
+    let floats = f64_locals(toks, open, close);
+    let par_spans = parallel_map_spans(toks, ctx.tree, open, close);
+
+    // `for <pat> in <expr> { .. }` loops over unordered locals.
+    let mut i = open + 1;
+    while i < close {
+        if toks[i].is_ident("for") {
+            if let Some(lp) = for_loop(toks, ctx.tree, i, close) {
+                if unordered.contains(lp.root.as_str()) {
+                    let in_par = par_spans.iter().any(|&(s, e)| i > s && i < e);
+                    if in_par || on_output_surface {
+                        out.push(finding(
+                            ctx,
+                            toks[i].line,
+                            format!(
+                                "iterating unordered local `{}` {} — hash order is \
+                                 nondeterministic; use BTreeMap/BTreeSet or sort first",
+                                lp.root,
+                                if in_par {
+                                    "inside a parallel_map closure"
+                                } else {
+                                    "in a deterministic-output file"
+                                },
+                            ),
+                        ));
+                    } else {
+                        // Only the float-accumulation failure mode applies.
+                        for j in lp.body.0 + 1..lp.body.1 {
+                            if toks[j].is_punct("+=")
+                                && j > 0
+                                && toks[j - 1].kind == TokKind::Ident
+                                && floats.contains(toks[j - 1].text.as_str())
+                            {
+                                out.push(finding(
+                                    ctx,
+                                    toks[j].line,
+                                    format!(
+                                        "f64 accumulation into `{}` over unordered local `{}` — \
+                                         float addition is not associative, so the sum depends \
+                                         on hash order; iterate a sorted view",
+                                        toks[j - 1].text,
+                                        lp.root,
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                i = lp.body.1 + 1;
+                continue;
+            }
+        }
+        // `.iter()` / `.values()` / `.keys()` chains on unordered locals
+        // inside parallel_map spans (fold/map chains instead of for-loops).
+        if toks[i].kind == TokKind::Ident
+            && unordered.contains(toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks.get(i + 2).is_some_and(|t| {
+                t.is_ident("iter")
+                    || t.is_ident("values")
+                    || t.is_ident("keys")
+                    || t.is_ident("into_iter")
+                    || t.is_ident("drain")
+            })
+            && par_spans.iter().any(|&(s, e)| i > s && i < e)
+        {
+            out.push(finding(
+                ctx,
+                toks[i].line,
+                format!(
+                    "iterating unordered local `{}` inside a parallel_map closure — \
+                     hash order is nondeterministic; use BTreeMap/BTreeSet or sort first",
+                    toks[i].text,
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+fn finding(ctx: &FileCtx<'_>, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "nondet-reduce",
+        file: ctx.rel_path.to_string(),
+        line,
+        message,
+    }
+}
+
+struct ForLoop {
+    /// Root identifier of the iterated expression (`m` in `for x in &m`,
+    /// `for x in m.values()`); empty when the expression has no ident root.
+    root: String,
+    body: (usize, usize),
+}
+
+/// Parses the `for` loop starting at `kw` (index of the `for` token).
+fn for_loop(toks: &[Token], tree: &TokenTreeIndex, kw: usize, limit: usize) -> Option<ForLoop> {
+    // Find `in` at depth 0 (the pattern may contain `( .. )` tuples).
+    let mut i = kw + 1;
+    while i < limit && !toks[i].is_ident("in") {
+        if toks[i].is_punct("(") || toks[i].is_punct("[") {
+            i = tree.close_of(i)? + 1;
+        } else if toks[i].is_punct("{") {
+            return None; // not a for-loop header shape we understand
+        } else {
+            i += 1;
+        }
+    }
+    if i >= limit {
+        return None;
+    }
+    // Root ident of the iterated expression: first ident after `in`,
+    // skipping `&` / `mut`.
+    let mut j = i + 1;
+    while j < limit && (toks[j].is_punct("&") || toks[j].is_ident("mut")) {
+        j += 1;
+    }
+    let root = match toks.get(j) {
+        Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+        _ => String::new(),
+    };
+    // Body: first `{` at depth 0 after `in`.
+    let mut k = i + 1;
+    while k < limit {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") {
+            k = tree.close_of(k)? + 1;
+            continue;
+        }
+        if t.is_punct("{") {
+            let c = tree.close_of(k)?;
+            return Some(ForLoop { root, body: (k, c) });
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Names bound to `HashMap`/`HashSet` in a fn's signature or body.
+fn unordered_locals(
+    toks: &[Token],
+    tree: &TokenTreeIndex,
+    sig_start: usize,
+    open: usize,
+    close: usize,
+) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    // Typed fn parameters: `name : .. HashMap ..` between the signature's
+    // `(` and `)` — per-parameter, split on depth-0 commas.
+    if let Some(paren) = (sig_start..open).find(|&i| toks[i].is_punct("(")) {
+        if let Some(end) = tree.close_of(paren) {
+            let mut seg_start = paren + 1;
+            let mut i = paren + 1;
+            while i <= end {
+                let at_split = i == end || toks[i].is_punct(",");
+                if !at_split {
+                    if toks[i].is_punct("(") || toks[i].is_punct("[") || toks[i].is_punct("{") {
+                        if let Some(c) = tree.close_of(i) {
+                            i = c + 1;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                let seg = &toks[seg_start..i];
+                if seg
+                    .iter()
+                    .any(|t| UNORDERED_TYPES.iter().any(|u| t.is_ident(u)))
+                {
+                    let mut k = 0;
+                    while k < seg.len() && (seg[k].is_ident("mut") || seg[k].is_punct("&")) {
+                        k += 1;
+                    }
+                    if k + 1 < seg.len()
+                        && seg[k].kind == TokKind::Ident
+                        && seg[k + 1].is_punct(":")
+                    {
+                        set.insert(seg[k].text.clone());
+                    }
+                }
+                seg_start = i + 1;
+                i += 1;
+            }
+        }
+    }
+    // Let bindings in the body.
+    let mut i = open + 1;
+    while i < close {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < close && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i = j + 1;
+            continue;
+        };
+        let name = name_tok.text.clone();
+        // Statement span: to the `;` at depth 0.
+        let mut k = j + 1;
+        let mut annotated_unordered = false;
+        let mut init_unordered = false;
+        let mut seen_eq = false;
+        while k < close {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                match tree.close_of(k) {
+                    Some(c) => {
+                        // Look inside groups too: `collect::<HashMap<_, _>>()`
+                        // puts the type in the turbofish, outside any group,
+                        // but `Vec<(K, HashMap<..>)>` nests it.
+                        if toks[k + 1..c]
+                            .iter()
+                            .any(|t| UNORDERED_TYPES.iter().any(|u| t.is_ident(u)))
+                        {
+                            if seen_eq {
+                                init_unordered = true;
+                            } else {
+                                annotated_unordered = true;
+                            }
+                        }
+                        k = c + 1;
+                        continue;
+                    }
+                    None => return set,
+                }
+            }
+            if t.is_punct(";") {
+                break;
+            }
+            if t.is_punct("=") {
+                seen_eq = true;
+            }
+            if UNORDERED_TYPES.iter().any(|u| t.is_ident(u)) {
+                if seen_eq {
+                    init_unordered = true;
+                } else {
+                    annotated_unordered = true;
+                }
+            }
+            k += 1;
+        }
+        if annotated_unordered || init_unordered {
+            set.insert(name);
+        }
+        i = k + 1;
+    }
+    set
+}
+
+/// Names of locals initialised from float literals or annotated `f64`/`f32`.
+fn f64_locals(toks: &[Token], open: usize, close: usize) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    let mut i = open + 1;
+    while i + 2 < close {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            while j < close && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let is_float = match toks.get(j + 1) {
+                    Some(t) if t.is_punct(":") => toks
+                        .get(j + 2)
+                        .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32")),
+                    Some(t) if t.is_punct("=") => {
+                        toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Float)
+                    }
+                    _ => false,
+                };
+                if is_float {
+                    set.insert(name_tok.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    set
+}
+
+/// Call-argument spans of every `parallel_map(..)` call in the body.
+fn parallel_map_spans(
+    toks: &[Token],
+    tree: &TokenTreeIndex,
+    open: usize,
+    close: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        if toks[i].is_ident("parallel_map") && toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            if let Some(c) = tree.close_of(i + 1) {
+                out.push((i + 1, c));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_str;
+
+    const FILE: &str = "crates/host/src/x.rs"; // not on the output surface
+
+    #[test]
+    fn unordered_iter_inside_parallel_map_fires() {
+        let src = "fn f(shards: HashMap<u32, u32>) -> Vec<u32> {\n    parallel_map(v, 4, move |x| {\n        let mut acc = 0u32;\n        for (_, s) in &shards { acc += s; }\n        acc\n    })\n}";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].rule, "nondet-reduce");
+        assert!(findings[0].message.contains("parallel_map"));
+    }
+
+    #[test]
+    fn method_chain_inside_parallel_map_fires() {
+        let src = "fn f() {\n    let m = HashMap::new();\n    parallel_map(v, 4, |x| m.values().sum::<u64>());\n}";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].rule, "nondet-reduce");
+    }
+
+    #[test]
+    fn f64_accumulation_over_unordered_fires_anywhere() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> f64 {\n    let mut sum = 0.0;\n    for (_, v) in m { sum += v; }\n    sum\n}";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("not associative"));
+    }
+
+    #[test]
+    fn u64_accumulation_over_unordered_is_fine() {
+        let src = "fn f(m: &HashMap<u32, u64>) -> u64 {\n    let mut sum = 0u64;\n    for (_, v) in m { sum += v; }\n    sum\n}";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn ordered_containers_are_fine_everywhere() {
+        let src = "fn f(m: &BTreeMap<u32, f64>) -> f64 {\n    let mut sum = 0.0;\n    for (_, v) in m { sum += v; }\n    parallel_map(v, 4, |x| m.values().sum::<f64>());\n    sum\n}";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn collect_turbofish_tracks_the_local() {
+        let src = "fn f(v: Vec<(u32, u32)>) {\n    let m = v.into_iter().collect::<HashMap<u32, u32>>();\n    parallel_map(w, 4, |x| { for k in m.keys() { use_it(k); } });\n}";
+        let (findings, _) = lint_str("host", FILE, false, src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+    }
+}

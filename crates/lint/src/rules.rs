@@ -2,23 +2,30 @@
 //! the comment side channel) and reports findings; the engine in `lib.rs`
 //! handles file discovery, test-region masking and allow-comment suppression.
 //!
-//! | id               | invariant |
-//! |------------------|-----------|
-//! | `no-panic`       | R1: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`, and no indexing inside `match` arms, in `ipu-ftl`/`ipu-flash` non-test code |
-//! | `no-wall-clock`  | R2: no `SystemTime`/`Instant`/`std::time` in `ipu-sim`/`ipu-ftl`/`ipu-flash`/`ipu-trace` non-test code |
-//! | `unordered-iter` | R3: no `HashMap`/`HashSet` in files on the deterministic-output surface (reports, JSONL export, replay-cache state) |
-//! | `serde-default`  | R4: every field of `Deserialize` structs in the config-hygiene files carries `#[serde(default)]` |
-//! | `forbid-unsafe`  | R5: every crate root declares `#![forbid(unsafe_code)]` |
-//! | `float-eq`       | R6: no `==`/`!=` against float literals outside tests |
-//! | `missing-doc`    | R7: scheme-trait methods and error/scheme enum variants carry doc comments |
-//! | `no-debug-print` | R8: no `dbg!`/`println!` in library code (bin entry points exempt) |
+//! | id                  | invariant |
+//! |---------------------|-----------|
+//! | `no-wall-clock`     | R2: no `SystemTime`/`Instant`/`std::time` in `ipu-sim`/`ipu-ftl`/`ipu-flash`/`ipu-trace` non-test code |
+//! | `unordered-iter`    | R3: no `HashMap`/`HashSet` in files on the deterministic-output surface (reports, JSONL export, replay-cache state) |
+//! | `serde-default`     | R4: every field of `Deserialize` structs in the config-hygiene files carries `#[serde(default)]` |
+//! | `forbid-unsafe`     | R5: every crate root declares `#![forbid(unsafe_code)]` |
+//! | `float-eq`          | R6: no `==`/`!=` against float literals outside tests |
+//! | `missing-doc`       | R7: scheme-trait methods and error/scheme enum variants carry doc comments |
+//! | `no-debug-print`    | R8: no `dbg!`/`println!` in library code (bin entry points exempt) |
+//! | `panic-reachability`| R9: no panicking token transitively reachable from a host-driven seed (see [`crate::callgraph`]) — replaces the old per-file `no-panic` |
+//! | `exhaustive-match`  | R10: no bare `_ =>` arms on growth enums (see [`crate::exhaustive_match`]) |
+//! | `merge-complete`    | R11: conservation-ledger structs merge and serialize every field (see [`crate::merge_complete`]) |
+//! | `nondet-reduce`     | R12: no order-sensitive reductions over unordered containers (see [`crate::nondet_reduce`]) |
+//!
+//! R9–R12 live in their own modules; this module keeps the lexical rules and
+//! the `run_all` per-file dispatcher. `panic-reachability` is the one rule
+//! that cannot run per-file — its findings come from the workspace call graph
+//! in the engine's second phase.
 
 use crate::lexer::{TokKind, Token};
 use crate::{FileCtx, Finding};
 
 /// All rule identifiers, as accepted by `// ipu-lint: allow(<rule>)`.
 pub const RULE_IDS: &[&str] = &[
-    "no-panic",
     "no-wall-clock",
     "unordered-iter",
     "serde-default",
@@ -26,10 +33,11 @@ pub const RULE_IDS: &[&str] = &[
     "float-eq",
     "missing-doc",
     "no-debug-print",
+    "panic-reachability",
+    "exhaustive-match",
+    "merge-complete",
+    "nondet-reduce",
 ];
-
-/// Crates whose non-test code must be panic-free (R1).
-const PANIC_FREE_CRATES: &[&str] = &["ftl", "flash"];
 
 /// Crates whose non-test code must not read wall-clock time (R2).
 const DETERMINISTIC_CRATES: &[&str] = &["sim", "ftl", "flash", "trace", "fleet"];
@@ -37,7 +45,7 @@ const DETERMINISTIC_CRATES: &[&str] = &["sim", "ftl", "flash", "trace", "fleet"]
 /// Files on the deterministic-output surface (R3): anything here feeds report
 /// rendering, JSONL export, or state replayed under the on-disk cache, where
 /// unordered iteration silently breaks bit-identical replay.
-const ORDERED_OUTPUT_FILES: &[&str] = &[
+pub const ORDERED_OUTPUT_FILES: &[&str] = &[
     "crates/trace/src/stats.rs",
     "crates/trace/src/analysis.rs",
     "crates/ftl/src/cache_meta.rs",
@@ -82,8 +90,9 @@ enum DocScope {
 const PRINT_EXEMPT_CRATES: &[&str] = &["cli", "lint"];
 
 /// Runs every file-scoped rule over `ctx`, appending findings.
+/// `panic-reachability` is absent on purpose: it needs the whole-workspace
+/// call graph and runs in the engine's second phase.
 pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    no_panic(ctx, out);
     no_wall_clock(ctx, out);
     unordered_iter(ctx, out);
     serde_default(ctx, out);
@@ -91,6 +100,9 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     float_eq(ctx, out);
     missing_doc(ctx, out);
     no_debug_print(ctx, out);
+    crate::exhaustive_match::run(ctx, out);
+    crate::merge_complete::run(ctx, out);
+    crate::nondet_reduce::run(ctx, out);
 }
 
 fn finding(ctx: &FileCtx<'_>, rule: &'static str, line: u32, message: String) -> Finding {
@@ -102,80 +114,9 @@ fn finding(ctx: &FileCtx<'_>, rule: &'static str, line: u32, message: String) ->
     }
 }
 
-/// R1 — panic-freedom on the FTL/flash hot paths.
-fn no_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !PANIC_FREE_CRATES.contains(&ctx.crate_name) {
-        return;
-    }
-    let toks = ctx.tokens;
-    for i in 0..toks.len() {
-        if ctx.is_test[i] {
-            continue;
-        }
-        // `.unwrap(` / `.expect(` method calls.
-        if i + 2 < toks.len()
-            && toks[i].is_punct(".")
-            && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
-            && toks[i + 2].is_punct("(")
-        {
-            out.push(finding(
-                ctx,
-                "no-panic",
-                toks[i + 1].line,
-                format!(
-                    ".{}() can panic — propagate FtlError/FlashError or rewrite infallibly",
-                    toks[i + 1].text
-                ),
-            ));
-        }
-        // panic-family macros.
-        if i + 1 < toks.len()
-            && toks[i].kind == TokKind::Ident
-            && toks[i + 1].is_punct("!")
-            && matches!(
-                toks[i].text.as_str(),
-                "panic" | "unreachable" | "todo" | "unimplemented"
-            )
-            // `!=` is joined by the lexer, so a bare `!` here is macro or not.
-            && !(i > 0 && toks[i - 1].is_punct("."))
-        {
-            out.push(finding(
-                ctx,
-                "no-panic",
-                toks[i].line,
-                format!("{}! can panic on a host-reachable path", toks[i].text),
-            ));
-        }
-    }
-    // Indexing inside match arms: `expr[...]` can panic out-of-bounds.
-    for (body_start, body_end) in match_bodies(toks) {
-        for j in body_start + 1..body_end {
-            if ctx.is_test[j] {
-                continue;
-            }
-            if toks[j].is_punct("[") && j > 0 {
-                let prev = &toks[j - 1];
-                let indexes = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
-                    || prev.is_punct(")")
-                    || prev.is_punct("]")
-                    || prev.is_punct("?");
-                if indexes {
-                    out.push(finding(
-                        ctx,
-                        "no-panic",
-                        toks[j].line,
-                        "indexing in a match arm can panic — use .get()/.get_mut() or restructure"
-                            .to_string(),
-                    ));
-                }
-            }
-        }
-    }
-}
-
 /// Keywords that can directly precede `[` without forming an index expression
 /// (e.g. `in [a, b]`, `return [x]`).
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
         "as" | "break"
@@ -210,36 +151,6 @@ fn is_keyword(s: &str) -> bool {
             | "while"
             | "yield"
     )
-}
-
-/// Finds `{`..`}` token index ranges of every `match` body.
-fn match_bodies(toks: &[Token]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_ident("match") && !(i > 0 && toks[i - 1].is_punct(".")) {
-            // The scrutinee cannot contain a bare `{` (struct literals need
-            // parens there), so the first `{` at bracket depth 0 opens the body.
-            let mut j = i + 1;
-            let mut depth = 0i32;
-            while j < toks.len() {
-                match toks[j].text.as_str() {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => depth -= 1,
-                    "{" if depth == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if j < toks.len() {
-                if let Some(end) = matching_brace(toks, j) {
-                    out.push((j, end));
-                }
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 /// Index of the `}` matching the `{` at `open`.

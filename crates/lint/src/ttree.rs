@@ -1,0 +1,674 @@
+//! Token-tree layer: structure on top of the flat [`crate::lexer`] stream.
+//!
+//! Three services, all index-based so they compose with the existing
+//! token-offset rules:
+//!
+//! 1. **Delimiter matching** ([`TokenTreeIndex`]): for every `(`/`[`/`{` the
+//!    index of its matching close delimiter (and vice versa), computed in one
+//!    pass. Unbalanced files degrade gracefully (unmatched delimiters map to
+//!    `usize::MAX`) — the linter must never panic on weird input.
+//! 2. **Item extraction** ([`collect_fns`], [`collect_items`]): `fn`, `impl`,
+//!    `trait`, `struct`, `enum` and `mod` items with their names, body spans,
+//!    attributes, and — crucially for the call graph — the `impl` owner type
+//!    and trait name each `fn` belongs to.
+//! 3. **Test-region attribution**: `#[cfg(test)]` and `#[test]` attributes
+//!    are inherited down the item tree, so a fn inside `#[cfg(test)] mod
+//!    tests` is marked `is_test` without any separate mask pass.
+//!
+//! This is still not a Rust parser: expressions are opaque token runs, nested
+//! `fn` items inside function bodies are not descended into (none exist on
+//! the invariant surfaces this linter guards), and generic parameters are
+//! skipped as balanced `<…>` runs only where they syntactically must occur
+//! (after `impl` / item names). Fixture tests pin the shapes this workspace
+//! actually uses.
+
+use crate::lexer::{TokKind, Token};
+
+/// Sentinel for "no matching delimiter".
+pub const NO_MATCH: usize = usize::MAX;
+
+/// Matching-delimiter index over a token slice.
+pub struct TokenTreeIndex {
+    /// `matching[i]` is the index of the delimiter matching `toks[i]`, for
+    /// tokens that are `(`/`)`/`[`/`]`/`{`/`}`; [`NO_MATCH`] otherwise or
+    /// when unbalanced.
+    pub matching: Vec<usize>,
+}
+
+impl TokenTreeIndex {
+    /// Builds the index in one pass with a per-delimiter-kind stack.
+    pub fn build(toks: &[Token]) -> TokenTreeIndex {
+        let mut matching = vec![NO_MATCH; toks.len()];
+        // One shared stack keeps cross-kind nesting honest: `( [ ) ]` leaves
+        // both unmatched rather than pairing across kinds.
+        let mut stack: Vec<(usize, &str)> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "{" => stack.push((i, t.text.as_str())),
+                ")" | "]" | "}" => {
+                    let want = match t.text.as_str() {
+                        ")" => "(",
+                        "]" => "[",
+                        _ => "{",
+                    };
+                    if let Some(&(open, kind)) = stack.last() {
+                        if kind == want {
+                            stack.pop();
+                            matching[open] = i;
+                            matching[i] = open;
+                        }
+                        // Mismatched close: leave both unmatched, keep the
+                        // stack — a stray `)` must not unwind brace nesting.
+                    }
+                }
+                _ => {}
+            }
+        }
+        TokenTreeIndex { matching }
+    }
+
+    /// The close index matching the open delimiter at `i`, if balanced.
+    pub fn close_of(&self, i: usize) -> Option<usize> {
+        match self.matching.get(i) {
+            Some(&m) if m != NO_MATCH && m > i => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Item classification, as much as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function or method.
+    Fn,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// A `trait` definition.
+    Trait,
+    /// An `impl` block (inherent or trait).
+    Impl,
+    /// A `mod` with an inline body.
+    Mod,
+}
+
+/// One extracted item. Spans are token indices into the file's stream.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name: the fn/struct/enum/trait/mod identifier; for `impl` blocks
+    /// the *type* name (last path segment of the self type).
+    pub name: String,
+    /// For `impl Trait for Type`, the trait's last path segment; for fns
+    /// inside such a block, inherited. `None` for inherent items.
+    pub trait_name: Option<String>,
+    /// For fns: the enclosing `impl` type or `trait` name. `None` for free
+    /// functions and non-fn items.
+    pub owner: Option<String>,
+    /// Index of the first token of the item (its first attribute, or the
+    /// first signature token when unattributed).
+    pub start: usize,
+    /// `{`..`}` token span of the body, if the item has one.
+    pub body: Option<(usize, usize)>,
+    /// Index of the last token of the item (body close or terminating `;`).
+    pub end: usize,
+    /// Whether the item (or an enclosing item) is `#[cfg(test)]`/`#[test]`.
+    pub is_test: bool,
+    /// 1-based line of the first signature token.
+    pub line: u32,
+}
+
+/// One function definition with its call-graph context.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// The `impl`/`trait` owner type name, `None` for free functions.
+    pub owner: Option<String>,
+    /// The trait being implemented (or defined, for trait default bodies).
+    pub trait_name: Option<String>,
+    /// `{`..`}` token span of the body.
+    pub body: (usize, usize),
+    /// In `#[cfg(test)]` scope or carrying `#[test]`.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Modifier keywords that may precede an item keyword.
+fn is_modifier(s: &str) -> bool {
+    matches!(
+        s,
+        "pub" | "const" | "async" | "unsafe" | "extern" | "default"
+    )
+}
+
+/// Extracts all top-level and nested (mod/impl/trait) items from `toks`.
+pub fn collect_items(toks: &[Token], tree: &TokenTreeIndex) -> Vec<Item> {
+    let mut items = Vec::new();
+    scan_items(toks, tree, 0, toks.len(), false, None, None, &mut items);
+    items
+}
+
+/// Extracts every `fn` with a body, descending through `mod`/`impl`/`trait`.
+pub fn collect_fns(toks: &[Token], tree: &TokenTreeIndex) -> Vec<FnDef> {
+    collect_items(toks, tree)
+        .into_iter()
+        .filter_map(|it| {
+            if it.kind != ItemKind::Fn {
+                return None;
+            }
+            let body = it.body?;
+            Some(FnDef {
+                name: it.name,
+                owner: it.owner,
+                trait_name: it.trait_name,
+                body,
+                is_test: it.is_test,
+                line: it.line,
+            })
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_items(
+    toks: &[Token],
+    tree: &TokenTreeIndex,
+    start: usize,
+    end: usize,
+    inherited_test: bool,
+    owner: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut Vec<Item>,
+) {
+    let mut i = start;
+    while i < end {
+        let item_start = i;
+        // --- attributes ---------------------------------------------------
+        let mut is_test = inherited_test;
+        while i < end && toks[i].is_punct("#") {
+            let mut j = i + 1;
+            if j < end && toks[j].is_punct("!") {
+                // Inner attribute `#![...]`: belongs to the enclosing scope,
+                // not the next item. Skip it without opening an item.
+                j += 1;
+            }
+            let Some(close) = (j < end && toks[j].is_punct("["))
+                .then(|| tree.close_of(j))
+                .flatten()
+            else {
+                i += 1;
+                continue;
+            };
+            if attr_is_test(&toks[j + 1..close]) {
+                is_test = true;
+            }
+            i = close + 1;
+        }
+        if i >= end {
+            break;
+        }
+        // --- modifiers ----------------------------------------------------
+        while i < end {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident && is_modifier(&t.text) {
+                i += 1;
+                // `pub(crate)` / `extern "C"`
+                if i < end && toks[i].is_punct("(") {
+                    match tree.close_of(i) {
+                        Some(c) => i = c + 1,
+                        None => return,
+                    }
+                } else if i < end && toks[i].kind == TokKind::Str {
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if i >= end {
+            break;
+        }
+        let kw = &toks[i];
+        if kw.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match kw.text.as_str() {
+            "fn" => {
+                let name = ident_at(toks, i + 1).unwrap_or_default();
+                let line = kw.line;
+                // Body: first `{` at group depth 0 before a depth-0 `;`.
+                let mut j = i + 1;
+                let mut body = None;
+                while j < end {
+                    let t = &toks[j];
+                    if t.is_punct("(") || t.is_punct("[") {
+                        match tree.close_of(j) {
+                            Some(c) => {
+                                j = c + 1;
+                                continue;
+                            }
+                            None => return,
+                        }
+                    }
+                    if t.is_punct(";") {
+                        break; // bodyless trait method / extern decl
+                    }
+                    if t.is_punct("{") {
+                        match tree.close_of(j) {
+                            Some(c) => body = Some((j, c)),
+                            None => return,
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                let item_end = body.map(|(_, c)| c).unwrap_or(j.min(end - 1));
+                out.push(Item {
+                    kind: ItemKind::Fn,
+                    name,
+                    trait_name: trait_name.map(str::to_string),
+                    owner: owner.map(str::to_string),
+                    start: item_start,
+                    body,
+                    end: item_end,
+                    is_test,
+                    line,
+                });
+                i = item_end + 1;
+            }
+            "mod" => {
+                let name = ident_at(toks, i + 1).unwrap_or_default();
+                // `mod name;` or `mod name { ... }`.
+                let mut j = i + 1;
+                while j < end && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                    j += 1;
+                }
+                if j < end && toks[j].is_punct("{") {
+                    let Some(close) = tree.close_of(j) else {
+                        return;
+                    };
+                    out.push(Item {
+                        kind: ItemKind::Mod,
+                        name,
+                        trait_name: None,
+                        owner: None,
+                        start: item_start,
+                        body: Some((j, close)),
+                        end: close,
+                        is_test,
+                        line: kw.line,
+                    });
+                    scan_items(toks, tree, j + 1, close, is_test, None, None, out);
+                    i = close + 1;
+                } else {
+                    i = j.saturating_add(1);
+                }
+            }
+            "impl" => {
+                // `impl<G> Type`, `impl<G> Trait for Type`, generics skipped
+                // as balanced `<…>` runs.
+                let mut j = skip_generics(toks, i + 1, end);
+                let first = path_last_segment(toks, &mut j, end);
+                let (tname, type_name) = if j < end && toks[j].is_ident("for") {
+                    j += 1;
+                    let ty = path_last_segment(toks, &mut j, end);
+                    (first, ty)
+                } else {
+                    (None, first)
+                };
+                // Find the body `{`, skipping a possible where clause.
+                while j < end && !toks[j].is_punct("{") {
+                    if toks[j].is_punct("(") || toks[j].is_punct("[") {
+                        match tree.close_of(j) {
+                            Some(c) => j = c,
+                            None => return,
+                        }
+                    }
+                    j += 1;
+                }
+                if j >= end {
+                    return;
+                }
+                let Some(close) = tree.close_of(j) else {
+                    return;
+                };
+                out.push(Item {
+                    kind: ItemKind::Impl,
+                    name: type_name.clone().unwrap_or_default(),
+                    trait_name: tname.clone(),
+                    owner: None,
+                    start: item_start,
+                    body: Some((j, close)),
+                    end: close,
+                    is_test,
+                    line: kw.line,
+                });
+                scan_items(
+                    toks,
+                    tree,
+                    j + 1,
+                    close,
+                    is_test,
+                    type_name.as_deref(),
+                    tname.as_deref(),
+                    out,
+                );
+                i = close + 1;
+            }
+            "trait" => {
+                let name = ident_at(toks, i + 1).unwrap_or_default();
+                let mut j = i + 1;
+                while j < end && !toks[j].is_punct("{") {
+                    if toks[j].is_punct("(") || toks[j].is_punct("[") {
+                        match tree.close_of(j) {
+                            Some(c) => j = c,
+                            None => return,
+                        }
+                    }
+                    j += 1;
+                }
+                if j >= end {
+                    return;
+                }
+                let Some(close) = tree.close_of(j) else {
+                    return;
+                };
+                out.push(Item {
+                    kind: ItemKind::Trait,
+                    name: name.clone(),
+                    trait_name: None,
+                    owner: None,
+                    start: item_start,
+                    body: Some((j, close)),
+                    end: close,
+                    is_test,
+                    line: kw.line,
+                });
+                scan_items(
+                    toks,
+                    tree,
+                    j + 1,
+                    close,
+                    is_test,
+                    Some(&name),
+                    Some(&name),
+                    out,
+                );
+                i = close + 1;
+            }
+            "struct" | "enum" | "union" => {
+                let name = ident_at(toks, i + 1).unwrap_or_default();
+                let kind = if kw.text == "enum" {
+                    ItemKind::Enum
+                } else {
+                    ItemKind::Struct
+                };
+                // Skip to the body `{` or terminating `;` (tuple struct:
+                // `(..);` — the paren run is skipped as a group).
+                let mut j = i + 1;
+                let mut body = None;
+                while j < end {
+                    let t = &toks[j];
+                    if t.is_punct("(") || t.is_punct("[") {
+                        match tree.close_of(j) {
+                            Some(c) => {
+                                j = c + 1;
+                                continue;
+                            }
+                            None => return,
+                        }
+                    }
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_punct("{") {
+                        match tree.close_of(j) {
+                            Some(c) => body = Some((j, c)),
+                            None => return,
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                let item_end = body.map(|(_, c)| c).unwrap_or(j.min(end - 1));
+                out.push(Item {
+                    kind,
+                    name,
+                    trait_name: None,
+                    owner: None,
+                    start: item_start,
+                    body,
+                    end: item_end,
+                    is_test,
+                    line: kw.line,
+                });
+                i = item_end + 1;
+            }
+            // Items without interesting structure: skip to `;` or past a
+            // body group at depth 0.
+            "use" | "type" | "static" | "extern" | "macro_rules" => {
+                let mut j = i + 1;
+                while j < end {
+                    let t = &toks[j];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        match tree.close_of(j) {
+                            Some(c) => {
+                                if t.is_punct("{") {
+                                    j = c;
+                                    break;
+                                }
+                                j = c + 1;
+                                continue;
+                            }
+                            None => return,
+                        }
+                    }
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Whether attribute body tokens mark a test item: `test`, `cfg(test)`, or
+/// `cfg(any(test, …))`-style bodies mentioning `test` inside `cfg`.
+fn attr_is_test(body: &[Token]) -> bool {
+    if body.first().is_some_and(|t| t.is_ident("test")) && body.len() <= 1 {
+        return true;
+    }
+    // `#[test]` with path, e.g. `#[tokio::test]` — last segment `test`.
+    if body
+        .iter()
+        .all(|t| t.kind == TokKind::Ident || t.is_punct("::"))
+        && body.last().is_some_and(|t| t.is_ident("test"))
+    {
+        return true;
+    }
+    body.first().is_some_and(|t| t.is_ident("cfg")) && body.iter().any(|t| t.is_ident("test"))
+}
+
+/// The identifier at `i`, if any.
+fn ident_at(toks: &[Token], i: usize) -> Option<String> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Skips a balanced `<…>` generics run starting at `i`, if present.
+fn skip_generics(toks: &[Token], i: usize, end: usize) -> usize {
+    if i >= end || !toks[i].is_punct("<") {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        match toks[j].text.as_str() {
+            "<" | "<<" => depth += if toks[j].text == "<<" { 2 } else { 1 },
+            ">" | ">>" => {
+                depth -= if toks[j].text == ">>" { 2 } else { 1 };
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            "->" => {} // `fn(..) -> T` inside generics: not a close
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Reads a type/trait path at `*i`, returning its last identifier segment
+/// and leaving `*i` after the path (including trailing generics).
+fn path_last_segment(toks: &[Token], i: &mut usize, end: usize) -> Option<String> {
+    let mut last = None;
+    // Leading `&`/`&mut`/`dyn` on self types.
+    while *i < end
+        && (toks[*i].is_punct("&")
+            || toks[*i].is_ident("mut")
+            || toks[*i].is_ident("dyn")
+            || toks[*i].kind == TokKind::Lifetime)
+    {
+        *i += 1;
+    }
+    loop {
+        match toks.get(*i) {
+            Some(t) if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "for" | "where") => {
+                last = Some(t.text.clone());
+                *i += 1;
+            }
+            _ => break,
+        }
+        *i = skip_generics(toks, *i, end);
+        if *i < end && toks[*i].is_punct("::") {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    *i = skip_generics(toks, *i, end);
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        let out = lex(src);
+        let tree = TokenTreeIndex::build(&out.tokens);
+        collect_fns(&out.tokens, &tree)
+    }
+
+    #[test]
+    fn matching_pairs_nested_delims() {
+        let out = lex("fn f(a: [u8; 4]) { g(h[i]); }");
+        let tree = TokenTreeIndex::build(&out.tokens);
+        let open = out.tokens.iter().position(|t| t.is_punct("{")).unwrap();
+        let close = tree.close_of(open).unwrap();
+        assert!(out.tokens[close].is_punct("}"));
+        assert_eq!(tree.matching[close], open);
+    }
+
+    #[test]
+    fn unbalanced_input_degrades() {
+        let out = lex("fn f( {");
+        let tree = TokenTreeIndex::build(&out.tokens);
+        assert!(tree.matching.iter().all(|&m| m == NO_MATCH));
+    }
+
+    #[test]
+    fn free_fn_and_method_owners() {
+        let src = "fn free() { a(); }\nimpl Dev { fn m(&self) {} }\nimpl Scheme for Dev { fn s(&self) {} }";
+        let got = fns(src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].name, "free");
+        assert_eq!(got[0].owner, None);
+        assert_eq!(got[1].name, "m");
+        assert_eq!(got[1].owner.as_deref(), Some("Dev"));
+        assert_eq!(got[1].trait_name, None);
+        assert_eq!(got[2].name, "s");
+        assert_eq!(got[2].owner.as_deref(), Some("Dev"));
+        assert_eq!(got[2].trait_name.as_deref(), Some("Scheme"));
+    }
+
+    #[test]
+    fn generic_impl_paths_resolve_last_segment() {
+        let src =
+            "impl<T: Clone> crate::sch::Scheme<T> for foo::Bar<T> where T: Eq { fn go(&self) {} }";
+        let got = fns(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].owner.as_deref(), Some("Bar"));
+        assert_eq!(got[0].trait_name.as_deref(), Some("Scheme"));
+    }
+
+    #[test]
+    fn trait_default_bodies_are_fns_with_trait_owner() {
+        let src = "pub trait S { fn sig(&self); fn dflt(&self) { self.sig() } }";
+        let got = fns(src);
+        // Only `dflt` has a body.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "dflt");
+        assert_eq!(got[0].owner.as_deref(), Some("S"));
+        assert_eq!(got[0].trait_name.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn cfg_test_inherits_through_mods() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\n#[test]\nfn top_t() {}";
+        let got = fns(src);
+        let by_name = |n: &str| got.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("live").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("t").is_test);
+        assert!(by_name("top_t").is_test);
+    }
+
+    #[test]
+    fn items_include_structs_and_enums() {
+        let src = "pub struct A { x: u32 }\npub enum B { V1, V2(u8) }\npub struct C(u8);";
+        let out = lex(src);
+        let tree = TokenTreeIndex::build(&out.tokens);
+        let items = collect_items(&out.tokens, &tree);
+        let names: Vec<(&str, ItemKind)> =
+            items.iter().map(|i| (i.name.as_str(), i.kind)).collect();
+        assert_eq!(
+            names,
+            [
+                ("A", ItemKind::Struct),
+                ("B", ItemKind::Enum),
+                ("C", ItemKind::Struct)
+            ]
+        );
+        assert!(items[0].body.is_some());
+        assert!(items[2].body.is_none());
+    }
+
+    #[test]
+    fn inner_attributes_do_not_consume_items() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}";
+        let got = fns(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "f");
+    }
+
+    #[test]
+    fn fn_sig_with_array_types_finds_body() {
+        let src = "fn f(xs: [u64; 4]) -> [u8; 2] { let y = xs; [0, 1] }";
+        let got = fns(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].body.0 < got[0].body.1);
+    }
+}

@@ -2,7 +2,7 @@
 //! stays silent on the conforming twin and outside its scope, and allow
 //! comments suppress only when well-formed (known rule + reason).
 
-use ipu_lint::{lint_str, Finding};
+use ipu_lint::{lint_sources, lint_str, Finding, SourceFile};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -19,31 +19,76 @@ fn assert_only_rule(findings: &[Finding], rule: &str) {
     }
 }
 
-// ---------------------------------------------------------------- R1 no-panic
+// ------------------------------------------------------ R9 panic-reachability
 
 #[test]
-fn no_panic_fires_on_violations() {
-    let src = fixture("no_panic_bad.rs");
+fn panic_reachability_fires_on_host_reachable_tokens() {
+    let src = fixture("panic_reach_bad.rs");
     let (findings, suppressed) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
-    assert_only_rule(&findings, "no-panic");
-    // unwrap, expect, panic!, unreachable!, indexing in a match arm — and the
-    // unwrap inside #[cfg(test)] must NOT be counted.
+    assert_only_rule(&findings, "panic-reachability");
+    // unwrap, expect, panic!, unreachable!, indexing in a match arm — all in
+    // `impl FtlScheme` methods (seeds) — and the unwrap inside #[cfg(test)]
+    // must NOT be counted.
     assert_eq!(findings.len(), 5, "{findings:#?}");
     assert_eq!(suppressed, 0);
 }
 
 #[test]
-fn no_panic_silent_on_conforming_code() {
-    let src = fixture("no_panic_ok.rs");
+fn panic_reachability_silent_on_fallible_code() {
+    let src = fixture("panic_reach_ok.rs");
     let (findings, _) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
     assert!(findings.is_empty(), "{findings:#?}");
 }
 
 #[test]
-fn no_panic_scoped_to_ftl_and_flash() {
-    let src = fixture("no_panic_bad.rs");
-    let (findings, _) = lint_str("core", "crates/core/src/fixture.rs", false, &src);
+fn panic_reachability_ignores_unreached_panics() {
+    // The helper's unwrap is a panic token, but nothing host-reachable calls
+    // it in this source set, so the rule stays silent.
+    let src = fixture("panic_cross_helper.rs");
+    let (findings, _) = lint_str("sim", "crates/sim/src/fixture.rs", false, &src);
     assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// The proof pair the issue demands: each file alone passes (as it did under
+/// the old per-file lexical `no-panic` rule, which was additionally scoped to
+/// ftl/flash and would never have looked at a sim helper at all), but linted
+/// together the helper's `.unwrap()` is reachable from the `FtlScheme` seed.
+#[test]
+fn panic_reachability_crosses_files_the_lexical_rule_could_not() {
+    let seed = fixture("panic_cross_seed.rs");
+    let helper = fixture("panic_cross_helper.rs");
+
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &seed);
+    assert!(findings.is_empty(), "seed alone: {findings:#?}");
+    let (findings, _) = lint_str("sim", "crates/sim/src/fixture.rs", false, &helper);
+    assert!(findings.is_empty(), "helper alone: {findings:#?}");
+
+    let report = lint_sources(
+        vec![
+            SourceFile {
+                crate_name: "ftl".to_string(),
+                rel_path: "crates/ftl/src/scheme_fixture.rs".to_string(),
+                is_crate_root: false,
+                src: seed,
+            },
+            SourceFile {
+                crate_name: "sim".to_string(),
+                rel_path: "crates/sim/src/helper_fixture.rs".to_string(),
+                is_crate_root: false,
+                src: helper,
+            },
+        ],
+        1,
+    );
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "panic-reachability");
+    assert_eq!(f.file, "crates/sim/src/helper_fixture.rs");
+    assert!(
+        f.message.contains("Fixture::on_host_write"),
+        "path label names the seed: {}",
+        f.message
+    );
 }
 
 // ------------------------------------------------------------ R2 no-wall-clock
@@ -77,9 +122,12 @@ fn wall_clock_scoped_to_deterministic_crates() {
 fn unordered_iter_fires_on_ordered_output_files() {
     let src = fixture("unordered_bad.rs");
     let (findings, _) = lint_str("core", "crates/core/src/report.rs", false, &src);
-    assert_only_rule(&findings, "unordered-iter");
-    // `HashMap` in the use and in the signature.
-    assert_eq!(findings.len(), 2, "{findings:#?}");
+    // `HashMap` in the use and in the signature (lexical mention rule) plus
+    // the for-loop over the unordered local (type-flow rule): the two rules
+    // deliberately overlap on the deterministic-output surface.
+    assert_eq!(rule_counts(&findings, "unordered-iter"), 2, "{findings:#?}");
+    assert_eq!(rule_counts(&findings, "nondet-reduce"), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
 }
 
 #[test]
@@ -238,7 +286,11 @@ fn allow_without_reason_is_itself_a_finding() {
         1,
         "{findings:#?}"
     );
-    assert_eq!(rule_counts(&findings, "no-panic"), 1, "{findings:#?}");
+    assert_eq!(
+        rule_counts(&findings, "panic-reachability"),
+        1,
+        "{findings:#?}"
+    );
     assert_eq!(findings.len(), 2);
 }
 
@@ -252,21 +304,92 @@ fn allow_naming_unknown_rule_suppresses_nothing() {
         1,
         "{findings:#?}"
     );
-    assert_eq!(rule_counts(&findings, "no-panic"), 1, "{findings:#?}");
+    assert_eq!(
+        rule_counts(&findings, "panic-reachability"),
+        1,
+        "{findings:#?}"
+    );
     assert_eq!(findings.len(), 2);
+}
+
+// ---------------------------------------------------------- R10 exhaustive-match
+
+#[test]
+fn exhaustive_match_fires_on_wildcard_growth_arm() {
+    let src = fixture("exhaustive_bad.rs");
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert_only_rule(&findings, "exhaustive-match");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("FlashOpKind"));
+}
+
+#[test]
+fn exhaustive_match_silent_on_conforming_matches() {
+    // Full enumeration, a named binding, and `_` on a non-growth match.
+    let src = fixture("exhaustive_ok.rs");
+    let (findings, _) = lint_str("ftl", "crates/ftl/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ----------------------------------------------------------- R11 merge-complete
+
+#[test]
+fn merge_complete_fires_on_forgotten_field() {
+    let src = fixture("merge_bad.rs");
+    let (findings, _) = lint_str("host", "crates/host/src/metrics.rs", false, &src);
+    assert_only_rule(&findings, "merge-complete");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("LatencyStats.max_ns"));
+}
+
+#[test]
+fn merge_complete_silent_when_every_field_merges() {
+    let src = fixture("merge_ok.rs");
+    let (findings, _) = lint_str("host", "crates/host/src/metrics.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn merge_complete_scoped_to_listed_files() {
+    // The same forgotten field is fine in a file outside the scope table.
+    let src = fixture("merge_bad.rs");
+    let (findings, _) = lint_str("host", "crates/host/src/other.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------------ R12 nondet-reduce
+
+#[test]
+fn nondet_reduce_fires_on_unordered_reductions() {
+    let src = fixture("nondet_bad.rs");
+    let (findings, _) = lint_str("host", "crates/host/src/fixture.rs", false, &src);
+    assert_only_rule(&findings, "nondet-reduce");
+    // HashMap iteration inside parallel_map + f64 accumulation over a
+    // HashMap anywhere.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn nondet_reduce_silent_on_ordered_or_integer_reductions() {
+    let src = fixture("nondet_ok.rs");
+    let (findings, _) = lint_str("host", "crates/host/src/fixture.rs", false, &src);
+    assert!(findings.is_empty(), "{findings:#?}");
 }
 
 // --------------------------------------------------- the workspace lints clean
 
-#[test]
-fn workspace_has_no_unsuppressed_findings() {
+fn workspace_root() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two levels up.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root")
-        .to_path_buf();
-    let report = ipu_lint::lint_workspace(&root).expect("walk workspace");
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let report = ipu_lint::lint_workspace(&workspace_root(), 2).expect("walk workspace");
     assert!(
         report.files_scanned > 50,
         "scanned {}",
@@ -278,4 +401,19 @@ fn workspace_has_no_unsuppressed_findings() {
         "workspace findings:\n{}",
         rendered.join("\n")
     );
+}
+
+/// Satellite (b): the report — and every rendering of it — is byte-identical
+/// whatever the worker count, because phase A is an order-preserving
+/// parallel_map and findings are globally sorted by `(file, line, rule)`.
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let root = workspace_root();
+    let r1 = ipu_lint::lint_workspace(&root, 1).expect("walk workspace");
+    let r4 = ipu_lint::lint_workspace(&root, 4).expect("walk workspace");
+    assert_eq!(ipu_lint::render_human(&r1), ipu_lint::render_human(&r4));
+    assert_eq!(ipu_lint::render_json(&r1), ipu_lint::render_json(&r4));
+    assert_eq!(ipu_lint::render_github(&r1), ipu_lint::render_github(&r4));
+    assert_eq!(r1.suppressed, r4.suppressed);
+    assert_eq!(r1.files_scanned, r4.files_scanned);
 }

@@ -1,7 +1,11 @@
 //! Fixture: an allow comment with no reason — it must not suppress anything
 //! and must itself be reported.
 
-pub fn unsuppressed_unwrap(v: Option<u32>) -> u32 {
-    // ipu-lint: allow(no-panic)
-    v.unwrap()
+pub struct Fixture;
+
+impl FtlScheme for Fixture {
+    fn unsuppressed_unwrap(&mut self, v: Option<u32>) -> u32 {
+        // ipu-lint: allow(panic-reachability)
+        v.unwrap()
+    }
 }

@@ -1,6 +1,10 @@
 //! Fixture: a violation silenced by a well-formed allow comment with a reason.
 
-pub fn allowed_unwrap(v: Option<u32>) -> u32 {
-    // ipu-lint: allow(no-panic) — fixture: the reason text is present, so this allow is valid
-    v.unwrap()
+pub struct Fixture;
+
+impl FtlScheme for Fixture {
+    fn allowed_unwrap(&mut self, v: Option<u32>) -> u32 {
+        // ipu-lint: allow(panic-reachability) — fixture: the reason text is present, so this allow is valid
+        v.unwrap()
+    }
 }

@@ -1,7 +1,11 @@
 //! Fixture: an allow naming a rule that does not exist — reported, and the
 //! underlying violation stays unsuppressed.
 
-pub fn unsuppressed_unwrap(v: Option<u32>) -> u32 {
-    // ipu-lint: allow(no-such-rule) — the rule name is wrong, so this suppresses nothing
-    v.unwrap()
+pub struct Fixture;
+
+impl FtlScheme for Fixture {
+    fn unsuppressed_unwrap(&mut self, v: Option<u32>) -> u32 {
+        // ipu-lint: allow(no-such-rule) — the rule name is wrong, so this suppresses nothing
+        v.unwrap()
+    }
 }

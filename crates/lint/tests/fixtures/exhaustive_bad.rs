@@ -1,0 +1,9 @@
+//! Fixture: a bare `_` arm on a growth enum — a new variant added next PR
+//! would be silently swallowed instead of rejected at compile time.
+
+pub fn route(kind: FlashOpKind) -> u32 {
+    match kind {
+        FlashOpKind::HostRead => 1,
+        _ => 0,
+    }
+}

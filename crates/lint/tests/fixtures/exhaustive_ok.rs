@@ -1,0 +1,24 @@
+//! Fixture: growth-enum matches that stay exhaustive or bind with intent —
+//! named variants, a named binding, and a non-growth match where `_` is fine.
+
+pub fn route(kind: FlashOpKind) -> u32 {
+    match kind {
+        FlashOpKind::HostRead | FlashOpKind::UnmappedRead => 1,
+        FlashOpKind::HostProgram => 2,
+        FlashOpKind::GcRead | FlashOpKind::GcProgram | FlashOpKind::Erase => 0,
+    }
+}
+
+pub fn bind_by_name(kind: FlashOpKind) -> u32 {
+    match kind {
+        FlashOpKind::HostRead => 1,
+        other => other as u32,
+    }
+}
+
+pub fn non_growth_enum(flag: bool) -> u32 {
+    match flag {
+        true => 1,
+        _ => 0,
+    }
+}

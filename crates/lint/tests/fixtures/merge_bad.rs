@@ -1,0 +1,20 @@
+//! Fixture: a conservation ledger whose `merge` forgot a field — linted as
+//! if it were `crates/host/src/metrics.rs`, the scoped home of LatencyStats.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency ledger (fixture twin of the real one).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Folds `other` in — but `max_ns` never made it here.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the conforming twin — every field appears in `merge` and the
+//! struct derives both serde traits.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency ledger (fixture twin of the real one).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Folds `other` in, field by field.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: order-sensitive reductions over unordered containers — hash
+//! iteration inside a parallel_map closure, and f64 accumulation anywhere.
+
+use std::collections::HashMap;
+
+pub fn shard_sums(shards: HashMap<u32, u64>, v: Vec<u32>) -> Vec<u64> {
+    parallel_map(v, 4, move |x| {
+        let mut acc = 0u64;
+        for (_, s) in &shards {
+            acc += s;
+        }
+        acc + x as u64
+    })
+}
+
+pub fn mean_latency(m: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in m {
+        sum += v;
+    }
+    sum / 7.0
+}

@@ -1,0 +1,22 @@
+//! Fixture: the conforming twins — ordered containers commute with nothing,
+//! and integer accumulation over hash order is exact on purpose.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn shard_sums(shards: BTreeMap<u32, u64>, v: Vec<u32>) -> Vec<u64> {
+    parallel_map(v, 4, move |x| {
+        let mut acc = 0u64;
+        for (_, s) in &shards {
+            acc += s;
+        }
+        acc + x as u64
+    })
+}
+
+pub fn total_events(m: &HashMap<u32, u64>) -> u64 {
+    let mut sum = 0u64;
+    for (_, v) in m {
+        sum += v;
+    }
+    sum
+}

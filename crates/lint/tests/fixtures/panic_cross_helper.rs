@@ -1,0 +1,10 @@
+//! Fixture: cross-file proof, helper side — a free function in another crate
+//! whose `.unwrap()` only matters once a host-reachable caller is in view.
+
+pub fn resolve_mapping(lpn: u64) -> u64 {
+    lookup(lpn).unwrap()
+}
+
+fn lookup(lpn: u64) -> Option<u64> {
+    Some(lpn)
+}

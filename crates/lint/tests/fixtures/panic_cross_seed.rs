@@ -1,0 +1,11 @@
+//! Fixture: cross-file proof, seed side — an `FtlScheme` method whose only
+//! sin is calling a helper defined in another crate. Linted alone this file
+//! is clean, and the old per-file lexical rule never looked past it.
+
+pub struct Fixture;
+
+impl FtlScheme for Fixture {
+    fn on_host_write(&mut self, lpn: u64) -> u64 {
+        resolve_mapping(lpn)
+    }
+}

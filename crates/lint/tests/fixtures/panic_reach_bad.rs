@@ -1,0 +1,36 @@
+//! Fixture: panic-reachability violations — every panicking token lives in a
+//! method of an `impl FtlScheme` block, the per-request host dispatch seed.
+
+pub struct Fixture;
+
+impl FtlScheme for Fixture {
+    fn bad_unwrap(&mut self, v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+
+    fn bad_expect(&mut self, v: Option<u32>) -> u32 {
+        v.expect("must exist")
+    }
+
+    fn bad_macros(&mut self, x: u32) -> u32 {
+        if x > 3 {
+            panic!("boom");
+        }
+        unreachable!()
+    }
+
+    fn bad_index_in_match(&mut self, v: &[u32], flag: bool) -> u32 {
+        match flag {
+            true => v[0],
+            false => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

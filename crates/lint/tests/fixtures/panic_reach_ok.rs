@@ -1,0 +1,23 @@
+//! Fixture: host-reachable code that propagates errors instead of panicking.
+
+pub struct Fixture;
+
+impl FtlScheme for Fixture {
+    fn ok_fallible(&mut self, v: Option<u32>) -> Result<u32, String> {
+        v.ok_or_else(|| "missing".to_string())
+    }
+
+    fn ok_let_else(&mut self, v: &[u32]) -> u32 {
+        let Some(&first) = v.first() else {
+            return 0;
+        };
+        first
+    }
+
+    fn ok_match_without_indexing(&mut self, v: &[u32], flag: bool) -> u32 {
+        match flag {
+            true => v.first().copied().unwrap_or(0),
+            false => 0,
+        }
+    }
+}

@@ -36,6 +36,7 @@ impl CounterSnapshot {
             .counters
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
         {
+            // ipu-lint: allow(panic-reachability) — index is the Ok value of binary_search on this same vec, in bounds by contract
             Ok(i) => self.counters[i].1 = value,
             Err(i) => self.counters.insert(i, (name.to_string(), value)),
         }

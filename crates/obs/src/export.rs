@@ -38,22 +38,32 @@ static EVENTS: Mutex<EventBuf> = Mutex::new(EventBuf {
     dropped: 0,
 });
 
+/// Locks the event buffer, recovering from poisoning: a panic on another
+/// thread must not take the flight recorder down with it — the buffer holds
+/// plain counters and events, valid regardless of where a panic interrupted.
+fn lock_events() -> std::sync::MutexGuard<'static, EventBuf> {
+    match EVENTS.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 pub(crate) fn set_epoch() {
-    let mut buf = EVENTS.lock().unwrap();
+    let mut buf = lock_events();
     if buf.epoch.is_none() {
         buf.epoch = Some(Instant::now());
     }
 }
 
 pub(crate) fn reset_events() {
-    let mut buf = EVENTS.lock().unwrap();
+    let mut buf = lock_events();
     buf.epoch = None;
     buf.events.clear();
     buf.dropped = 0;
 }
 
 pub(crate) fn record_event(phase: Phase, label: &str, value: u64) {
-    let mut buf = EVENTS.lock().unwrap();
+    let mut buf = lock_events();
     if buf.events.len() >= EVENT_CAPACITY {
         buf.dropped += 1;
         return;
@@ -72,7 +82,7 @@ pub(crate) fn record_event(phase: Phase, label: &str, value: u64) {
 
 /// Copies out the buffered events and the dropped-event count.
 pub fn events() -> (Vec<ObsEvent>, u64) {
-    let buf = EVENTS.lock().unwrap();
+    let buf = lock_events();
     (buf.events.clone(), buf.dropped)
 }
 

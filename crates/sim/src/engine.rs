@@ -263,17 +263,19 @@ pub fn replay_oracle(cfg: &ReplayConfig, requests: &[IoRequest], trace_name: &st
         let mut completion = now;
         for op in &batch.ops {
             match op.kind {
-                k if k == ipu_ftl::FlashOpKind::HostRead
-                    || k == ipu_ftl::FlashOpKind::UnmappedRead =>
-                {
+                ipu_ftl::FlashOpKind::HostRead | ipu_ftl::FlashOpKind::UnmappedRead => {
                     let (_, end) = chips.schedule_read(op.chip, now, op.latency_ns);
                     completion = completion.max(end);
                 }
-                k if k.is_host() => {
+                ipu_ftl::FlashOpKind::HostProgram => {
                     let (_, end) = chips.schedule(op.chip, now, op.latency_ns);
                     completion = completion.max(end);
                 }
-                _ => chips.schedule_background(op.chip, now, op.latency_ns),
+                ipu_ftl::FlashOpKind::GcRead
+                | ipu_ftl::FlashOpKind::GcProgram
+                | ipu_ftl::FlashOpKind::Erase => {
+                    chips.schedule_background(op.chip, now, op.latency_ns)
+                }
             }
         }
         let latency = completion - now;

@@ -367,10 +367,10 @@ impl EventCore {
                 FlashOpKind::HostRead | FlashOpKind::UnmappedRead => {
                     completion = completion.max(self.exec_read(rec.chip, now, rec.latency_ns));
                 }
-                k if k.is_host() => {
+                FlashOpKind::HostProgram => {
                     completion = completion.max(self.exec_host(rec.chip, now, rec.latency_ns));
                 }
-                _ => {
+                FlashOpKind::GcRead | FlashOpKind::GcProgram | FlashOpKind::Erase => {
                     let (round, scrub) = if rec.round == 0 {
                         self.stray_rounds += 1;
                         (STRAY_ROUND_BIT | self.stray_rounds, false)
